@@ -1,0 +1,58 @@
+"""Ablation A1: block size vs link latency.
+
+Section 5.3 explains the Table 5 crossover: "the file copy sends larger
+blocks of data, and thus the performance is less sensitive to network
+latency", and the authors say they are "investigating whether we can
+produce a version of the buffer code that is less sensitive to network
+latency".  This ablation quantifies that: sweep Grid Buffer block size
+against link latency and report where streaming beats the bulk copy.
+Larger blocks are exactly the fix the authors anticipate.
+"""
+
+import repro.workflow.simrunner as simrunner
+from repro.apps.climate import split_plan
+from repro.bench.tables import TableBuilder, hms
+from repro.workflow.simrunner import simulate_plan
+
+BLOCK_SIZES = [4096, 16 * 1024, 64 * 1024, 256 * 1024]
+PAIRINGS = [("brecca", "vpac27"), ("brecca", "freak"), ("brecca", "bouscat")]
+
+
+def sweep():
+    table = TableBuilder(
+        "Ablation A1 — Grid Buffer block size vs link latency (total time)",
+        ["pairing", "files+copy"] + [f"buf {bs//1024 or 4}K" if bs >= 1024 else str(bs) for bs in BLOCK_SIZES],
+    )
+    original = simrunner.GRID_BUFFER_BLOCK
+    crossover_fixed = True
+    try:
+        for src, dst in PAIRINGS:
+            copy_t = simulate_plan(split_plan(src, dst, "copy")).finish_of("darlam")
+            row = [f"{src}->{dst}", hms(copy_t)]
+            times = []
+            for bs in BLOCK_SIZES:
+                simrunner.GRID_BUFFER_BLOCK = bs
+                t = simulate_plan(split_plan(src, dst, "buffer")).finish_of("darlam")
+                times.append(t)
+                row.append(hms(t))
+            table.add_row(*row)
+            # Bigger blocks must monotonically help on high-latency paths.
+            if dst in ("freak", "bouscat"):
+                crossover_fixed &= times[-1] < times[0]
+                table.add_check(
+                    f"{src}->{dst}: 256K blocks beat 4K blocks (latency sensitivity)",
+                    times[-1] < times[0],
+                )
+                table.add_check(
+                    f"{src}->{dst}: large-block buffers become competitive with copy",
+                    times[-1] < 1.5 * copy_t,
+                )
+    finally:
+        simrunner.GRID_BUFFER_BLOCK = original
+    return table
+
+
+def test_ablation_blocksize(once):
+    table = once(sweep)
+    table.print()
+    assert table.all_checks_pass

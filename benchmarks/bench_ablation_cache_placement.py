@@ -1,0 +1,96 @@
+"""Ablation A2: Grid Buffer cache file — cost and capability.
+
+Section 3.1/4: the cache file may sit at the writer or the reader end;
+it is what allows re-reads and arbitrary seeks on a stream.  This bench
+measures (on the real TCP Grid Buffer):
+
+* streaming throughput with cache disabled vs enabled (the cache's
+  write-through cost), and
+* that re-reads only work when the cache exists.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bench.tables import TableBuilder
+from repro.gridbuffer.client import GridBufferClient
+from repro.gridbuffer.server import GridBufferServer
+from repro.gridbuffer.service import GridBufferError
+
+PAYLOAD = bytes(range(256)) * 2048  # 512 KiB
+CHUNK = 4096
+
+
+def _stream_once(server, name, cache):
+    client = GridBufferClient(*server.address)
+    reader_client = GridBufferClient(*server.address)
+    # Create up front so the reader thread cannot race the writer.
+    client.create_stream(name, cache=cache)
+    received = bytearray()
+
+    def produce():
+        w = client.open_writer(name, cache=cache)
+        for off in range(0, len(PAYLOAD), CHUNK):
+            w.write(PAYLOAD[off : off + CHUNK])
+        w.close()
+
+    def consume():
+        r = reader_client.open_reader(name, reader_id=f"{name}-r", read_timeout=30)
+        while True:
+            chunk = r.read(CHUNK)
+            if not chunk:
+                break
+            received.extend(chunk)
+        r.close()
+
+    t0 = time.perf_counter()
+    tw = threading.Thread(target=produce)
+    tr = threading.Thread(target=consume)
+    tw.start()
+    tr.start()
+    tw.join(timeout=60)
+    tr.join(timeout=60)
+    elapsed = time.perf_counter() - t0
+    assert bytes(received) == PAYLOAD
+    client.close()
+    reader_client.close()
+    return len(PAYLOAD) / elapsed / (1024 * 1024)  # MiB/s
+
+
+def test_ablation_cache_placement(benchmark, tmp_path):
+    server = GridBufferServer(cache_dir=tmp_path / "cache")
+    with server:
+        no_cache = _stream_once(server, "nc", cache=False)
+        with_cache = benchmark.pedantic(
+            _stream_once, args=(server, "wc", True), rounds=1, iterations=1
+        )
+        table = TableBuilder(
+            "Ablation A2 — cache file cost (real TCP Grid Buffer)",
+            ["configuration", "throughput MiB/s", "re-read/seek"],
+        )
+        table.add_row("cache disabled", f"{no_cache:.1f}", "unsupported")
+        table.add_row("cache enabled", f"{with_cache:.1f}", "supported")
+        table.add_check(
+            "cache write-through costs < 20x throughput", with_cache > no_cache / 20
+        )
+
+        # Capability: re-read succeeds only with the cache (reattach as
+        # the same reader identity that drained each stream).
+        client = GridBufferClient(*server.address)
+        r = client.open_reader("wc", reader_id="wc-r", read_timeout=10)
+        r.seek(0)
+        assert r.read(CHUNK) == PAYLOAD[:CHUNK]
+        r.close()
+
+        r2 = client.open_reader("nc", reader_id="nc-r", read_timeout=10)
+        r2.seek(0)
+        with pytest.raises(Exception) as exc_info:
+            r2.read(CHUNK)
+        assert "cache" in str(exc_info.value)
+        r2.close()
+        client.close()
+        table.add_check("re-read works iff cache file configured", True)
+        table.print()
+        assert table.all_checks_pass

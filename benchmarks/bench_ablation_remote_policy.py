@@ -1,0 +1,65 @@
+"""Ablation A4: copy-in vs proxy remote access (Section 3.1 heuristics).
+
+Sweeps the expected read fraction against link latency and prints the
+policy's decision matrix plus the break-even fraction per latency —
+making the paper's qualitative guidance ("small fraction → don't copy";
+"small file + high latency → copy") quantitative.
+"""
+
+from repro.bench.tables import TableBuilder
+from repro.core.policy import AccessEstimate, AccessPolicy
+
+MB = 1024 * 1024
+FRACTIONS = [0.01, 0.05, 0.2, 0.5, 1.0]
+LATENCIES = [0.001, 0.02, 0.1, 0.3]
+FILE_SIZE = 64 * MB
+BANDWIDTH = 2 * MB
+
+
+def decision_matrix():
+    policy = AccessPolicy()
+    rows = []
+    for latency in LATENCIES:
+        cells = []
+        for fraction in FRACTIONS:
+            est = AccessEstimate(
+                file_size=FILE_SIZE,
+                bandwidth=BANDWIDTH,
+                latency=latency,
+                read_fraction=fraction,
+                block_size=64 * 1024,
+            )
+            cells.append(policy.decide(est).mode)
+        crossover = policy.crossover_fraction(
+            AccessEstimate(
+                file_size=FILE_SIZE, bandwidth=BANDWIDTH, latency=latency, block_size=64 * 1024
+            )
+        )
+        rows.append((latency, cells, crossover))
+    return rows
+
+
+def test_ablation_remote_policy(once):
+    rows = once(decision_matrix)
+    table = TableBuilder(
+        "Ablation A4 — copy vs proxy decision (64 MB file, 2 MB/s link)",
+        ["latency s"] + [f"frac {f}" for f in FRACTIONS] + ["break-even frac"],
+    )
+    for latency, cells, crossover in rows:
+        table.add_row(latency, *cells, f"{crossover:.3f}")
+    by_latency = {latency: (cells, crossover) for latency, cells, crossover in rows}
+    table.add_check(
+        "tiny read fraction always proxies",
+        all(cells[0] == "proxy" for cells, _ in by_latency.values()),
+    )
+    table.add_check(
+        "full sequential read always copies",
+        all(cells[-1] == "copy" for cells, _ in by_latency.values()),
+    )
+    crossovers = [crossover for _, crossover in by_latency.values()]
+    table.add_check(
+        "higher latency lowers the break-even fraction (copy sooner)",
+        all(a >= b - 1e-9 for a, b in zip(crossovers, crossovers[1:])),
+    )
+    table.print()
+    assert table.all_checks_pass

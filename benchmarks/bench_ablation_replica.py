@@ -1,0 +1,91 @@
+"""Ablation A3: replica-selection heuristics.
+
+Section 3.1: "a range of heuristics can be used" to pick a replica, and
+read-only mappings can change dynamically.  This ablation compares
+selection policies on a synthetic bandwidth trace where the initially
+best source degrades mid-run:
+
+* static      — pick once by first registration, never reconsider
+* nws         — pick once by NWS forecast at open time
+* nws+remap   — NWS choice plus mid-run re-mapping (the FM's behaviour)
+
+The metric is total predicted transfer time over a sequence of reads.
+"""
+
+from repro.bench.tables import TableBuilder
+from repro.core.replica import ReplicaSelector
+from repro.grid.nws import Measurement, NetworkWeatherService
+from repro.grid.replica_catalog import Replica, ReplicaCatalog
+
+READS = 40
+READ_BYTES = 8 * 1024 * 1024
+
+
+def _true_bandwidth(host: str, step: int) -> float:
+    """Synthetic trace: hostA starts fast then collapses at step 10."""
+    if host == "hostA":
+        return 10e6 if step < 10 else 0.4e6
+    return 4e6
+
+
+def run_policies():
+    results = {}
+    for policy in ("static", "nws", "nws+remap"):
+        catalog = ReplicaCatalog()
+        catalog.register("lfn://d", Replica("hostA", "/d", size=READ_BYTES))
+        catalog.register("lfn://d", Replica("hostB", "/d", size=READ_BYTES))
+        nws = NetworkWeatherService(window=8)
+        # Warm-up measurements reflecting the initial state.
+        for i in range(4):
+            for host in ("hostA", "hostB"):
+                nws.record(
+                    host, "client",
+                    Measurement(time=i, bandwidth=_true_bandwidth(host, 0), latency=0.01),
+                )
+        selector = ReplicaSelector(catalog, nws, hysteresis=1.3)
+        current = (
+            catalog.lookup("lfn://d")[0]
+            if policy == "static"
+            else selector.best("lfn://d", "client", READ_BYTES).replica
+        )
+        total = 0.0
+        remaps = 0
+        for step in range(READS):
+            # The environment evolves; NWS keeps measuring both paths.
+            for host in ("hostA", "hostB"):
+                nws.record(
+                    host, "client",
+                    Measurement(
+                        time=10 + step, bandwidth=_true_bandwidth(host, step), latency=0.01
+                    ),
+                )
+            if policy == "nws+remap":
+                choice = selector.maybe_remap("lfn://d", "client", current, READ_BYTES)
+                if choice is not None:
+                    current = choice.replica
+                    remaps += 1
+            total += READ_BYTES / _true_bandwidth(current.host, step)
+        results[policy] = (total, remaps, current.host)
+    return results
+
+
+def test_ablation_replica_selection(once):
+    results = once(run_policies)
+    table = TableBuilder(
+        "Ablation A3 — replica selection on a degrading source",
+        ["policy", "total transfer s", "re-maps", "final source"],
+    )
+    for policy, (total, remaps, final) in results.items():
+        table.add_row(policy, f"{total:.1f}", remaps, final)
+    table.add_check(
+        "dynamic re-mapping beats static selection",
+        results["nws+remap"][0] < results["static"][0],
+    )
+    table.add_check(
+        "dynamic re-mapping beats open-time-only NWS choice",
+        results["nws+remap"][0] < results["nws"][0],
+    )
+    table.add_check("the re-mapper switched away from the degraded source",
+                    results["nws+remap"][2] == "hostB")
+    table.print()
+    assert table.all_checks_pass

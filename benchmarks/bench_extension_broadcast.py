@@ -1,0 +1,64 @@
+"""Extension bench E1: broadcast scaling (multi-organizational models).
+
+Section 5.3's outlook — one global model feeding regional models owned
+by different partners — needs the Grid Buffer's broadcast mode.  This
+bench sweeps the number of regions and checks that broadcast streaming
+scales sub-linearly (the driver chain is shared), while the sequential
+copy wiring pays per region.
+"""
+
+from repro.apps.climate.ensemble import ensemble_plan
+from repro.bench.tables import TableBuilder, hms
+from repro.workflow.simrunner import simulate_plan
+
+#: Distinct partner machines per campaign size (fast metro/AU-JP links).
+POOLS = {
+    1: ["dione"],
+    2: ["dione", "freak"],
+    3: ["dione", "freak", "koume00"],
+}
+
+
+def run_scaling():
+    table = TableBuilder(
+        "Extension E1 — one C-CAM driving N regional models (simulated)",
+        ["regions", "machines", "buffers", "copy"],
+    )
+    totals = {}
+    for n, machines in POOLS.items():
+        buf = simulate_plan(ensemble_plan("brecca", machines, "buffer")).makespan
+        cop = simulate_plan(ensemble_plan("brecca", machines, "copy")).makespan
+        totals[n] = (buf, cop)
+        table.add_row(n, ",".join(machines), hms(buf), hms(cop))
+    # The alternative to broadcasting: run the whole campaign once per
+    # partner (the pre-grid practice the paper argues against).
+    separate_total = sum(
+        simulate_plan(ensemble_plan("brecca", [m], "buffer")).makespan
+        for m in POOLS[3]
+    )
+    table.add_row("3x separate", "one campaign per partner", hms(separate_total), "-")
+    # A high-latency subscriber gates everyone (one writer, blocks held
+    # until ALL readers consume them).
+    with_uk = simulate_plan(
+        ensemble_plan("brecca", ["dione", "freak", "bouscat"], "buffer")
+    ).makespan
+    table.add_row("3 (w/ UK)", "dione,freak,bouscat", hms(with_uk), "-")
+    table.add_check(
+        "one broadcast campaign beats per-partner campaigns (3 regions < 70% of 3 runs)",
+        totals[3][0] < 0.7 * separate_total,
+    )
+    table.add_check(
+        "adding partners never speeds things up (monotone)",
+        totals[1][0] <= totals[2][0] <= totals[3][0] + 1e-6,
+    )
+    table.add_check(
+        "a high-latency subscriber (bouscat, AU-UK) gates the whole broadcast",
+        with_uk > 1.3 * totals[3][0],
+    )
+    return table
+
+
+def test_extension_broadcast(once):
+    table = once(run_scaling)
+    table.print()
+    assert table.all_checks_pass

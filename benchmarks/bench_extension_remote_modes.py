@@ -1,0 +1,113 @@
+"""Extension bench E2: remote-file modes in the simulator.
+
+Section 5.4 notes the remote-file modes were "shown in another paper"
+[26]; here we evaluate them in the calibrated simulator and — more
+interestingly — validate the FM's closed-form
+:class:`~repro.core.policy.AccessPolicy` against the discrete-event
+model: for every (read fraction × latency) cell, the policy's predicted
+winner (copy vs proxy) must match the simulated winner.
+"""
+
+from repro.core.policy import AccessEstimate, AccessPolicy
+from repro.bench.tables import TableBuilder
+from repro.grid.machine import Machine, MachineSpec
+from repro.sim.engine import Environment
+from repro.sim.netsim import LinkSpec, Network
+from repro.workflow.external import REMOTE_BLOCK, ExternalInput
+from repro.workflow.scheduler import plan_workflow
+from repro.workflow.simrunner import simulate_plan
+from repro.workflow.spec import FileUse, Stage, Workflow
+
+MB = 1024 * 1024
+DATASET = 32 * MB
+BANDWIDTH = 2 * MB
+FRACTIONS = [0.02, 0.1, 0.5, 1.0]
+LATENCIES = [0.005, 0.05, 0.2]
+
+
+def _run(mode: str, fraction: float, latency: float) -> float:
+    wf = Workflow(
+        "e2",
+        [
+            Stage(
+                "analyse",
+                reads=(FileUse("dataset", DATASET),),
+                writes=(FileUse("report", MB),),
+                work=10.0,
+                chunks=8,
+            )
+        ],
+    )
+    env = Environment()
+    machines = {
+        n: Machine(
+            env,
+            MachineSpec(
+                name=n, address=f"{n}.t", country="AU", cpu="t", mem_mb=512,
+                speed=1.0, idle_io_fraction=0.0,
+            ),
+        )
+        for n in ("worker", "store")
+    }
+    net = Network(env)
+    net.connect("worker", "store", LinkSpec(bandwidth=BANDWIDTH, latency=latency))
+    plan = plan_workflow(wf, {"analyse": "worker"})
+    report = simulate_plan(
+        plan,
+        machines=machines,
+        network=net,
+        env=env,
+        externals={"dataset": ExternalInput(host="store", mode=mode, read_fraction=fraction)},
+    )
+    return report.makespan
+
+
+def run_matrix():
+    policy = AccessPolicy()
+    table = TableBuilder(
+        "Extension E2 — remote dataset access: simulated winner vs policy prediction",
+        ["latency s", "fraction", "copy (sim)", "proxy (sim)", "sim winner", "policy says", "agree"],
+    )
+    agreements = 0
+    cells = 0
+    for latency in LATENCIES:
+        for fraction in FRACTIONS:
+            t_copy = _run("copy", fraction, latency)
+            t_proxy = _run("remote", fraction, latency)
+            sim_winner = "copy" if t_copy <= t_proxy else "proxy"
+            predicted = policy.decide(
+                AccessEstimate(
+                    file_size=DATASET,
+                    bandwidth=BANDWIDTH,
+                    latency=latency,
+                    read_fraction=fraction,
+                    block_size=REMOTE_BLOCK,
+                )
+            ).mode
+            agree = sim_winner == predicted
+            agreements += agree
+            cells += 1
+            table.add_row(
+                latency,
+                fraction,
+                f"{t_copy:.1f}",
+                f"{t_proxy:.1f}",
+                sim_winner,
+                predicted,
+                "yes" if agree else "NO",
+            )
+    table.add_check(
+        f"policy predicts the simulated winner in >= 10/12 cells (got {agreements})",
+        agreements >= 10,
+    )
+    table.add_check(
+        "tiny fractions always favour proxy in the simulator",
+        all(_run("remote", 0.02, lat) < _run("copy", 0.02, lat) for lat in LATENCIES),
+    )
+    return table
+
+
+def test_extension_remote_modes(once):
+    table = once(run_matrix)
+    table.print()
+    assert table.all_checks_pass

@@ -1,0 +1,97 @@
+"""Microbenchmarks of the real components (not paper tables).
+
+Timed with pytest-benchmark's normal statistics so regressions in the
+hot paths (framing, buffer service, FM dispatch, DES engine) are
+visible across commits.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.gns.client import LocalGnsClient
+from repro.gns.server import NameService
+from repro.gridbuffer.service import GridBufferService
+from repro.sim.engine import Environment
+from repro.transport.inmem import HostRegistry
+
+PAYLOAD = b"x" * 4096
+
+
+def test_gridbuffer_service_write_read_pair(benchmark):
+    svc = GridBufferService(default_capacity=None)
+    svc.create_stream("s")
+    svc.register_reader("s", "r")
+    state = {"offset": 0}
+
+    def op():
+        off = state["offset"]
+        svc.write("s", off, PAYLOAD)
+        svc.read("s", "r", off, len(PAYLOAD))
+        state["offset"] = off + len(PAYLOAD)
+
+    benchmark(op)
+
+
+def test_fm_local_open_read_close(benchmark, tmp_path):
+    hosts = HostRegistry(tmp_path)
+    hosts.add_host("m")
+    fm = FileMultiplexer(
+        GridContext(machine="m", gns=LocalGnsClient(NameService()), hosts=hosts)
+    )
+    f = fm.open("/bench.bin", "w")
+    f.write(PAYLOAD * 16)
+    f.close()
+
+    def op():
+        f = fm.open("/bench.bin", "r")
+        f.read(4096)
+        f.close()
+
+    benchmark(op)
+    fm.close()
+
+
+def test_plain_open_baseline(benchmark, tmp_path):
+    """Baseline for the FM overhead comparison above."""
+    target = tmp_path / "plain.bin"
+    target.write_bytes(PAYLOAD * 16)
+
+    def op():
+        with open(target, "rb") as f:
+            f.read(4096)
+
+    benchmark(op)
+
+
+def test_des_engine_event_throughput(benchmark):
+    def run_sim():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(1000):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(proc(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run_sim)
+    assert result == 1000.0
+
+
+def test_gns_resolution(benchmark):
+    from repro.gns.records import GnsRecord, IOMode
+
+    ns = NameService()
+    for i in range(200):
+        ns.add(GnsRecord(machine=f"m{i % 10}", path=f"/data/file{i}.dat", mode=IOMode.LOCAL))
+    ns.add(GnsRecord(machine="*", path="/data/*", mode=IOMode.LOCAL))
+
+    def op():
+        return ns.resolve("m3", "/data/file33.dat")
+
+    record = benchmark(op)
+    assert record.path == "/data/file33.dat"

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 1 (the modelled testbed)."""
+
+from repro.bench.experiments import run_table1
+
+
+def test_table1_testbed(once):
+    table = once(run_table1)
+    table.print()
+    assert table.all_checks_pass

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 2 — the durability pipeline's three
+experiments (files on jagan, buffers on jagan, distributed buffers).
+
+Also prints the Figure 5 file graph when run with ``-s``.
+"""
+
+from repro.apps.mecheng.pipeline import FIG5_FILES
+from repro.bench.experiments import run_table2
+
+
+def test_table2_durability(once):
+    table = once(run_table2)
+    table.print()
+    print("Figure 5 — durability pipeline file graph:")
+    for fname, (producer, consumer) in FIG5_FILES.items():
+        print(f"  {producer:15s} --{fname}--> {consumer}")
+    assert table.all_checks_pass

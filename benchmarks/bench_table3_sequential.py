@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 3 — sequential climate runs per machine."""
+
+from repro.bench.experiments import run_table3
+
+
+def test_table3_sequential(once):
+    table = once(run_table3)
+    table.print()
+    assert table.all_checks_pass

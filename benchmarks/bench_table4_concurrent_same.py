@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 4 — concurrent same-machine runs,
+Files vs Grid Buffers (cumulative DARLAM completion)."""
+
+from repro.bench.experiments import run_table4
+
+
+def test_table4_concurrent_same_machine(once):
+    table = once(run_table4)
+    table.print()
+    assert table.all_checks_pass

@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 5 — split placement over the WAN,
+sequential file-copy vs streamed Grid Buffers, six machine pairings.
+
+This is the paper's headline crossover: buffers win on fast/low-latency
+links (intra-Australia), file copies win on the high-latency AU→UK and
+AU→US paths.
+"""
+
+from repro.apps.climate import split_plan
+from repro.bench.experiments import run_table5
+from repro.bench.gantt import render_gantt
+from repro.workflow.simrunner import simulate_plan
+
+
+def test_table5_distributed(once):
+    table = once(run_table5)
+    table.print()
+    # Show the overlap structure of the headline crossover pairing.
+    print("brecca->bouscat with file copy (sequential):")
+    print(render_gantt(simulate_plan(split_plan("brecca", "bouscat", "copy"))))
+    print()
+    print("brecca->bouscat with buffers (pipelined but latency-bound):")
+    print(render_gantt(simulate_plan(split_plan("brecca", "bouscat", "buffer"))))
+    assert table.all_checks_pass

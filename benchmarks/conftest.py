@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every benchmark both *times* its experiment (pytest-benchmark) and
+*prints* the regenerated table so the output can be compared with the
+paper directly (run with ``-s`` to see the tables inline; they are also
+asserted via the shape checks).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment through pytest-benchmark with minimal repeats.
+
+    The simulations are deterministic, so one timed round is enough and
+    keeps the whole suite fast.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The mechanical-engineering durability pipeline (paper Section 5.2).
+
+Runs CHAMMY → PAFEC → MAKE_SF_FILES → FAST → OBJECTIVE for real —
+genuine FEM stress analysis and Paris-law crack growth — in three
+configurations mirroring Table 2's experiments:
+
+1. all stages on one machine, local files (sequential);
+2. all stages on one machine, Grid Buffers (pipelined);
+3. stages spread over five virtual machines, Grid Buffers.
+
+The design life in RESULT.DAT must be identical in all three — the
+FM re-wiring cannot change numerics.
+
+Run:  python examples/durability_pipeline.py
+"""
+
+import time
+
+from repro.apps.mecheng import durability_workflow
+from repro.workflow import RealRunner, plan_workflow
+
+PARAMS = {
+    "boundary_points": 64,
+    "n_rings": 16,
+    "hole_power": 2.5,   # slightly square hole
+    "hole_aspect": 1.2,
+    "crack_a0": 1e-3,
+    "crack_af": 8e-3,
+}
+
+
+def run_configuration(label, placement, mechanism):
+    wf = durability_workflow()
+    coupling = {f: mechanism for f in wf.pipeline_files()}
+    plan = plan_workflow(wf, placement, coupling=coupling)
+    runner = RealRunner(plan, params=PARAMS, stage_timeout=120)
+    t0 = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - t0
+    if not result.ok:
+        raise SystemExit(f"{label}: FAILED: {result.errors}")
+    out_machine = placement["OBJECTIVE"]
+    text = (
+        runner.deployment.hosts.host(out_machine)
+        .resolve("/wf/durability/RESULT.DAT")
+        .read_text()
+    )
+    life, idx = text.split()
+    print(f"{label:55s} {elapsed:6.2f}s  life={float(life):.3e} cycles (crack #{idx})")
+    runner.deployment.stop()
+    return text
+
+
+def main() -> None:
+    stages = ["CHAMMY", "PAFEC", "MAKE_SF_FILES", "FAST", "OBJECTIVE"]
+    print("durability pipeline — three wirings, one program\n")
+    r1 = run_configuration(
+        "exp1: one machine, local files (sequential)",
+        {s: "jagan" for s in stages},
+        "local",
+    )
+    r2 = run_configuration(
+        "exp2: one machine, Grid Buffers (pipelined)",
+        {s: "jagan" for s in stages},
+        "buffer",
+    )
+    r3 = run_configuration(
+        "exp3: five machines, Grid Buffers (distributed)",
+        dict(zip(stages, ["koume00", "jagan", "dione", "vpac27", "freak"])),
+        "buffer",
+    )
+    assert r1 == r2 == r3, "re-wiring must not change the result"
+    print("\nall three configurations produced byte-identical RESULT.DAT ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Hole-shape design study — what the durability pipeline is *for*.
+
+Sweeps superellipse (power, aspect) hole shapes through the full
+CHAMMY→PAFEC→MAKE_SF_FILES→FAST→OBJECTIVE pipeline and reports the
+fatigue-life landscape, then refines the best point with Nelder-Mead.
+Also demonstrates the paper's observation (Section 5.2, citing [7])
+that the life optimum and the stress optimum need not coincide — we
+report both.
+
+Run:  python examples/hole_shape_study.py
+"""
+
+import time
+
+from repro.apps.mecheng import (
+    HoleShape,
+    best_by_life,
+    best_by_stress,
+    grid_study,
+    optimize_shape,
+)
+
+
+def main() -> None:
+    powers = [2.0, 2.5, 3.0, 4.0, 5.0]
+    aspects = [0.7, 0.85, 1.0, 1.2]
+    print(f"evaluating {len(powers) * len(aspects)} hole shapes "
+          "(each = one full FEM + crack-growth pipeline run)...")
+    t0 = time.perf_counter()
+    points = grid_study(powers, aspects)
+    elapsed = time.perf_counter() - t0
+    print(f"done in {elapsed:.1f}s ({elapsed / len(points):.2f}s per design)\n")
+
+    print("life (cycles, higher is better); rows = power, cols = aspect")
+    header = "power\\aspect " + "".join(f"{a:>10.2f}" for a in aspects)
+    print(header)
+    it = iter(points)
+    for power in powers:
+        row = [next(it) for _ in aspects]
+        print(f"{power:>11.1f}  " + "".join(f"{p.life:>10.2e}" for p in row))
+
+    by_life = best_by_life(points)
+    by_stress = best_by_stress(points)
+    print(f"\nbest by life  : power={by_life.shape.power:.2f} "
+          f"aspect={by_life.shape.aspect:.2f} life={by_life.life:.3e}")
+    print(f"best by stress: power={by_stress.shape.power:.2f} "
+          f"aspect={by_stress.shape.aspect:.2f} "
+          f"peak={by_stress.peak_stress / 1e6:.0f} MPa")
+    if (by_life.shape.power, by_life.shape.aspect) != (
+        by_stress.shape.power,
+        by_stress.shape.aspect,
+    ):
+        print("  -> the life optimum differs from the stress optimum, as [7] reports")
+
+    print("\nrefining the life optimum with Nelder-Mead...")
+    refined = optimize_shape(start=by_life.shape, max_evals=25)
+    gain = refined.life / by_life.life
+    print(f"refined: power={refined.shape.power:.3f} aspect={refined.shape.aspect:.3f} "
+          f"life={refined.life:.3e} ({gain:.2f}x the grid optimum)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""GriddLeS File Multiplexer reproduction.
+
+Reproduction of D. Abramson & J. Kommineni, *A Flexible IO Scheme for
+Grid Workflows* (IPPS 2004).  The package provides:
+
+* :mod:`repro.core` — the File Multiplexer: six IO modes behind plain
+  ``open/read/write/seek/close``, re-wirable at run time via the GNS.
+* :mod:`repro.gns` — the GriddLeS Name Service.
+* :mod:`repro.gridbuffer` — the Grid Buffer streaming service.
+* :mod:`repro.transport` — GridFTP-like transfers and framed TCP RPC.
+* :mod:`repro.grid` — the calibrated testbed model (machines, WAN, NWS,
+  replica catalogue).
+* :mod:`repro.sim` — the deterministic discrete-event engine.
+* :mod:`repro.workflow` — workflow specs, scheduling, real and
+  simulated execution.
+* :mod:`repro.apps` — the two case studies (durability pipeline,
+  nested climate models).
+* :mod:`repro.bench` — drivers regenerating every evaluation table and
+  figure.
+
+Quickstart::
+
+    from repro.workflow import RealRunner, plan_workflow
+    from repro.apps.climate import climate_workflow
+
+    wf = climate_workflow()
+    plan = plan_workflow(
+        wf,
+        {"ccam": "hostA", "cc2lam": "hostA", "darlam": "hostB"},
+        coupling={"ccam_hist": "buffer", "lam_input": "buffer"},
+    )
+    result = RealRunner(plan, params={"nsteps": 8}).run()
+    assert result.ok
+"""
+
+from .core import (
+    AccessPolicy,
+    FileMultiplexer,
+    FMFile,
+    GridContext,
+    IOMode,
+    RecordSchema,
+    ReplicaSelector,
+    interposed,
+)
+from .gns import BufferEndpoint, GnsRecord, GnsServer, NameService
+from .gridbuffer import GridBufferClient, GridBufferServer, GridBufferService
+from .workflow import (
+    ExecutionPlan,
+    RealRunner,
+    Stage,
+    Workflow,
+    plan_workflow,
+    simulate_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPolicy",
+    "FileMultiplexer",
+    "FMFile",
+    "GridContext",
+    "IOMode",
+    "RecordSchema",
+    "ReplicaSelector",
+    "interposed",
+    "BufferEndpoint",
+    "GnsRecord",
+    "GnsServer",
+    "NameService",
+    "GridBufferClient",
+    "GridBufferServer",
+    "GridBufferService",
+    "ExecutionPlan",
+    "RealRunner",
+    "Stage",
+    "Workflow",
+    "plan_workflow",
+    "simulate_plan",
+    "__version__",
+]

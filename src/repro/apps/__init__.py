@@ -1,0 +1,6 @@
+"""Legacy-application case studies: mechanical engineering (durability
+pipeline) and atmospheric sciences (nested climate models)."""
+
+from . import climate, mecheng
+
+__all__ = ["climate", "mecheng"]

@@ -1,0 +1,48 @@
+"""Atmospheric-sciences case study (paper Section 5.3).
+
+C-CAM (stretched-grid global model) → cc2lam (nesting interpolator) →
+DARLAM (limited-area model), with DARLAM re-reading input through the
+Grid Buffer cache.
+"""
+
+from .ccam import GlobalModel, StretchedGrid, read_history_header, run_ccam
+from .cc2lam import LamDomain, interpolate_to_domain, run_cc2lam
+from .darlam import RegionalModel, run_darlam
+from .ensemble import ensemble_plan, ensemble_sim_workflow, ensemble_workflow
+from .pipeline import (
+    TABLE3_MACHINES,
+    TABLE3_PAPER,
+    TABLE4_PAPER,
+    TABLE5_PAIRINGS,
+    TABLE5_PAPER,
+    climate_sim_workflow,
+    climate_workflow,
+    concurrent_plan,
+    sequential_plan,
+    split_plan,
+)
+
+__all__ = [
+    "GlobalModel",
+    "StretchedGrid",
+    "read_history_header",
+    "run_ccam",
+    "LamDomain",
+    "interpolate_to_domain",
+    "run_cc2lam",
+    "RegionalModel",
+    "run_darlam",
+    "ensemble_plan",
+    "ensemble_sim_workflow",
+    "ensemble_workflow",
+    "TABLE3_MACHINES",
+    "TABLE3_PAPER",
+    "TABLE4_PAPER",
+    "TABLE5_PAIRINGS",
+    "TABLE5_PAPER",
+    "climate_sim_workflow",
+    "climate_workflow",
+    "concurrent_plan",
+    "sequential_plan",
+    "split_plan",
+]

@@ -1,0 +1,119 @@
+"""cc2lam: the linking model between C-CAM and DARLAM.
+
+"cc2lam provides simple data manipulation and filtering between the two
+codes" (Section 5.3): per timestep it reads one global history record,
+bilinearly interpolates it onto the limited-area domain grid, applies a
+light smoothing filter, and writes one regional record — a classic
+streaming transformer (tiny compute, all IO).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ccam import HIST_MAGIC, read_history_header
+
+__all__ = ["LamDomain", "interpolate_to_domain", "run_cc2lam", "LAM_MAGIC"]
+
+LAM_MAGIC = b"LAMINPUT1\n"
+
+
+@dataclass(frozen=True)
+class LamDomain:
+    """The limited-area (regional) grid: uniform, higher resolution."""
+
+    lon_min: float = 110.0
+    lon_max: float = 160.0
+    lat_min: float = -45.0
+    lat_max: float = -5.0
+    nx: int = 72
+    ny: int = 60
+
+    def __post_init__(self) -> None:
+        if self.lon_min >= self.lon_max or self.lat_min >= self.lat_max:
+            raise ValueError("degenerate domain extents")
+        if self.nx < 4 or self.ny < 4:
+            raise ValueError("domain grid too small")
+
+    def lons(self) -> np.ndarray:
+        return np.linspace(self.lon_min, self.lon_max, self.nx)
+
+    def lats(self) -> np.ndarray:
+        return np.linspace(self.lat_min, self.lat_max, self.ny)
+
+
+def interpolate_to_domain(
+    field: np.ndarray,
+    src_lons: np.ndarray,
+    src_lats: np.ndarray,
+    domain: LamDomain,
+) -> np.ndarray:
+    """Bilinear interpolation from (possibly stretched) source axes."""
+    tgt_lons = domain.lons()
+    tgt_lats = domain.lats()
+    # Indices of the left/lower source cell for each target coordinate.
+    li = np.clip(np.searchsorted(src_lons, tgt_lons) - 1, 0, len(src_lons) - 2)
+    lj = np.clip(np.searchsorted(src_lats, tgt_lats) - 1, 0, len(src_lats) - 2)
+    wx = (tgt_lons - src_lons[li]) / (src_lons[li + 1] - src_lons[li])
+    wy = (tgt_lats - src_lats[lj]) / (src_lats[lj + 1] - src_lats[lj])
+    wx = np.clip(wx, 0.0, 1.0)
+    wy = np.clip(wy, 0.0, 1.0)
+    f00 = field[np.ix_(lj, li)]
+    f01 = field[np.ix_(lj, li + 1)]
+    f10 = field[np.ix_(lj + 1, li)]
+    f11 = field[np.ix_(lj + 1, li + 1)]
+    wxg, wyg = np.meshgrid(wx, wy)
+    return (
+        f00 * (1 - wxg) * (1 - wyg)
+        + f01 * wxg * (1 - wyg)
+        + f10 * (1 - wxg) * wyg
+        + f11 * wxg * wyg
+    )
+
+
+def _smooth(field: np.ndarray) -> np.ndarray:
+    """3-point binomial filter in both directions (edge-clamped)."""
+    padded = np.pad(field, 1, mode="edge")
+    return (
+        padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2] + padded[1:-1, 2:]
+        + 4.0 * field
+    ) / 8.0
+
+
+def write_lam_header(fh, nx: int, ny: int, nsteps: int) -> None:
+    fh.write(LAM_MAGIC)
+    fh.write(struct.pack("<iii", nx, ny, nsteps))
+
+
+def read_lam_header(fh) -> tuple[int, int, int]:
+    magic = fh.read(len(LAM_MAGIC))
+    if magic != LAM_MAGIC:
+        raise ValueError(f"bad LAM magic {magic!r}")
+    nx, ny, nsteps = struct.unpack("<iii", fh.read(12))
+    return nx, ny, nsteps
+
+
+def run_cc2lam(io) -> None:
+    """Stage entry point: stream global records → regional records."""
+    from .ccam import StretchedGrid
+
+    domain = LamDomain(
+        nx=int(io.param("lam_nx", 72)),
+        ny=int(io.param("lam_ny", 60)),
+    )
+    with io.open("ccam_hist", "rb") as src, io.open("lam_input", "wb") as dst:
+        nlon, nlat, nsteps = read_history_header(src)
+        grid = StretchedGrid(nlon=nlon, nlat=nlat)
+        src_lons, src_lats = grid.lons(), grid.lats()
+        write_lam_header(dst, domain.nx, domain.ny, nsteps)
+        rec_bytes = nlon * nlat * 4
+        for _ in range(nsteps):
+            raw = src.read(rec_bytes)
+            if len(raw) < rec_bytes:
+                raise EOFError("truncated C-CAM history")
+            field = np.frombuffer(raw, dtype="<f4").reshape(nlat, nlon).astype(np.float64)
+            regional = _smooth(interpolate_to_domain(field, src_lons, src_lats, domain))
+            dst.write(regional.astype("<f4").tobytes())

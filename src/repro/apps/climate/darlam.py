@@ -1,0 +1,113 @@
+"""DARLAM: the limited-area (regional) model.
+
+Nested modelling per [28]/[34]: DARLAM integrates a higher-resolution
+regional grid, forced at each step by the cc2lam fields (used both as
+lateral boundary conditions and as a nudging target).  Crucially for
+the IO study, "in some instances DARLAM re-reads some of the input
+data" — after its integration it seeks back to the start of the input
+stream to recompute the initial-state diagnostics, which is served by
+the Grid Buffer *cache file* when the stream itself has been consumed
+(Section 5.3).
+
+Output: per-step regional diagnostics + a final summary record.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .cc2lam import read_lam_header
+
+__all__ = ["RegionalModel", "run_darlam", "OUT_MAGIC"]
+
+OUT_MAGIC = b"DARLAMOUT1\n"
+
+
+class RegionalModel:
+    """Fine-grid advection-diffusion nudged toward the driving fields."""
+
+    def __init__(self, nx: int, ny: int, refine: int = 2, nudge: float = 0.15):
+        if refine < 1:
+            raise ValueError("refine must be >= 1")
+        if not 0 <= nudge <= 1:
+            raise ValueError("nudge must be in [0, 1]")
+        self.nx = nx * refine
+        self.ny = ny * refine
+        self.refine = refine
+        self.nudge = nudge
+        self.field: np.ndarray | None = None
+        self.u = 0.3
+        self.v = 0.1
+
+    def _refine_field(self, coarse: np.ndarray) -> np.ndarray:
+        """Bilinear refinement of the driving field onto the fine grid."""
+        ys = np.linspace(0, coarse.shape[0] - 1, self.ny)
+        xs = np.linspace(0, coarse.shape[1] - 1, self.nx)
+        j0 = np.clip(ys.astype(int), 0, coarse.shape[0] - 2)
+        i0 = np.clip(xs.astype(int), 0, coarse.shape[1] - 2)
+        wy = (ys - j0)[:, None]
+        wx = (xs - i0)[None, :]
+        return (
+            coarse[np.ix_(j0, i0)] * (1 - wy) * (1 - wx)
+            + coarse[np.ix_(j0, i0 + 1)] * (1 - wy) * wx
+            + coarse[np.ix_(j0 + 1, i0)] * wy * (1 - wx)
+            + coarse[np.ix_(j0 + 1, i0 + 1)] * wy * wx
+        )
+
+    def step(self, driving: np.ndarray) -> np.ndarray:
+        """One regional step forced by a coarse driving field."""
+        target = self._refine_field(driving)
+        if self.field is None:
+            self.field = target.copy()
+            return self.field
+        f = self.field
+        fx_minus = np.hstack([f[:, :1], f[:, :-1]])
+        fx_plus = np.hstack([f[:, 1:], f[:, -1:]])
+        fy_minus = np.vstack([f[:1], f[:-1]])
+        fy_plus = np.vstack([f[1:], f[-1:]])
+        adv = self.u * (f - fx_minus) + self.v * (f - fy_minus)
+        lap = fx_minus + fx_plus + fy_minus + fy_plus - 4.0 * f
+        f = f - adv + 0.2 * lap
+        # Lateral boundary forcing + interior nudging toward the target.
+        f[0, :], f[-1, :], f[:, 0], f[:, -1] = (
+            target[0, :],
+            target[-1, :],
+            target[:, 0],
+            target[:, -1],
+        )
+        self.field = (1.0 - self.nudge) * f + self.nudge * target
+        return self.field
+
+
+def run_darlam(io) -> None:
+    """Stage entry point: integrate, write diagnostics, re-read step 0."""
+    refine = int(io.param("lam_refine", 2))
+    with io.open("lam_input", "rb") as src:
+        nx, ny, nsteps = read_lam_header(src)
+        model = RegionalModel(nx, ny, refine=refine)
+        rec_bytes = nx * ny * 4
+        means = np.empty(nsteps)
+        with io.open("darlam_out", "wb") as out:
+            out.write(OUT_MAGIC)
+            out.write(struct.pack("<iii", model.nx, model.ny, nsteps))
+            for step in range(nsteps):
+                raw = src.read(rec_bytes)
+                if len(raw) < rec_bytes:
+                    raise EOFError(f"truncated LAM input at step {step}")
+                coarse = np.frombuffer(raw, dtype="<f4").reshape(ny, nx).astype(np.float64)
+                field = model.step(coarse)
+                means[step] = float(field.mean())
+                out.write(
+                    struct.pack("<idd", step, float(field.mean()), float(field.std()))
+                )
+            # Re-read the first record (initial-state diagnostics): a
+            # backwards seek on the input — the Grid Buffer cache path.
+            src.seek(len(b"LAMINPUT1\n") + 12)
+            raw0 = src.read(rec_bytes)
+            if len(raw0) < rec_bytes:
+                raise EOFError("could not re-read initial LAM record")
+            initial = np.frombuffer(raw0, dtype="<f4").reshape(ny, nx)
+            drift = float(means[-1] - initial.mean())
+            out.write(struct.pack("<d", drift))

@@ -1,0 +1,125 @@
+"""Multi-region nesting: one global model driving several DARLAMs.
+
+Section 5.3 motivates "genuine multi-organizational models from
+components owned by different partners"; the natural extension of the
+paper's chain is one C-CAM driving *several* limited-area models (one
+per partner region), which exercises the Grid Buffer's broadcast mode —
+one writer, many readers, blocks retained until every reader has
+consumed them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...workflow.scheduler import Coupling, ExecutionPlan, plan_workflow
+from ...workflow.spec import FileUse, Stage, Workflow
+from .cc2lam import run_cc2lam
+from .ccam import run_ccam
+from .darlam import run_darlam
+from .pipeline import (
+    CC2LAM_WORK,
+    CCAM_WORK,
+    DARLAM_TAIL,
+    DARLAM_WORK,
+    N_STEPS,
+    STREAM_BYTES,
+)
+
+__all__ = ["ensemble_workflow", "ensemble_sim_workflow", "ensemble_plan"]
+
+
+def _regional_stage_func(region: str):
+    """A DARLAM variant writing region-tagged output."""
+
+    def run(io):
+        # Each region reads the same lam_input broadcast and writes its
+        # own output file.  Reuse run_darlam by aliasing the output.
+        class _RegionIO:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def open(self, name, mode="r"):
+                if name == "darlam_out":
+                    name = f"darlam_out_{region}"
+                return self._inner.open(name, mode)
+
+            def param(self, key, default=None):
+                return self._inner.param(key, default)
+
+        run_darlam(_RegionIO(io))
+
+    return run
+
+
+def ensemble_workflow(n_regions: int = 2) -> Workflow:
+    """Real runnable ensemble: C-CAM → cc2lam → {DARLAM_r}."""
+    if n_regions < 1:
+        raise ValueError("need at least one region")
+    stages = [
+        Stage("ccam", writes=(FileUse("ccam_hist"),), func=run_ccam),
+        Stage(
+            "cc2lam",
+            reads=(FileUse("ccam_hist"),),
+            writes=(FileUse("lam_input"),),
+            func=run_cc2lam,
+        ),
+    ]
+    for i in range(n_regions):
+        region = f"r{i}"
+        stages.append(
+            Stage(
+                f"darlam_{region}",
+                reads=(FileUse("lam_input"),),
+                writes=(FileUse(f"darlam_out_{region}"),),
+                func=_regional_stage_func(region),
+            )
+        )
+    return Workflow("climate-ensemble", stages)
+
+
+def ensemble_sim_workflow(n_regions: int = 2) -> Workflow:
+    """Timing-annotated ensemble for broadcast-scaling experiments."""
+    if n_regions < 1:
+        raise ValueError("need at least one region")
+    stages = [
+        Stage(
+            "ccam",
+            writes=(FileUse("ccam_hist", STREAM_BYTES),),
+            work=CCAM_WORK,
+            chunks=N_STEPS,
+        ),
+        Stage(
+            "cc2lam",
+            reads=(FileUse("ccam_hist", STREAM_BYTES),),
+            writes=(FileUse("lam_input", STREAM_BYTES),),
+            work=CC2LAM_WORK,
+            chunks=N_STEPS,
+        ),
+    ]
+    for i in range(n_regions):
+        stages.append(
+            Stage(
+                f"darlam_r{i}",
+                reads=(FileUse("lam_input", STREAM_BYTES),),
+                writes=(FileUse(f"darlam_out_r{i}", STREAM_BYTES // 2),),
+                work=DARLAM_WORK,
+                chunks=N_STEPS,
+                tail_fraction=DARLAM_TAIL,
+            )
+        )
+    return Workflow("climate-ensemble-sim", stages)
+
+
+def ensemble_plan(
+    driver_machine: str,
+    region_machines: List[str],
+    mechanism: Coupling = "buffer",
+) -> ExecutionPlan:
+    """Place the driver chain on one machine, one DARLAM per region."""
+    wf = ensemble_sim_workflow(len(region_machines))
+    placement: Dict[str, str] = {"ccam": driver_machine, "cc2lam": driver_machine}
+    for i, machine in enumerate(region_machines):
+        placement[f"darlam_r{i}"] = machine
+    coupling: Dict[str, Coupling] = {"ccam_hist": "buffer", "lam_input": mechanism}
+    return plan_workflow(wf, placement, coupling=coupling)

@@ -1,0 +1,173 @@
+"""The climate workflow (paper Section 5.3) and its experiments.
+
+C-CAM → cc2lam → DARLAM, coupled by two 150 MB per-step streams, with
+DARLAM re-reading 30 MB of its input (the cache-file path) — Figure 6b.
+
+* :func:`climate_workflow` — real runnable stages (small grids).
+* :func:`climate_sim_workflow` — calibrated work/byte annotations
+  (C-CAM ≈ 994 brecca-seconds, cc2lam ≈ 8, DARLAM ≈ 466, fitted from
+  Table 3's brecca column).
+* :data:`TABLE3_MACHINES`, :data:`TABLE5_PAIRINGS` — the experiment
+  grids of Tables 3-5, with the paper's measured values for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...workflow.scheduler import Coupling, ExecutionPlan, plan_workflow
+from ...workflow.spec import FileUse, Stage, Workflow
+from .ccam import run_ccam
+from .cc2lam import run_cc2lam
+from .darlam import run_darlam
+
+__all__ = [
+    "climate_workflow",
+    "climate_sim_workflow",
+    "TABLE3_MACHINES",
+    "TABLE3_PAPER",
+    "TABLE4_PAPER",
+    "TABLE5_PAIRINGS",
+    "TABLE5_PAPER",
+    "sequential_plan",
+    "concurrent_plan",
+    "split_plan",
+]
+
+MB = 1024 * 1024
+
+# Calibrated annotations (brecca-seconds / bytes); see DESIGN.md §5.
+CCAM_WORK = 994.0
+CC2LAM_WORK = 8.0
+DARLAM_WORK = 466.0
+DARLAM_TAIL = 0.15
+STREAM_BYTES = 150 * MB
+DARLAM_OUT_BYTES = 100 * MB
+DARLAM_REREAD_BYTES = 30 * MB
+N_STEPS = 240
+
+
+def climate_workflow() -> Workflow:
+    """Real, runnable climate pipeline (laptop-sized grids)."""
+    return Workflow(
+        "climate",
+        [
+            Stage("ccam", writes=(FileUse("ccam_hist"),), func=run_ccam),
+            Stage(
+                "cc2lam",
+                reads=(FileUse("ccam_hist"),),
+                writes=(FileUse("lam_input"),),
+                func=run_cc2lam,
+            ),
+            Stage(
+                "darlam",
+                reads=(FileUse("lam_input"),),
+                writes=(FileUse("darlam_out"),),
+                func=run_darlam,
+            ),
+        ],
+    )
+
+
+def climate_sim_workflow() -> Workflow:
+    """Timing-annotated pipeline for the Table 3/4/5 simulations."""
+    return Workflow(
+        "climate-sim",
+        [
+            Stage(
+                "ccam",
+                writes=(FileUse("ccam_hist", STREAM_BYTES),),
+                work=CCAM_WORK,
+                chunks=N_STEPS,
+            ),
+            Stage(
+                "cc2lam",
+                reads=(FileUse("ccam_hist", STREAM_BYTES),),
+                writes=(FileUse("lam_input", STREAM_BYTES),),
+                work=CC2LAM_WORK,
+                chunks=N_STEPS,
+            ),
+            Stage(
+                "darlam",
+                reads=(FileUse("lam_input", STREAM_BYTES, reread_bytes=DARLAM_REREAD_BYTES),),
+                writes=(FileUse("darlam_out", DARLAM_OUT_BYTES),),
+                work=DARLAM_WORK,
+                chunks=N_STEPS,
+                tail_fraction=DARLAM_TAIL,
+            ),
+        ],
+    )
+
+
+#: Machines evaluated in Tables 3 and 4.
+TABLE3_MACHINES = ["dione", "brecca", "freak", "bouscat", "vpac27"]
+
+#: Paper Table 3 (seconds): ccam, cc2lam, darlam, total — sequential.
+TABLE3_PAPER: Dict[str, Tuple[int, int, int, int]] = {
+    "dione": (1701, 8, 796, 2505),
+    "brecca": (994, 8, 466, 1464),
+    "freak": (1831, 30, 818, 2679),
+    "bouscat": (4049, 12, 1912, 5973),
+    "vpac27": (3922, 11, 1860, 5793),
+}
+
+#: Paper Table 4 (seconds): cumulative DARLAM finish — (files, buffers).
+TABLE4_PAPER: Dict[str, Tuple[int, int]] = {
+    "dione": (4097, 2952),
+    "brecca": (1678, 1377),
+    "freak": (3159, 2430),
+    "bouscat": (6927, 5399),
+    "vpac27": (9889, 8115),
+}
+
+#: Table 5 pairings: (ccam+cc2lam machine, darlam machine).
+TABLE5_PAIRINGS: List[Tuple[str, str]] = [
+    ("dione", "vpac27"),
+    ("brecca", "dione"),
+    ("brecca", "bouscat"),
+    ("dione", "brecca"),
+    ("brecca", "vpac27"),
+    ("brecca", "freak"),
+]
+
+#: Paper Table 5 (seconds): total (DARLAM finish) — (files+copy, buffers).
+TABLE5_PAPER: Dict[Tuple[str, str], Tuple[int, int]] = {
+    ("dione", "vpac27"): (3629, 2927),
+    ("brecca", "dione"): (1848, 1510),
+    ("brecca", "bouscat"): (3364, 4221),
+    ("dione", "brecca"): (2225, 2364),
+    ("brecca", "vpac27"): (2877, 2443),
+    ("brecca", "freak"): (2035, 2505),
+}
+
+
+def sequential_plan(machine: str) -> ExecutionPlan:
+    """Table 3: all models on one machine, sequential local files."""
+    wf = climate_sim_workflow()
+    return plan_workflow(wf, {s: machine for s in wf.stages}, default="local")
+
+
+def concurrent_plan(machine: str, mechanism: Coupling) -> ExecutionPlan:
+    """Table 4: all models concurrent on one machine.
+
+    ``mechanism`` is ``"file-stream"`` (the paper's Files columns) or
+    ``"buffer"``.
+    """
+    wf = climate_sim_workflow()
+    coupling = {f: mechanism for f in wf.pipeline_files()}
+    return plan_workflow(wf, {s: machine for s in wf.stages}, coupling=coupling)
+
+
+def split_plan(src: str, dst: str, mechanism: Coupling) -> ExecutionPlan:
+    """Table 5: C-CAM+cc2lam on ``src``, DARLAM on ``dst``.
+
+    ``mechanism="copy"`` reproduces the Files rows (sequential run +
+    GridFTP copy of the intermediate file); ``"buffer"`` streams.
+    """
+    wf = climate_sim_workflow()
+    placement = {"ccam": src, "cc2lam": src, "darlam": dst}
+    if mechanism == "buffer":
+        coupling: Dict[str, Coupling] = {"ccam_hist": "buffer", "lam_input": "buffer"}
+    else:
+        coupling = {"ccam_hist": "local", "lam_input": "copy"}
+    return plan_workflow(wf, placement, coupling=coupling)

@@ -1,0 +1,68 @@
+"""Mechanical-engineering case study (paper Section 5.2).
+
+CHAMMY (hole shapes) → PAFEC (plane-stress FEM) → MAKE_SF_FILES
+(boundary stress extraction) → FAST (Paris-law crack growth) →
+OBJECTIVE (worst-crack design life).
+"""
+
+from .chammy import HoleShape, boundary_points, run_chammy
+from .fast import EDGE_CRACK_Y, ParisLaw, cycles_closed_form, cycles_to_grow, run_fast
+from .make_sf import boundary_tangential_stress, run_make_sf
+from .objective import design_life, run_objective
+from .pafec import (
+    FemResult,
+    Material,
+    RingMesh,
+    build_ring_mesh,
+    run_pafec,
+    solve_plane_stress,
+    stress_concentration_factor,
+)
+from .optimize import (
+    DesignPoint,
+    best_by_life,
+    best_by_stress,
+    evaluate_shape,
+    grid_study,
+    optimize_shape,
+)
+from .pipeline import (
+    FIG5_FILES,
+    TABLE2_EXPERIMENTS,
+    durability_sim_workflow,
+    durability_workflow,
+    table2_plan,
+)
+
+__all__ = [
+    "HoleShape",
+    "boundary_points",
+    "run_chammy",
+    "EDGE_CRACK_Y",
+    "ParisLaw",
+    "cycles_closed_form",
+    "cycles_to_grow",
+    "run_fast",
+    "boundary_tangential_stress",
+    "run_make_sf",
+    "design_life",
+    "run_objective",
+    "FemResult",
+    "Material",
+    "RingMesh",
+    "build_ring_mesh",
+    "run_pafec",
+    "solve_plane_stress",
+    "stress_concentration_factor",
+    "DesignPoint",
+    "best_by_life",
+    "best_by_stress",
+    "evaluate_shape",
+    "grid_study",
+    "optimize_shape",
+    "FIG5_FILES",
+    "TABLE2_EXPERIMENTS",
+    "durability_sim_workflow",
+    "durability_workflow",
+    "table2_plan",
+]

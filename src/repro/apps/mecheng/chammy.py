@@ -1,0 +1,72 @@
+"""CHAMMY: hole-shape boundary generator.
+
+"CHAMMY takes a formula for a hole shape, depending on several
+parameters, and generates points on the boundary of that hole."
+(Section 5.2)
+
+The shape family is a rounded superellipse in polar form,
+
+    r(θ) = r0 · (|cos θ|^p + (b·|sin θ|)^p)^(-1/p)
+
+with ``p = 2, b = 1`` giving a circle, larger ``p`` squarer holes, and
+``b`` the aspect ratio — enough expressiveness for the paper's
+hole-shape optimisation study.  Output is PROFILE_COORD.DAT: one
+``x y`` pair per line (formatted ASCII, the heterogeneity-safe format
+of Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HoleShape", "boundary_points", "run_chammy"]
+
+
+@dataclass(frozen=True)
+class HoleShape:
+    """Parameters of one candidate hole shape."""
+
+    r0: float = 1.0       # nominal radius
+    power: float = 2.0    # superellipse exponent (2 = ellipse)
+    aspect: float = 1.0   # b: y-axis scaling
+
+    def __post_init__(self) -> None:
+        if self.r0 <= 0:
+            raise ValueError("r0 must be positive")
+        if self.power < 1:
+            raise ValueError("power must be >= 1")
+        if self.aspect <= 0:
+            raise ValueError("aspect must be positive")
+
+    def radius(self, theta: np.ndarray) -> np.ndarray:
+        """Polar radius of the hole boundary at angle(s) ``theta``."""
+        c = np.abs(np.cos(theta)) ** self.power
+        s = (self.aspect * np.abs(np.sin(theta))) ** self.power
+        return self.r0 * (c + s) ** (-1.0 / self.power)
+
+
+def boundary_points(shape: HoleShape, n_points: int = 96) -> np.ndarray:
+    """(n, 2) array of boundary coordinates, counter-clockwise from +x."""
+    if n_points < 8:
+        raise ValueError("need at least 8 boundary points")
+    theta = np.linspace(0.0, 2.0 * np.pi, n_points, endpoint=False)
+    r = shape.radius(theta)
+    return np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+
+
+def run_chammy(io, shape: HoleShape | None = None) -> None:
+    """Stage entry point: write PROFILE_COORD.DAT through the FM."""
+    if shape is None:
+        shape = HoleShape(
+            r0=float(io.param("hole_r0", 1.0)),
+            power=float(io.param("hole_power", 2.0)),
+            aspect=float(io.param("hole_aspect", 1.0)),
+        )
+    n = int(io.param("boundary_points", 96))
+    pts = boundary_points(shape, n)
+    with io.open("PROFILE_COORD.DAT", "w") as fh:
+        fh.write(f"{len(pts)}\n")
+        for x, y in pts:
+            fh.write(f"{x:.9e} {y:.9e}\n")

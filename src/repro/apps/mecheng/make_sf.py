@@ -1,0 +1,88 @@
+"""MAKE_SF_FILES: stress-field extraction for the crack code.
+
+"The programs MAKE_SF_FILES and OBJECTIVE are used to transform data
+from one phase to the other."  This transformer reads PAFEC's element
+stresses and node table and produces, for every hole-boundary point,
+the local *tangential* boundary stress — the quantity that drives crack
+growth normal to the hole profile (JOB.SF), plus the boundary geometry
+the crack code needs (JOB.TH).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["boundary_tangential_stress", "run_make_sf"]
+
+
+def boundary_tangential_stress(
+    nodes: np.ndarray,
+    n_around: int,
+    triangles: np.ndarray,
+    stresses: np.ndarray,
+) -> np.ndarray:
+    """Tangential stress at each hole-boundary point.
+
+    Averages the stress tensors of elements touching each boundary node
+    and rotates into the local tangent direction: σ_t = t·σ·t.
+    """
+    m = n_around
+    acc = np.zeros((m, 3))
+    count = np.zeros(m)
+    for tri, s in zip(triangles, stresses):
+        for node in tri:
+            if node < m:
+                acc[node] += s
+                count[node] += 1
+    count[count == 0] = 1.0
+    avg = acc / count[:, None]
+
+    out = np.empty(m)
+    for j in range(m):
+        nxt, prv = nodes[(j + 1) % m], nodes[(j - 1) % m]
+        t = nxt - prv
+        norm = np.hypot(*t)
+        if norm == 0:
+            raise ValueError(f"coincident boundary points around index {j}")
+        tx, ty = t / norm
+        sxx, syy, txy = avg[j]
+        out[j] = sxx * tx * tx + 2 * txy * tx * ty + syy * ty * ty
+    return out
+
+
+def _read_o04(fh) -> Tuple[np.ndarray, int, int]:
+    first = fh.readline().split()
+    n_nodes, n_around, n_rings = int(first[0]), int(first[1]), int(first[2])
+    nodes = np.array([[float(v) for v in fh.readline().split()] for _ in range(n_nodes)])
+    return nodes, n_around, n_rings
+
+
+def _read_o02(fh) -> Tuple[np.ndarray, np.ndarray, float]:
+    first = fh.readline().split()
+    n_tri, applied = int(first[0]), float(first[1])
+    tris = np.empty((n_tri, 3), dtype=np.int64)
+    stresses = np.empty((n_tri, 3))
+    for i in range(n_tri):
+        parts = fh.readline().split()
+        tris[i] = [int(parts[0]), int(parts[1]), int(parts[2])]
+        stresses[i] = [float(parts[3]), float(parts[4]), float(parts[5])]
+    return tris, stresses, applied
+
+
+def run_make_sf(io) -> None:
+    """Stage entry point: JOB.O02 + JOB.O04 → JOB.SF + JOB.TH."""
+    with io.open("JOB.O04", "r") as fh:
+        nodes, n_around, _ = _read_o04(fh)
+    with io.open("JOB.O02", "r") as fh:
+        tris, stresses, applied = _read_o02(fh)
+    sigma_t = boundary_tangential_stress(nodes, n_around, tris, stresses)
+    with io.open("JOB.SF", "w") as fh:
+        fh.write(f"{len(sigma_t)} {applied:.9e}\n")
+        for value in sigma_t:
+            fh.write(f"{value:.9e}\n")
+    with io.open("JOB.TH", "w") as fh:
+        fh.write(f"{n_around}\n")
+        for x, y in nodes[:n_around]:
+            fh.write(f"{x:.9e} {y:.9e}\n")

@@ -1,0 +1,41 @@
+"""OBJECTIVE: the design figure of merit.
+
+"The final output, RESULT.DAT, contains the value for the life of the
+design, which is the minimum time for any of the cracks to reach a
+certain length."  Reads JOB.LIFE and writes the worst-crack life (and
+its boundary index) to RESULT.DAT.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["design_life", "run_objective"]
+
+
+def design_life(lives: np.ndarray) -> tuple[float, int]:
+    """(minimum finite life, index of the critical crack).
+
+    Raises if no crack has a finite life (nothing would ever fail,
+    which for this workload means the stress input was degenerate).
+    """
+    lives = np.asarray(lives, dtype=float)
+    if lives.size == 0:
+        raise ValueError("empty life array")
+    finite = np.isfinite(lives)
+    if not finite.any():
+        raise ValueError("no crack has finite life; check stress inputs")
+    idx = int(np.argmin(np.where(finite, lives, math.inf)))
+    return float(lives[idx]), idx
+
+
+def run_objective(io) -> None:
+    """Stage entry point: JOB.LIFE → RESULT.DAT."""
+    with io.open("JOB.LIFE", "r") as fh:
+        n = int(fh.readline())
+        lives = np.array([float(fh.readline()) for _ in range(n)])
+    life, idx = design_life(lives)
+    with io.open("RESULT.DAT", "w") as fh:
+        fh.write(f"{life:.9e} {idx}\n")

@@ -1,0 +1,192 @@
+"""The durability pipeline (paper Figure 5) and Table 2 experiments.
+
+Five stages — CHAMMY → PAFEC → MAKE_SF_FILES → FAST → OBJECTIVE —
+connected by the JOB.* files.  Two parameterisations:
+
+* :func:`durability_workflow` — real, runnable stage functions at a
+  laptop-friendly problem size (used by examples/tests and the real
+  runner).
+* :func:`durability_sim_workflow` — the calibrated work/byte
+  annotations reproducing the paper's Table 2 timings on the simulated
+  testbed (CPU work in brecca-seconds, fitted so the all-on-jagan
+  sequential run matches the paper's 99:17).
+
+Table 2's three experiments are encoded in :data:`TABLE2_EXPERIMENTS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...workflow.scheduler import Coupling, ExecutionPlan, plan_workflow
+from ...workflow.spec import FileUse, Stage, Workflow
+from .chammy import run_chammy
+from .fast import run_fast
+from .make_sf import run_make_sf
+from .objective import run_objective
+from .pafec import run_pafec
+
+__all__ = [
+    "durability_workflow",
+    "durability_sim_workflow",
+    "TABLE2_EXPERIMENTS",
+    "table2_plan",
+    "FIG5_FILES",
+]
+
+MB = 1024 * 1024
+
+#: The file graph of Figure 5 (condensed to the pipeline-relevant files).
+FIG5_FILES = {
+    "PROFILE_COORD.DAT": ("CHAMMY", "PAFEC"),
+    "JOB.O02": ("PAFEC", "MAKE_SF_FILES"),
+    "JOB.O04": ("PAFEC", "MAKE_SF_FILES"),
+    "JOB.SF": ("MAKE_SF_FILES", "FAST"),
+    "JOB.TH": ("MAKE_SF_FILES", "FAST"),
+    "JOB.LIFE": ("FAST", "OBJECTIVE"),
+}
+
+# Calibrated stage works (brecca-seconds) and data volumes.  Fitted so
+# experiment 1 (all on jagan, sequential local files) totals ~99:17 and
+# experiment 3's distributed run totals ~55:11 (PAFEC on jagan
+# dominates, exactly as the paper's assignment implies).
+_SIM_WORK = {
+    "CHAMMY": 25.0,
+    "PAFEC": 327.0,
+    "MAKE_SF_FILES": 45.0,
+    "FAST": 183.0,
+    "OBJECTIVE": 20.0,
+}
+_SIM_BYTES = {
+    "PROFILE_COORD.DAT": 1 * MB,
+    "JOB.O02": 16 * MB,
+    "JOB.O04": 4 * MB,
+    "JOB.SF": 8 * MB,
+    "JOB.TH": 2 * MB,
+    "JOB.LIFE": 5 * MB,
+    "RESULT.DAT": 4096,
+}
+_SIM_CHUNKS = 60
+
+
+def durability_workflow() -> Workflow:
+    """The real, runnable durability pipeline (small problem size)."""
+    return Workflow(
+        "durability",
+        [
+            Stage(
+                "CHAMMY",
+                writes=(FileUse("PROFILE_COORD.DAT"),),
+                func=run_chammy,
+            ),
+            Stage(
+                "PAFEC",
+                reads=(FileUse("PROFILE_COORD.DAT"),),
+                writes=(FileUse("JOB.O02"), FileUse("JOB.O04"), FileUse("JOB.O07")),
+                func=run_pafec,
+            ),
+            Stage(
+                "MAKE_SF_FILES",
+                reads=(FileUse("JOB.O02"), FileUse("JOB.O04")),
+                writes=(FileUse("JOB.SF"), FileUse("JOB.TH")),
+                func=run_make_sf,
+            ),
+            Stage(
+                "FAST",
+                reads=(FileUse("JOB.SF"),),
+                writes=(FileUse("JOB.LIFE"), FileUse("JOB.GROWTH")),
+                func=run_fast,
+            ),
+            Stage(
+                "OBJECTIVE",
+                reads=(FileUse("JOB.LIFE"),),
+                writes=(FileUse("RESULT.DAT"),),
+                func=run_objective,
+            ),
+        ],
+    )
+
+
+def durability_sim_workflow() -> Workflow:
+    """Timing-annotated pipeline for the Table 2 simulation."""
+    b = _SIM_BYTES
+    return Workflow(
+        "durability-sim",
+        [
+            Stage(
+                "CHAMMY",
+                writes=(FileUse("PROFILE_COORD.DAT", b["PROFILE_COORD.DAT"]),),
+                work=_SIM_WORK["CHAMMY"],
+                chunks=_SIM_CHUNKS,
+            ),
+            Stage(
+                "PAFEC",
+                reads=(FileUse("PROFILE_COORD.DAT", b["PROFILE_COORD.DAT"]),),
+                writes=(FileUse("JOB.O02", b["JOB.O02"]), FileUse("JOB.O04", b["JOB.O04"])),
+                work=_SIM_WORK["PAFEC"],
+                chunks=_SIM_CHUNKS,
+            ),
+            Stage(
+                "MAKE_SF_FILES",
+                reads=(FileUse("JOB.O02", b["JOB.O02"]), FileUse("JOB.O04", b["JOB.O04"])),
+                writes=(FileUse("JOB.SF", b["JOB.SF"]), FileUse("JOB.TH", b["JOB.TH"])),
+                work=_SIM_WORK["MAKE_SF_FILES"],
+                chunks=_SIM_CHUNKS,
+            ),
+            Stage(
+                "FAST",
+                reads=(FileUse("JOB.SF", b["JOB.SF"]), FileUse("JOB.TH", b["JOB.TH"])),
+                writes=(FileUse("JOB.LIFE", b["JOB.LIFE"]),),
+                work=_SIM_WORK["FAST"],
+                chunks=_SIM_CHUNKS,
+            ),
+            Stage(
+                "OBJECTIVE",
+                reads=(FileUse("JOB.LIFE", b["JOB.LIFE"]),),
+                writes=(FileUse("RESULT.DAT", b["RESULT.DAT"]),),
+                work=_SIM_WORK["OBJECTIVE"],
+                chunks=_SIM_CHUNKS,
+            ),
+        ],
+    )
+
+
+#: Table 2's experiments: placement + coupling + the paper's total (s).
+TABLE2_EXPERIMENTS = {
+    1: {
+        "label": "All programs on jagan, local files",
+        "placement": {s: "jagan" for s in _SIM_WORK},
+        "mechanism": "local",
+        "paper_total": 99 * 60 + 17,
+    },
+    2: {
+        "label": "All programs on jagan, GridFiles (buffers)",
+        "placement": {s: "jagan" for s in _SIM_WORK},
+        "mechanism": "buffer",
+        "paper_total": 89 * 60 + 17,
+    },
+    3: {
+        "label": "Distributed: chammy@koume00, pafec@jagan, make_sf@dione, fast@vpac27, objective@freak",
+        "placement": {
+            "CHAMMY": "koume00",
+            "PAFEC": "jagan",
+            "MAKE_SF_FILES": "dione",
+            "FAST": "vpac27",
+            "OBJECTIVE": "freak",
+        },
+        "mechanism": "buffer",
+        "paper_total": 55 * 60 + 11,
+    },
+}
+
+
+def table2_plan(experiment: int) -> ExecutionPlan:
+    """Build the ExecutionPlan for one of Table 2's three experiments."""
+    try:
+        exp = TABLE2_EXPERIMENTS[experiment]
+    except KeyError:
+        raise KeyError(f"Table 2 has experiments 1-3, not {experiment!r}") from None
+    wf = durability_sim_workflow()
+    mech: Coupling = exp["mechanism"]  # type: ignore[assignment]
+    coupling: Dict[str, Coupling] = {f: mech for f in wf.pipeline_files()}
+    return plan_workflow(wf, exp["placement"], coupling=coupling)

@@ -1,0 +1,32 @@
+"""Benchmark harness: experiment drivers, table formatting, rendering."""
+
+from .ascii_render import ascii_field, rasterize_von_mises, write_pgm
+from .gantt import render_gantt
+from .experiments import (
+    ALL_EXPERIMENTS,
+    run_fig6_stress,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from .tables import ShapeCheck, TableBuilder, hms, parse_hms
+
+__all__ = [
+    "render_gantt",
+    "ascii_field",
+    "rasterize_von_mises",
+    "write_pgm",
+    "ALL_EXPERIMENTS",
+    "run_fig6_stress",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "ShapeCheck",
+    "TableBuilder",
+    "hms",
+    "parse_hms",
+]

@@ -1,0 +1,82 @@
+"""ASCII / PGM rendering of the Figure 6 stress field.
+
+No plotting libraries are available offline, so the stress distribution
+is rendered two ways: an ASCII shade map for the terminal and a binary
+PGM image (readable by any image viewer) for the record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["rasterize_von_mises", "ascii_field", "write_pgm"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def rasterize_von_mises(result, resolution: int = 80) -> np.ndarray:
+    """Sample the element von Mises field onto a square raster.
+
+    Points inside the hole (or outside the plate) are NaN.  Brute-force
+    nearest-centroid sampling — fine at report resolutions.
+    """
+    mesh = result.mesh
+    hw = mesh.half_width
+    centroids = mesh.nodes[mesh.triangles].mean(axis=1)
+    xs = np.linspace(-hw, hw, resolution)
+    ys = np.linspace(-hw, hw, resolution)
+    raster = np.full((resolution, resolution), np.nan)
+    # Hole test: compare against the polygon radius at each angle.
+    hole = mesh.nodes[: mesh.n_around]
+    hole_theta = np.arctan2(hole[:, 1], hole[:, 0])
+    order = np.argsort(hole_theta)
+    hole_theta_s = hole_theta[order]
+    hole_r_s = np.hypot(hole[order, 0], hole[order, 1])
+    for j, y in enumerate(ys):
+        for i, x in enumerate(xs):
+            r = np.hypot(x, y)
+            theta = np.arctan2(y, x)
+            r_hole = np.interp(theta, hole_theta_s, hole_r_s, period=2 * np.pi)
+            if r <= r_hole:
+                continue  # inside the hole
+            d2 = (centroids[:, 0] - x) ** 2 + (centroids[:, 1] - y) ** 2
+            raster[j, i] = result.von_mises[int(np.argmin(d2))]
+    return raster
+
+
+def ascii_field(raster: np.ndarray) -> str:
+    """Shade a raster with ASCII characters (NaN → space)."""
+    finite = raster[np.isfinite(raster)]
+    if finite.size == 0:
+        return ""
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for row in raster[::-1]:  # +y up
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append(" ")
+            else:
+                idx = int((value - lo) / span * (len(_SHADES) - 1))
+                chars.append(_SHADES[idx])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def write_pgm(raster: np.ndarray, path: Path, invalid: int = 0) -> None:
+    """Write the raster as an 8-bit binary PGM image."""
+    finite = raster[np.isfinite(raster)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+    scaled = np.nan_to_num((raster - lo) / span * 254 + 1, nan=float(invalid))
+    img = np.where(np.isfinite(raster), scaled, float(invalid)).astype(np.uint8)[::-1]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())

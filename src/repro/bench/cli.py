@@ -1,0 +1,58 @@
+"""``griddles-bench``: regenerate any paper table/figure from the CLI.
+
+Usage::
+
+    griddles-bench                       # run everything
+    griddles-bench table4 fig6           # run a subset
+    griddles-bench --out results/        # also write one .txt per table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="griddles-bench",
+        description="Regenerate the paper's evaluation tables/figures from the calibrated model.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*ALL_EXPERIMENTS, []],
+        help=f"subset to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write each regenerated table as <name>.txt",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    failed = []
+    for name in names:
+        table = ALL_EXPERIMENTS[name]()
+        table.print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(table.render() + "\n", encoding="utf-8")
+        if not table.all_checks_pass:
+            failed.append(name)
+    if failed:
+        print(f"SHAPE CHECK FAILURES in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""ASCII Gantt rendering of simulated workflow runs.
+
+Makes the overlap structure of a :class:`~repro.workflow.simrunner.SimReport`
+visible at a glance — sequential stages stack diagonally, pipelined
+stages form parallel bars, and copy transfers appear as their own rows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..workflow.simrunner import SimReport
+from .tables import hms
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(report: SimReport, width: int = 64) -> str:
+    """One bar per stage (plus copies), scaled to the makespan."""
+    if not report.timings:
+        return "(empty report)"
+    makespan = report.makespan
+    if makespan <= 0:
+        return "(zero-length run)"
+
+    rows: List[tuple[str, float, float]] = [
+        (f"{t.stage}@{t.machine}", t.start, t.finish)
+        for t in sorted(report.timings.values(), key=lambda t: (t.start, t.stage))
+    ]
+    for fname, (start, finish) in sorted(report.copy_times.items()):
+        rows.append((f"copy:{fname}", start, finish))
+        rows.sort(key=lambda r: (r[1], r[0]))
+
+    label_width = max(len(r[0]) for r in rows) + 1
+    lines = []
+    for label, start, finish in rows:
+        begin = int(round(start / makespan * (width - 1)))
+        end = max(begin + 1, int(round(finish / makespan * (width - 1))))
+        bar = " " * begin + "#" * (end - begin)
+        lines.append(f"{label.ljust(label_width)}|{bar.ljust(width)}| {hms(finish)}")
+    scale = f"{' ' * label_width}|0{' ' * (width - 10)}{hms(makespan):>8}|"
+    lines.append(scale)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Table formatting and paper-comparison helpers for the bench harness.
+
+Every benchmark prints the same rows the paper reports, side by side
+with the paper's measured values, plus the *shape checks* (who wins,
+roughly by how much) that EXPERIMENTS.md tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["hms", "parse_hms", "TableBuilder", "ShapeCheck"]
+
+
+def hms(seconds: float) -> str:
+    """Format seconds as hh:mm:ss (the paper's convention)."""
+    s = int(round(seconds))
+    return f"{s // 3600:02d}:{s % 3600 // 60:02d}:{s % 60:02d}"
+
+
+def parse_hms(text: str) -> int:
+    """Parse hh:mm:ss or mm:ss into seconds."""
+    parts = [int(p) for p in text.strip().split(":")]
+    if len(parts) == 2:
+        m, s = parts
+        return m * 60 + s
+    if len(parts) == 3:
+        h, m, s = parts
+        return h * 3600 + m * 60 + s
+    raise ValueError(f"cannot parse time {text!r}")
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper and whether we reproduce it."""
+
+    claim: str
+    holds: bool
+
+    def __str__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        return f"[{status}] {self.claim}"
+
+
+class TableBuilder:
+    """Plain-text table with aligned columns (no deps, benchmark-friendly)."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+        self.checks: List[ShapeCheck] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def add_check(self, claim: str, holds: bool) -> None:
+        self.checks.append(ShapeCheck(claim, holds))
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if self.checks:
+            lines.append("")
+            lines.extend(str(c) for c in self.checks)
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate
+        print()
+        print(self.render())
+        print()

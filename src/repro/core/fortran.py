@@ -1,0 +1,135 @@
+"""Fortran unformatted sequential records.
+
+The paper's legacy codes (PAFEC, C-CAM, DARLAM) are Fortran programs
+whose binary files are *unformatted sequential* — every record is
+framed by 4-byte length markers, in the writing machine's byte order.
+Section 3.3's heterogeneity plan needs exactly this: know the record
+structure, re-order bytes between machines.
+
+:class:`FortranRecordReader` / :class:`FortranRecordWriter` implement
+the framing over any file-like object (including FM handles and Grid
+Buffer streams), with explicit byte order and optional payload
+translation through a :class:`~repro.core.heterogeneity.RecordSchema`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from .heterogeneity import NATIVE_BYTE_ORDER, HeterogeneityError, RecordSchema
+
+__all__ = ["FortranRecordWriter", "FortranRecordReader", "translate_fortran_stream"]
+
+
+def _marker_struct(byte_order: str) -> struct.Struct:
+    if byte_order == "little":
+        return struct.Struct("<I")
+    if byte_order == "big":
+        return struct.Struct(">I")
+    raise HeterogeneityError(f"byte order must be 'little' or 'big', got {byte_order!r}")
+
+
+class FortranRecordWriter:
+    """Writes length-framed records like a Fortran unformatted WRITE."""
+
+    def __init__(self, fh, byte_order: str = NATIVE_BYTE_ORDER):
+        self._fh = fh
+        self._marker = _marker_struct(byte_order)
+        self.byte_order = byte_order
+        self.records_written = 0
+
+    def write_record(self, payload: bytes) -> None:
+        marker = self._marker.pack(len(payload))
+        self._fh.write(marker)
+        self._fh.write(payload)
+        self._fh.write(marker)
+        self.records_written += 1
+
+    def write_values(self, schema: RecordSchema, record: dict) -> None:
+        """Pack ``record`` with ``schema`` in this writer's byte order."""
+        raw = schema.convert(schema.pack_native(record), NATIVE_BYTE_ORDER, self.byte_order)
+        self.write_record(raw)
+
+
+class FortranRecordReader:
+    """Reads length-framed records like a Fortran unformatted READ."""
+
+    def __init__(self, fh, byte_order: str = NATIVE_BYTE_ORDER, max_record: int = 1 << 30):
+        self._fh = fh
+        self._marker = _marker_struct(byte_order)
+        self.byte_order = byte_order
+        self.max_record = max_record
+        self.records_read = 0
+
+    def _read_exact(self, n: int) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            chunk = self._fh.read(n - len(out))
+            if not chunk:
+                raise HeterogeneityError(
+                    f"truncated Fortran record: wanted {n} bytes, got {len(out)}"
+                )
+            out += chunk
+        return bytes(out)
+
+    def read_record(self) -> Optional[bytes]:
+        """Next record's payload, or None at a clean end of file."""
+        head = self._fh.read(4)
+        if not head:
+            return None
+        if len(head) < 4:
+            raise HeterogeneityError("truncated leading record marker")
+        (length,) = self._marker.unpack(head)
+        if length > self.max_record:
+            raise HeterogeneityError(
+                f"record length {length} exceeds limit {self.max_record} — "
+                "wrong byte order for the markers?"
+            )
+        payload = self._read_exact(length)
+        (trailer,) = self._marker.unpack(self._read_exact(4))
+        if trailer != length:
+            raise HeterogeneityError(
+                f"record marker mismatch: leading {length}, trailing {trailer}"
+            )
+        self.records_read += 1
+        return payload
+
+    def read_values(self, schema: RecordSchema) -> Optional[dict]:
+        raw = self.read_record()
+        if raw is None:
+            return None
+        return schema.unpack_native(schema.convert(raw, self.byte_order, NATIVE_BYTE_ORDER))
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            record = self.read_record()
+            if record is None:
+                return
+            yield record
+
+
+def translate_fortran_stream(
+    src,
+    dst,
+    schema: RecordSchema,
+    src_order: str,
+    dst_order: str,
+    max_records: Optional[int] = None,
+) -> int:
+    """Re-frame and re-order a whole unformatted file between machines.
+
+    This is the FM's §3.3 translation pass: markers and payload are both
+    converted from ``src_order`` to ``dst_order`` using the record
+    schema.  Returns the number of records translated.
+    """
+    reader = FortranRecordReader(src, byte_order=src_order)
+    writer = FortranRecordWriter(dst, byte_order=dst_order)
+    count = 0
+    for raw in reader:
+        raw = schema.convert(raw, src_order, dst_order)
+        writer.write_record(raw)
+        count += 1
+        if max_records is not None and count >= max_records:
+            break
+    return count

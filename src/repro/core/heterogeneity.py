@@ -1,0 +1,189 @@
+"""Heterogeneity handling: byte order and neutral record encoding.
+
+Section 3.3: the FM "handles formatted ASCII data, and binary data only
+if the two end points have the same byte ordering.  However, we are
+experimenting with a scheme for describing the record structure so that
+the FM can reorder the bytes dynamically.  The data would then be
+mapped into a neutral form as is done in XDR."
+
+This module implements that experiment: a :class:`RecordSchema`
+describes a fixed binary record (field names + scalar types); records
+are converted to/from a big-endian *neutral form* (XDR's convention),
+so a little-endian writer and big-endian reader interoperate.  ASCII
+("text") payloads pass through untouched, and same-endian binary can be
+declared pass-through too.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "NATIVE_BYTE_ORDER",
+    "FieldType",
+    "RecordSchema",
+    "HeterogeneityError",
+    "needs_swap",
+]
+
+#: "little" or "big" for the machine running this process.
+NATIVE_BYTE_ORDER = sys.byteorder
+
+
+class HeterogeneityError(ValueError):
+    """Schema mismatch or undecodable payload."""
+
+
+# XDR-ish scalar vocabulary: name -> struct code (sizes per XDR where
+# applicable; int is 4 bytes, hyper is 8, float 4, double 8).
+_TYPES: Dict[str, str] = {
+    "int32": "i",
+    "uint32": "I",
+    "int64": "q",
+    "uint64": "Q",
+    "float32": "f",
+    "float64": "d",
+    "char": "c",
+}
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """One field of a record: a named scalar or fixed array."""
+
+    name: str
+    kind: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TYPES:
+            raise HeterogeneityError(
+                f"unknown field kind {self.kind!r}; expected one of {sorted(_TYPES)}"
+            )
+        if self.count < 1:
+            raise HeterogeneityError("count must be >= 1")
+
+    @property
+    def struct_code(self) -> str:
+        code = _TYPES[self.kind]
+        return code if self.count == 1 else f"{self.count}{code}"
+
+
+class RecordSchema:
+    """A fixed-layout binary record usable for byte-order translation.
+
+    >>> schema = RecordSchema([FieldType("step", "int32"),
+    ...                        FieldType("values", "float64", 3)])
+    >>> raw = schema.pack_native({"step": 7, "values": (1.0, 2.0, 3.0)})
+    >>> neutral = schema.to_neutral(raw)
+    >>> schema.unpack_native(schema.from_neutral(neutral))["step"]
+    7
+    """
+
+    def __init__(self, fields: Sequence[FieldType]):
+        if not fields:
+            raise HeterogeneityError("schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise HeterogeneityError(f"duplicate field names in {names}")
+        self.fields = list(fields)
+        body = "".join(f.struct_code for f in self.fields)
+        self._le = struct.Struct("<" + body)
+        self._be = struct.Struct(">" + body)
+        self._native = self._le if sys.byteorder == "little" else self._be
+        self._neutral = self._be  # big-endian, XDR-style
+
+    @property
+    def record_size(self) -> int:
+        return self._native.size
+
+    # -- value <-> native bytes --------------------------------------------
+    def _flatten(self, record: Dict[str, object]) -> List[object]:
+        flat: List[object] = []
+        for f in self.fields:
+            if f.name not in record:
+                raise HeterogeneityError(f"record missing field {f.name!r}")
+            value = record[f.name]
+            if f.count == 1:
+                flat.append(value)
+            else:
+                seq = list(value)  # type: ignore[arg-type]
+                if len(seq) != f.count:
+                    raise HeterogeneityError(
+                        f"field {f.name!r} expects {f.count} values, got {len(seq)}"
+                    )
+                flat.extend(seq)
+        return flat
+
+    def _unflatten(self, flat: Tuple[object, ...]) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        idx = 0
+        for f in self.fields:
+            if f.count == 1:
+                out[f.name] = flat[idx]
+                idx += 1
+            else:
+                out[f.name] = tuple(flat[idx : idx + f.count])
+                idx += f.count
+        return out
+
+    def pack_native(self, record: Dict[str, object]) -> bytes:
+        return self._native.pack(*self._flatten(record))
+
+    def unpack_native(self, raw: bytes) -> Dict[str, object]:
+        if len(raw) != self._native.size:
+            raise HeterogeneityError(
+                f"expected {self._native.size} bytes, got {len(raw)}"
+            )
+        return self._unflatten(self._native.unpack(raw))
+
+    # -- native bytes <-> neutral (big-endian) bytes ------------------------------
+    def to_neutral(self, raw: bytes) -> bytes:
+        """Re-encode one or more native records into neutral byte order."""
+        return self._transcode(raw, self._native, self._neutral)
+
+    def from_neutral(self, raw: bytes) -> bytes:
+        """Re-encode neutral records into this machine's native order."""
+        return self._transcode(raw, self._neutral, self._native)
+
+    def convert(self, raw: bytes, src_order: str, dst_order: str) -> bytes:
+        """Re-encode records between two explicit byte orders."""
+        structs = {"little": self._le, "big": self._be}
+        for order in (src_order, dst_order):
+            if order not in structs:
+                raise HeterogeneityError(
+                    f"byte order must be 'little' or 'big', got {order!r}"
+                )
+        if src_order == dst_order:
+            if len(raw) % structs[src_order].size != 0:
+                raise HeterogeneityError(
+                    f"payload length {len(raw)} is not a multiple of record size"
+                )
+            return raw
+        return self._transcode(raw, structs[src_order], structs[dst_order])
+
+    @staticmethod
+    def _transcode(raw: bytes, src: struct.Struct, dst: struct.Struct) -> bytes:
+        if len(raw) % src.size != 0:
+            raise HeterogeneityError(
+                f"payload length {len(raw)} is not a multiple of record size {src.size}"
+            )
+        out = bytearray()
+        for off in range(0, len(raw), src.size):
+            out += dst.pack(*src.unpack_from(raw, off))
+        return bytes(out)
+
+
+def needs_swap(writer_order: str, reader_order: str) -> bool:
+    """Whether binary data must be re-ordered between two endpoints.
+
+    The pre-schema behaviour in the paper: same order passes through,
+    different orders are only usable via a schema (or ASCII).
+    """
+    for order in (writer_order, reader_order):
+        if order not in ("little", "big"):
+            raise HeterogeneityError(f"byte order must be 'little' or 'big', got {order!r}")
+    return writer_order != reader_order

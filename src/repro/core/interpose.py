@@ -1,0 +1,106 @@
+"""Interposition of ``builtins.open`` — the LD_PRELOAD analogue.
+
+The paper hooks libc IO in unmodified Fortran/C binaries via the Bypass
+toolkit.  The closest faithful equivalent for Python "legacy"
+applications is patching ``builtins.open`` for the duration of a
+workflow stage: code written against the ordinary file API runs
+unchanged, while every open is routed through the File Multiplexer.
+
+Paths outside the FM's jurisdiction (Python internals, site-packages,
+anything not matching ``prefixes``) fall through to the real ``open``
+so the interpreter keeps working.
+
+Usage::
+
+    with interposed(fm, prefixes=("/data/",)):
+        legacy_main()          # its open("/data/JOB.DAT") goes via the FM
+
+Text modes are honoured by wrapping the FM's binary handle in a
+:class:`io.TextIOWrapper`, exactly how CPython builds text files.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Optional, Sequence
+
+from .multiplexer import FileMultiplexer
+
+__all__ = ["interposed", "FmOpen"]
+
+_real_open = open
+_patch_lock = threading.Lock()
+
+
+class FmOpen:
+    """A drop-in ``open`` replacement routing matching paths via an FM."""
+
+    def __init__(
+        self,
+        fm: FileMultiplexer,
+        prefixes: Sequence[str] = ("/",),
+        buffer_size: int = io.DEFAULT_BUFFER_SIZE,
+    ):
+        if not prefixes:
+            raise ValueError("need at least one path prefix to intercept")
+        self.fm = fm
+        self.prefixes = tuple(prefixes)
+        self.buffer_size = buffer_size
+
+    def _intercepts(self, file) -> bool:
+        return isinstance(file, str) and any(file.startswith(p) for p in self.prefixes)
+
+    def __call__(
+        self,
+        file,
+        mode: str = "r",
+        buffering: int = -1,
+        encoding: Optional[str] = None,
+        errors: Optional[str] = None,
+        newline: Optional[str] = None,
+        closefd: bool = True,
+        opener=None,
+    ):
+        if not self._intercepts(file) or "x" in mode:
+            return _real_open(
+                file, mode, buffering, encoding, errors, newline, closefd, opener
+            )
+        binary = "b" in mode
+        if buffering == 0 and not binary:
+            raise ValueError("can't have unbuffered text I/O")
+        raw = self.fm.open(file, mode)
+        reading = raw.readable() and not raw.writable()
+        if buffering == 0:
+            return raw
+        if reading:
+            buffered: io.IOBase = io.BufferedReader(raw, buffer_size=self.buffer_size)
+        elif raw.writable() and not raw.readable():
+            buffered = io.BufferedWriter(raw, buffer_size=self.buffer_size)
+        else:
+            buffered = io.BufferedRandom(raw, buffer_size=self.buffer_size)
+        if binary:
+            return buffered
+        text = io.TextIOWrapper(buffered, encoding=encoding or "utf-8", errors=errors, newline=newline)
+        text.mode = mode  # mirror CPython behaviour
+        return text
+
+
+@contextmanager
+def interposed(fm: FileMultiplexer, prefixes: Sequence[str] = ("/",)):
+    """Patch ``builtins.open`` so legacy code runs through ``fm``.
+
+    Re-entrant patching from multiple threads is serialized; nested use
+    with the *same* prefixes is allowed, with innermost winning.
+    """
+    fm_open = FmOpen(fm, prefixes)
+    with _patch_lock:
+        previous = builtins.open
+        builtins.open = fm_open
+    try:
+        yield fm_open
+    finally:
+        with _patch_lock:
+            builtins.open = previous

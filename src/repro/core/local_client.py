@@ -1,0 +1,59 @@
+"""Local File Client: the pass-through path of the FM.
+
+"The Local File Client simply passes the calls onto the local file
+system, using the file name as resolved by the GNS." (Section 4)
+
+When the FM runs inside a virtual-host sandbox (the usual test/example
+configuration), paths are resolved inside that host's root directory;
+otherwise they go straight to the real file system.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..transport.inmem import VirtualHost
+
+__all__ = ["LocalFileClient"]
+
+_BINARY_MODES = {"r", "w", "a", "r+", "w+", "a+"}
+
+
+def _normalise_mode(mode: str) -> str:
+    """Strip 'b'/'t' flags; FM handles bytes, text is layered above."""
+    core = mode.replace("b", "").replace("t", "")
+    if core not in _BINARY_MODES:
+        raise ValueError(f"unsupported open mode {mode!r}")
+    return core + "b"
+
+
+class LocalFileClient:
+    """Opens files on the local (possibly sandboxed) file system."""
+
+    def __init__(self, host: Optional[VirtualHost] = None):
+        self.host = host
+
+    def resolve(self, path: str) -> Path:
+        if self.host is not None:
+            return self.host.resolve(path)
+        return Path(path)
+
+    def open(self, path: str, mode: str = "r") -> io.BufferedIOBase:
+        """Open ``path`` in binary form regardless of the caller's mode."""
+        real = self.resolve(path)
+        binary_mode = _normalise_mode(mode)
+        if any(flag in binary_mode for flag in ("w", "a")) or "+" in binary_mode:
+            real.parent.mkdir(parents=True, exist_ok=True)
+        return open(real, binary_mode)
+
+    def exists(self, path: str) -> bool:
+        return self.resolve(path).exists()
+
+    def size(self, path: str) -> int:
+        return self.resolve(path).stat().st_size
+
+    def unlink(self, path: str) -> None:
+        self.resolve(path).unlink()

@@ -1,0 +1,10 @@
+"""Canonical IO-mode vocabulary (re-exported from the GNS records).
+
+The mode enum lives with the GNS record definitions because the GNS is
+the component that stores and returns modes; the FM consumes them.
+Importing from here keeps call sites reading ``core.modes.IOMode``.
+"""
+
+from ..gns.records import BufferEndpoint, GnsRecord, IOMode
+
+__all__ = ["IOMode", "GnsRecord", "BufferEndpoint"]

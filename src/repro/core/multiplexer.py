@@ -1,0 +1,360 @@
+"""The File Multiplexer (FM).
+
+"The key to providing a flexible IO system is to interpose a library
+between the application and the Grid...  The FM intercepts all file
+operations as specified in the legacy application.  When the program
+performs an OPEN operation, the FM determines which mode to use, and
+sets up the appropriate pathways.  Each OPEN operation makes an
+independent choice." (Section 3.1)
+
+:class:`FileMultiplexer` is that library.  ``open()`` consults the GNS
+for the ``(machine, path)`` of the call and returns an :class:`FMFile`
+backed by whichever client the record selects:
+
+* ``local``           → :class:`~repro.core.local_client.LocalFileClient`
+* ``copy``            → :class:`~repro.core.remote_client.CopyInOutFile`
+* ``remote``          → :class:`~repro.core.remote_client.RemoteProxyFile`
+* ``remote-replica``  → replica selection + proxy, with dynamic re-map
+* ``local-replica``   → replica selection + copy-in, then local IO
+* ``buffer``          → :class:`~repro.core.buffer_client.GridBufferClientPool`
+
+No application source changes are required: the program calls plain
+``open/read/write/seek/close`` (optionally via
+:mod:`repro.core.interpose`) and re-wiring happens entirely in the GNS.
+"""
+
+from __future__ import annotations
+
+import io
+import logging
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..gns.client import GnsClient, LocalGnsClient
+from ..gns.records import BufferEndpoint, GnsRecord, IOMode
+from ..grid.replica_catalog import Replica
+from ..ioutil import ReadIntoFromRead
+from ..transport.gridftp import GridFtpClient
+from ..transport.inmem import HostRegistry
+from .buffer_client import GridBufferClientPool
+from .local_client import LocalFileClient
+from .policy import AccessEstimate, AccessPolicy
+from .remote_client import RemoteFileClient
+from .replica import ReplicaSelector
+
+__all__ = ["FMError", "OpenStats", "GridContext", "FMFile", "FileMultiplexer"]
+
+logger = logging.getLogger("repro.core.fm")
+
+Address = Tuple[str, int]
+Locator = Union[Callable[[str], Address], Dict[str, Address]]
+
+
+class FMError(RuntimeError):
+    """Configuration or dispatch failure inside the FM."""
+
+
+def _as_locator(loc: Optional[Locator], what: str) -> Callable[[str], Address]:
+    if loc is None:
+        def missing(host: str) -> Address:
+            raise FMError(f"no {what} locator configured (needed for host {host!r})")
+        return missing
+    if callable(loc):
+        return loc
+    table = dict(loc)
+
+    def lookup(host: str) -> Address:
+        try:
+            return table[host]
+        except KeyError:
+            raise FMError(f"no {what} registered for host {host!r}") from None
+    return lookup
+
+
+@dataclass
+class OpenStats:
+    """Per-open counters — the 'access pattern' input to the policy."""
+
+    path: str = ""
+    mode: str = ""
+    io_mode: str = ""
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    seeks: int = 0
+    remaps: int = 0
+
+
+@dataclass
+class GridContext:
+    """Everything one FM instance needs to reach the grid.
+
+    Only ``machine`` and ``gns`` are mandatory; the other fields are
+    required only by the modes that use them (e.g. ``gridftp`` for
+    remote/copy, ``buffer_locator`` for direct connections).
+    """
+
+    machine: str
+    gns: Union[GnsClient, LocalGnsClient]
+    hosts: Optional[HostRegistry] = None
+    gridftp: Optional[Locator] = None
+    buffer_locator: Optional[Locator] = None
+    selector: Optional[ReplicaSelector] = None
+    policy: AccessPolicy = field(default_factory=AccessPolicy)
+    scratch_dir: Optional[Path] = None
+    io_timeout: Optional[float] = 120.0
+    #: Re-consult the replica selector every N reads on read-only
+    #: replicated opens (Section 3.1's dynamic re-mapping cadence).
+    remap_every: int = 64
+    #: Verify the SHA-256 of every copy-in against the remote server.
+    verify_copies: bool = False
+
+
+class FMFile(ReadIntoFromRead, io.RawIOBase):
+    """The handle returned by :meth:`FileMultiplexer.open`.
+
+    Wraps whichever client implements this open's IO mode, counts
+    traffic, and (for read-only replicated opens) consults the replica
+    selector periodically to re-map mid-run.
+    """
+
+    def __init__(
+        self,
+        inner: io.RawIOBase,
+        record: GnsRecord,
+        stats: OpenStats,
+        remap_hook: Optional[Callable[["FMFile"], Optional[io.RawIOBase]]] = None,
+        remap_every: int = 64,
+    ):
+        super().__init__()
+        self._inner = inner
+        self.record = record
+        self.stats = stats
+        self._remap_hook = remap_hook
+        self._remap_every = max(1, remap_every)
+
+    # -- capability passthrough ---------------------------------------------
+    def readable(self) -> bool:
+        return self._inner.readable()
+
+    def writable(self) -> bool:
+        return self._inner.writable()
+
+    def seekable(self) -> bool:
+        return self._inner.seekable()
+
+    @property
+    def io_mode(self) -> IOMode:
+        return self.record.mode
+
+    # -- IO with accounting ---------------------------------------------------
+    def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        self._maybe_remap()
+        data = self._inner.read(size)
+        self.stats.read_ops += 1
+        self.stats.bytes_read += len(data or b"")
+        return data
+
+    def write(self, data) -> int:  # type: ignore[override]
+        n = self._inner.write(bytes(data)) or 0
+        self.stats.write_ops += 1
+        self.stats.bytes_written += n
+        return n
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        self.stats.seeks += 1
+        return self._inner.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def flush(self) -> None:
+        if not self._inner.closed:
+            self._inner.flush()
+
+    def close(self) -> None:
+        if not self.closed:
+            try:
+                self._inner.close()
+            finally:
+                super().close()
+
+    # -- dynamic re-mapping -------------------------------------------------
+    def _maybe_remap(self) -> None:
+        if self._remap_hook is None:
+            return
+        if self.stats.read_ops % self._remap_every != 0:
+            return
+        replacement = self._remap_hook(self)
+        if replacement is not None:
+            pos = self._inner.tell()
+            old = self._inner
+            replacement.seek(pos)
+            self._inner = replacement
+            old.close()
+            self.stats.remaps += 1
+
+
+class FileMultiplexer:
+    """One per application process; dispatches opens by GNS record."""
+
+    def __init__(self, ctx: GridContext):
+        self.ctx = ctx
+        host = ctx.hosts.host(ctx.machine) if ctx.hosts is not None else None
+        self._local = LocalFileClient(host)
+        self._gridftp_locator = _as_locator(ctx.gridftp, "GridFTP")
+        self._buffer_locator = _as_locator(ctx.buffer_locator, "Grid Buffer")
+        self._buffer_pool = GridBufferClientPool(ctx.machine)
+        self._ftp_clients: Dict[str, GridFtpClient] = {}
+        self._lock = threading.Lock()
+        self.open_history: list[OpenStats] = []
+
+    # -- plumbing ----------------------------------------------------------
+    def _ftp(self, host: str) -> GridFtpClient:
+        with self._lock:
+            client = self._ftp_clients.get(host)
+            if client is None:
+                addr = self._gridftp_locator(host)
+                client = GridFtpClient(*addr)
+                self._ftp_clients[host] = client
+            return client
+
+    def _remote(self, host: str) -> RemoteFileClient:
+        return RemoteFileClient(self._ftp(host), scratch_dir=self.ctx.scratch_dir)
+
+    # -- the public entry point ----------------------------------------------
+    def open(self, path: str, mode: str = "r") -> FMFile:
+        """Open ``path`` the way the GNS says this machine should."""
+        record = self.ctx.gns.resolve(self.ctx.machine, path)
+        stats = OpenStats(path=path, mode=mode, io_mode=record.mode.value)
+        self.open_history.append(stats)
+        logger.debug(
+            "open %s mode=%s on %s -> %s", path, mode, self.ctx.machine, record.mode.value
+        )
+        dispatch = {
+            IOMode.LOCAL: self._open_local,
+            IOMode.COPY: self._open_copy,
+            IOMode.REMOTE: self._open_remote,
+            IOMode.REMOTE_REPLICA: self._open_remote_replica,
+            IOMode.LOCAL_REPLICA: self._open_local_replica,
+            IOMode.BUFFER: self._open_buffer,
+        }
+        try:
+            opener = dispatch[record.mode]
+        except KeyError:  # pragma: no cover - enum is closed
+            raise FMError(f"unhandled IO mode {record.mode!r}")
+        return opener(record, path, mode, stats)
+
+    # -- per-mode openers ---------------------------------------------------
+    def _open_local(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
+        real = record.local_path or path
+        return FMFile(self._local.open(real, mode), record, stats)
+
+    def _open_copy(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
+        remote = self._remote(record.remote_host)  # type: ignore[arg-type]
+        inner = remote.open_copy(
+            record.remote_path, mode, verify=self.ctx.verify_copies  # type: ignore[arg-type]
+        )
+        return FMFile(inner, record, stats)
+
+    def _open_remote(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
+        remote = self._remote(record.remote_host)  # type: ignore[arg-type]
+        inner = remote.open_proxy(record.remote_path, mode)  # type: ignore[arg-type]
+        return FMFile(inner, record, stats)
+
+    def _choose_replica(self, record: GnsRecord) -> Replica:
+        if self.ctx.selector is None:
+            raise FMError(
+                f"replicated file {record.logical_name!r} needs a ReplicaSelector"
+            )
+        choice = self.ctx.selector.best(record.logical_name, self.ctx.machine)  # type: ignore[arg-type]
+        return choice.replica
+
+    def _open_remote_replica(
+        self, record: GnsRecord, path: str, mode: str, stats: OpenStats
+    ) -> FMFile:
+        core = mode.replace("b", "").replace("t", "")
+        if core != "r":
+            raise FMError("replicated files are read-only")
+        replica = self._choose_replica(record)
+        current = {"replica": replica}
+        inner = self._open_replica_source(replica)
+
+        def remap_hook(_fmfile: FMFile) -> Optional[io.RawIOBase]:
+            choice = self.ctx.selector.maybe_remap(  # type: ignore[union-attr]
+                record.logical_name, self.ctx.machine, current["replica"]  # type: ignore[arg-type]
+            )
+            if choice is None:
+                return None
+            current["replica"] = choice.replica
+            return self._open_replica_source(choice.replica)
+
+        return FMFile(inner, record, stats, remap_hook=remap_hook, remap_every=self.ctx.remap_every)
+
+    def _open_replica_source(self, replica: Replica) -> io.RawIOBase:
+        if replica.host == self.ctx.machine:
+            return self._local.open(replica.path, "r")
+        return self._remote(replica.host).open_proxy(replica.path, "r")
+
+    def _open_local_replica(
+        self, record: GnsRecord, path: str, mode: str, stats: OpenStats
+    ) -> FMFile:
+        core = mode.replace("b", "").replace("t", "")
+        if core != "r":
+            raise FMError("replicated files are read-only")
+        replica = self._choose_replica(record)
+        local_copy = record.local_path or f"/fm-replica-cache{path}"
+        if replica.host == self.ctx.machine:
+            return FMFile(self._local.open(replica.path, "r"), record, stats)
+        target = self._local.resolve(local_copy)
+        self._ftp(replica.host).fetch_file(replica.path, target)
+        return FMFile(self._local.open(local_copy, "r"), record, stats)
+
+    def _open_buffer(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
+        endpoint = record.buffer
+        assert endpoint is not None  # enforced by GnsRecord validation
+        core = mode.replace("b", "").replace("t", "")
+        role = "reader" if core == "r" else "writer"
+        if core in ("r+", "w+", "a+"):
+            raise FMError("buffered streams are unidirectional (read xor write)")
+        server = self._locate_buffer(endpoint, role)
+        if role == "writer":
+            inner = self._buffer_pool.open_writer(
+                endpoint, server, write_timeout=self.ctx.io_timeout
+            )
+        else:
+            inner = self._buffer_pool.open_reader(
+                endpoint, server, read_timeout=self.ctx.io_timeout
+            )
+        return FMFile(inner, record, stats)
+
+    def _locate_buffer(self, endpoint: BufferEndpoint, role: str) -> Address:
+        if endpoint.host and endpoint.port:
+            return (endpoint.host, endpoint.port)
+        # Ask the GNS matcher; it places the server per the endpoint's
+        # placement policy once the matching endpoint announces.
+        host, port = self.ctx.gns.announce(
+            endpoint.stream, role, self.ctx.machine, endpoint.placement
+        )
+        if not host or not port:
+            # Matcher had no locator: place on this machine if we can.
+            return self._buffer_locator(self.ctx.machine)
+        return (host, port)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        self._buffer_pool.close()
+        with self._lock:
+            for client in self._ftp_clients.values():
+                client.close()
+            self._ftp_clients.clear()
+
+    def __enter__(self) -> "FileMultiplexer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

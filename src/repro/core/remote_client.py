@@ -1,0 +1,269 @@
+"""Remote File Client: proxy access and copy-in/copy-out.
+
+Section 3.1 describes the two remote strategies the FM can choose:
+
+* **copy** — "the remote file can be copied to the local machine, and
+  then local operations can be performed.  If the file is modified it
+  can be copied back when it is CLOSED."  Implemented by
+  :class:`CopyInOutFile`.
+* **proxy** — "the FM can access the file on the remote machine using a
+  proxy file server" (our GridFTP-like block server).  Implemented by
+  :class:`RemoteProxyFile`, a file-like object that fetches blocks on
+  demand with read-ahead and a small LRU block cache.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..ioutil import ReadIntoFromRead
+from ..transport.gridftp import DEFAULT_BLOCK, GridFtpClient
+
+__all__ = ["RemoteProxyFile", "CopyInOutFile", "RemoteFileClient"]
+
+
+class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
+    """File-like proxy over a remote file, block at a time.
+
+    Reads fetch ``block_size`` aligned blocks and keep the most recent
+    ``cache_blocks`` of them, so sequential legacy read loops make one
+    RPC per block rather than one per READ call.  Writes go straight
+    through (write-through, no local buffering) to keep close() simple.
+    """
+
+    def __init__(
+        self,
+        client: GridFtpClient,
+        path: str,
+        writable: bool = False,
+        block_size: int = DEFAULT_BLOCK,
+        cache_blocks: int = 8,
+    ):
+        super().__init__()
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self._client = client
+        self._path = path
+        self._writable = writable
+        self._block_size = block_size
+        self._pos = 0
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self._cache_blocks = max(1, cache_blocks)
+        self._size_cache: Optional[int] = None
+        self.rpc_reads = 0  # observable for tests/policy
+
+    # -- capabilities ----------------------------------------------------------
+    def readable(self) -> bool:
+        return True
+
+    def writable(self) -> bool:
+        return self._writable
+
+    def seekable(self) -> bool:
+        return True
+
+    # -- geometry ----------------------------------------------------------
+    def _size(self, refresh: bool = False) -> int:
+        if self._size_cache is None or refresh:
+            self._size_cache = self._client.size(self._path)
+        return self._size_cache
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        if whence == os.SEEK_SET:
+            self._pos = offset
+        elif whence == os.SEEK_CUR:
+            self._pos += offset
+        elif whence == os.SEEK_END:
+            self._pos = self._size(refresh=True) + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if self._pos < 0:
+            raise ValueError("negative seek position")
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    # -- reads -----------------------------------------------------------
+    def _fetch_block(self, block_no: int) -> bytes:
+        cached = self._cache.get(block_no)
+        if cached is not None:
+            self._cache.move_to_end(block_no)
+            return cached
+        data = self._client.read_block(
+            self._path, block_no * self._block_size, self._block_size
+        )
+        self.rpc_reads += 1
+        self._cache[block_no] = data
+        while len(self._cache) > self._cache_blocks:
+            self._cache.popitem(last=False)
+        return data
+
+    def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        if size is None or size < 0:
+            size = max(0, self._size(refresh=True) - self._pos)
+        out = bytearray()
+        while size > 0:
+            block_no, inner = divmod(self._pos, self._block_size)
+            block = self._fetch_block(block_no)
+            if inner >= len(block):
+                break  # EOF
+            take = min(size, len(block) - inner)
+            out += block[inner : inner + take]
+            self._pos += take
+            size -= take
+            if len(block) < self._block_size and inner + take >= len(block):
+                break  # short block == end of file
+        return bytes(out)
+
+    # -- writes -----------------------------------------------------------
+    def write(self, data) -> int:  # type: ignore[override]
+        if not self._writable:
+            raise io.UnsupportedOperation("file not open for writing")
+        data = bytes(data)
+        if data:
+            self._client.write_block(self._path, self._pos, data)
+            # Invalidate cached blocks the write touched.
+            first = self._pos // self._block_size
+            last = (self._pos + len(data) - 1) // self._block_size
+            for b in range(first, last + 1):
+                self._cache.pop(b, None)
+            self._pos += len(data)
+            self._size_cache = None
+        return len(data)
+
+
+class CopyInOutFile(ReadIntoFromRead, io.RawIOBase):
+    """Whole-file copy-in on open, copy-out on close (if modified).
+
+    With ``verify=True`` the local copy's SHA-256 is compared against
+    the server's after the fetch (end-to-end integrity over however
+    many blocks/streams the transfer used).
+    """
+
+    def __init__(
+        self,
+        client: GridFtpClient,
+        remote_path: str,
+        mode: str,
+        scratch_dir: Optional[Path] = None,
+        verify: bool = False,
+    ):
+        super().__init__()
+        self._client = client
+        self._remote_path = remote_path
+        self._verify = verify
+        core = mode.replace("b", "").replace("t", "")
+        self._reading = "r" in core or "+" in core
+        self._writing = any(f in core for f in ("w", "a")) or "+" in core
+        self._dirty = False
+        if scratch_dir is not None:
+            Path(scratch_dir).mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix="fm-copy-", dir=str(scratch_dir) if scratch_dir else None
+        )
+        os.close(fd)
+        self._local_path = Path(tmp)
+        if core in ("r", "r+", "a", "a+"):
+            if not client.exists(remote_path):
+                self._local_path.unlink(missing_ok=True)
+                raise FileNotFoundError(remote_path)
+            client.fetch_file(remote_path, self._local_path)
+            if verify:
+                self._verify_against_remote()
+        self._fh = open(self._local_path, self._local_mode(core))
+        if core.startswith("a"):
+            self._fh.seek(0, os.SEEK_END)
+
+    def _verify_against_remote(self) -> None:
+        import hashlib
+
+        digest = hashlib.sha256()
+        with open(self._local_path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                digest.update(chunk)
+        remote = self._client.checksum(self._remote_path)
+        if digest.hexdigest() != remote:
+            self._local_path.unlink(missing_ok=True)
+            raise IOError(
+                f"copy-in of {self._remote_path!r} failed checksum verification "
+                f"(local {digest.hexdigest()[:12]}…, remote {remote[:12]}…)"
+            )
+
+    @staticmethod
+    def _local_mode(core: str) -> str:
+        # The local scratch copy always allows read+write so seeks work.
+        return {"r": "rb", "r+": "r+b", "w": "w+b", "w+": "w+b", "a": "r+b", "a+": "r+b"}[core]
+
+    @property
+    def local_path(self) -> Path:
+        return self._local_path
+
+    def readable(self) -> bool:
+        return self._reading
+
+    def writable(self) -> bool:
+        return self._writing
+
+    def seekable(self) -> bool:
+        return True
+
+    def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        if not self._reading:
+            raise io.UnsupportedOperation("file not open for reading")
+        return self._fh.read(size)
+
+    def write(self, data) -> int:  # type: ignore[override]
+        if not self._writing:
+            raise io.UnsupportedOperation("file not open for writing")
+        n = self._fh.write(bytes(data))
+        self._dirty = True
+        return n
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        return self._fh.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._fh.tell()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            self._fh.flush()
+            if self._dirty:
+                self._client.store_file(self._local_path, self._remote_path)
+        finally:
+            self._fh.close()
+            self._local_path.unlink(missing_ok=True)
+            super().close()
+
+
+class RemoteFileClient:
+    """Factory choosing proxy vs copy for one remote server."""
+
+    def __init__(self, client: GridFtpClient, scratch_dir: Optional[Path] = None):
+        self.client = client
+        self.scratch_dir = scratch_dir
+
+    def open_proxy(self, path: str, mode: str = "r", block_size: int = DEFAULT_BLOCK) -> RemoteProxyFile:
+        core = mode.replace("b", "").replace("t", "")
+        writable = any(f in core for f in ("w", "a", "+"))
+        if core in ("r", "r+", "a", "a+") and not self.client.exists(path):
+            raise FileNotFoundError(path)
+        if core in ("w", "w+"):
+            self.client.write_block(path, 0, b"", truncate=True)
+        f = RemoteProxyFile(self.client, path, writable=writable, block_size=block_size)
+        if core.startswith("a"):
+            f.seek(0, os.SEEK_END)
+        return f
+
+    def open_copy(self, path: str, mode: str = "r", verify: bool = False) -> CopyInOutFile:
+        return CopyInOutFile(
+            self.client, path, mode, scratch_dir=self.scratch_dir, verify=verify
+        )

@@ -1,0 +1,127 @@
+"""Replica selection, with dynamic mid-run re-mapping.
+
+Section 3.1: "If a remote file is replicated, the FM needs to decide
+which one to access...  if dynamic information such as the network
+bandwidth and latency is available, then the most efficient pathway can
+be chosen.  Further, if a file is opened in read-only mode, then the FM
+can actually change the mapping dynamically during the execution,
+allowing it to adapt to changing network conditions."
+
+:class:`ReplicaSelector` combines the replica catalogue with the NWS:
+it ranks replicas by forecast transfer time to the consuming machine,
+falls back to static distance classes when no measurements exist, and
+offers :meth:`maybe_remap` for read-only handles to switch sources when
+the forecast for the current choice degrades past a hysteresis factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..grid.nws import NetworkWeatherService
+from ..grid.replica_catalog import Replica, ReplicaCatalog
+
+__all__ = ["ReplicaChoice", "ReplicaSelector", "NoReplicaError"]
+
+
+class NoReplicaError(LookupError):
+    """The logical name has no registered replicas."""
+
+
+@dataclass(frozen=True)
+class ReplicaChoice:
+    """A ranked replica with its predicted cost."""
+
+    replica: Replica
+    predicted_seconds: float
+    method: str  # which forecaster / fallback produced the estimate
+
+
+#: Static fallback cost when no NWS data exists: caller supplies a
+#: function of (src_host, dst_host) -> seconds (e.g. derived from the
+#: testbed topology), or we treat all unknown paths as equal.
+StaticCost = Callable[[str, str], float]
+
+
+class ReplicaSelector:
+    """Ranks replicas by forecast transfer cost; proposes re-mappings.
+
+    Combines the replica catalogue with NWS forecasts (or a static cost
+    fallback) and applies hysteresis so transient measurements do not
+    thrash a read-only handle between sources.
+    """
+
+    def __init__(
+        self,
+        catalog: ReplicaCatalog,
+        nws: Optional[NetworkWeatherService] = None,
+        static_cost: Optional[StaticCost] = None,
+        hysteresis: float = 1.5,
+    ):
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1.0")
+        self.catalog = catalog
+        self.nws = nws
+        self.static_cost = static_cost
+        self.hysteresis = hysteresis
+
+    # -- ranking ----------------------------------------------------------
+    def _estimate(self, replica: Replica, dst: str, nbytes: int) -> Tuple[float, str]:
+        if self.nws is not None and self.nws.has_data(replica.host, dst):
+            fc = self.nws.forecast(replica.host, dst)
+            return fc.transfer_time(nbytes), f"nws-{fc.method}"
+        if self.static_cost is not None:
+            return self.static_cost(replica.host, dst), "static"
+        return math.inf, "unknown"
+
+    def rank(self, logical_name: str, dst: str, nbytes: Optional[int] = None) -> List[ReplicaChoice]:
+        """All replicas of ``logical_name``, cheapest first.
+
+        Local replicas (same host as ``dst``) always rank first; ties
+        and unknown paths keep registration order for determinism.
+        """
+        replicas = self.catalog.lookup(logical_name)
+        if not replicas:
+            raise NoReplicaError(logical_name)
+        size = nbytes if nbytes is not None else (replicas[0].size or 0)
+        choices = []
+        for r in replicas:
+            if r.host == dst:
+                choices.append(ReplicaChoice(r, 0.0, "local"))
+            else:
+                est, method = self._estimate(r, dst, size)
+                choices.append(ReplicaChoice(r, est, method))
+        return sorted(
+            choices,
+            key=lambda c: (c.predicted_seconds, replicas.index(c.replica)),
+        )
+
+    def best(self, logical_name: str, dst: str, nbytes: Optional[int] = None) -> ReplicaChoice:
+        return self.rank(logical_name, dst, nbytes)[0]
+
+    # -- dynamic re-mapping -------------------------------------------------
+    def maybe_remap(
+        self,
+        logical_name: str,
+        dst: str,
+        current: Replica,
+        nbytes: Optional[int] = None,
+    ) -> Optional[ReplicaChoice]:
+        """Suggest a better replica, or None to stay put.
+
+        Only proposes a switch when the best alternative is at least
+        ``hysteresis`` times cheaper than the current source's forecast,
+        so transient NWS jitter does not thrash the mapping.
+        """
+        ranked = self.rank(logical_name, dst, nbytes)
+        best = ranked[0]
+        if best.replica.host == current.host and best.replica.path == current.path:
+            return None
+        current_cost, _ = self._estimate(current, dst, nbytes or (current.size or 0))
+        if current_cost == math.inf and best.predicted_seconds < math.inf:
+            return best
+        if best.predicted_seconds * self.hysteresis <= current_cost:
+            return best
+        return None

@@ -1,0 +1,142 @@
+"""FM call tracing (the Bypass-style observability layer).
+
+The paper's implementation sat on Condor's Bypass trap layer, whose
+other role was *inspection* — seeing exactly which file operations a
+legacy binary performs.  :class:`FmTracer` recreates that: wrap a
+:class:`~repro.core.multiplexer.FileMultiplexer` and every open/read/
+write/seek/close is appended to a bounded in-memory log (optionally
+echoed to a stream), with per-path summaries for post-run analysis.
+
+Usage::
+
+    tracer = FmTracer(fm)
+    f = tracer.open("/wf/x", "r")   # same API as fm.open
+    ...
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, TextIO
+
+from ..ioutil import ReadIntoFromRead
+from .multiplexer import FileMultiplexer, FMFile
+
+__all__ = ["TraceEvent", "FmTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced FM call."""
+
+    timestamp: float
+    op: str          # open / read / write / seek / close
+    path: str
+    mode: str        # IO mode in force for the handle
+    detail: int = 0  # bytes for read/write, target for seek
+
+    def __str__(self) -> str:
+        return f"[{self.timestamp:.6f}] {self.op:<5} {self.path} ({self.mode}) {self.detail}"
+
+
+class _TracedFile(ReadIntoFromRead, io.RawIOBase):
+    def __init__(self, inner: FMFile, tracer: "FmTracer", path: str):
+        super().__init__()
+        self._inner = inner
+        self._tracer = tracer
+        self._path = path
+
+    def _log(self, op: str, detail: int = 0) -> None:
+        self._tracer._record(op, self._path, self._inner.record.mode.value, detail)
+
+    def readable(self) -> bool:
+        return self._inner.readable()
+
+    def writable(self) -> bool:
+        return self._inner.writable()
+
+    def seekable(self) -> bool:
+        return self._inner.seekable()
+
+    def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        data = self._inner.read(size)
+        self._log("read", len(data or b""))
+        return data
+
+    def write(self, data) -> int:  # type: ignore[override]
+        n = self._inner.write(data)
+        self._log("write", n)
+        return n
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        pos = self._inner.seek(offset, whence)
+        self._log("seek", pos)
+        return pos
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._log("close")
+            self._inner.close()
+            super().close()
+
+
+class FmTracer:
+    """Wraps an FM; opened handles log every operation."""
+
+    def __init__(
+        self,
+        fm: FileMultiplexer,
+        max_events: int = 100_000,
+        echo: Optional[TextIO] = None,
+        clock=time.monotonic,
+    ):
+        self.fm = fm
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self.echo = echo
+        self._clock = clock
+        self._t0 = clock()
+
+    def _record(self, op: str, path: str, mode: str, detail: int = 0) -> None:
+        event = TraceEvent(
+            timestamp=self._clock() - self._t0, op=op, path=path, mode=mode, detail=detail
+        )
+        self.events.append(event)
+        if self.echo is not None:
+            print(event, file=self.echo)
+
+    def open(self, path: str, mode: str = "r") -> _TracedFile:
+        handle = self.fm.open(path, mode)
+        self._record("open", path, handle.record.mode.value)
+        return _TracedFile(handle, self, path)
+
+    # -- analysis ----------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-path op counts and byte totals."""
+        out: Dict[str, Dict[str, int]] = {}
+        for event in self.events:
+            entry = out.setdefault(
+                event.path,
+                {"opens": 0, "reads": 0, "writes": 0, "seeks": 0, "bytes_read": 0, "bytes_written": 0},
+            )
+            if event.op == "open":
+                entry["opens"] += 1
+            elif event.op == "read":
+                entry["reads"] += 1
+                entry["bytes_read"] += event.detail
+            elif event.op == "write":
+                entry["writes"] += 1
+                entry["bytes_written"] += event.detail
+            elif event.op == "seek":
+                entry["seeks"] += 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,126 @@
+"""Record-translating file wrappers (FM heterogeneity integration).
+
+Section 3.3's end state: "the FM can reorder the bytes dynamically...
+mapped into a neutral form as is done in XDR."  These wrappers sit on
+top of any FM handle (local, remote, or Grid Buffer stream) and perform
+that translation transparently:
+
+* :class:`TranslatingReader` — the underlying file holds records in
+  ``data_order``; reads return native-order bytes.
+* :class:`TranslatingWriter` — accepts native-order bytes; the file
+  receives ``data_order`` bytes.
+
+Both buffer partial records internally so callers may read/write in
+arbitrary sizes; only whole records are ever translated.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from ..ioutil import ReadIntoFromRead
+from .heterogeneity import NATIVE_BYTE_ORDER, HeterogeneityError, RecordSchema
+
+__all__ = ["TranslatingReader", "TranslatingWriter"]
+
+
+class TranslatingReader(ReadIntoFromRead, io.RawIOBase):
+    """Reads ``data_order`` records from ``inner``, yields native bytes."""
+
+    def __init__(self, inner, schema: RecordSchema, data_order: str, close_inner: bool = True):
+        super().__init__()
+        if data_order not in ("little", "big"):
+            raise HeterogeneityError(f"bad data_order {data_order!r}")
+        self._inner = inner
+        self._schema = schema
+        self._order = data_order
+        self._close_inner = close_inner
+        self._pending = bytearray()   # translated, not yet consumed
+        self._raw_tail = bytearray()  # untranslated partial record
+
+    def readable(self) -> bool:
+        return True
+
+    def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        rec = self._schema.record_size
+        if size is None or size < 0:
+            chunks = []
+            while True:
+                chunk = self.read(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        while len(self._pending) < size:
+            need = max(rec, size - len(self._pending))
+            raw = self._inner.read(need)
+            if raw:
+                self._raw_tail += raw
+            whole = (len(self._raw_tail) // rec) * rec
+            if whole:
+                block = bytes(self._raw_tail[:whole])
+                del self._raw_tail[:whole]
+                self._pending += self._schema.convert(block, self._order, NATIVE_BYTE_ORDER)
+            if not raw:
+                if self._raw_tail:
+                    raise HeterogeneityError(
+                        f"file ends mid-record ({len(self._raw_tail)} trailing bytes, "
+                        f"record size {rec})"
+                    )
+                break
+        out = bytes(self._pending[:size])
+        del self._pending[:size]
+        return out
+
+    def close(self) -> None:
+        if not self.closed:
+            if self._close_inner:
+                self._inner.close()
+            super().close()
+
+
+class TranslatingWriter(io.RawIOBase):
+    """Accepts native-order bytes, writes ``data_order`` to ``inner``."""
+
+    def __init__(self, inner, schema: RecordSchema, data_order: str, close_inner: bool = True):
+        super().__init__()
+        if data_order not in ("little", "big"):
+            raise HeterogeneityError(f"bad data_order {data_order!r}")
+        self._inner = inner
+        self._schema = schema
+        self._order = data_order
+        self._close_inner = close_inner
+        self._tail = bytearray()  # native bytes short of a record
+
+    def writable(self) -> bool:
+        return True
+
+    def write(self, data) -> int:  # type: ignore[override]
+        data = bytes(data)
+        self._tail += data
+        rec = self._schema.record_size
+        whole = (len(self._tail) // rec) * rec
+        if whole:
+            block = bytes(self._tail[:whole])
+            del self._tail[:whole]
+            self._inner.write(self._schema.convert(block, NATIVE_BYTE_ORDER, self._order))
+        return len(data)
+
+    def flush(self) -> None:
+        if not self._inner.closed:
+            self._inner.flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            if self._tail:
+                raise HeterogeneityError(
+                    f"closing with {len(self._tail)} bytes of an incomplete record "
+                    f"(record size {self._schema.record_size})"
+                )
+            if self._close_inner:
+                self._inner.close()
+        finally:
+            super().close()

@@ -1,0 +1,24 @@
+"""GriddLeS Name Service: the configuration database that makes the FM
+re-wirable without touching application code."""
+
+from .client import GnsClient, LocalGnsClient
+from .matcher import ConnectionMatcher, StreamBinding
+from .persistence import dump_records, load_gns, load_records, save_gns
+from .records import BufferEndpoint, GnsRecord, IOMode
+from .server import GnsServer, NameService
+
+__all__ = [
+    "GnsClient",
+    "LocalGnsClient",
+    "ConnectionMatcher",
+    "StreamBinding",
+    "BufferEndpoint",
+    "GnsRecord",
+    "IOMode",
+    "GnsServer",
+    "NameService",
+    "dump_records",
+    "load_gns",
+    "load_records",
+    "save_gns",
+]

@@ -1,0 +1,125 @@
+"""GNS client used by each File Multiplexer instance.
+
+A thin RPC mirror of :class:`~repro.gns.server.NameService`; also
+usable purely in-process via :class:`LocalGnsClient` when the workflow
+runs inside one Python process (tests, examples, the simulator).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from ..transport.tcp import RpcClient
+from .records import GnsRecord
+from .server import NameService
+
+__all__ = ["GnsClient", "LocalGnsClient"]
+
+
+class GnsClient:
+    """Remote GNS access over TCP."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._rpc = RpcClient(host, port, timeout=timeout)
+
+    def resolve(self, machine: str, path: str) -> GnsRecord:
+        reply, _ = self._rpc.call("gns.resolve", {"machine": machine, "path": path})
+        return GnsRecord.from_dict(reply["record"])
+
+    def add(self, record: GnsRecord) -> None:
+        self._rpc.call("gns.add", {"record": record.to_dict()})
+
+    def remove(self, machine: str, path: str) -> int:
+        reply, _ = self._rpc.call("gns.remove", {"machine": machine, "path": path})
+        return int(reply["removed"])
+
+    def list_records(self) -> list[GnsRecord]:
+        reply, _ = self._rpc.call("gns.list", {})
+        return [GnsRecord.from_dict(d) for d in reply["records"]]
+
+    def announce(
+        self,
+        stream: str,
+        role: str,
+        machine: str,
+        placement: str = "reader",
+        wait: bool = True,
+        poll_interval: float = 0.02,
+        timeout: float = 30.0,
+    ) -> Tuple[str, int]:
+        """Announce an endpoint; optionally block until the buffer is placed.
+
+        A writer may open before any reader exists (or vice versa); with
+        ``wait=True`` the call polls until the matcher can name a buffer
+        location, which mirrors the FM blocking the legacy OPEN call.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            reply, _ = self._rpc.call(
+                "gns.announce",
+                {"stream": stream, "role": role, "machine": machine, "placement": placement},
+            )
+            if reply["located"] or not wait:
+                return reply["host"], int(reply["port"])
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"stream {stream!r} never acquired a buffer location")
+            time.sleep(poll_interval)
+
+    def pin_stream(self, stream: str, host: str, port: int, placement: str = "reader") -> None:
+        self._rpc.call(
+            "gns.pin", {"stream": stream, "host": host, "port": port, "placement": placement}
+        )
+
+    def close(self) -> None:
+        self._rpc.close()
+
+    def __enter__(self) -> "GnsClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalGnsClient:
+    """Same interface, directly over an in-process :class:`NameService`."""
+
+    def __init__(self, service: NameService):
+        self.service = service
+
+    def resolve(self, machine: str, path: str) -> GnsRecord:
+        return self.service.resolve(machine, path)
+
+    def add(self, record: GnsRecord) -> None:
+        self.service.add(record)
+
+    def remove(self, machine: str, path: str) -> int:
+        return self.service.remove(machine, path)
+
+    def list_records(self) -> list[GnsRecord]:
+        return self.service.records()
+
+    def announce(
+        self,
+        stream: str,
+        role: str,
+        machine: str,
+        placement: str = "reader",
+        wait: bool = True,
+        poll_interval: float = 0.02,
+        timeout: float = 30.0,
+    ) -> Tuple[str, int]:
+        deadline = time.monotonic() + timeout
+        while True:
+            binding = self.service.announce(stream, role, machine, placement)
+            if binding.located or not wait:
+                return binding.host, binding.port
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"stream {stream!r} never acquired a buffer location")
+            time.sleep(poll_interval)
+
+    def pin_stream(self, stream: str, host: str, port: int, placement: str = "reader") -> None:
+        self.service.pin_stream(stream, host, port, placement)
+
+    def close(self) -> None:  # symmetry with GnsClient
+        pass

@@ -1,0 +1,114 @@
+"""Writer/reader matching for direct connections.
+
+"When a direct connection is requested, the system needs to connect
+the writer process to the corresponding reader process.  To solve this
+problem we have developed a global naming scheme and built a manager
+that recognises when writers and readers are referring to the same
+information.  Once matched, the system returns the identity and
+location of the buffer." (Section 3.2)
+
+The matcher keys on the stream's global name.  The first endpoint to
+announce itself *places* the buffer server according to the record's
+placement policy (reader-end by default); late arrivals are told the
+already-chosen location.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+__all__ = ["StreamBinding", "ConnectionMatcher"]
+
+
+@dataclass
+class StreamBinding:
+    """Resolved location of one stream's buffer server."""
+
+    stream: str
+    host: str
+    port: int
+    placement: str
+    writer_host: Optional[str] = None
+    reader_hosts: Set[str] = field(default_factory=set)
+
+    @property
+    def located(self) -> bool:
+        return bool(self.host) and self.port != 0
+
+
+# Given a machine name, return the (host, port) of a Grid Buffer server
+# running there.  Supplied by whoever deploys the services.
+ServerLocator = Callable[[str], Tuple[str, int]]
+
+
+class ConnectionMatcher:
+    """Matches writer and reader OPENs of the same global stream name."""
+
+    def __init__(self, locate_server: Optional[ServerLocator] = None):
+        self._locate = locate_server
+        self._bindings: Dict[str, StreamBinding] = {}
+        self._lock = threading.Lock()
+
+    def announce(
+        self,
+        stream: str,
+        role: str,
+        machine: str,
+        placement: str = "reader",
+    ) -> StreamBinding:
+        """Register an endpoint; returns the (possibly new) binding.
+
+        ``role`` is ``"writer"`` or ``"reader"``.  The buffer server is
+        placed on the machine matching ``placement`` as soon as that
+        endpoint announces; until then the binding is unlocated and the
+        caller should retry or block (the FM blocks its OPEN).
+        """
+        if role not in ("writer", "reader"):
+            raise ValueError(f"role must be 'writer' or 'reader', got {role!r}")
+        with self._lock:
+            binding = self._bindings.get(stream)
+            if binding is None:
+                binding = StreamBinding(stream=stream, host="", port=0, placement=placement)
+                self._bindings[stream] = binding
+            if role == "writer":
+                if binding.writer_host is not None and binding.writer_host != machine:
+                    raise ValueError(
+                        f"stream {stream!r} already has writer on {binding.writer_host!r}"
+                    )
+                binding.writer_host = machine
+            else:
+                binding.reader_hosts.add(machine)
+            if not binding.located:
+                anchor = self._placement_host(binding)
+                if anchor is not None and self._locate is not None:
+                    host, port = self._locate(anchor)
+                    binding.host, binding.port = host, port
+            return binding
+
+    def _placement_host(self, binding: StreamBinding) -> Optional[str]:
+        if binding.placement == "writer":
+            return binding.writer_host
+        if binding.reader_hosts:
+            return sorted(binding.reader_hosts)[0]
+        return None
+
+    def pin(self, stream: str, host: str, port: int, placement: str = "reader") -> StreamBinding:
+        """Explicitly fix a stream's buffer location (GNS-configured)."""
+        with self._lock:
+            binding = self._bindings.get(stream)
+            if binding is None:
+                binding = StreamBinding(stream=stream, host=host, port=port, placement=placement)
+                self._bindings[stream] = binding
+            else:
+                binding.host, binding.port, binding.placement = host, port, placement
+            return binding
+
+    def lookup(self, stream: str) -> Optional[StreamBinding]:
+        with self._lock:
+            return self._bindings.get(stream)
+
+    def streams(self) -> list[str]:
+        with self._lock:
+            return sorted(self._bindings)

@@ -1,0 +1,68 @@
+"""GNS configuration persistence.
+
+The paper's GNS is "a special database" configured per workflow before
+execution.  This module serialises a record set to/from JSON so a
+workflow wiring can live in version control next to the workflow, and
+provides :func:`load_workflow_config` for the common "one JSON file per
+workflow" layout::
+
+    {
+      "records": [
+        {"machine": "m2", "path": "/wf/x/data", "mode": "copy",
+         "remote_host": "m1", "remote_path": "/wf/x/data"},
+        {"machine": "*", "path": "/wf/x/stream", "mode": "buffer",
+         "buffer": {"stream": "x:stream", "cache": true}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .records import GnsRecord
+from .server import NameService
+
+__all__ = ["dump_records", "load_records", "save_gns", "load_gns"]
+
+
+def dump_records(records: List[GnsRecord]) -> str:
+    """Serialise records to a stable, human-diffable JSON document."""
+    doc = {"records": [r.to_dict() for r in records]}
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def load_records(text: str) -> List[GnsRecord]:
+    """Parse records; raises ValueError on malformed documents."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid GNS config JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "records" not in doc:
+        raise ValueError("GNS config must be an object with a 'records' list")
+    raw = doc["records"]
+    if not isinstance(raw, list):
+        raise ValueError("'records' must be a list")
+    out = []
+    for i, entry in enumerate(raw):
+        try:
+            out.append(GnsRecord.from_dict(entry))
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ValueError(f"record #{i} invalid: {exc}") from exc
+    return out
+
+
+def save_gns(service: NameService, path: Union[str, Path]) -> None:
+    """Write a NameService's records to ``path``."""
+    Path(path).write_text(dump_records(service.records()), encoding="utf-8")
+
+
+def load_gns(path: Union[str, Path], service: NameService | None = None) -> NameService:
+    """Load records from ``path`` into ``service`` (or a new one)."""
+    records = load_records(Path(path).read_text(encoding="utf-8"))
+    if service is None:
+        service = NameService()
+    service.add_all(records)
+    return service

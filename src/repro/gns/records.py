@@ -1,0 +1,130 @@
+"""GNS configuration vocabulary and records.
+
+The GNS is "a special database... consulted when an OPEN call is
+executed: it matches the name of the machine on which the code resides
+and the full path name of the file in the OPEN call, and returns
+information to the FM about how to configure the IO" (Section 3.2).
+
+:class:`IOMode` enumerates the paper's six IO mechanisms; a
+:class:`GnsRecord` binds a ``(machine, path)`` pattern to a mode plus
+mode-specific parameters.  Records are matched most-specific-first so a
+single wildcard default can coexist with per-file overrides.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["IOMode", "BufferEndpoint", "GnsRecord"]
+
+
+class IOMode(str, Enum):
+    """The six IO mechanisms of Section 2."""
+
+    LOCAL = "local"                    # 1. plain local file IO
+    COPY = "copy"                      # 2. local IO with copy-in/copy-out
+    REMOTE = "remote"                  # 3. remote proxy IO (GridFTP blocks)
+    REMOTE_REPLICA = "remote-replica"  # 4. pick replica, read remotely
+    LOCAL_REPLICA = "local-replica"    # 5. pick replica, copy it locally
+    BUFFER = "buffer"                  # 6. direct writer→reader connection
+
+    @classmethod
+    def parse(cls, value: "IOMode | str") -> "IOMode":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown IO mode {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class BufferEndpoint:
+    """Where a buffered stream's Grid Buffer server lives.
+
+    ``placement`` records the design choice of Section 3.1: the buffer
+    (and its cache file) may sit at the writer end or the reader end;
+    reader-end is "usually more efficient" and is the default.
+    """
+
+    stream: str
+    host: str = ""
+    port: int = 0
+    placement: str = "reader"  # "reader" | "writer"
+    n_readers: int = 1
+    cache: bool = True
+    capacity_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.placement not in ("reader", "writer"):
+            raise ValueError(f"placement must be 'reader' or 'writer', got {self.placement!r}")
+        if self.n_readers < 1:
+            raise ValueError("n_readers must be >= 1")
+
+
+@dataclass(frozen=True)
+class GnsRecord:
+    """One (machine-pattern, path-pattern) → IO-configuration binding."""
+
+    machine: str               # host name or "*" / glob
+    path: str                  # full path from the OPEN call, or glob
+    mode: IOMode
+    # LOCAL / COPY: resolved file path (defaults to the OPEN path).
+    local_path: Optional[str] = None
+    # COPY / REMOTE: where the real file lives.
+    remote_host: Optional[str] = None
+    remote_path: Optional[str] = None
+    # *_REPLICA: logical name to look up in the replica catalogue.
+    logical_name: Optional[str] = None
+    # BUFFER: stream identity/placement.
+    buffer: Optional[BufferEndpoint] = None
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        mode = IOMode.parse(self.mode)
+        object.__setattr__(self, "mode", mode)
+        if mode in (IOMode.COPY, IOMode.REMOTE):
+            if not self.remote_host or not self.remote_path:
+                raise ValueError(f"{mode.value} record needs remote_host and remote_path")
+        if mode in (IOMode.REMOTE_REPLICA, IOMode.LOCAL_REPLICA):
+            if not self.logical_name:
+                raise ValueError(f"{mode.value} record needs logical_name")
+        if mode is IOMode.BUFFER and self.buffer is None:
+            raise ValueError("buffer record needs a BufferEndpoint")
+
+    # -- matching ----------------------------------------------------------
+    def matches(self, machine: str, path: str) -> bool:
+        return fnmatch.fnmatchcase(machine, self.machine) and fnmatch.fnmatchcase(
+            path, self.path
+        )
+
+    def specificity(self) -> tuple[int, int]:
+        """Higher sorts first: exact beats glob, machine beats path."""
+
+        def score(pattern: str) -> int:
+            return 0 if any(c in pattern for c in "*?[") else 1
+
+        return (score(self.machine), score(self.path))
+
+    # -- (de)serialisation for the wire ------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["mode"] = self.mode.value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "GnsRecord":
+        d = dict(d)
+        buf = d.get("buffer")
+        if isinstance(buf, dict):
+            d["buffer"] = BufferEndpoint(**buf)
+        d["mode"] = IOMode.parse(d["mode"])
+        return cls(**d)

@@ -1,0 +1,160 @@
+"""The GriddLeS Name Service.
+
+:class:`NameService` is the in-process database ("the FM treats the
+GNS as a read-only database"); :class:`GnsServer` exposes it over the
+framed RPC protocol so every workflow component — on any virtual host —
+consults the same configuration, and re-wiring a workflow is *only* a
+matter of changing entries here (the paper's headline flexibility
+claim).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..transport.tcp import RpcError, RpcServer
+from .matcher import ConnectionMatcher, ServerLocator, StreamBinding
+from .records import GnsRecord, IOMode
+
+__all__ = ["NameService", "GnsServer"]
+
+
+class NameService:
+    """In-memory GNS database plus the direct-connection matcher."""
+
+    def __init__(self, locate_buffer_server: Optional[ServerLocator] = None):
+        self._records: List[GnsRecord] = []
+        self._lock = threading.Lock()
+        self.matcher = ConnectionMatcher(locate_buffer_server)
+
+    # -- record management -------------------------------------------------
+    def add(self, record: GnsRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def add_all(self, records: list[GnsRecord]) -> None:
+        with self._lock:
+            self._records.extend(records)
+
+    def remove(self, machine: str, path: str) -> int:
+        """Remove records with exactly this (machine, path) pattern."""
+        with self._lock:
+            before = len(self._records)
+            self._records = [
+                r for r in self._records if not (r.machine == machine and r.path == path)
+            ]
+            return before - len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def records(self) -> List[GnsRecord]:
+        with self._lock:
+            return list(self._records)
+
+    # -- resolution ----------------------------------------------------------
+    def resolve(self, machine: str, path: str) -> GnsRecord:
+        """Find the best record for an OPEN of ``path`` on ``machine``.
+
+        Most-specific match wins (exact machine beats glob, then exact
+        path); among equals the most recently added wins, so overrides
+        can be layered.  With no match at all, the FM's contract is
+        plain local IO, expressed as a synthesized LOCAL record.
+        """
+        with self._lock:
+            candidates = [r for r in self._records if r.matches(machine, path)]
+        if not candidates:
+            return GnsRecord(machine=machine, path=path, mode=IOMode.LOCAL)
+        best_idx = max(
+            range(len(candidates)),
+            key=lambda i: (candidates[i].specificity(), i),
+        )
+        return candidates[best_idx]
+
+    # -- direct-connection matching ---------------------------------------------
+    def announce(self, stream: str, role: str, machine: str, placement: str = "reader") -> StreamBinding:
+        return self.matcher.announce(stream, role, machine, placement)
+
+    def pin_stream(self, stream: str, host: str, port: int, placement: str = "reader") -> StreamBinding:
+        return self.matcher.pin(stream, host, port, placement)
+
+
+class GnsServer:
+    """TCP front end for a :class:`NameService`."""
+
+    def __init__(
+        self,
+        service: Optional[NameService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service if service is not None else NameService()
+        self._rpc = RpcServer(host, port)
+        self._rpc.register("gns.resolve", self._op_resolve)
+        self._rpc.register("gns.add", self._op_add)
+        self._rpc.register("gns.remove", self._op_remove)
+        self._rpc.register("gns.list", self._op_list)
+        self._rpc.register("gns.announce", self._op_announce)
+        self._rpc.register("gns.pin", self._op_pin)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._rpc.address
+
+    def start(self) -> "GnsServer":
+        self._rpc.start()
+        return self
+
+    def stop(self) -> None:
+        self._rpc.stop()
+
+    def __enter__(self) -> "GnsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- handlers -----------------------------------------------------------
+    def _op_resolve(self, header: Dict[str, Any], _payload: bytes):
+        record = self.service.resolve(header["machine"], header["path"])
+        return {"record": record.to_dict()}, b""
+
+    def _op_add(self, header: Dict[str, Any], _payload: bytes):
+        try:
+            record = GnsRecord.from_dict(header["record"])
+        except (TypeError, ValueError) as exc:
+            raise RpcError("bad-record", str(exc)) from exc
+        self.service.add(record)
+        return {}, b""
+
+    def _op_remove(self, header: Dict[str, Any], _payload: bytes):
+        removed = self.service.remove(header["machine"], header["path"])
+        return {"removed": removed}, b""
+
+    def _op_list(self, header: Dict[str, Any], _payload: bytes):
+        return {"records": [r.to_dict() for r in self.service.records()]}, b""
+
+    def _op_announce(self, header: Dict[str, Any], _payload: bytes):
+        binding = self.service.announce(
+            header["stream"],
+            header["role"],
+            header["machine"],
+            header.get("placement", "reader"),
+        )
+        return {
+            "host": binding.host,
+            "port": binding.port,
+            "located": binding.located,
+            "placement": binding.placement,
+        }, b""
+
+    def _op_pin(self, header: Dict[str, Any], _payload: bytes):
+        binding = self.service.pin_stream(
+            header["stream"],
+            header["host"],
+            int(header["port"]),
+            header.get("placement", "reader"),
+        )
+        return {"host": binding.host, "port": binding.port, "located": binding.located}, b""

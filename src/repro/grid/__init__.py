@@ -1,0 +1,28 @@
+"""Grid substrate: testbed machines, WAN model, NWS, replica catalogue."""
+
+from .machine import Machine, MachineSpec
+from .network import MB, SiteTopology, build_network
+from .nws import Forecast, Forecaster, Measurement, NetworkWeatherService
+from .probes import ProbeDaemon
+from .replica_catalog import Replica, ReplicaCatalog
+from .testbed import TESTBED, make_machines, make_network, paper_table1_rows, testbed_topology
+
+__all__ = [
+    "Machine",
+    "MachineSpec",
+    "MB",
+    "SiteTopology",
+    "build_network",
+    "Forecast",
+    "Forecaster",
+    "Measurement",
+    "NetworkWeatherService",
+    "ProbeDaemon",
+    "Replica",
+    "ReplicaCatalog",
+    "TESTBED",
+    "make_machines",
+    "make_network",
+    "paper_table1_rows",
+    "testbed_topology",
+]

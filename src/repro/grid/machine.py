@@ -1,0 +1,125 @@
+"""Machine model for the simulated testbed.
+
+Each :class:`MachineSpec` captures the handful of parameters the timing
+model needs: relative CPU speed (work units per second, brecca ≡ 1.0),
+core count, disk throughput, and the per-megabyte CPU cost of pushing
+data through the two FM data paths (local files vs. the SOAP-encoded
+Grid Buffer stack).  The last two are *calibrated* per machine — they
+play the role of the memory-pressure / IO-subsystem differences the
+paper invokes to explain why buffers lose on dione and vpac27
+(Section 5.3, Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.fssim import DiskSpec
+
+__all__ = ["MachineSpec", "Machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one testbed machine.
+
+    Attributes
+    ----------
+    name:
+        Short host name (e.g. ``"brecca"``).
+    address:
+        Fully qualified name from the paper's Table 1.
+    country:
+        Two-letter country code (AU/US/JP/UK) — drives the WAN model.
+    cpu:
+        Human-readable CPU description.
+    mem_mb:
+        Physical memory in MB (Table 1).
+    speed:
+        Relative compute rate in work-units/second; brecca (2.8 GHz
+        Xeon) defines 1.0.  Fitted from the paper's Table 3 C-CAM
+        column.
+    cores:
+        Schedulable CPUs.  brecca is a dual-CPU cluster node, which is
+        the only way its concurrent-buffers run can beat the sum of the
+        sequential compute times (Table 4).
+    disk:
+        Local disk throughput model.
+    buffer_cpu_per_mb:
+        CPU seconds (at unit speed) consumed per MB moved through the
+        Grid Buffer stack (SOAP encode/decode + copies).  High values
+        model the low-memory machines where the in-memory hash table
+        causes paging.
+    file_cpu_per_mb:
+        CPU seconds (at unit speed) per MB through the plain FM local
+        file path when stages run concurrently.
+    step_io_seconds:
+        Blocking (CPU-idle) IO per *sequential* model run, as a
+        fraction of that run's compute seconds.  This is the slack that
+        concurrent execution can reclaim by overlapping another stage's
+        compute with it.
+    """
+
+    name: str
+    address: str
+    country: str
+    cpu: str
+    mem_mb: int
+    speed: float
+    cores: int = 1
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    buffer_cpu_per_mb: float = 0.9
+    file_cpu_per_mb: float = 0.25
+    idle_io_fraction: float = 0.02
+    #: Blocking seconds per chunk per file-stream hop (FM file-following
+    #: sync/poll cost).  Irrelevant on CPU-saturated single-core machines
+    #: (absorbed by sharing); matters on multi-core nodes like brecca.
+    file_stream_sync: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"{self.name}: speed must be positive")
+        if self.cores < 1:
+            raise ValueError(f"{self.name}: cores must be >= 1")
+        if self.mem_mb <= 0:
+            raise ValueError(f"{self.name}: mem_mb must be positive")
+        if self.buffer_cpu_per_mb < 0 or self.file_cpu_per_mb < 0:
+            raise ValueError(f"{self.name}: per-MB CPU costs must be >= 0")
+        if not 0 <= self.idle_io_fraction < 1:
+            raise ValueError(f"{self.name}: idle_io_fraction must be in [0, 1)")
+        if self.file_stream_sync < 0:
+            raise ValueError(f"{self.name}: file_stream_sync must be >= 0")
+
+    def compute_seconds(self, work: float) -> float:
+        """Seconds to execute ``work`` units on an otherwise idle core."""
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        return work / self.speed
+
+
+class Machine:
+    """A live machine instance inside one simulation run.
+
+    Owns the processor-sharing CPU and the simulated file system; the
+    simulated workflow runner places stage processes on these.
+    """
+
+    def __init__(self, env, spec: MachineSpec):
+        from ..sim.fssim import Disk, SimFileSystem
+        from ..sim.resources import ProcessorSharing
+
+        self.env = env
+        self.spec = spec
+        self.cpu = ProcessorSharing(env, speed=spec.speed, cores=spec.cores)
+        self.fs = SimFileSystem(env, host=spec.name, disk=Disk(env, spec.disk))
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def compute(self, work: float):
+        """Submit compute work to this machine's shared CPU."""
+        return self.cpu.compute(work)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Machine {self.spec.name} speed={self.spec.speed} cores={self.spec.cores}>"

@@ -1,0 +1,91 @@
+"""WAN model for the testbed.
+
+Builds the :class:`repro.sim.netsim.Network` link matrix from site and
+country information.  Bandwidth/latency figures are calibrated against
+the transfer times implied by the paper's Table 5 (the "File Copy" rows
+give direct measurements of each path: e.g. brecca→bouscat moves the
+intermediate dataset in 7:30, brecca→vpac27 in 15 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..sim.engine import Environment
+from ..sim.netsim import LinkSpec, Network
+
+__all__ = ["SiteTopology", "MB", "build_network"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class _PathClass:
+    bandwidth: float  # bytes/s
+    latency: float    # one-way seconds
+
+
+# Calibrated path classes.  Within-site LANs are fast; metropolitan
+# Melbourne links (Monash <-> VPAC) are a few MB/s; international paths
+# are sub-MB/s with large latency, ordered AU-JP < AU-US < AU-UK.
+_PATH_CLASSES: Dict[str, _PathClass] = {
+    "same-site": _PathClass(bandwidth=10.0 * MB, latency=0.0005),
+    "metro": _PathClass(bandwidth=3.0 * MB, latency=0.002),
+    "AU-JP": _PathClass(bandwidth=1.0 * MB, latency=0.120),
+    "AU-US": _PathClass(bandwidth=0.70 * MB, latency=0.180),
+    "AU-UK": _PathClass(bandwidth=0.33 * MB, latency=0.320),
+    "JP-US": _PathClass(bandwidth=0.80 * MB, latency=0.080),
+    "UK-US": _PathClass(bandwidth=0.50 * MB, latency=0.120),
+    "JP-UK": _PathClass(bandwidth=0.40 * MB, latency=0.280),
+}
+
+
+class SiteTopology:
+    """Maps hosts to sites/countries and classifies paths between them."""
+
+    def __init__(self) -> None:
+        self._site: Dict[str, str] = {}
+        self._country: Dict[str, str] = {}
+
+    def add_host(self, host: str, site: str, country: str) -> None:
+        self._site[host] = site
+        self._country[host] = country
+
+    def hosts(self) -> Iterable[str]:
+        return self._site.keys()
+
+    def site(self, host: str) -> str:
+        return self._site[host]
+
+    def country(self, host: str) -> str:
+        return self._country[host]
+
+    def classify(self, a: str, b: str) -> str:
+        """Name the path class between two hosts."""
+        if a not in self._site or b not in self._site:
+            raise KeyError(f"unknown host in pair ({a!r}, {b!r})")
+        if a == b or self._site[a] == self._site[b]:
+            return "same-site"
+        ca, cb = self._country[a], self._country[b]
+        if ca == cb:
+            return "metro"
+        return "-".join(sorted((ca, cb)))
+
+    def path_spec(self, a: str, b: str) -> LinkSpec:
+        cls = self.classify(a, b)
+        try:
+            pc = _PATH_CLASSES[cls]
+        except KeyError:
+            raise KeyError(f"no path class for {a!r}<->{b!r} ({cls})") from None
+        return LinkSpec(bandwidth=pc.bandwidth, latency=pc.latency)
+
+
+def build_network(env: Environment, topology: SiteTopology) -> Network:
+    """Instantiate the simulated WAN for all host pairs in ``topology``."""
+    net = Network(env)
+    hosts = sorted(topology.hosts())
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            net.connect(a, b, topology.path_spec(a, b))
+    return net

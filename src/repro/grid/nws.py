@@ -1,0 +1,170 @@
+"""Network Weather Service (NWS) analogue.
+
+The paper uses NWS-style dynamic bandwidth/latency information to pick
+among replicas and to re-map read-only files mid-run.  This module
+provides the same capability: per-path measurement histories fed by
+probes (simulated or recorded), plus the classic NWS forecaster family
+(last value, running mean, sliding median, adaptive mixture) that picks
+whichever predictor has the lowest historical error.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
+
+__all__ = ["Measurement", "Forecast", "Forecaster", "NetworkWeatherService"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One observation of a path's performance."""
+
+    time: float
+    bandwidth: float  # bytes/s
+    latency: float    # one-way seconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """Predicted path performance with the winning predictor's name."""
+
+    bandwidth: float
+    latency: float
+    method: str
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Predicted time to move ``nbytes`` as one bulk transfer."""
+        return self.latency + nbytes / self.bandwidth
+
+
+def _mean(xs: Iterable[float]) -> float:
+    xs = list(xs)
+    return sum(xs) / len(xs)
+
+
+def _median(xs: Iterable[float]) -> float:
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+class Forecaster:
+    """Adaptive one-dimensional forecaster over a bounded history.
+
+    Keeps a window of observations and, on every query, evaluates each
+    candidate predictor by its mean absolute one-step-ahead error over
+    the stored history, returning the best predictor's current output —
+    the scheme NWS describes.
+    """
+
+    def __init__(self, window: int = 32):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @staticmethod
+    def _predictors() -> Dict[str, Callable[[list[float]], float]]:
+        return {
+            "last": lambda h: h[-1],
+            "mean": _mean,
+            "median": _median,
+            "ewma": lambda h: Forecaster._ewma(h, alpha=0.3),
+        }
+
+    @staticmethod
+    def _ewma(history: list[float], alpha: float) -> float:
+        acc = history[0]
+        for v in history[1:]:
+            acc = alpha * v + (1 - alpha) * acc
+        return acc
+
+    def forecast(self) -> Tuple[float, str]:
+        """Return (prediction, method); raises if no data yet."""
+        history = list(self._values)
+        if not history:
+            raise ValueError("no measurements recorded")
+        if len(history) == 1:
+            return history[0], "last"
+        best_name, best_err = "last", math.inf
+        preds = self._predictors()
+        for name, fn in preds.items():
+            err = 0.0
+            n = 0
+            for i in range(1, len(history)):
+                err += abs(fn(history[:i]) - history[i])
+                n += 1
+            err /= n
+            if err < best_err:
+                best_name, best_err = name, err
+        return preds[best_name](history), best_name
+
+
+class NetworkWeatherService:
+    """Measurement store + forecaster per (src, dst) path."""
+
+    def __init__(self, window: int = 32):
+        self.window = window
+        self._bw: Dict[Tuple[str, str], Forecaster] = {}
+        self._lat: Dict[Tuple[str, str], Forecaster] = {}
+        self._last: Dict[Tuple[str, str], Measurement] = {}
+
+    def record(self, src: str, dst: str, measurement: Measurement) -> None:
+        key = (src, dst)
+        self._bw.setdefault(key, Forecaster(self.window)).observe(measurement.bandwidth)
+        self._lat.setdefault(key, Forecaster(self.window)).observe(measurement.latency)
+        self._last[key] = measurement
+
+    def has_data(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._last
+
+    def last(self, src: str, dst: str) -> Measurement:
+        try:
+            return self._last[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no measurements for {src!r}->{dst!r}") from None
+
+    def forecast(self, src: str, dst: str) -> Forecast:
+        key = (src, dst)
+        if key not in self._bw:
+            raise KeyError(f"no measurements for {src!r}->{dst!r}")
+        bw, method = self._bw[key].forecast()
+        lat, _ = self._lat[key].forecast()
+        return Forecast(bandwidth=max(bw, 1.0), latency=max(lat, 0.0), method=method)
+
+    def best_source(self, sources: Iterable[str], dst: str, nbytes: int) -> Optional[str]:
+        """Pick the source predicted to deliver ``nbytes`` fastest.
+
+        Sources without measurements are considered last (unknown paths
+        rank below any measured path, mirroring NWS-driven selection
+        with a conservative fallback).
+        """
+        best: Optional[str] = None
+        best_time = math.inf
+        unknown: list[str] = []
+        for src in sources:
+            if not self.has_data(src, dst):
+                unknown.append(src)
+                continue
+            t = self.forecast(src, dst).transfer_time(nbytes)
+            if t < best_time:
+                best, best_time = src, t
+        if best is not None:
+            return best
+        return unknown[0] if unknown else None

@@ -1,0 +1,70 @@
+"""Replica catalogue (Globus Replica Catalogue / SRB analogue).
+
+Maps *logical* file names to sets of physical replicas
+(``host:path``).  The FM queries it when the GNS marks a file as
+replicated, then uses the NWS to pick the cheapest replica — and, for
+read-only opens, may re-query mid-run and switch replicas when network
+conditions change (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+__all__ = ["Replica", "ReplicaCatalog"]
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One physical copy of a logical file."""
+
+    host: str
+    path: str
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.path}"
+
+
+class ReplicaCatalog:
+    """Logical-name → replica-set mapping with registration history."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, List[Replica]] = {}
+
+    def register(self, logical_name: str, replica: Replica) -> None:
+        """Add a replica; registering the same (host, path) twice updates size."""
+        replicas = self._entries.setdefault(logical_name, [])
+        for i, existing in enumerate(replicas):
+            if existing.host == replica.host and existing.path == replica.path:
+                replicas[i] = replica
+                return
+        replicas.append(replica)
+
+    def unregister(self, logical_name: str, host: str, path: str) -> bool:
+        """Remove one replica; returns True if it existed."""
+        replicas = self._entries.get(logical_name, [])
+        for i, existing in enumerate(replicas):
+            if existing.host == host and existing.path == path:
+                del replicas[i]
+                if not replicas:
+                    del self._entries[logical_name]
+                return True
+        return False
+
+    def lookup(self, logical_name: str) -> List[Replica]:
+        """All replicas of a logical file (copy; empty list if unknown)."""
+        return list(self._entries.get(logical_name, []))
+
+    def exists(self, logical_name: str) -> bool:
+        return logical_name in self._entries
+
+    def logical_names(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def hosts_holding(self, logical_name: str) -> Set[str]:
+        return {r.host for r in self.lookup(logical_name)}
+
+    def __len__(self) -> int:
+        return len(self._entries)

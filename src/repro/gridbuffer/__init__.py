@@ -1,0 +1,35 @@
+"""Grid Buffer service: the paper's direct writer→reader coupling.
+
+Hash-table block store with blocking reads, delete-on-read, cache-file
+re-reads/seeks, broadcast to multiple readers and bounded-capacity
+backpressure — available in-process (:class:`GridBufferService`) and
+over TCP (:class:`GridBufferServer` / :class:`GridBufferClient`).
+"""
+
+from .cache import BufferCache, IntervalSet
+from .client import BufferReader, BufferWriter, GridBufferClient
+from .protocol import DEFAULT_BLOCK_SIZE, DEFAULT_CAPACITY
+from .server import GridBufferServer
+from .service import (
+    GridBufferError,
+    GridBufferService,
+    StreamClosed,
+    StreamFailed,
+    StreamStats,
+)
+
+__all__ = [
+    "BufferCache",
+    "IntervalSet",
+    "BufferReader",
+    "BufferWriter",
+    "GridBufferClient",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CAPACITY",
+    "GridBufferServer",
+    "GridBufferError",
+    "GridBufferService",
+    "StreamClosed",
+    "StreamFailed",
+    "StreamStats",
+]

@@ -1,0 +1,290 @@
+"""Client-side Grid Buffer API.
+
+Two layers:
+
+* :class:`GridBufferClient` — thin RPC mirror of the service methods,
+  one per (process, server) pair.
+* :class:`BufferWriter` / :class:`BufferReader` — file-like adapters
+  the FM's Grid Buffer Client uses.  The writer tracks its own offset
+  (sequential append is the common legacy pattern) but honours seeks;
+  the reader supports ``read``/``seek``/``tell`` with re-reads served
+  by the server-side cache file.
+
+Because a blocking remote read parks a server thread, every reader
+uses its own TCP connection (``dedicated_connection=True`` default).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+import uuid
+from typing import Any, Dict, Optional, Tuple
+
+from ..ioutil import ReadIntoFromRead
+from ..transport.tcp import RpcClient
+from .protocol import (
+    DEFAULT_BLOCK_SIZE,
+    OP_ABORT,
+    OP_CLOSE_WRITER,
+    OP_CREATE,
+    OP_DROP,
+    OP_EXISTS,
+    OP_HIGH_WATER,
+    OP_READ,
+    OP_REGISTER_READER,
+    OP_RESUME,
+    OP_STATS,
+    OP_WRITE,
+)
+
+__all__ = ["GridBufferClient", "BufferWriter", "BufferReader"]
+
+
+class GridBufferClient:
+    """RPC client for one Grid Buffer server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._addr = (host, port)
+        self._timeout = timeout
+        self._rpc = RpcClient(host, port, timeout=timeout)
+
+    def _fresh_connection(self) -> RpcClient:
+        return RpcClient(*self._addr, timeout=self._timeout)
+
+    # -- service mirror ----------------------------------------------------
+    def create_stream(
+        self,
+        name: str,
+        n_readers: int = 1,
+        capacity_bytes: Optional[int] = None,
+        cache: bool = False,
+    ) -> None:
+        self._rpc.call(
+            OP_CREATE,
+            {
+                "name": name,
+                "n_readers": n_readers,
+                "capacity_bytes": capacity_bytes,
+                "cache": cache,
+            },
+        )
+
+    def register_reader(self, name: str, reader_id: str) -> None:
+        self._rpc.call(OP_REGISTER_READER, {"name": name, "reader_id": reader_id})
+
+    def write(self, name: str, offset: int, data: bytes, timeout: Optional[float] = None) -> None:
+        self._rpc.call(OP_WRITE, {"name": name, "offset": offset, "timeout": timeout}, payload=data)
+
+    def read(
+        self,
+        name: str,
+        reader_id: str,
+        offset: int,
+        length: int,
+        timeout: Optional[float] = None,
+        rpc: Optional[RpcClient] = None,
+    ) -> bytes:
+        _, data = (rpc or self._rpc).call(
+            OP_READ,
+            {
+                "name": name,
+                "reader_id": reader_id,
+                "offset": offset,
+                "length": length,
+                "timeout": timeout,
+            },
+        )
+        return data
+
+    def close_writer(self, name: str) -> int:
+        reply, _ = self._rpc.call(OP_CLOSE_WRITER, {"name": name})
+        return int(reply["total"])
+
+    def stats(self, name: str) -> Dict[str, Any]:
+        reply, _ = self._rpc.call(OP_STATS, {"name": name})
+        return dict(reply["stats"])
+
+    def drop_stream(self, name: str) -> None:
+        self._rpc.call(OP_DROP, {"name": name})
+
+    def stream_exists(self, name: str) -> bool:
+        reply, _ = self._rpc.call(OP_EXISTS, {"name": name})
+        return bool(reply["exists"])
+
+    def abort_writer(self, name: str, reason: str = "writer aborted") -> None:
+        self._rpc.call(OP_ABORT, {"name": name, "reason": reason})
+
+    def resume_writer(self, name: str) -> int:
+        """Clear a failure; returns the offset to resume writing from."""
+        reply, _ = self._rpc.call(OP_RESUME, {"name": name})
+        return int(reply["offset"])
+
+    def high_water(self, name: str) -> int:
+        reply, _ = self._rpc.call(OP_HIGH_WATER, {"name": name})
+        return int(reply["offset"])
+
+    # -- file-like adapters ----------------------------------------------------
+    def open_writer(
+        self,
+        name: str,
+        n_readers: int = 1,
+        capacity_bytes: Optional[int] = None,
+        cache: bool = False,
+        write_timeout: Optional[float] = None,
+    ) -> "BufferWriter":
+        self.create_stream(name, n_readers=n_readers, capacity_bytes=capacity_bytes, cache=cache)
+        return BufferWriter(self, name, write_timeout=write_timeout)
+
+    def open_reader(
+        self,
+        name: str,
+        reader_id: Optional[str] = None,
+        read_timeout: Optional[float] = None,
+        dedicated_connection: bool = True,
+        open_timeout: float = 10.0,
+    ) -> "BufferReader":
+        """Attach a reader, waiting for the stream to exist.
+
+        A reader may open before the writer has created the stream (the
+        paper's FM blocks the legacy OPEN until matched); poll until the
+        stream appears or ``open_timeout`` elapses.
+        """
+        import time as _time
+
+        rid = reader_id or f"reader-{uuid.uuid4().hex[:8]}"
+        deadline = _time.monotonic() + open_timeout
+        while not self.stream_exists(name):
+            if _time.monotonic() > deadline:
+                raise TimeoutError(f"stream {name!r} never appeared")
+            _time.sleep(0.01)
+        self.register_reader(name, rid)
+        rpc = self._fresh_connection() if dedicated_connection else None
+        return BufferReader(self, name, rid, read_timeout=read_timeout, rpc=rpc)
+
+    def close(self) -> None:
+        self._rpc.close()
+
+    def __enter__(self) -> "GridBufferClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BufferWriter(io.RawIOBase):
+    """File-like writer feeding a Grid Buffer stream."""
+
+    def __init__(self, client: GridBufferClient, name: str, write_timeout: Optional[float] = None):
+        super().__init__()
+        self._client = client
+        self.name = name
+        self._pos = 0
+        self._timeout = write_timeout
+        self._closed_writer = False
+        self._lock = threading.Lock()
+
+    def writable(self) -> bool:
+        return True
+
+    def write(self, data) -> int:  # type: ignore[override]
+        data = bytes(data)
+        with self._lock:
+            if self._closed_writer:
+                raise ValueError("write to closed BufferWriter")
+            if data:
+                self._client.write(self.name, self._pos, data, timeout=self._timeout)
+                self._pos += len(data)
+        return len(data)
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        with self._lock:
+            if whence == os.SEEK_SET:
+                self._pos = offset
+            elif whence == os.SEEK_CUR:
+                self._pos += offset
+            else:
+                raise OSError("SEEK_END unsupported on a stream writer")
+            if self._pos < 0:
+                raise ValueError("negative seek position")
+            return self._pos
+
+    def seekable(self) -> bool:
+        return True
+
+    def tell(self) -> int:
+        return self._pos
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed_writer:
+                self._closed_writer = True
+                self._client.close_writer(self.name)
+        super().close()
+
+
+class BufferReader(ReadIntoFromRead, io.RawIOBase):
+    """File-like reader over a Grid Buffer stream.
+
+    Sequential reads drain the hash table; re-reads and backwards
+    seeks hit the server-side cache file — exactly the DARLAM pattern
+    in Section 5.3.
+    """
+
+    def __init__(
+        self,
+        client: GridBufferClient,
+        name: str,
+        reader_id: str,
+        read_timeout: Optional[float] = None,
+        rpc: Optional[RpcClient] = None,
+    ):
+        super().__init__()
+        self._client = client
+        self.name = name
+        self.reader_id = reader_id
+        self._pos = 0
+        self._timeout = read_timeout
+        self._rpc = rpc
+
+    def readable(self) -> bool:
+        return True
+
+    def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        if size is None or size < 0:
+            chunks = []
+            while True:
+                chunk = self.read(DEFAULT_BLOCK_SIZE * 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        data = self._client.read(
+            self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+        )
+        self._pos += len(data)
+        return data
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        if whence == os.SEEK_SET:
+            self._pos = offset
+        elif whence == os.SEEK_CUR:
+            self._pos += offset
+        else:
+            raise OSError("SEEK_END unsupported on a stream reader")
+        if self._pos < 0:
+            raise ValueError("negative seek position")
+        return self._pos
+
+    def seekable(self) -> bool:
+        return True
+
+    def tell(self) -> int:
+        return self._pos
+
+    def close(self) -> None:
+        if self._rpc is not None:
+            self._rpc.close()
+            self._rpc = None
+        super().close()

@@ -1,0 +1,43 @@
+"""Wire-protocol constants for the Grid Buffer service.
+
+The paper's implementation used SOAP over Web Services; we keep the
+role (self-describing messages on one firewall-friendly channel) on the
+framed-JSON RPC layer.  Block size defaults to 4096 bytes — the typical
+write size the paper reports for the climate models.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CAPACITY",
+    "OP_CREATE",
+    "OP_REGISTER_READER",
+    "OP_WRITE",
+    "OP_READ",
+    "OP_CLOSE_WRITER",
+    "OP_STATS",
+    "OP_DROP",
+    "OP_EXISTS",
+    "OP_ABORT",
+    "OP_RESUME",
+    "OP_HIGH_WATER",
+]
+
+#: Typical legacy-application write granularity (paper Section 5.3).
+DEFAULT_BLOCK_SIZE = 4096
+
+#: Default per-stream table capacity; bounded so backpressure exists.
+DEFAULT_CAPACITY = 32 * 1024 * 1024
+
+OP_CREATE = "gb.create"
+OP_REGISTER_READER = "gb.register_reader"
+OP_WRITE = "gb.write"
+OP_READ = "gb.read"
+OP_CLOSE_WRITER = "gb.close_writer"
+OP_STATS = "gb.stats"
+OP_DROP = "gb.drop"
+OP_EXISTS = "gb.exists"
+OP_ABORT = "gb.abort"
+OP_RESUME = "gb.resume"
+OP_HIGH_WATER = "gb.high_water"

@@ -1,0 +1,157 @@
+"""TCP front end for the Grid Buffer service.
+
+One :class:`GridBufferServer` hosts a :class:`GridBufferService` and
+serves any number of streams; readers' blocking reads occupy one
+handler thread each (the underlying RPC server is threaded).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..transport.tcp import RpcError, RpcServer
+from .cache import BufferCache
+from .protocol import (
+    DEFAULT_CAPACITY,
+    OP_ABORT,
+    OP_CLOSE_WRITER,
+    OP_CREATE,
+    OP_DROP,
+    OP_EXISTS,
+    OP_HIGH_WATER,
+    OP_READ,
+    OP_REGISTER_READER,
+    OP_RESUME,
+    OP_STATS,
+    OP_WRITE,
+)
+from .service import GridBufferError, GridBufferService
+
+__all__ = ["GridBufferServer"]
+
+
+class GridBufferServer:
+    """Network wrapper: maps RPC ops onto a local GridBufferService."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[Path] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_capacity: Optional[int] = DEFAULT_CAPACITY,
+    ):
+        self.service = GridBufferService(default_capacity=default_capacity)
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._rpc = RpcServer(host, port)
+        self._rpc.register(OP_CREATE, self._op_create)
+        self._rpc.register(OP_REGISTER_READER, self._op_register_reader)
+        self._rpc.register(OP_WRITE, self._op_write)
+        self._rpc.register(OP_READ, self._op_read)
+        self._rpc.register(OP_CLOSE_WRITER, self._op_close_writer)
+        self._rpc.register(OP_STATS, self._op_stats)
+        self._rpc.register(OP_DROP, self._op_drop)
+        self._rpc.register(OP_EXISTS, self._op_exists)
+        self._rpc.register(OP_ABORT, self._op_abort)
+        self._rpc.register(OP_RESUME, self._op_resume)
+        self._rpc.register(OP_HIGH_WATER, self._op_high_water)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._rpc.address
+
+    def start(self) -> "GridBufferServer":
+        self._rpc.start()
+        return self
+
+    def stop(self) -> None:
+        self._rpc.stop()
+
+    def __enter__(self) -> "GridBufferServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- handlers -----------------------------------------------------------
+    @staticmethod
+    def _wrap(fn):
+        try:
+            return fn()
+        except GridBufferError as exc:
+            raise RpcError("grid-buffer", str(exc)) from exc
+        except TimeoutError as exc:
+            raise RpcError("timeout", str(exc)) from exc
+
+    def _op_create(self, header: Dict[str, Any], _payload: bytes):
+        name = header["name"]
+        cache = None
+        if header.get("cache", False):
+            if self.cache_dir is None:
+                raise RpcError("no-cache-dir", "server started without cache_dir")
+            safe = name.replace("/", "_").replace(":", "_")
+            cache = BufferCache(self.cache_dir / f"{safe}.cache")
+        self._wrap(
+            lambda: self.service.create_stream(
+                name,
+                n_readers=int(header.get("n_readers", 1)),
+                capacity_bytes=header.get("capacity_bytes"),
+                cache=cache,
+            )
+        )
+        return {}, b""
+
+    def _op_register_reader(self, header: Dict[str, Any], _payload: bytes):
+        self._wrap(lambda: self.service.register_reader(header["name"], header["reader_id"]))
+        return {}, b""
+
+    def _op_write(self, header: Dict[str, Any], payload: bytes):
+        self._wrap(
+            lambda: self.service.write(
+                header["name"], int(header["offset"]), payload, timeout=header.get("timeout")
+            )
+        )
+        return {"written": len(payload)}, b""
+
+    def _op_read(self, header: Dict[str, Any], _payload: bytes):
+        data = self._wrap(
+            lambda: self.service.read(
+                header["name"],
+                header["reader_id"],
+                int(header["offset"]),
+                int(header["length"]),
+                timeout=header.get("timeout"),
+            )
+        )
+        return {"eof": len(data) == 0}, data
+
+    def _op_close_writer(self, header: Dict[str, Any], _payload: bytes):
+        total = self._wrap(lambda: self.service.close_writer(header["name"]))
+        return {"total": total}, b""
+
+    def _op_stats(self, header: Dict[str, Any], _payload: bytes):
+        stats = self._wrap(lambda: self.service.stats(header["name"]))
+        return {"stats": vars(stats)}, b""
+
+    def _op_drop(self, header: Dict[str, Any], _payload: bytes):
+        self.service.drop_stream(header["name"])
+        return {}, b""
+
+    def _op_exists(self, header: Dict[str, Any], _payload: bytes):
+        return {"exists": self.service.exists(header["name"])}, b""
+
+    def _op_abort(self, header: Dict[str, Any], _payload: bytes):
+        self._wrap(
+            lambda: self.service.abort_writer(
+                header["name"], header.get("reason", "writer aborted")
+            )
+        )
+        return {}, b""
+
+    def _op_resume(self, header: Dict[str, Any], _payload: bytes):
+        offset = self._wrap(lambda: self.service.resume_writer(header["name"]))
+        return {"offset": offset}, b""
+
+    def _op_high_water(self, header: Dict[str, Any], _payload: bytes):
+        offset = self._wrap(lambda: self.service.high_water(header["name"]))
+        return {"offset": offset}, b""

@@ -1,0 +1,416 @@
+"""The Grid Buffer service.
+
+Implements Section 4's design: the service "acts as a sink for WRITE
+operations and a source for READs", storing data "in a hash table
+rather than a sequential buffer" so random reads and writes work.
+Additional paper semantics implemented here:
+
+* **blocking reads** — a read of data not yet written waits for the
+  writer ("if a block has not been written, the reader must wait").
+* **delete-on-read** — once every registered reader has consumed a
+  block it is removed from the hash table, bounding memory.
+* **cache file** — if configured, every written block is also recorded
+  in a :class:`~repro.gridbuffer.cache.BufferCache`; re-reads and
+  backwards seeks are served from it after the table copy is gone.
+* **broadcast** — one writer, many readers; a block is only dropped
+  when *all* readers have consumed it.
+* **bounded capacity / backpressure** — writers block while the table
+  holds ``capacity_bytes``; this is what propagates a slow WAN reader
+  back to the upstream model in the Table 5 experiments.
+
+The service is thread-safe; the TCP server in
+:mod:`repro.gridbuffer.server` simply exposes these methods remotely.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .cache import BufferCache, IntervalSet
+
+__all__ = [
+    "GridBufferError",
+    "StreamClosed",
+    "StreamFailed",
+    "StreamStats",
+    "GridBufferService",
+]
+
+
+logger = logging.getLogger("repro.gridbuffer")
+
+
+class GridBufferError(RuntimeError):
+    """Protocol violation or unavailable data."""
+
+
+class StreamClosed(GridBufferError):
+    """Write to a stream whose writer already closed it."""
+
+
+class StreamFailed(GridBufferError):
+    """The stream was aborted by a writer-side fault."""
+
+
+@dataclass
+class StreamStats:
+    """Observable counters for one stream (for tests and benchmarks)."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    blocks_in_table: int = 0
+    bytes_in_table: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    writer_stalls: int = 0
+    reader_waits: int = 0
+
+
+class _Stream:
+    def __init__(
+        self,
+        name: str,
+        n_readers: int,
+        capacity_bytes: Optional[int],
+        cache: Optional[BufferCache],
+    ):
+        self.name = name
+        self.n_readers = n_readers
+        self.capacity = capacity_bytes
+        self.cache = cache
+        self.blocks: Dict[int, bytes] = {}
+        self.in_table = IntervalSet()
+        self.written = IntervalSet()
+        self.consumed: Dict[str, IntervalSet] = {}
+        self.eof_total: Optional[int] = None
+        self.failed: Optional[str] = None
+        self.mem_bytes = 0
+        self.cond = threading.Condition()
+        self.stats = StreamStats()
+
+
+def _remove_interval(ivs: IntervalSet, start: int, end: int) -> None:
+    """Remove [start, end) from an interval set (rebuild)."""
+    remaining = []
+    for s, e in ivs.intervals():
+        if e <= start or s >= end:
+            remaining.append((s, e))
+        else:
+            if s < start:
+                remaining.append((s, start))
+            if e > end:
+                remaining.append((end, e))
+    ivs._ivs = remaining  # noqa: SLF001 - module-private helper
+
+
+class GridBufferService:
+    """In-process Grid Buffer holding any number of named streams."""
+
+    def __init__(self, default_capacity: Optional[int] = 32 * 1024 * 1024):
+        self.default_capacity = default_capacity
+        self._streams: Dict[str, _Stream] = {}
+        self._lock = threading.Lock()
+
+    # -- stream lifecycle ----------------------------------------------------
+    def create_stream(
+        self,
+        name: str,
+        n_readers: int = 1,
+        capacity_bytes: Optional[int] = None,
+        cache: Optional[BufferCache] = None,
+    ) -> None:
+        """Declare a stream before use.  Idempotent for identical config."""
+        if n_readers < 1:
+            raise ValueError("n_readers must be >= 1")
+        with self._lock:
+            existing = self._streams.get(name)
+            if existing is not None:
+                if existing.n_readers != n_readers:
+                    raise GridBufferError(f"stream {name!r} already exists with different config")
+                return
+            cap = capacity_bytes if capacity_bytes is not None else self.default_capacity
+            self._streams[name] = _Stream(name, n_readers, cap, cache)
+            logger.debug(
+                "stream %s created (readers=%d capacity=%s cache=%s)",
+                name, n_readers, cap, cache is not None,
+            )
+
+    def _stream(self, name: str) -> _Stream:
+        with self._lock:
+            try:
+                return self._streams[name]
+            except KeyError:
+                raise GridBufferError(f"unknown stream {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._streams
+
+    def register_reader(self, name: str, reader_id: str) -> None:
+        """Attach a reader; at most ``n_readers`` distinct ids allowed."""
+        st = self._stream(name)
+        with st.cond:
+            if reader_id in st.consumed:
+                return
+            if len(st.consumed) >= st.n_readers:
+                raise GridBufferError(
+                    f"stream {name!r} already has {st.n_readers} readers"
+                )
+            st.consumed[reader_id] = IntervalSet()
+            st.cond.notify_all()
+
+    def stats(self, name: str) -> StreamStats:
+        st = self._stream(name)
+        with st.cond:
+            st.stats.blocks_in_table = len(st.blocks)
+            st.stats.bytes_in_table = st.mem_bytes
+            return StreamStats(**vars(st.stats))
+
+    def drop_stream(self, name: str) -> None:
+        with self._lock:
+            st = self._streams.pop(name, None)
+        if st is not None and st.cache is not None:
+            st.cache.close()
+
+    # -- writer side ----------------------------------------------------------
+    def write(self, name: str, offset: int, data: bytes, timeout: Optional[float] = None) -> None:
+        """Store a block at ``offset``; blocks while capacity is exhausted."""
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        st = self._stream(name)
+        if not data:
+            return
+        with st.cond:
+            if st.failed is not None:
+                raise StreamFailed(f"stream {name!r} failed: {st.failed}")
+            if st.eof_total is not None:
+                raise StreamClosed(f"stream {name!r} writer already closed")
+            if st.capacity is not None and len(data) > st.capacity:
+                raise GridBufferError(
+                    f"block of {len(data)} bytes exceeds stream capacity {st.capacity}"
+                )
+            while st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
+                st.stats.writer_stalls += 1
+                if not st.cond.wait(timeout=timeout):
+                    raise TimeoutError(f"write stalled on full buffer {name!r}")
+            if st.written.covers(offset, offset + len(data)) and st.cache is None:
+                # Overwrite of in-flight data: replace table contents.
+                self._drop_blocks_overlapping(st, offset, offset + len(data))
+            st.blocks[offset] = bytes(data)
+            st.in_table.add(offset, offset + len(data))
+            st.written.add(offset, offset + len(data))
+            st.mem_bytes += len(data)
+            st.stats.bytes_written += len(data)
+            if st.cache is not None:
+                st.cache.store(offset, data)
+            st.cond.notify_all()
+
+    def close_writer(self, name: str) -> int:
+        """Mark EOF; returns the stream's total length.
+
+        The stream must be contiguous from offset 0 — a gap means some
+        range was never written and readers would block forever.
+        """
+        st = self._stream(name)
+        with st.cond:
+            if st.eof_total is not None:
+                return st.eof_total
+            gap = st.written.first_gap(0, 1 << 62)
+            ivs = st.written.intervals()
+            total = ivs[-1][1] if ivs else 0
+            if gap is not None and gap[0] < total:
+                raise GridBufferError(
+                    f"stream {name!r} has unwritten gap at {gap}; cannot close"
+                )
+            st.eof_total = total
+            st.cond.notify_all()
+            return total
+
+    # -- fault handling ---------------------------------------------------------
+    def abort_writer(self, name: str, reason: str = "writer aborted") -> None:
+        """Mark the stream failed; waiting readers raise StreamFailed.
+
+        A stream with no EOF whose writer dies would otherwise block its
+        readers forever (Section 4 motivates the cache partly as fault
+        flexibility — this is the explicit failure signal).
+        """
+        st = self._stream(name)
+        with st.cond:
+            st.failed = reason
+            logger.warning("stream %s aborted: %s", name, reason)
+            st.cond.notify_all()
+
+    def resume_writer(self, name: str) -> int:
+        """Clear a failure and return the offset to resume writing from.
+
+        The resume point is the contiguous high-water mark: everything
+        below it was durably delivered (table or cache).  A restarted
+        writer seeks its source to this offset and continues.
+        """
+        st = self._stream(name)
+        with st.cond:
+            if st.eof_total is not None:
+                raise StreamClosed(f"stream {name!r} already completed")
+            st.failed = None
+            st.cond.notify_all()
+            gap = st.written.first_gap(0, 1 << 62)
+            ivs = st.written.intervals()
+            top = ivs[-1][1] if ivs else 0
+            return gap[0] if gap is not None and gap[0] < top else top
+
+    def high_water(self, name: str) -> int:
+        """Contiguous bytes written from offset 0 (resume/monitor aid)."""
+        st = self._stream(name)
+        with st.cond:
+            gap = st.written.first_gap(0, 1 << 62)
+            ivs = st.written.intervals()
+            top = ivs[-1][1] if ivs else 0
+            return gap[0] if gap is not None and gap[0] < top else top
+
+    # -- reader side ----------------------------------------------------------
+    def read(
+        self,
+        name: str,
+        reader_id: str,
+        offset: int,
+        length: int,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Read up to ``length`` bytes at ``offset`` for ``reader_id``.
+
+        POSIX semantics: blocks only while *nothing* is available at
+        ``offset``; otherwise returns the available prefix (possibly
+        fewer than ``length`` bytes).  Returns ``b""`` exactly when
+        ``offset`` is at/after EOF.  Blocking for the full range would
+        deadlock against a capacity-stalled writer.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be >= 0")
+        st = self._stream(name)
+        with st.cond:
+            if reader_id not in st.consumed:
+                raise GridBufferError(
+                    f"reader {reader_id!r} not registered on stream {name!r}"
+                )
+            while True:
+                if st.failed is not None:
+                    raise StreamFailed(f"stream {name!r} failed: {st.failed}")
+                end = offset + length
+                if st.eof_total is not None:
+                    if offset >= st.eof_total:
+                        return b""
+                    end = min(end, st.eof_total)
+                avail_end = self._available_upto(st, offset, end)
+                if avail_end > offset:
+                    data = self._assemble(st, reader_id, offset, avail_end)
+                    st.stats.bytes_read += len(data)
+                    st.cond.notify_all()
+                    return data
+                self._check_recoverable(st, offset, end)
+                st.stats.reader_waits += 1
+                if not st.cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"read of [{offset},{end}) timed out on stream {name!r}"
+                    )
+
+    # -- internals -----------------------------------------------------------
+    def _check_recoverable(self, st: _Stream, start: int, end: int) -> None:
+        """Raise if some wanted byte was written, consumed and uncached.
+
+        Without this a re-read on a cache-less stream would block
+        forever waiting for data that will never reappear.
+        """
+        pos = start
+        while pos < end:
+            if st.in_table.covers(pos, pos + 1):
+                gap = st.in_table.first_gap(pos, end)
+                pos = end if gap is None else gap[0]
+                continue
+            if st.cache is not None and st.cache.has(pos, 1):
+                pos = min(st.cache.valid_upto(pos), end)
+                continue
+            if st.written.covers(pos, pos + 1):
+                raise GridBufferError(
+                    f"range [{pos},{end}) of stream {st.name!r} was consumed and no "
+                    "cache file is configured (sequential-only stream)"
+                )
+            return  # genuinely unwritten: caller should wait
+
+    def _available_upto(self, st: _Stream, start: int, end: int) -> int:
+        """Furthest position in [start, end) servable contiguously now."""
+        pos = start
+        while pos < end:
+            if st.in_table.covers(pos, pos + 1):
+                gap = st.in_table.first_gap(pos, end)
+                pos = end if gap is None else gap[0]
+            elif st.cache is not None and st.cache.has(pos, 1):
+                pos = min(st.cache.valid_upto(pos), end)
+            else:
+                break
+        return pos
+
+    def _assemble(self, st: _Stream, reader_id: str, start: int, end: int) -> bytes:
+        out = bytearray()
+        pos = start
+        touched: list[int] = []
+        while pos < end:
+            block_off = self._covering_block(st, pos)
+            if block_off is not None:
+                data = st.blocks[block_off]
+                take_from = pos - block_off
+                take = min(len(data) - take_from, end - pos)
+                out += data[take_from : take_from + take]
+                touched.append(block_off)
+                pos += take
+                continue
+            if st.cache is not None and st.cache.has(pos, 1):
+                upto = min(st.cache.valid_upto(pos), end)
+                out += st.cache.load(pos, upto - pos)
+                st.stats.cache_hits += 1
+                pos = upto
+                continue
+            st.stats.cache_misses += 1
+            raise GridBufferError(
+                f"range [{pos},{end}) of stream {st.name!r} was consumed and no "
+                "cache file is configured (sequential-only stream)"
+            )
+        st.consumed[reader_id].add(start, end)
+        self._gc_blocks(st, touched)
+        return bytes(out)
+
+    def _covering_block(self, st: _Stream, pos: int) -> Optional[int]:
+        # Block offsets are sparse; scan candidates via the interval set
+        # first to avoid touching the dict when clearly absent.
+        if not st.in_table.covers(pos, pos + 1):
+            return None
+        for off, data in st.blocks.items():
+            if off <= pos < off + len(data):
+                return off
+        return None
+
+    def _gc_blocks(self, st: _Stream, offsets: list[int]) -> None:
+        """Drop table blocks fully consumed by every registered reader.
+
+        Until all ``n_readers`` readers have registered, nothing is
+        dropped (a late-joining reader must still see the data).
+        """
+        if len(st.consumed) < st.n_readers:
+            return
+        for off in set(offsets):
+            data = st.blocks.get(off)
+            if data is None:
+                continue
+            end = off + len(data)
+            if all(c.covers(off, end) for c in st.consumed.values()):
+                del st.blocks[off]
+                st.mem_bytes -= len(data)
+                _remove_interval(st.in_table, off, end)
+
+    def _drop_blocks_overlapping(self, st: _Stream, start: int, end: int) -> None:
+        for off in [o for o, d in st.blocks.items() if o < end and o + len(d) > start]:
+            data = st.blocks.pop(off)
+            st.mem_bytes -= len(data)
+            _remove_interval(st.in_table, off, off + len(data))

@@ -1,0 +1,21 @@
+"""Small IO helpers shared across FM clients.
+
+CPython's ``io.RawIOBase`` implements ``read()`` in terms of
+``readinto()`` — not the other way round — so raw classes that only
+define ``read()`` break under ``io.BufferedReader``.
+:class:`ReadIntoFromRead` supplies the missing direction.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReadIntoFromRead"]
+
+
+class ReadIntoFromRead:
+    """Mixin providing ``readinto`` for classes that implement ``read``."""
+
+    def readinto(self, buffer) -> int:  # type: ignore[override]
+        data = self.read(len(buffer))  # type: ignore[attr-defined]
+        n = len(data)
+        buffer[:n] = data
+        return n

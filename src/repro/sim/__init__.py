@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+The engine (:mod:`repro.sim.engine`), queuing resources
+(:mod:`repro.sim.resources`), the simulated WAN
+(:mod:`repro.sim.netsim`) and simulated disks/filesystems
+(:mod:`repro.sim.fssim`) together model the paper's international
+testbed deterministically, so the evaluation tables can be regenerated
+on any laptop.
+"""
+
+from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, SimulationError, Timeout
+from .fssim import Disk, DiskSpec, SimFile, SimFileSystem
+from .netsim import LOCALHOST_LINK, Link, LinkSpec, Network
+from .resources import Container, ProcessorSharing, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Disk",
+    "DiskSpec",
+    "SimFile",
+    "SimFileSystem",
+    "LOCALHOST_LINK",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "Container",
+    "ProcessorSharing",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,376 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate on which the grid testbed (machines, networks,
+disks) is modelled.  It is a small, dependency-free engine in the style
+of SimPy: simulation *processes* are Python generators that ``yield``
+events; the engine advances virtual time by popping the earliest event
+from a priority queue and resuming every process waiting on it.
+
+Determinism is guaranteed by breaking time ties with a monotonically
+increasing sequence number, so two runs of the same model always produce
+identical traces.  No wall-clock time or randomness enters the engine
+itself; stochastic models draw from explicitly seeded generators.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def proc(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(proc(env, "a", 2.0))
+>>> _ = env.process(proc(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, becomes *triggered* when given a value
+    (or failure) and is *processed* once the engine has resumed all of
+    its callbacks.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None if still pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes see ``exc``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_done = 0
+        if any(e.env is not env for e in self.events):
+            raise SimulationError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed({})
+            return
+        for e in self.events:
+            if e._processed:
+                self._on_child(e)
+            else:
+                e.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok is False:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only children the engine has actually processed count as
+        # "done" — a pre-triggered Timeout still waiting in the queue
+        # must not leak into an AnyOf's value.
+        return {e: e._value for e in self.events if e._processed and e._ok}
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event triggers successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that triggers with the generator's
+    return value when it finishes, so processes can wait on each other:
+
+    >>> env = Environment()
+    >>> def child(env):
+    ...     yield env.timeout(5)
+    ...     return 42
+    >>> def parent(env):
+    ...     value = yield env.process(child(env))
+    ...     return value
+    >>> p = env.process(parent(env))
+    >>> env.run()
+    >>> p.value
+    42
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = ""):
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        init = Event(env)
+        init._ok = True
+        init._triggered = True
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        env = self.env
+        hook = Event(env)
+        hook._ok = True
+        hook._triggered = True
+
+        def _do(_evt: Event) -> None:
+            if self._triggered:
+                return  # finished in the meantime
+            target = self._target
+            if target is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._target = None
+            self._step(lambda: self.gen.throw(Interrupt(cause)))
+
+        hook.callbacks.append(_do)
+        env._schedule(hook, priority=0)
+
+    # -- engine plumbing ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(lambda: self.gen.send(event._value))
+        else:
+            event.defuse()
+            exc = event._value
+            self._step(lambda: self.gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            if not self.callbacks:
+                # Nobody is watching: surface the crash to the engine.
+                self.env._crash(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._step_throw(exc)
+            return
+        if target.env is not self.env:
+            self._step_throw(SimulationError("yielded event from foreign environment"))
+            return
+        self._target = target
+        if target._processed:
+            # Already done: resume on next schedule tick to preserve FIFO order.
+            hook = Event(self.env)
+            hook._ok = target._ok
+            hook._value = target._value
+            hook._triggered = True
+            hook.callbacks.append(self._resume)
+            self.env._schedule(hook)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        self._step(lambda: self.gen.throw(exc))
+
+
+class Environment:
+    """Holds the event queue and the virtual clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._crashed: Optional[BaseException] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention)."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _crash(self, exc: BaseException) -> None:
+        self._crashed = exc
+
+    # -- main loop -----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single earliest scheduled event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if self._crashed is not None:
+            exc, self._crashed = self._crashed, None
+            raise exc
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or virtual time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until ({until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

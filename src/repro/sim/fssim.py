@@ -1,0 +1,143 @@
+"""Simulated local file systems (per-machine disks).
+
+Each machine owns one :class:`Disk` whose bandwidth is shared across
+concurrent IO in processor-sharing fashion, plus a per-operation seek
+cost.  On top of the disk, :class:`SimFileSystem` keeps an in-memory
+namespace so simulated workflow stages can create, copy and stat files
+without touching the real file system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .engine import Environment, Event
+from .resources import ProcessorSharing
+
+__all__ = ["DiskSpec", "Disk", "SimFile", "SimFileSystem"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Throughput model of a local disk (2004-era IDE/SCSI by default)."""
+
+    read_bandwidth: float = 40e6   # bytes/s
+    write_bandwidth: float = 30e6  # bytes/s
+    seek_time: float = 8e-3        # seconds per operation batch
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("disk bandwidths must be positive")
+        if self.seek_time < 0:
+            raise ValueError("seek_time must be >= 0")
+
+
+class Disk:
+    """A shared-bandwidth disk."""
+
+    def __init__(self, env: Environment, spec: DiskSpec = DiskSpec()):
+        self.env = env
+        self.spec = spec
+        self._read_pipe = ProcessorSharing(env, speed=spec.read_bandwidth)
+        self._write_pipe = ProcessorSharing(env, speed=spec.write_bandwidth)
+
+    def read(self, nbytes: int, seeks: int = 1) -> Event:
+        return self._io(self._read_pipe, nbytes, seeks)
+
+    def write(self, nbytes: int, seeks: int = 1) -> Event:
+        return self._io(self._write_pipe, nbytes, seeks)
+
+    def _io(self, pipe: ProcessorSharing, nbytes: int, seeks: int) -> Event:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        done = self.env.event()
+
+        def go():
+            if seeks:
+                yield self.env.timeout(seeks * self.spec.seek_time)
+            if nbytes:
+                yield pipe.compute(float(nbytes))
+            done.succeed(nbytes)
+            return None
+
+        self.env.process(go(), name="disk-io")
+        return done
+
+
+@dataclass
+class SimFile:
+    """Metadata for one simulated file."""
+
+    path: str
+    size: int = 0
+    mtime: float = 0.0
+    host: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be >= 0")
+
+
+class SimFileSystem:
+    """In-memory namespace over one simulated disk.
+
+    Only sizes and times are tracked — file *contents* in the simulator
+    are abstract (the real FM implementation moves real bytes; the
+    simulator reproduces timing).
+    """
+
+    def __init__(self, env: Environment, host: str, disk: Optional[Disk] = None):
+        self.env = env
+        self.host = host
+        self.disk = disk if disk is not None else Disk(env)
+        self._files: Dict[str, SimFile] = {}
+
+    # -- namespace ----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def stat(self, path: str) -> SimFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(f"{self.host}:{path}") from None
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    def unlink(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFoundError(f"{self.host}:{path}")
+        del self._files[path]
+
+    # -- timed IO -------------------------------------------------------------
+    def write_file(self, path: str, nbytes: int, append: bool = False) -> Event:
+        """Write (or append) ``nbytes`` to ``path``; returns completion event."""
+        done = self.env.event()
+
+        def go():
+            yield self.disk.write(nbytes)
+            entry = self._files.get(path)
+            if entry is None or not append:
+                entry = SimFile(path=path, size=0, host=self.host)
+                self._files[path] = entry
+            entry.size += nbytes
+            entry.mtime = self.env.now
+            done.succeed(entry)
+            return None
+
+        self.env.process(go(), name=f"fs-write:{path}")
+        return done
+
+    def read_file(self, path: str, nbytes: Optional[int] = None) -> Event:
+        """Read ``nbytes`` (default: whole file) from ``path``."""
+        entry = self.stat(path)
+        amount = entry.size if nbytes is None else min(nbytes, entry.size)
+        return self.disk.read(amount)
+
+    def touch(self, path: str, size: int = 0) -> SimFile:
+        """Create a file instantly (setup helper, no disk time charged)."""
+        entry = SimFile(path=path, size=size, mtime=self.env.now, host=self.host)
+        self._files[path] = entry
+        return entry

@@ -1,0 +1,240 @@
+"""Simulated wide-area network.
+
+Models the testbed's links as (bandwidth, latency) pairs.  Bandwidth on
+a link is *shared* between concurrent transfers (processor-sharing of
+the bottleneck), which matches TCP fair-sharing closely enough for the
+paper's workloads; latency is charged per message.
+
+Two levels of API:
+
+* :meth:`Network.message` — one message of ``nbytes`` from ``src`` to
+  ``dst``; completes after ``latency + nbytes / fair-share-bandwidth``.
+* :meth:`Network.request_response` — a synchronous round trip, used by
+  per-block protocols such as the Grid Buffer service.  This is where
+  the paper's latency sensitivity comes from: a 4096-byte-block
+  protocol pays a round trip every ``window`` blocks, while a bulk
+  GridFTP copy pays the latency only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .engine import Environment, Event
+from .resources import ProcessorSharing
+
+__all__ = ["LinkSpec", "Link", "Network", "LOCALHOST_LINK"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static characteristics of a network path.
+
+    Attributes
+    ----------
+    bandwidth:
+        Usable bytes/second of the path.
+    latency:
+        One-way message latency in seconds.
+    """
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    @property
+    def rtt(self) -> float:
+        return 2.0 * self.latency
+
+
+#: Loopback path: effectively instant, very high bandwidth.
+LOCALHOST_LINK = LinkSpec(bandwidth=400e6, latency=20e-6)
+
+
+class Link:
+    """One directed network path with shared bandwidth."""
+
+    def __init__(self, env: Environment, spec: LinkSpec):
+        self.env = env
+        self.spec = spec
+        self._pipe = ProcessorSharing(env, speed=spec.bandwidth)
+
+    def message(self, nbytes: int) -> Event:
+        """Deliver one message; triggers at arrival time of last byte."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        done = self.env.event()
+        self.env.process(self._deliver(nbytes, done), name="link-msg")
+        return done
+
+    def _deliver(self, nbytes: int, done: Event):
+        yield self.env.timeout(self.spec.latency)
+        if nbytes:
+            yield self._pipe.compute(float(nbytes))
+        done.succeed(nbytes)
+        return None
+
+    @property
+    def active_transfers(self) -> int:
+        return self._pipe.load
+
+
+class Network:
+    """A set of named hosts and the links between them.
+
+    Links are looked up symmetrically: registering ``(a, b)`` also
+    serves ``(b, a)`` unless an explicit reverse entry exists.  Every
+    host implicitly has a loopback link to itself.
+    """
+
+    def __init__(self, env: Environment, default: Optional[LinkSpec] = None):
+        self.env = env
+        self.default = default
+        self._specs: Dict[Tuple[str, str], LinkSpec] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+
+    def connect(self, a: str, b: str, spec: LinkSpec) -> None:
+        """Register the path between hosts ``a`` and ``b``."""
+        self._specs[(a, b)] = spec
+
+    def spec(self, src: str, dst: str) -> LinkSpec:
+        if src == dst:
+            return LOCALHOST_LINK
+        found = self._specs.get((src, dst)) or self._specs.get((dst, src))
+        if found is None:
+            if self.default is None:
+                raise KeyError(f"no link between {src!r} and {dst!r}")
+            return self.default
+        return found
+
+    def link(self, src: str, dst: str) -> Link:
+        key = (src, dst)
+        if key not in self._links:
+            self._links[key] = Link(self.env, self.spec(src, dst))
+        return self._links[key]
+
+    def set_spec(self, a: str, b: str, spec: LinkSpec) -> None:
+        """Change a path's characteristics mid-simulation.
+
+        New transfers use the new spec; transfers already in flight
+        finish under the old one (both directions are invalidated).
+        Models changing "network weather" for NWS/adaptation studies.
+        """
+        self._specs.pop((b, a), None)
+        self._specs[(a, b)] = spec
+        for key in ((a, b), (b, a)):
+            self._links.pop(key, None)
+
+    # -- protocol helpers --------------------------------------------------
+    def message(self, src: str, dst: str, nbytes: int) -> Event:
+        """One message from ``src`` to ``dst``."""
+        return self.link(src, dst).message(nbytes)
+
+    def request_response(
+        self, src: str, dst: str, request_bytes: int, response_bytes: int
+    ) -> Event:
+        """A synchronous round trip; triggers when the response lands."""
+        done = self.env.event()
+
+        def rpc():
+            yield self.link(src, dst).message(request_bytes)
+            yield self.link(dst, src).message(response_bytes)
+            done.succeed(None)
+            return None
+
+        self.env.process(rpc(), name="rpc")
+        return done
+
+    def bulk_transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        streams: int = 1,
+        setup_rtts: float = 2.0,
+    ) -> Event:
+        """A GridFTP-style bulk copy.
+
+        Pays connection setup (``setup_rtts`` round trips) once, then
+        streams the payload at full shared bandwidth — the
+        latency-insensitive path the paper contrasts with per-block
+        buffer traffic.  ``streams`` models parallel TCP streams, which
+        only matter when the link is shared (they claim a larger share).
+        """
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        spec = self.spec(src, dst)
+        done = self.env.event()
+
+        def go():
+            yield self.env.timeout(setup_rtts * spec.rtt)
+            if nbytes:
+                link = self.link(src, dst)
+                per = float(nbytes) / streams
+                yield self.env.all_of([link._pipe.compute(per) for _ in range(streams)])
+            yield self.env.timeout(spec.latency)  # final-byte propagation
+            done.succeed(nbytes)
+            return None
+
+        self.env.process(go(), name="bulk")
+        return done
+
+    def windowed_stream(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        block_size: int,
+        window: int = 4,
+        per_block_overhead: int = 256,
+    ) -> Event:
+        """A per-block acknowledged stream (the Grid Buffer pattern).
+
+        ``window`` outstanding blocks are allowed; every window the
+        sender stalls for one round trip waiting on the ack.  Total
+        time ≈ ``latency + nbytes/bw + ceil(nblocks/window) * rtt`` —
+        strongly latency-sensitive for small blocks, which is exactly
+        the behaviour behind Table 5's file-copy-vs-buffer crossover.
+        """
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        spec = self.spec(src, dst)
+        link = self.link(src, dst)
+        done = self.env.event()
+        nblocks = max(1, -(-nbytes // block_size))
+
+        def go():
+            sent = 0
+            for i in range(nblocks):
+                chunk = min(block_size, nbytes - sent)
+                sent += chunk
+                yield link.message(chunk + per_block_overhead)
+                if (i + 1) % window == 0 or i == nblocks - 1:
+                    yield self.link(dst, src).message(per_block_overhead)
+            done.succeed(nbytes)
+            return None
+
+        self.env.process(go(), name="windowed-stream")
+        return done
+
+    def estimate_bulk_time(self, src: str, dst: str, nbytes: int, setup_rtts: float = 2.0) -> float:
+        """Closed-form lower bound of :meth:`bulk_transfer` (idle link)."""
+        spec = self.spec(src, dst)
+        return setup_rtts * spec.rtt + nbytes / spec.bandwidth + spec.latency
+
+    def estimate_stream_time(
+        self, src: str, dst: str, nbytes: int, block_size: int, window: int = 4
+    ) -> float:
+        """Closed-form lower bound of :meth:`windowed_stream` (idle link)."""
+        spec = self.spec(src, dst)
+        nblocks = max(1, -(-nbytes // block_size))
+        acks = -(-nblocks // window)
+        return nblocks * spec.latency + nbytes / spec.bandwidth + acks * spec.latency

@@ -1,0 +1,21 @@
+"""Data-movement substrate: framed TCP RPC, GridFTP-like transfers,
+and the in-process virtual-host registry used by the real FM."""
+
+from .gridftp import DEFAULT_BLOCK, GridFtpClient, GridFtpServer
+from .inmem import DelayModel, HostRegistry, VirtualHost
+from .tcp import FrameError, RpcClient, RpcError, RpcServer, recv_frame, send_frame
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "GridFtpClient",
+    "GridFtpServer",
+    "DelayModel",
+    "HostRegistry",
+    "VirtualHost",
+    "FrameError",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "recv_frame",
+    "send_frame",
+]

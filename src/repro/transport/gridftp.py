@@ -1,0 +1,308 @@
+"""GridFTP-like file server and client.
+
+Mirrors the two roles GridFTP plays in the paper:
+
+* **bulk copy** — whole-file transfers with optional parallel streams;
+  the latency-insensitive path used when the GNS says "copy the file
+  between machines" (Table 5 "File Copy" rows).
+* **block proxy** — ``GET_BLOCK(offset, length)`` partial reads, used
+  by the FM's Remote File Client so an application can read a remote
+  file in place without copying it.
+
+Runs over the framed-TCP RPC layer; one server exports one directory
+tree (a virtual host's root).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .tcp import RpcClient, RpcError, RpcServer
+
+__all__ = ["GridFtpServer", "GridFtpClient", "DEFAULT_BLOCK"]
+
+DEFAULT_BLOCK = 256 * 1024
+
+
+class GridFtpServer:
+    """Exports one directory over the framed RPC protocol.
+
+    Operations: ``size``, ``exists``, ``get_block``, ``put_block``,
+    ``checksum``, ``mkdirs``, ``delete``.
+    """
+
+    def __init__(self, root: Path, host: str = "127.0.0.1", port: int = 0):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._rpc = RpcServer(host, port)
+        self._lock = threading.Lock()
+        self._rpc.register("size", self._op_size)
+        self._rpc.register("exists", self._op_exists)
+        self._rpc.register("get_block", self._op_get_block)
+        self._rpc.register("put_block", self._op_put_block)
+        self._rpc.register("checksum", self._op_checksum)
+        self._rpc.register("mkdirs", self._op_mkdirs)
+        self._rpc.register("delete", self._op_delete)
+        self._rpc.register("pull_from", self._op_pull_from)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._rpc.address
+
+    def start(self) -> "GridFtpServer":
+        self._rpc.start()
+        return self
+
+    def stop(self) -> None:
+        self._rpc.stop()
+
+    def __enter__(self) -> "GridFtpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- path safety -----------------------------------------------------------
+    def _resolve(self, path: str) -> Path:
+        rel = str(path).lstrip("/")
+        candidate = (self.root / rel).resolve()
+        root = self.root.resolve()
+        if root != candidate and root not in candidate.parents:
+            raise RpcError("forbidden", f"path escapes export root: {path!r}")
+        return candidate
+
+    # -- handlers -----------------------------------------------------------
+    def _op_size(self, header: Dict[str, Any], _payload: bytes):
+        p = self._resolve(header["path"])
+        if not p.exists():
+            raise RpcError("not-found", header["path"])
+        return {"size": p.stat().st_size}, b""
+
+    def _op_exists(self, header: Dict[str, Any], _payload: bytes):
+        return {"exists": self._resolve(header["path"]).exists()}, b""
+
+    def _op_get_block(self, header: Dict[str, Any], _payload: bytes):
+        p = self._resolve(header["path"])
+        if not p.exists():
+            raise RpcError("not-found", header["path"])
+        offset = int(header.get("offset", 0))
+        length = int(header.get("length", DEFAULT_BLOCK))
+        if offset < 0 or length < 0:
+            raise RpcError("bad-request", "negative offset/length")
+        with open(p, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(length)
+        return {"offset": offset, "eof": offset + len(data) >= p.stat().st_size}, data
+
+    def _op_put_block(self, header: Dict[str, Any], payload: bytes):
+        p = self._resolve(header["path"])
+        offset = int(header.get("offset", 0))
+        truncate = bool(header.get("truncate", False))
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            mode = "r+b" if p.exists() and not truncate else "wb"
+            with open(p, mode) as fh:
+                fh.seek(offset)
+                fh.write(payload)
+        return {"written": len(payload)}, b""
+
+    def _op_checksum(self, header: Dict[str, Any], _payload: bytes):
+        p = self._resolve(header["path"])
+        if not p.exists():
+            raise RpcError("not-found", header["path"])
+        digest = hashlib.sha256()
+        with open(p, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                digest.update(chunk)
+        return {"sha256": digest.hexdigest()}, b""
+
+    def _op_mkdirs(self, header: Dict[str, Any], _payload: bytes):
+        self._resolve(header["path"]).mkdir(parents=True, exist_ok=True)
+        return {}, b""
+
+    def _op_delete(self, header: Dict[str, Any], _payload: bytes):
+        p = self._resolve(header["path"])
+        existed = p.exists()
+        if existed:
+            p.unlink()
+        return {"deleted": existed}, b""
+
+    def _op_pull_from(self, header: Dict[str, Any], _payload: bytes):
+        """Third-party transfer: this server fetches from another one.
+
+        Mirrors GridFTP's server-to-server mode — the data never passes
+        through the controlling client.
+        """
+        target = self._resolve(header["dst_path"])
+        source = GridFtpClient(
+            header["src_host"],
+            int(header["src_port"]),
+            block_size=int(header.get("block_size", DEFAULT_BLOCK)),
+            parallel_streams=int(header.get("streams", 1)),
+        )
+        try:
+            nbytes = source.fetch_file(header["src_path"], target)
+        finally:
+            source.close()
+        return {"bytes": nbytes}, b""
+
+
+class GridFtpClient:
+    """Client-side API over one GridFTP server.
+
+    ``parallel_streams`` splits bulk copies into interleaved ranges
+    fetched by concurrent connections, mirroring GridFTP's parallel
+    TCP streams.
+    """
+
+    def __init__(self, host: str, port: int, parallel_streams: int = 1, block_size: int = DEFAULT_BLOCK):
+        if parallel_streams < 1:
+            raise ValueError("parallel_streams must be >= 1")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self._addr = (host, port)
+        self.parallel_streams = parallel_streams
+        self.block_size = block_size
+        self._rpc = RpcClient(host, port)
+
+    # -- metadata -----------------------------------------------------------
+    def size(self, path: str) -> int:
+        reply, _ = self._rpc.call("size", {"path": path})
+        return int(reply["size"])
+
+    def exists(self, path: str) -> bool:
+        reply, _ = self._rpc.call("exists", {"path": path})
+        return bool(reply["exists"])
+
+    def checksum(self, path: str) -> str:
+        reply, _ = self._rpc.call("checksum", {"path": path})
+        return str(reply["sha256"])
+
+    def delete(self, path: str) -> bool:
+        reply, _ = self._rpc.call("delete", {"path": path})
+        return bool(reply["deleted"])
+
+    def third_party_copy(
+        self,
+        src_host: str,
+        src_port: int,
+        src_path: str,
+        dst_path: str,
+        streams: int = 1,
+    ) -> int:
+        """Ask *this* server to pull a file directly from another server.
+
+        Returns the byte count; the payload never transits the client.
+        """
+        reply, _ = self._rpc.call(
+            "pull_from",
+            {
+                "src_host": src_host,
+                "src_port": src_port,
+                "src_path": src_path,
+                "dst_path": dst_path,
+                "streams": streams,
+                "block_size": self.block_size,
+            },
+        )
+        return int(reply["bytes"])
+
+    # -- block proxy ----------------------------------------------------------
+    def read_block(self, path: str, offset: int, length: int) -> bytes:
+        _, data = self._rpc.call("get_block", {"path": path, "offset": offset, "length": length})
+        return data
+
+    def write_block(self, path: str, offset: int, data: bytes, truncate: bool = False) -> int:
+        reply, _ = self._rpc.call(
+            "put_block", {"path": path, "offset": offset, "truncate": truncate}, payload=data
+        )
+        return int(reply["written"])
+
+    # -- bulk copy -----------------------------------------------------------
+    def fetch_file(self, remote_path: str, local_path: Path) -> int:
+        """Copy remote → local, using parallel streams for large files."""
+        total = self.size(remote_path)
+        local_path = Path(local_path)
+        local_path.parent.mkdir(parents=True, exist_ok=True)
+        if total == 0:
+            local_path.write_bytes(b"")
+            return 0
+        if self.parallel_streams == 1 or total <= self.block_size:
+            with open(local_path, "wb") as out:
+                offset = 0
+                while offset < total:
+                    data = self.read_block(remote_path, offset, self.block_size)
+                    if not data:
+                        break
+                    out.write(data)
+                    offset += len(data)
+            return total
+        return self._parallel_fetch(remote_path, local_path, total)
+
+    def _parallel_fetch(self, remote_path: str, local_path: Path, total: int) -> int:
+        with open(local_path, "wb") as out:
+            out.truncate(total)
+        errors: list[BaseException] = []
+
+        def worker(stream_idx: int) -> None:
+            client = RpcClient(*self._addr)
+            try:
+                with open(local_path, "r+b") as out:
+                    offset = stream_idx * self.block_size
+                    stride = self.parallel_streams * self.block_size
+                    while offset < total:
+                        _, data = client.call(
+                            "get_block",
+                            {"path": remote_path, "offset": offset, "length": self.block_size},
+                        )
+                        out.seek(offset)
+                        out.write(data)
+                        offset += stride
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.parallel_streams)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return total
+
+    def store_file(self, local_path: Path, remote_path: str) -> int:
+        """Copy local → remote."""
+        local_path = Path(local_path)
+        total = local_path.stat().st_size
+        with open(local_path, "rb") as fh:
+            offset = 0
+            first = True
+            while True:
+                chunk = fh.read(self.block_size)
+                if not chunk and not first:
+                    break
+                self.write_block(remote_path, offset, chunk, truncate=first)
+                if not chunk:
+                    break
+                offset += len(chunk)
+                first = False
+        return total
+
+    def close(self) -> None:
+        self._rpc.close()
+
+    def __enter__(self) -> "GridFtpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

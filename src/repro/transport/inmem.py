@@ -1,0 +1,143 @@
+"""In-process "grid" of virtual hosts backed by real directories.
+
+The real (byte-moving) FM implementation needs a notion of *machines*
+without real remote hosts.  A :class:`HostRegistry` maps host names to
+sandbox directories on the local file system; every path is resolved
+inside its host's root, and an optional :class:`DelayModel` injects the
+calibrated WAN cost into cross-host operations so examples show the
+same qualitative behaviour as the simulator (scaled down so they run in
+seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["DelayModel", "VirtualHost", "HostRegistry"]
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Optional injected latency/bandwidth for cross-host byte movement.
+
+    ``scale`` shrinks the injected delays uniformly so example programs
+    that model multi-minute WAN copies still run in milliseconds.
+    """
+
+    bandwidth: float = float("inf")  # bytes/s
+    latency: float = 0.0             # seconds per message
+    scale: float = 1.0
+
+    def sleep_for(self, nbytes: int, messages: int = 1) -> None:
+        delay = messages * self.latency
+        if self.bandwidth != float("inf") and nbytes:
+            delay += nbytes / self.bandwidth
+        delay *= self.scale
+        if delay > 0:
+            time.sleep(delay)
+
+
+class VirtualHost:
+    """One named host rooted at a real directory."""
+
+    def __init__(self, name: str, root: Path):
+        self.name = name
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def resolve(self, path: str) -> Path:
+        """Map a host-absolute path into this host's sandbox.
+
+        Rejects escapes ("../") so one virtual host cannot address
+        another's files except through a transport.
+        """
+        rel = path.lstrip("/")
+        candidate = (self.root / rel).resolve()
+        root = self.root.resolve()
+        if root != candidate and root not in candidate.parents:
+            raise PermissionError(f"path {path!r} escapes host {self.name!r}")
+        return candidate
+
+    def exists(self, path: str) -> bool:
+        return self.resolve(path).exists()
+
+    def size(self, path: str) -> int:
+        return self.resolve(path).stat().st_size
+
+    def makedirs(self, path: str) -> None:
+        self.resolve(path).mkdir(parents=True, exist_ok=True)
+
+
+class HostRegistry:
+    """The set of virtual hosts plus pairwise delay models."""
+
+    def __init__(self, base_dir: Optional[Path] = None):
+        self._base = Path(base_dir) if base_dir else None
+        self._hosts: Dict[str, VirtualHost] = {}
+        self._delays: Dict[tuple[str, str], DelayModel] = {}
+        self._lock = threading.Lock()
+
+    def add_host(self, name: str, root: Optional[Path] = None) -> VirtualHost:
+        with self._lock:
+            if name in self._hosts:
+                return self._hosts[name]
+            if root is None:
+                if self._base is None:
+                    raise ValueError("no base_dir configured and no root given")
+                root = self._base / name
+            host = VirtualHost(name, Path(root))
+            self._hosts[name] = host
+            return host
+
+    def host(self, name: str) -> VirtualHost:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def set_delay(self, src: str, dst: str, model: DelayModel) -> None:
+        self._delays[(src, dst)] = model
+        self._delays.setdefault((dst, src), model)
+
+    def delay(self, src: str, dst: str) -> DelayModel:
+        if src == dst:
+            return DelayModel()
+        return self._delays.get((src, dst), DelayModel())
+
+    # -- cross-host byte movement ------------------------------------------
+    def copy_file(self, src_host: str, src_path: str, dst_host: str, dst_path: str) -> int:
+        """Copy a file between hosts, paying the pairwise delay model."""
+        src = self.host(src_host).resolve(src_path)
+        dst = self.host(dst_host).resolve(dst_path)
+        if not src.exists():
+            raise FileNotFoundError(f"{src_host}:{src_path}")
+        nbytes = src.stat().st_size
+        self.delay(src_host, dst_host).sleep_for(nbytes, messages=2)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(src, dst)
+        return nbytes
+
+    def read_block(self, src_host: str, src_path: str, offset: int, length: int, dst_host: str) -> bytes:
+        """Read one block from a file on another host (proxy-style)."""
+        src = self.host(src_host).resolve(src_path)
+        with open(src, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(length)
+        self.delay(src_host, dst_host).sleep_for(len(data), messages=2)
+        return data
+
+    def cleanup(self) -> None:
+        """Remove every host sandbox (test helper)."""
+        for host in self._hosts.values():
+            shutil.rmtree(host.root, ignore_errors=True)
+        self._hosts.clear()
+        self._delays.clear()

@@ -1,0 +1,210 @@
+"""Framed request/response messaging over real TCP sockets.
+
+All the real (non-simulated) GriddLeS services — the GNS server, the
+Grid Buffer server and the GridFTP-like file server — speak the same
+tiny protocol: a 4-byte big-endian length, a JSON header, and an
+optional binary payload.  The JSON header plays the role of the
+paper's SOAP envelope (self-describing, firewall-friendly single
+channel); the binary payload carries file blocks without base64
+overhead.
+
+Frame layout::
+
+    +--------------+------------------+---------------------+
+    | len(header)  |  header (JSON)   |  payload (binary)   |
+    |  uint32 BE   |                  |                     |
+    +--------------+------------------+---------------------+
+
+The header always contains ``"payload_len"`` so the receiver knows how
+many payload bytes follow.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "send_frame",
+    "recv_frame",
+    "FrameError",
+    "RpcServer",
+    "RpcClient",
+    "RpcError",
+]
+
+_LEN = struct.Struct(">I")
+MAX_HEADER = 16 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """Malformed frame or closed connection mid-frame."""
+
+
+class RpcError(RuntimeError):
+    """Remote handler signalled an error."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise FrameError(f"connection closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, header: Dict[str, Any], payload: bytes = b"") -> None:
+    """Send one frame (header dict + binary payload)."""
+    header = dict(header)
+    header["payload_len"] = len(payload)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LEN.pack(len(raw)) + raw + payload)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
+    """Receive one frame; raises :class:`FrameError` on EOF/corruption."""
+    hlen = _LEN.unpack(_recv_exact(sock, 4))[0]
+    if hlen > MAX_HEADER:
+        raise FrameError(f"header length {hlen} exceeds maximum")
+    try:
+        header = json.loads(_recv_exact(sock, hlen).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"bad header: {exc}") from exc
+    if not isinstance(header, dict) or "payload_len" not in header:
+        raise FrameError("header missing payload_len")
+    payload = _recv_exact(sock, int(header["payload_len"]))
+    return header, payload
+
+
+Handler = Callable[[Dict[str, Any], bytes], Tuple[Dict[str, Any], bytes]]
+
+
+class RpcServer:
+    """Threaded request/response server dispatching on header['op'].
+
+    Register handlers with :meth:`register`; each handler receives
+    ``(header, payload)`` and returns ``(reply_header, reply_payload)``.
+    Exceptions become error replies rather than killing the connection.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._handlers: Dict[str, Handler] = {}
+        outer = self
+
+        class _ConnHandler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:
+                sock = self.request
+                while True:
+                    try:
+                        header, payload = recv_frame(sock)
+                    except (FrameError, OSError):
+                        return
+                    op = header.get("op", "")
+                    handler = outer._handlers.get(op)
+                    try:
+                        if handler is None:
+                            raise RpcError("unknown-op", f"no handler for {op!r}")
+                        reply, data = handler(header, payload)
+                        reply = dict(reply)
+                        reply.setdefault("ok", True)
+                    except RpcError as exc:
+                        reply, data = {"ok": False, "error": exc.kind, "message": exc.message}, b""
+                    except Exception as exc:  # noqa: BLE001 - reply with error
+                        reply, data = {"ok": False, "error": type(exc).__name__, "message": str(exc)}, b""
+                    try:
+                        send_frame(sock, reply, data)
+                    except OSError:
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = _Server((host, port), _ConnHandler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def register(self, op: str, handler: Handler) -> None:
+        self._handlers[op] = handler
+
+    def start(self) -> "RpcServer":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "RpcServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class RpcClient:
+    """Blocking client holding one connection to an :class:`RpcServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._addr = (host, port)
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self._addr, timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def call(self, op: str, header: Optional[Dict[str, Any]] = None, payload: bytes = b"") -> Tuple[Dict[str, Any], bytes]:
+        """One round trip; raises :class:`RpcError` on remote failure."""
+        msg = dict(header or {})
+        msg["op"] = op
+        with self._lock:
+            sock = self._connect()
+            try:
+                send_frame(sock, msg, payload)
+                reply, data = recv_frame(sock)
+            except (OSError, FrameError):
+                self.close()
+                raise
+        if not reply.get("ok", False):
+            raise RpcError(reply.get("error", "remote-error"), reply.get("message", ""))
+        return reply, data
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,47 @@
+"""Workflow engine: specs, scheduling, real and simulated execution."""
+
+from .autoplace import PlacementResult, exhaustive_placement, greedy_placement, links_from_network
+from .economy import EconomyResult, QosGoal, economy_schedule, plan_cost
+from .external import ExternalInput
+from .localio import MemoryStageIO, run_workflow_in_memory
+from .runner import GridDeployment, RealRunner, RunResult, StageIO, records_for_plan
+from .scheduler import (
+    Coupling,
+    ExecutionPlan,
+    choose_coupling,
+    estimate_makespan,
+    plan_workflow,
+)
+from .simrunner import SimReport, StageTiming, simulate_plan
+from .spec import FileUse, Stage, Workflow, WorkflowError
+
+__all__ = [
+    "PlacementResult",
+    "exhaustive_placement",
+    "greedy_placement",
+    "links_from_network",
+    "EconomyResult",
+    "QosGoal",
+    "economy_schedule",
+    "plan_cost",
+    "ExternalInput",
+    "MemoryStageIO",
+    "run_workflow_in_memory",
+    "GridDeployment",
+    "RealRunner",
+    "RunResult",
+    "StageIO",
+    "records_for_plan",
+    "Coupling",
+    "ExecutionPlan",
+    "choose_coupling",
+    "estimate_makespan",
+    "plan_workflow",
+    "SimReport",
+    "StageTiming",
+    "simulate_plan",
+    "FileUse",
+    "Stage",
+    "Workflow",
+    "WorkflowError",
+]

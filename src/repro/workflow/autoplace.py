@@ -1,0 +1,123 @@
+"""Automatic placement + coupling (the paper's future-work scheduler).
+
+Section 6: "the scheduler needs to take account of whether the workflow
+is configured to copy files or use direct connections, since both
+impose different scheduling constraints."  This module implements that
+scheduler: enumerate (or greedily build) placements, pick the best
+coupling per edge with :func:`~repro.workflow.scheduler.choose_coupling`,
+and score complete plans with
+:func:`~repro.workflow.scheduler.estimate_makespan`.
+
+Two strategies:
+
+* :func:`exhaustive_placement` — all |machines|^|stages| assignments
+  (guarded; fine for the paper's 3-5 stage pipelines),
+* :func:`greedy_placement` — stages in topological order, each placed
+  on the machine minimising the partial-plan makespan estimate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..grid.machine import MachineSpec
+from ..sim.netsim import LinkSpec
+from .scheduler import Coupling, ExecutionPlan, choose_coupling, estimate_makespan, plan_workflow
+from .spec import Workflow
+
+__all__ = ["PlacementResult", "exhaustive_placement", "greedy_placement", "links_from_network"]
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """A scored plan candidate."""
+
+    plan: ExecutionPlan
+    estimated_makespan: float
+
+    @property
+    def placement(self) -> Mapping[str, str]:
+        return self.plan.placement
+
+    @property
+    def coupling(self) -> Mapping[str, Coupling]:
+        return self.plan.coupling
+
+
+def links_from_network(machines: Sequence[str], topology) -> Dict[Tuple[str, str], LinkSpec]:
+    """Build the link table the planners need from a SiteTopology."""
+    out: Dict[Tuple[str, str], LinkSpec] = {}
+    for i, a in enumerate(machines):
+        for b in machines[i + 1 :]:
+            out[(a, b)] = topology.path_spec(a, b)
+    return out
+
+
+def _score(
+    workflow: Workflow,
+    placement: Dict[str, str],
+    machines: Mapping[str, MachineSpec],
+    links: Mapping[Tuple[str, str], LinkSpec],
+) -> PlacementResult:
+    coupling = choose_coupling(workflow, placement, machines, links)
+    plan = plan_workflow(workflow, placement, coupling=coupling)
+    return PlacementResult(plan, estimate_makespan(plan, machines, links))
+
+
+def exhaustive_placement(
+    workflow: Workflow,
+    machines: Mapping[str, MachineSpec],
+    links: Mapping[Tuple[str, str], LinkSpec],
+    max_candidates: int = 200_000,
+) -> PlacementResult:
+    """Try every placement; return the best-scoring plan.
+
+    Raises ValueError when the search space exceeds ``max_candidates``
+    (use :func:`greedy_placement` instead).
+    """
+    stages = list(workflow.stages)
+    names = sorted(machines)
+    space = len(names) ** len(stages)
+    if space > max_candidates:
+        raise ValueError(
+            f"{space} placements exceed max_candidates={max_candidates}; "
+            "use greedy_placement"
+        )
+    best: Optional[PlacementResult] = None
+    for combo in itertools.product(names, repeat=len(stages)):
+        placement = dict(zip(stages, combo))
+        candidate = _score(workflow, placement, machines, links)
+        if best is None or candidate.estimated_makespan < best.estimated_makespan:
+            best = candidate
+    assert best is not None  # non-empty workflows guaranteed by Workflow
+    return best
+
+
+def greedy_placement(
+    workflow: Workflow,
+    machines: Mapping[str, MachineSpec],
+    links: Mapping[Tuple[str, str], LinkSpec],
+) -> PlacementResult:
+    """Topological-order greedy placement.
+
+    Each stage tries every machine with all previously placed stages
+    fixed (unplaced downstream stages temporarily ride on the fastest
+    machine) and keeps the assignment minimising the estimate.  O(S*M)
+    estimate evaluations.
+    """
+    names = sorted(machines)
+    fastest = max(names, key=lambda n: machines[n].speed)
+    placement: Dict[str, str] = {s: fastest for s in workflow.stages}
+    for stage in workflow.topological_order():
+        best_machine = placement[stage]
+        best_time = float("inf")
+        for name in names:
+            placement[stage] = name
+            t = _score(workflow, placement, machines, links).estimated_makespan
+            if t < best_time:
+                best_time = t
+                best_machine = name
+        placement[stage] = best_machine
+    return _score(workflow, placement, machines, links)

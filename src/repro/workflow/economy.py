@@ -1,0 +1,111 @@
+"""Computational-economy scheduling (the paper's §6 future work).
+
+"We plan to extend our earlier Nimrod/G work which uses an experimental
+computational economy to provide user driven quality of service goals."
+This module implements that extension on top of the placement machinery:
+machines advertise a price (grid-dollars per CPU-second), the user sets
+a *deadline* and a *budget*, and the scheduler searches placements for
+
+* ``cheapest`` — minimum cost whose estimated makespan meets the
+  deadline, or
+* ``fastest`` — minimum makespan whose cost fits the budget,
+
+exactly Nimrod/G's two QoS modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import itertools
+
+from ..grid.machine import MachineSpec
+from ..sim.netsim import LinkSpec
+from .scheduler import ExecutionPlan, choose_coupling, estimate_makespan, plan_workflow
+from .spec import Workflow
+
+__all__ = ["QosGoal", "EconomyResult", "plan_cost", "economy_schedule"]
+
+
+@dataclass(frozen=True)
+class QosGoal:
+    """User-driven quality-of-service target."""
+
+    deadline: float = float("inf")   # seconds
+    budget: float = float("inf")     # grid-dollars
+    optimise: str = "cheapest"       # "cheapest" | "fastest"
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.optimise not in ("cheapest", "fastest"):
+            raise ValueError("optimise must be 'cheapest' or 'fastest'")
+
+
+@dataclass(frozen=True)
+class EconomyResult:
+    plan: ExecutionPlan
+    makespan: float
+    cost: float
+
+
+def plan_cost(
+    plan: ExecutionPlan,
+    machines: Mapping[str, MachineSpec],
+    prices: Mapping[str, float],
+) -> float:
+    """Grid-dollar cost: CPU-seconds consumed per stage × machine price."""
+    total = 0.0
+    for stage_name, stage in plan.workflow.stages.items():
+        machine = plan.machine_of(stage_name)
+        cpu_seconds = stage.work / machines[machine].speed
+        total += cpu_seconds * prices[machine]
+    return total
+
+
+def economy_schedule(
+    workflow: Workflow,
+    machines: Mapping[str, MachineSpec],
+    links: Mapping[Tuple[str, str], LinkSpec],
+    prices: Mapping[str, float],
+    goal: QosGoal,
+    max_candidates: int = 200_000,
+) -> Optional[EconomyResult]:
+    """Exhaustively search placements for the QoS-optimal feasible plan.
+
+    Returns None when no placement satisfies the goal (over budget for
+    every deadline-meeting plan, or vice versa).
+    """
+    stages = list(workflow.stages)
+    names = sorted(machines)
+    space = len(names) ** len(stages)
+    if space > max_candidates:
+        raise ValueError(f"{space} placements exceed max_candidates={max_candidates}")
+    missing_prices = set(names) - set(prices)
+    if missing_prices:
+        raise ValueError(f"no price for machines {sorted(missing_prices)}")
+
+    best: Optional[EconomyResult] = None
+    for combo in itertools.product(names, repeat=len(stages)):
+        placement = dict(zip(stages, combo))
+        coupling = choose_coupling(workflow, placement, machines, links)
+        plan = plan_workflow(workflow, placement, coupling=coupling)
+        makespan = estimate_makespan(plan, machines, links)
+        cost = plan_cost(plan, machines, prices)
+        if makespan > goal.deadline or cost > goal.budget:
+            continue
+        candidate = EconomyResult(plan, makespan, cost)
+        if best is None:
+            best = candidate
+        elif goal.optimise == "cheapest" and (
+            (cost, makespan) < (best.cost, best.makespan)
+        ):
+            best = candidate
+        elif goal.optimise == "fastest" and (
+            (makespan, cost) < (best.makespan, best.cost)
+        ):
+            best = candidate
+    return best

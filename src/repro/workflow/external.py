@@ -1,0 +1,54 @@
+"""External (workflow-input) data sources for the simulated runner.
+
+Section 3.1's remote-file modes apply not only to pipeline edges but to
+a workflow's *inputs* — datasets that exist before the run (Figure 1's
+database export and replicated files).  :class:`ExternalInput` declares
+where such a file lives and how a consuming stage accesses it:
+
+* ``"local"``  — already on the consumer's machine (no cost);
+* ``"copy"``   — GridFTP bulk copy before the stage starts (whole file,
+  latency paid ~once);
+* ``"remote"`` — per-block proxy reads during the run, touching only
+  ``read_fraction`` of the file (one round trip per block).
+
+This is the discrete-event realisation of the
+:class:`~repro.core.policy.AccessPolicy` cost model, so the policy's
+closed-form copy-vs-proxy predictions can be validated against the
+simulator (``benchmarks/bench_extension_remote_modes.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExternalInput", "REMOTE_BLOCK"]
+
+#: Proxy-read granularity (matches the FM remote client's default).
+REMOTE_BLOCK = 256 * 1024
+
+
+@dataclass(frozen=True)
+class ExternalInput:
+    """Placement and access mode of one workflow-input file.
+
+    Attributes
+    ----------
+    host:
+        Machine holding the dataset.
+    mode:
+        ``"local"`` / ``"copy"`` / ``"remote"`` (see module docstring).
+    read_fraction:
+        Expected fraction of the file the consumer actually reads —
+        only meaningful for ``"remote"``; copies always move the whole
+        file.
+    """
+
+    host: str
+    mode: str = "copy"
+    read_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("local", "copy", "remote"):
+            raise ValueError(f"mode must be local/copy/remote, got {self.mode!r}")
+        if not 0.0 < self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in (0, 1]")

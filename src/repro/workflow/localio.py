@@ -1,0 +1,79 @@
+"""In-memory StageIO for direct (no-grid) pipeline runs.
+
+Design studies loop a whole workflow hundreds of times over parameter
+sets (the paper's Nimrod heritage).  Deploying sockets and sandboxes
+per evaluation would dominate; :class:`MemoryStageIO` gives stage
+functions the same ``open/param`` surface backed by a plain dict of
+byte buffers, so a pipeline evaluation is just function calls.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional
+
+from .spec import Workflow, WorkflowError
+
+__all__ = ["MemoryStageIO", "run_workflow_in_memory"]
+
+
+class _NamedBytesIO(io.BytesIO):
+    """BytesIO that deposits its contents into a dict on close."""
+
+    def __init__(self, store: Dict[str, bytes], name: str):
+        super().__init__()
+        self._store = store
+        self._name = name
+
+    def close(self) -> None:
+        if not self.closed:
+            self._store[self._name] = self.getvalue()
+        super().close()
+
+
+class MemoryStageIO:
+    """Dict-backed implementation of the StageIO protocol."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None, params: Optional[dict] = None):
+        self.files: Dict[str, bytes] = dict(files or {})
+        self._params = dict(params or {})
+
+    def open(self, name: str, mode: str = "r"):
+        core = mode.replace("b", "").replace("t", "")
+        binary = "b" in mode
+        if core == "r":
+            if name not in self.files:
+                raise FileNotFoundError(name)
+            raw = io.BytesIO(self.files[name])
+            return raw if binary else io.TextIOWrapper(raw, encoding="utf-8")
+        if core in ("w", "a"):
+            raw = _NamedBytesIO(self.files, name)
+            if core == "a" and name in self.files:
+                raw.write(self.files[name])
+            return raw if binary else io.TextIOWrapper(raw, encoding="utf-8")
+        raise ValueError(f"unsupported mode {mode!r}")
+
+    def param(self, key: str, default=None):
+        return self._params.get(key, default)
+
+    def path_of(self, name: str) -> str:  # parity with StageIO
+        return name
+
+
+def run_workflow_in_memory(
+    workflow: Workflow,
+    params: Optional[dict] = None,
+    inputs: Optional[Dict[str, bytes]] = None,
+) -> Dict[str, bytes]:
+    """Execute every stage sequentially in-process; returns all files.
+
+    Stages run in topological order against one shared in-memory file
+    namespace — semantically the all-local-files wiring, minus the grid.
+    """
+    io_adapter = MemoryStageIO(files=inputs, params=params)
+    for stage_name in workflow.topological_order():
+        stage = workflow.stages[stage_name]
+        if stage.func is None:
+            raise WorkflowError(f"stage {stage_name!r} has no func")
+        stage.func(io_adapter)
+    return io_adapter.files

@@ -1,0 +1,244 @@
+"""Placement and coupling decisions for a workflow.
+
+Produces an :class:`ExecutionPlan`: which machine runs each stage, and
+how each pipeline file is realised — ``local`` (same-machine file),
+``copy`` (sequential + GridFTP copy), or ``buffer`` (concurrent direct
+connection).  The paper's scheduling constraint (Section 6) is encoded
+in :meth:`ExecutionPlan.start_constraints`: file/copy edges force the
+consumer to start after the producer finishes; buffer edges require
+concurrent execution.
+
+Also provides a small cost-model scheduler (:func:`choose_coupling`)
+that picks copy-vs-buffer per edge from the calibrated network model —
+the decision the paper's operators made by hand via GNS entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Mapping, Optional, Tuple
+
+from ..grid.machine import MachineSpec
+from ..sim.netsim import LinkSpec, Network
+from .spec import Workflow, WorkflowError
+
+__all__ = ["Coupling", "ExecutionPlan", "plan_workflow", "choose_coupling", "estimate_makespan"]
+
+#: How a pipeline file is realised:
+#:   local       — sequential same-machine file (consumer starts after producer)
+#:   copy        — sequential + GridFTP copy between machines
+#:   buffer      — concurrent direct connection (Grid Buffer stream)
+#:   file-stream — concurrent through a same-machine file (FM file-following;
+#:                 the "Files" columns of the paper's Table 4)
+Coupling = Literal["local", "copy", "buffer", "file-stream"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully wired workflow: placement plus per-file coupling."""
+
+    workflow: Workflow
+    placement: Mapping[str, str]          # stage -> machine
+    coupling: Mapping[str, Coupling]      # pipeline file -> mechanism
+
+    def __post_init__(self) -> None:
+        wf = self.workflow
+        missing = set(wf.stages) - set(self.placement)
+        if missing:
+            raise WorkflowError(f"no placement for stages {sorted(missing)}")
+        for fname in wf.pipeline_files():
+            mech = self.coupling.get(fname)
+            if mech is None:
+                raise WorkflowError(f"no coupling decided for pipeline file {fname!r}")
+            if mech in ("local", "file-stream"):
+                prod = self.placement[wf.producer_of(fname)]
+                for consumer in wf.consumers_of(fname):
+                    if self.placement[consumer] != prod:
+                        raise WorkflowError(
+                            f"file {fname!r} marked {mech} but producer on {prod!r} "
+                            f"and consumer {consumer!r} on {self.placement[consumer]!r}"
+                        )
+
+    def machine_of(self, stage: str) -> str:
+        return self.placement[stage]
+
+    def start_constraints(self) -> Dict[str, List[str]]:
+        """stage -> producers it must wait for (copy/local-file edges).
+
+        Buffer edges impose no start constraint — those stages overlap.
+        """
+        wf = self.workflow
+        waits: Dict[str, List[str]] = {s: [] for s in wf.stages}
+        for fname in wf.pipeline_files():
+            if self.coupling[fname] in ("local", "copy"):
+                producer = wf.producer_of(fname)
+                for consumer in wf.consumers_of(fname):
+                    waits[consumer].append(producer)
+        return waits
+
+    def is_fully_pipelined(self) -> bool:
+        return all(self.coupling[f] == "buffer" for f in self.workflow.pipeline_files())
+
+    def copies_required(self) -> List[Tuple[str, str, str]]:
+        """(file, src_machine, dst_machine) for every cross-machine copy edge."""
+        wf = self.workflow
+        out = []
+        for fname in wf.pipeline_files():
+            if self.coupling[fname] != "copy":
+                continue
+            src = self.placement[wf.producer_of(fname)]
+            for consumer in wf.consumers_of(fname):
+                dst = self.placement[consumer]
+                if dst != src:
+                    out.append((fname, src, dst))
+        return out
+
+
+def plan_workflow(
+    workflow: Workflow,
+    placement: Mapping[str, str],
+    coupling: Optional[Mapping[str, Coupling]] = None,
+    default: Coupling = "local",
+) -> ExecutionPlan:
+    """Build a plan, defaulting same-machine edges to ``default`` and
+    cross-machine edges to ``copy`` unless overridden."""
+    decided: Dict[str, Coupling] = {}
+    for fname in workflow.pipeline_files():
+        if coupling and fname in coupling:
+            decided[fname] = coupling[fname]
+            continue
+        prod = placement[workflow.producer_of(fname)]
+        cross = any(placement[c] != prod for c in workflow.consumers_of(fname))
+        decided[fname] = "copy" if cross else default
+    return ExecutionPlan(workflow, dict(placement), decided)
+
+
+def choose_coupling(
+    workflow: Workflow,
+    placement: Mapping[str, str],
+    machines: Mapping[str, MachineSpec],
+    link_of: Mapping[Tuple[str, str], LinkSpec],
+    block_size: int = 4096,
+    window: int = 8,
+) -> Dict[str, Coupling]:
+    """Cost-model edge decisions: buffer when streaming beats copy.
+
+    For each cross-machine edge compares (a) sequential copy — producer
+    finishes, bulk transfer, consumer starts — against (b) overlapped
+    streaming paying per-window latency stalls.  Same-machine edges
+    choose buffer when the consumer's compute can hide the producer's
+    (any overlap beats none at equal per-MB cost).
+    """
+    wf = workflow
+    out: Dict[str, Coupling] = {}
+    for fname in wf.pipeline_files():
+        producer = wf.producer_of(fname)
+        nbytes = wf.file_use(producer, fname, "write").nbytes
+        src = placement[producer]
+        consumers = wf.consumers_of(fname)
+        dsts = {placement[c] for c in consumers}
+        if dsts == {src}:
+            out[fname] = "buffer"
+            continue
+        dst = sorted(dsts - {src})[0] if dsts - {src} else src
+        key = (src, dst) if (src, dst) in link_of else (dst, src)
+        link = link_of[key]
+        copy_time = 2 * link.rtt + nbytes / link.bandwidth
+        nblocks = max(1, -(-nbytes // block_size))
+        stall_time = (-(-nblocks // window)) * link.rtt + nbytes / link.bandwidth
+        # Streaming overlaps with the producer's compute, so its cost on
+        # the critical path is only what exceeds that compute; copying
+        # sits entirely on the critical path after the producer ends.
+        producer_time = wf.stages[producer].work / machines[src].speed
+        stream_critical = max(0.0, stall_time - producer_time) + 0.25 * min(stall_time, producer_time)
+        out[fname] = "buffer" if stream_critical < copy_time else "copy"
+    return out
+
+
+def estimate_makespan(
+    plan: ExecutionPlan,
+    machines: Mapping[str, MachineSpec],
+    link_of: Mapping[Tuple[str, str], LinkSpec],
+) -> float:
+    """Quick critical-path estimate (no contention) for plan comparison."""
+    wf = plan.workflow
+    finish: Dict[str, float] = {}
+    starts: Dict[str, float] = {}
+    durations: Dict[str, float] = {}
+    for stage_name in wf.topological_order():
+        stage = wf.stages[stage_name]
+        machine = machines[plan.machine_of(stage_name)]
+        ready = 0.0
+        for fu in stage.reads:
+            producer = wf.producer_of(fu.name)
+            if producer is None:
+                continue
+            mech = plan.coupling[fu.name]
+            src = plan.machine_of(producer)
+            dst = plan.machine_of(stage_name)
+            t = finish[producer]
+            if mech == "copy" and src != dst:
+                key = (src, dst) if (src, dst) in link_of else (dst, src)
+                link = link_of[key]
+                t += 2 * link.rtt + fu.nbytes / link.bandwidth
+            elif mech == "buffer":
+                # Overlapped: consumer can finish shortly after producer.
+                t = finish[producer]
+            ready = max(ready, t)
+        duration = stage.work / machine.speed
+        # Endpoint IO-stack CPU costs (the calibrated per-MB terms): a
+        # placement on a machine with an expensive buffer path must look
+        # expensive here too, or the planners systematically overrate
+        # slow-IO machines.
+        mb = 1024.0 * 1024.0
+        for fu in stage.reads:
+            if wf.producer_of(fu.name) is None:
+                continue
+            mech = plan.coupling[fu.name]
+            if mech in ("buffer", "file-stream"):
+                per = machine.buffer_cpu_per_mb if mech == "buffer" else machine.file_cpu_per_mb
+                duration += 0.5 * per * (fu.nbytes / mb) / machine.speed
+        for fu in stage.writes:
+            consumers = wf.consumers_of(fu.name)
+            if not consumers:
+                continue
+            mech = plan.coupling.get(fu.name)
+            if mech in ("buffer", "file-stream"):
+                per = machine.buffer_cpu_per_mb if mech == "buffer" else machine.file_cpu_per_mb
+                duration += 0.5 * per * (fu.nbytes / mb) / machine.speed
+        buffered = any(
+            plan.coupling[fu.name] == "buffer"
+            for fu in stage.reads
+            if wf.producer_of(fu.name) is not None
+        )
+        if buffered:
+            # Pipelined consumer: it starts alongside its earliest
+            # buffered producer (NOT at t=0 — the producer chain itself
+            # may begin late), and ends at the later of (start + own
+            # duration) or (producer finish + one chunk's tail).
+            producer_starts = [
+                starts[wf.producer_of(fu.name)]
+                for fu in stage.reads
+                if wf.producer_of(fu.name) is not None
+                and plan.coupling[fu.name] == "buffer"
+            ]
+            my_start = min(producer_starts) if producer_starts else 0.0
+            tail = duration / max(1, stage.chunks)
+            starts[stage_name] = my_start
+            finish[stage_name] = max(my_start + duration, ready + tail)
+        else:
+            starts[stage_name] = ready
+            finish[stage_name] = ready + duration
+        durations[stage_name] = duration
+    if not finish:
+        return 0.0
+    # CPU-capacity lower bound: overlapped stages sharing one machine
+    # cannot finish before its cores have executed all their work.
+    per_machine: Dict[str, float] = {}
+    for stage_name, duration in durations.items():
+        m = plan.machine_of(stage_name)
+        per_machine[m] = per_machine.get(m, 0.0) + duration
+    cpu_bound = max(
+        total / machines[m].cores for m, total in per_machine.items()
+    )
+    return max(max(finish.values()), cpu_bound)

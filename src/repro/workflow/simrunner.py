@@ -1,0 +1,447 @@
+"""Simulated workflow execution on the calibrated testbed.
+
+Runs an :class:`~repro.workflow.scheduler.ExecutionPlan` inside the
+discrete-event engine and reports each stage's completion time — the
+quantity every evaluation table in the paper records.
+
+Modelled mechanics (all parameters live in the testbed MachineSpecs and
+the WAN link specs; see DESIGN.md §5):
+
+* **compute** — each stage's ``work`` is spread over ``chunks`` and
+  executed on the machine's processor-sharing CPU; concurrent stages on
+  one CPU timeshare it, which is how the paper runs three climate
+  models on one box.
+* **idle IO** — ``idle_io_fraction`` of a stage's runtime is blocking
+  (CPU-free) IO; overlapped execution reclaims it, which is why
+  concurrent buffers beat *sequential* runs on machines with slow IO
+  (freak, bouscat) in Table 4.
+* **buffer coupling** — per-chunk transfer over the WAN link, paying a
+  round-trip stall every ``window`` blocks (4 KiB blocks, SOAP-style
+  envelope overhead) and CPU cost ``buffer_cpu_per_mb`` split across
+  the two endpoints; bounded capacity gives backpressure, so a slow WAN
+  reader slows the upstream writer exactly as in Table 5.
+* **file-stream coupling** — Table 4's "Files" columns: concurrent
+  stages sharing data through local files, paying ``file_cpu_per_mb``
+  plus per-chunk sync blocking.
+* **copy coupling** — sequential stages + GridFTP bulk copy: pays the
+  link latency only a couple of times regardless of size, which is why
+  it beats buffers on high-latency paths (Table 5's AU→UK/US rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..grid.machine import Machine
+from ..grid.testbed import TESTBED
+from ..sim.engine import Environment, Event
+from ..sim.netsim import Network
+from .external import REMOTE_BLOCK, ExternalInput
+from .scheduler import ExecutionPlan
+from .spec import FileUse, Stage, Workflow
+
+__all__ = ["SimReport", "StageTiming", "simulate_plan", "GRID_BUFFER_BLOCK", "GRID_BUFFER_WINDOW"]
+
+MB = 1024.0 * 1024.0
+
+#: Grid Buffer wire parameters (paper: 4096-byte writes; SOAP envelope).
+GRID_BUFFER_BLOCK = 4096
+GRID_BUFFER_WINDOW = 8
+GRID_BUFFER_OVERHEAD = 512  # per-block envelope bytes
+DEFAULT_CHANNEL_CAPACITY = 32 * 1024 * 1024
+
+
+@dataclass
+class StageTiming:
+    """Start/finish of one stage in simulated seconds."""
+
+    stage: str
+    machine: str
+    start: float
+    finish: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class SimReport:
+    """Result of one simulated workflow execution."""
+
+    plan: ExecutionPlan
+    timings: Dict[str, StageTiming] = field(default_factory=dict)
+    copy_times: Dict[str, Tuple[float, float]] = field(default_factory=dict)  # file -> (start, finish)
+    #: machine -> [(time, active jobs)] when sampling was requested.
+    load_samples: Dict[str, List[Tuple[float, int]]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max(t.finish for t in self.timings.values()) if self.timings else 0.0
+
+    def finish_of(self, stage: str) -> float:
+        return self.timings[stage].finish
+
+    def utilisation(self, machine: str) -> float:
+        """Fraction of sampled instants with at least one job running."""
+        samples = self.load_samples.get(machine, [])
+        if not samples:
+            raise ValueError(f"no load samples for {machine!r}; pass sample_interval")
+        busy = sum(1 for _, load in samples if load > 0)
+        return busy / len(samples)
+
+
+class _Channel:
+    """Bounded producer→consumer byte channel inside the simulation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int = DEFAULT_CHANNEL_CAPACITY,
+    ):
+        self.env = env
+        self.capacity = capacity
+        self.buffered = 0
+        self.closed = False
+        self._waiters: List[Event] = []
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for evt in waiters:
+            evt.succeed(None)
+
+    def _wait(self):
+        evt = self.env.event()
+        self._waiters.append(evt)
+        return evt
+
+    def deposit(self, nbytes: int):
+        """Writer-side: block until capacity admits ``nbytes``."""
+        while self.capacity is not None and self.buffered + nbytes > self.capacity:
+            yield self._wait()
+        self.buffered += nbytes
+        self._wake()
+        return None
+
+    def consume(self, nbytes: int):
+        """Reader-side: block until ``nbytes`` present (or EOF short)."""
+        while self.buffered < nbytes and not self.closed:
+            yield self._wait()
+        take = min(nbytes, self.buffered)
+        self.buffered -= take
+        self._wake()
+        return take
+
+    def close(self) -> None:
+        self.closed = True
+        self._wake()
+
+
+class _BufferEdge:
+    """Buffer coupling: WAN transfer + channel, per chunk."""
+
+    def __init__(self, env: Environment, net: Network, src: str, dst: str):
+        self.env = env
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.channel = _Channel(env)
+        self.spec = net.spec(src, dst)
+
+    def send(self, nbytes: int):
+        """Writer side: pay windowed per-block transfer, then deposit."""
+        if nbytes <= 0:
+            return None
+        nblocks = max(1, -(-nbytes // GRID_BUFFER_BLOCK))
+        wire_bytes = nbytes + nblocks * GRID_BUFFER_OVERHEAD
+        stalls = -(-nblocks // GRID_BUFFER_WINDOW)
+        yield self.net.message(self.src, self.dst, wire_bytes)
+        if stalls > 1:
+            # The first round trip is already inside message(); remaining
+            # window acks each cost one RTT of writer stall.
+            yield self.env.timeout((stalls - 1) * self.spec.rtt + stalls * self.spec.latency)
+        yield from self.channel.deposit(nbytes)
+        return None
+
+    def recv(self, nbytes: int):
+        got = yield from self.channel.consume(nbytes)
+        return got
+
+    def close(self) -> None:
+        self.channel.close()
+
+
+class _FileStreamEdge:
+    """file-stream coupling: concurrent stages sharing a local file."""
+
+    def __init__(self, env: Environment, machine: Machine):
+        self.env = env
+        self.machine = machine
+        self.channel = _Channel(env, capacity=None)  # disk is unbounded
+
+    def send(self, nbytes: int):
+        if nbytes <= 0:
+            return None
+        yield self.machine.fs.disk.write(nbytes)
+        # Writer-side sync/flush cost: the FM must publish the data (and
+        # its metadata) before the follower may see it.  Blocking, so it
+        # sits on the producer chain even on multi-core machines.
+        sync = self.machine.spec.file_stream_sync
+        if sync > 0:
+            yield self.env.timeout(sync)
+        yield from self.channel.deposit(nbytes)
+        return None
+
+    def recv(self, nbytes: int):
+        got = yield from self.channel.consume(nbytes)
+        if got:
+            yield self.machine.fs.disk.read(got)
+        return got
+
+    def close(self) -> None:
+        self.channel.close()
+
+
+def simulate_plan(
+    plan: ExecutionPlan,
+    machines: Optional[Mapping[str, Machine]] = None,
+    network: Optional[Network] = None,
+    env: Optional[Environment] = None,
+    sample_interval: Optional[float] = None,
+    externals: Optional[Mapping[str, ExternalInput]] = None,
+) -> SimReport:
+    """Execute ``plan`` in virtual time and return per-stage timings.
+
+    With no arguments, instantiates the calibrated paper testbed.
+    ``sample_interval`` enables periodic CPU-load sampling per machine
+    (see :meth:`SimReport.utilisation`).  ``externals`` declares where
+    the workflow's *input* files live and how consumers access them
+    (:class:`~repro.workflow.external.ExternalInput`).
+    """
+    if env is None:
+        env = Environment()
+    if machines is None:
+        from ..grid.testbed import make_machines
+
+        machines = make_machines(env)
+    if network is None:
+        from ..grid.testbed import make_network
+
+        network = make_network(env)
+
+    wf = plan.workflow
+    report = SimReport(plan=plan)
+
+    externals = dict(externals or {})
+    ext_inputs = set(wf.external_inputs())
+    for fname in externals:
+        if fname in wf.pipeline_files():
+            raise KeyError(
+                f"{fname!r} is a pipeline file; external placement applies only "
+                "to workflow inputs"
+            )
+        if fname not in ext_inputs:
+            raise KeyError(f"unknown external input {fname!r}")
+
+    # Build stream edges (buffer / file-stream) keyed by (file, consumer).
+    edges: Dict[Tuple[str, str], object] = {}
+    for fname in wf.pipeline_files():
+        mech = plan.coupling[fname]
+        producer = wf.producer_of(fname)
+        src = plan.machine_of(producer)
+        for consumer in wf.consumers_of(fname):
+            dst = plan.machine_of(consumer)
+            if mech == "buffer":
+                edges[(fname, consumer)] = _BufferEdge(env, network, src, dst)
+            elif mech == "file-stream":
+                edges[(fname, consumer)] = _FileStreamEdge(env, machines[src])
+
+    done_events: Dict[str, Event] = {s: env.event() for s in wf.stages}
+    copy_done: Dict[Tuple[str, str], Event] = {}
+
+    # Copy edges: a transfer process per (file, consumer) on another host.
+    for fname, src, dst in plan.copies_required():
+        producer = wf.producer_of(fname)
+        nbytes = wf.file_use(producer, fname, "write").nbytes
+        for consumer in wf.consumers_of(fname):
+            if plan.machine_of(consumer) != dst:
+                continue
+            evt = env.event()
+            copy_done[(fname, consumer)] = evt
+
+            def copier(fname=fname, src=src, dst=dst, nbytes=nbytes, evt=evt, producer=producer):
+                yield done_events[producer]
+                start = env.now
+                yield machines[src].fs.disk.read(nbytes)
+                yield network.bulk_transfer(src, dst, nbytes)
+                yield machines[dst].fs.disk.write(nbytes)
+                report.copy_times[fname] = (start, env.now)
+                evt.succeed(None)
+                return None
+
+            env.process(copier(), name=f"copy:{fname}->{dst}")
+
+    waits = plan.start_constraints()
+
+    def stage_proc(stage: Stage):
+        machine = machines[plan.machine_of(stage.name)]
+        spec = machine.spec
+        # Honour start constraints: local/copy edges are sequential.
+        for producer in waits[stage.name]:
+            yield done_events[producer]
+        for fu in stage.reads:
+            if (fu.name, stage.name) in copy_done:
+                yield copy_done[(fu.name, stage.name)]
+        start = env.now
+
+        in_stream = [
+            (fu, edges[(fu.name, stage.name)])
+            for fu in stage.reads
+            if (fu.name, stage.name) in edges
+        ]
+        out_stream = [
+            (fu, [edges[(fu.name, c)] for c in wf.consumers_of(fu.name) if (fu.name, c) in edges])
+            for fu in stage.writes
+        ]
+        out_stream = [(fu, chans) for fu, chans in out_stream if chans]
+        # Sequentially-read pipeline inputs and plain files hit the
+        # disk; externally-placed inputs are copied in up front or
+        # proxied block-by-block, per their declared access mode.
+        in_disk = []
+        ext_copy = []
+        ext_remote = []
+        for fu in stage.reads:
+            if (fu.name, stage.name) in edges:
+                continue
+            einfo = externals.get(fu.name)
+            if einfo is not None and einfo.host != machine.name and einfo.mode == "copy":
+                ext_copy.append((fu, einfo))
+                in_disk.append(fu)  # read locally after the copy-in
+            elif einfo is not None and einfo.host != machine.name and einfo.mode == "remote":
+                ext_remote.append((fu, einfo))
+            else:
+                in_disk.append(fu)
+        for fu, einfo in ext_copy:
+            yield machines[einfo.host].fs.disk.read(fu.nbytes)
+            yield network.bulk_transfer(einfo.host, machine.name, fu.nbytes)
+            yield machine.fs.disk.write(fu.nbytes)
+        out_disk = [
+            fu
+            for fu in stage.writes
+            if not any((fu.name, c) in edges for c in wf.consumers_of(fu.name))
+        ]
+
+        n = stage.chunks
+        main_work = stage.work * (1.0 - stage.tail_fraction)
+        chunk_work = main_work / n
+        # Per-chunk endpoint CPU overheads (work units).
+        overhead = 0.0
+        for fu, _edge in in_stream:
+            mech = plan.coupling[fu.name]
+            per_mb = spec.buffer_cpu_per_mb if mech == "buffer" else spec.file_cpu_per_mb
+            overhead += 0.5 * per_mb * (fu.nbytes / MB) / n
+        for fu, chans in out_stream:
+            mech = plan.coupling[fu.name]
+            per_mb = spec.buffer_cpu_per_mb if mech == "buffer" else spec.file_cpu_per_mb
+            overhead += 0.5 * per_mb * (fu.nbytes / MB) / n * len(chans)
+        idle_per_chunk = 0.0
+        if spec.idle_io_fraction > 0 and chunk_work > 0:
+            chunk_secs = chunk_work / spec.speed
+            idle_per_chunk = chunk_secs * spec.idle_io_fraction / (1 - spec.idle_io_fraction)
+
+        for i in range(n):
+            for fu, edge in in_stream:
+                want = fu.nbytes // n if i < n - 1 else fu.nbytes - (fu.nbytes // n) * (n - 1)
+                got = 0
+                while got < want:
+                    r = yield from edge.recv(want - got)
+                    if r == 0:
+                        break
+                    got += r
+            for fu in in_disk:
+                per = fu.nbytes // n
+                if per > 0:
+                    yield machine.fs.disk.read(per)
+            for fu, einfo in ext_remote:
+                touched = int(fu.nbytes * einfo.read_fraction)
+                per = touched // n if i < n - 1 else touched - (touched // n) * (n - 1)
+                remaining = per
+                while remaining > 0:
+                    block = min(REMOTE_BLOCK, remaining)
+                    # One synchronous block fetch: request out, data back.
+                    yield network.request_response(machine.name, einfo.host, 256, block)
+                    remaining -= block
+            work = chunk_work + overhead
+            if work > 0:
+                yield machine.compute(work)
+            if idle_per_chunk > 0:
+                yield env.timeout(idle_per_chunk)
+            for fu, chans in out_stream:
+                per = fu.nbytes // n if i < n - 1 else fu.nbytes - (fu.nbytes // n) * (n - 1)
+                if len(chans) == 1:
+                    yield from chans[0].send(per)
+                else:
+                    # Broadcast: one write fans out to all consumers
+                    # concurrently (the service pushes each block once
+                    # per reader, not sequentially).
+                    def _send(chan=None, per=per):
+                        yield from chan.send(per)
+                        return None
+
+                    yield env.all_of(
+                        [env.process(_send(chan=chan)) for chan in chans]
+                    )
+            for fu in out_disk:
+                per = fu.nbytes // n
+                if per > 0:
+                    yield machine.fs.disk.write(per)
+
+        for fu, chans in out_stream:
+            for chan in chans:
+                chan.close()
+        # Re-reads (cache-file path) and post-stream tail work.
+        for fu in stage.reads:
+            if fu.reread_bytes > 0:
+                yield machine.fs.disk.read(fu.reread_bytes)
+        tail = stage.work * stage.tail_fraction
+        if tail > 0:
+            yield machine.compute(tail)
+        report.timings[stage.name] = StageTiming(
+            stage=stage.name,
+            machine=machine.name,
+            start=start,
+            finish=env.now,
+        )
+        done_events[stage.name].succeed(None)
+        return None
+
+    for stage in wf.stages.values():
+        env.process(stage_proc(stage), name=f"stage:{stage.name}")
+
+    if sample_interval is not None:
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        used = {plan.machine_of(s) for s in wf.stages}
+        pending = {"n": len(wf.stages)}
+
+        # Wrap completion counting so samplers stop when all stages end
+        # (an immortal sampler would keep the event queue alive forever).
+        for stage_name, evt in done_events.items():
+            def count(_e, pending=pending):
+                pending["n"] -= 1
+            evt.callbacks.append(count)
+
+        def sampler(machine_name: str):
+            samples = report.load_samples.setdefault(machine_name, [])
+            machine = machines[machine_name]
+            while pending["n"] > 0:
+                samples.append((env.now, machine.cpu.load))
+                yield env.timeout(sample_interval)
+            return None
+
+        for machine_name in sorted(used):
+            env.process(sampler(machine_name), name=f"sampler:{machine_name}")
+
+    env.run()
+    return report

@@ -1,0 +1,196 @@
+"""Workflow specification: stages, files, and the dataflow graph.
+
+A workflow is a set of *stages* (legacy programs) connected by named
+*files* — exactly the paper's model (Figure 5's durability pipeline,
+Figure 6's climate chain).  The spec is pure description: how each file
+edge is realised (local file, copy, remote, buffer) is decided later by
+the scheduler + GNS, never here.  ``work`` and byte annotations drive
+the simulator; ``func`` is the real implementation for in-process runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["FileUse", "Stage", "Workflow", "WorkflowError"]
+
+
+class WorkflowError(ValueError):
+    """Ill-formed workflow (cycle, duplicate producer, dangling file)."""
+
+
+@dataclass(frozen=True)
+class FileUse:
+    """One stage's use of one named file.
+
+    ``nbytes`` is the modelled data volume (for simulation and for
+    transfer-cost estimates); real runs move whatever bytes the stage
+    actually writes.  ``reread_bytes`` models a reader that revisits
+    part of the stream (the DARLAM cache-file pattern).
+    """
+
+    name: str
+    nbytes: int = 0
+    reread_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0 or self.reread_bytes < 0:
+            raise WorkflowError(f"negative byte counts on file {self.name!r}")
+
+
+# A stage body: receives a StageIO adapter (see runner) and runs the
+# "legacy program".  None for simulation-only workflows.
+StageFunc = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One program in the pipeline."""
+
+    name: str
+    reads: Tuple[FileUse, ...] = ()
+    writes: Tuple[FileUse, ...] = ()
+    work: float = 0.0          # abstract compute units (brecca-seconds)
+    chunks: int = 1            # pipelining granularity (e.g. timesteps)
+    tail_fraction: float = 0.0  # share of work done after inputs end (post-stream analysis)
+    func: Optional[StageFunc] = None
+
+    def __post_init__(self) -> None:
+        # Accept bare strings for convenience: ("f",) -> (FileUse("f"),).
+        object.__setattr__(self, "reads", _as_uses(self.reads))
+        object.__setattr__(self, "writes", _as_uses(self.writes))
+        if self.work < 0:
+            raise WorkflowError(f"stage {self.name!r}: negative work")
+        if self.chunks < 1:
+            raise WorkflowError(f"stage {self.name!r}: chunks must be >= 1")
+        if not 0.0 <= self.tail_fraction <= 1.0:
+            raise WorkflowError(f"stage {self.name!r}: tail_fraction must be in [0, 1]")
+        for coll, what in ((self.reads, "reads"), (self.writes, "writes")):
+            names = [f.name for f in coll]
+            if len(set(names)) != len(names):
+                raise WorkflowError(f"stage {self.name!r}: duplicate {what}: {names}")
+
+    def read_names(self) -> List[str]:
+        return [f.name for f in self.reads]
+
+    def write_names(self) -> List[str]:
+        return [f.name for f in self.writes]
+
+
+def _as_uses(items: Sequence) -> Tuple[FileUse, ...]:
+    out = []
+    for item in items:
+        if isinstance(item, FileUse):
+            out.append(item)
+        elif isinstance(item, str):
+            out.append(FileUse(item))
+        else:
+            raise WorkflowError(f"bad file spec {item!r}")
+    return tuple(out)
+
+
+class Workflow:
+    """A validated DAG of stages connected by files.
+
+    Files with a producer and ≥1 consumer are *pipeline edges*; files
+    with no producer are *external inputs*; files with no consumer are
+    *final outputs*.
+    """
+
+    def __init__(self, name: str, stages: Sequence[Stage]):
+        self.name = name
+        self.stages: Dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self.stages:
+                raise WorkflowError(f"duplicate stage name {stage.name!r}")
+            self.stages[stage.name] = stage
+        self._producers: Dict[str, str] = {}
+        self._consumers: Dict[str, List[str]] = {}
+        for stage in stages:
+            for fu in stage.writes:
+                if fu.name in self._producers:
+                    raise WorkflowError(
+                        f"file {fu.name!r} written by both "
+                        f"{self._producers[fu.name]!r} and {stage.name!r}"
+                    )
+                self._producers[fu.name] = stage.name
+            for fu in stage.reads:
+                self._consumers.setdefault(fu.name, []).append(stage.name)
+        self._graph = self._build_graph()
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def build(cls, name: str, stage_defs: Sequence[dict]) -> "Workflow":
+        """Concise dict-based constructor used by the app pipelines."""
+        stages = []
+        for d in stage_defs:
+            stages.append(
+                Stage(
+                    name=d["name"],
+                    reads=_as_uses(d.get("reads", ())),
+                    writes=_as_uses(d.get("writes", ())),
+                    work=d.get("work", 0.0),
+                    chunks=d.get("chunks", 1),
+                    tail_fraction=d.get("tail_fraction", 0.0),
+                    func=d.get("func"),
+                )
+            )
+        return cls(name, stages)
+
+    def _build_graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.stages)
+        for fname, producer in self._producers.items():
+            for consumer in self._consumers.get(fname, []):
+                if producer == consumer:
+                    raise WorkflowError(f"stage {producer!r} reads its own output {fname!r}")
+                g.add_edge(producer, consumer, file=fname)
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise WorkflowError(f"workflow has a cycle: {cycle}")
+        return g
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    def producer_of(self, file_name: str) -> Optional[str]:
+        return self._producers.get(file_name)
+
+    def consumers_of(self, file_name: str) -> List[str]:
+        return list(self._consumers.get(file_name, []))
+
+    def pipeline_files(self) -> List[str]:
+        """Files that flow stage→stage (have producer and consumer)."""
+        return sorted(f for f in self._producers if f in self._consumers)
+
+    def external_inputs(self) -> List[str]:
+        return sorted(f for f in self._consumers if f not in self._producers)
+
+    def final_outputs(self) -> List[str]:
+        return sorted(f for f in self._producers if f not in self._consumers)
+
+    def topological_order(self) -> List[str]:
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def upstream(self, stage: str) -> Set[str]:
+        return set(nx.ancestors(self._graph, stage))
+
+    def file_use(self, stage: str, file_name: str, direction: str) -> FileUse:
+        uses = self.stages[stage].reads if direction == "read" else self.stages[stage].writes
+        for fu in uses:
+            if fu.name == file_name:
+                return fu
+        raise KeyError(f"stage {stage!r} does not {direction} {file_name!r}")
+
+    def total_pipeline_bytes(self) -> int:
+        return sum(
+            self.file_use(self._producers[f], f, "write").nbytes for f in self.pipeline_files()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workflow {self.name!r} stages={list(self.stages)}>"

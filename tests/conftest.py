@@ -1,0 +1,46 @@
+"""Shared fixtures: in-process grid deployments, hosts, servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gns.server import NameService
+from repro.gns.client import LocalGnsClient
+from repro.gridbuffer.server import GridBufferServer
+from repro.transport.gridftp import GridFtpServer
+from repro.transport.inmem import HostRegistry
+
+
+@pytest.fixture()
+def hosts(tmp_path):
+    """Two-host virtual grid rooted in tmp_path."""
+    registry = HostRegistry(tmp_path / "hosts")
+    registry.add_host("alpha")
+    registry.add_host("beta")
+    return registry
+
+
+@pytest.fixture()
+def buffer_server(tmp_path):
+    server = GridBufferServer(cache_dir=tmp_path / "gb-cache")
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def ftp_beta(hosts):
+    server = GridFtpServer(hosts.host("beta").root)
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def name_service(buffer_server):
+    return NameService(locate_buffer_server=lambda machine: buffer_server.address)
+
+
+@pytest.fixture()
+def gns(name_service):
+    return LocalGnsClient(name_service)

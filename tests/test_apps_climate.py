@@ -1,0 +1,201 @@
+"""Tests for the climate case study (models + end-to-end equivalence)."""
+
+import io as _io
+
+import numpy as np
+import pytest
+
+from repro.apps.climate.ccam import (
+    GlobalModel,
+    StretchedGrid,
+    read_history_header,
+    write_history_header,
+)
+from repro.apps.climate.cc2lam import (
+    LamDomain,
+    interpolate_to_domain,
+    read_lam_header,
+    write_lam_header,
+)
+from repro.apps.climate.darlam import RegionalModel
+from repro.apps.climate.pipeline import climate_sim_workflow, climate_workflow
+from repro.workflow.runner import RealRunner
+from repro.workflow.scheduler import plan_workflow
+
+PARAMS = {"nlon": 48, "nlat": 24, "nsteps": 6, "lam_nx": 36, "lam_ny": 30, "lam_refine": 2}
+
+
+class TestStretchedGrid:
+    def test_axes_monotone(self):
+        grid = StretchedGrid(nlon=64, nlat=32)
+        assert np.all(np.diff(grid.lons()) > 0)
+        assert np.all(np.diff(grid.lats()) > 0)
+
+    def test_stretching_concentrates_near_focus(self):
+        grid = StretchedGrid(nlon=96, nlat=48, focus_lon=135.0, stretch=2.0)
+        lons = grid.lons()
+        spacing = np.diff(lons)
+        near = spacing[np.argmin(np.abs(lons[:-1] - 135.0))]
+        far = spacing[np.argmin(np.abs(lons[:-1] - 315.0))]
+        assert near < far
+
+    def test_bounds_respected(self):
+        grid = StretchedGrid()
+        assert grid.lons().min() >= 0.0 and grid.lons().max() <= 360.0
+        assert grid.lats().min() >= -90.0 and grid.lats().max() <= 90.0
+
+    def test_too_small_axis_rejected(self):
+        with pytest.raises(ValueError):
+            StretchedGrid(nlon=2).lons()
+
+
+class TestGlobalModel:
+    def test_step_conserves_shape_and_stays_finite(self):
+        model = GlobalModel(StretchedGrid(nlon=48, nlat=24))
+        for _ in range(20):
+            field = model.step()
+        assert field.shape == (24, 48)
+        assert np.all(np.isfinite(field))
+
+    def test_diffusion_smooths(self):
+        """With winds off, the diffusion operator must reduce roughness."""
+        model = GlobalModel(StretchedGrid(nlon=48, nlat=24), diffusivity=1.0)
+        model.u[:] = 0.0
+        model.v[:] = 0.0
+        rough_before = np.abs(np.diff(model.field, axis=1)).mean()
+        for _ in range(30):
+            model.step()
+        rough_after = np.abs(np.diff(model.field, axis=1)).mean()
+        assert rough_after < rough_before
+
+    def test_advection_diffusion_bounded(self):
+        """The full stepper stays bounded over a long run (stability)."""
+        model = GlobalModel(StretchedGrid(nlon=48, nlat=24), diffusivity=1.0)
+        start_max = np.abs(model.field).max()
+        for _ in range(200):
+            model.step()
+        assert np.abs(model.field).max() < 2 * start_max
+
+    def test_deterministic_given_seed(self):
+        a = GlobalModel(StretchedGrid(nlon=32, nlat=16), seed=3)
+        b = GlobalModel(StretchedGrid(nlon=32, nlat=16), seed=3)
+        for _ in range(5):
+            a.step()
+            b.step()
+        assert np.array_equal(a.field, b.field)
+
+    def test_history_header_roundtrip(self):
+        buf = _io.BytesIO()
+        write_history_header(buf, 96, 48, 240)
+        buf.seek(0)
+        assert read_history_header(buf) == (96, 48, 240)
+
+    def test_bad_magic_rejected(self):
+        buf = _io.BytesIO(b"WRONGMAGIC\x00\x00\x00\x00")
+        with pytest.raises(ValueError):
+            read_history_header(buf)
+
+
+class TestCc2lam:
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            LamDomain(lon_min=160, lon_max=110)
+        with pytest.raises(ValueError):
+            LamDomain(nx=2)
+
+    def test_interpolation_exact_on_linear_field(self):
+        """Bilinear interpolation reproduces an affine field exactly."""
+        grid = StretchedGrid(nlon=64, nlat=32)
+        lons, lats = grid.lons(), grid.lats()
+        lon2d, lat2d = np.meshgrid(lons, lats)
+        field = 2.0 * lon2d + 0.5 * lat2d + 3.0
+        domain = LamDomain(nx=16, ny=12)
+        out = interpolate_to_domain(field, lons, lats, domain)
+        tgt_lon, tgt_lat = np.meshgrid(domain.lons(), domain.lats())
+        expected = 2.0 * tgt_lon + 0.5 * tgt_lat + 3.0
+        assert np.allclose(out, expected, rtol=1e-9)
+
+    def test_lam_header_roundtrip(self):
+        buf = _io.BytesIO()
+        write_lam_header(buf, 72, 60, 240)
+        buf.seek(0)
+        assert read_lam_header(buf) == (72, 60, 240)
+
+    def test_interpolated_values_within_source_range(self):
+        grid = StretchedGrid(nlon=48, nlat=24)
+        model = GlobalModel(grid)
+        domain = LamDomain(nx=20, ny=16)
+        out = interpolate_to_domain(model.field, grid.lons(), grid.lats(), domain)
+        assert out.min() >= model.field.min() - 1e-9
+        assert out.max() <= model.field.max() + 1e-9
+
+
+class TestRegionalModel:
+    def test_refinement_dimensions(self):
+        model = RegionalModel(nx=10, ny=8, refine=3)
+        assert (model.ny, model.nx) == (24, 30)
+
+    def test_boundary_forcing_applied(self):
+        model = RegionalModel(nx=10, ny=8, refine=2, nudge=0.0)
+        driving = np.full((8, 10), 5.0)
+        model.step(driving)  # initialises
+        field = model.step(driving * 2)
+        assert np.allclose(field[0, :], 10.0)
+        assert np.allclose(field[-1, :], 10.0)
+
+    def test_nudging_pulls_toward_target(self):
+        model = RegionalModel(nx=10, ny=8, refine=2, nudge=0.5)
+        model.step(np.zeros((8, 10)))
+        for _ in range(20):
+            field = model.step(np.full((8, 10), 10.0))
+        assert abs(field.mean() - 10.0) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionalModel(nx=4, ny=4, refine=0)
+        with pytest.raises(ValueError):
+            RegionalModel(nx=4, ny=4, nudge=1.5)
+
+
+class TestEndToEnd:
+    def _run(self, placement, coupling):
+        wf = climate_workflow()
+        plan = plan_workflow(wf, placement, coupling=coupling)
+        runner = RealRunner(plan, params=PARAMS, stage_timeout=120)
+        result = runner.run()
+        assert result.ok, result.errors
+        host = runner.deployment.hosts.host(placement["darlam"])
+        data = host.resolve("/wf/climate/darlam_out").read_bytes()
+        runner.deployment.stop()
+        return data
+
+    def test_files_and_buffers_byte_identical(self):
+        """The FM guarantee: coupling choice cannot change results."""
+        same = {s: "m1" for s in ("ccam", "cc2lam", "darlam")}
+        split = {"ccam": "m1", "cc2lam": "m1", "darlam": "m2"}
+        out_local = self._run(same, {"ccam_hist": "local", "lam_input": "local"})
+        out_buffer = self._run(split, {"ccam_hist": "buffer", "lam_input": "buffer"})
+        out_copy = self._run(split, {"ccam_hist": "local", "lam_input": "copy"})
+        assert out_local == out_buffer == out_copy
+        assert len(out_local) > 0
+
+    def test_darlam_reread_works_through_buffer_cache(self):
+        """DARLAM seeks back to record 0 — served by the cache file when
+        the stream's hash-table copy is gone (paper Section 5.3)."""
+        split = {"ccam": "m1", "cc2lam": "m1", "darlam": "m2"}
+        out = self._run(split, {"ccam_hist": "buffer", "lam_input": "buffer"})
+        # The final drift record exists (8 bytes after per-step records).
+        assert len(out) > 8
+
+
+class TestSimWorkflowAnnotations:
+    def test_calibrated_works(self):
+        wf = climate_sim_workflow()
+        assert wf.stages["ccam"].work == pytest.approx(994.0)
+        assert wf.stages["darlam"].work == pytest.approx(466.0)
+        assert wf.stages["cc2lam"].work < 20
+
+    def test_darlam_rereads(self):
+        wf = climate_sim_workflow()
+        fu = wf.file_use("darlam", "lam_input", "read")
+        assert fu.reread_bytes > 0

@@ -1,0 +1,258 @@
+"""Tests for the mechanical-engineering case study."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.mecheng.chammy import HoleShape, boundary_points
+from repro.apps.mecheng.fast import (
+    EDGE_CRACK_Y,
+    ParisLaw,
+    cycles_closed_form,
+    cycles_to_grow,
+)
+from repro.apps.mecheng.make_sf import boundary_tangential_stress
+from repro.apps.mecheng.objective import design_life
+from repro.apps.mecheng.pafec import (
+    Material,
+    build_ring_mesh,
+    solve_plane_stress,
+    stress_concentration_factor,
+)
+from repro.apps.mecheng.pipeline import (
+    TABLE2_EXPERIMENTS,
+    durability_sim_workflow,
+    durability_workflow,
+    table2_plan,
+)
+
+
+class TestChammy:
+    def test_circle_radius_constant(self):
+        shape = HoleShape(r0=2.0, power=2.0, aspect=1.0)
+        pts = boundary_points(shape, 64)
+        radii = np.hypot(pts[:, 0], pts[:, 1])
+        assert np.allclose(radii, 2.0, rtol=1e-9)
+
+    def test_aspect_squashes_y(self):
+        shape = HoleShape(r0=1.0, aspect=2.0)
+        pts = boundary_points(shape, 64)
+        assert pts[:, 1].max() == pytest.approx(0.5, rel=1e-6)
+        assert pts[:, 0].max() == pytest.approx(1.0, rel=1e-6)
+
+    def test_power_increases_corner_fullness(self):
+        round_hole = boundary_points(HoleShape(power=2.0), 360)
+        square_hole = boundary_points(HoleShape(power=8.0), 360)
+        # At 45 degrees the squarer hole extends further out.
+        idx = 45
+        assert np.hypot(*square_hole[idx]) > np.hypot(*round_hole[idx])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoleShape(r0=0)
+        with pytest.raises(ValueError):
+            HoleShape(power=0.5)
+        with pytest.raises(ValueError):
+            HoleShape(aspect=0)
+        with pytest.raises(ValueError):
+            boundary_points(HoleShape(), 4)
+
+    @given(
+        power=st.floats(min_value=1.0, max_value=10.0),
+        aspect=st.floats(min_value=0.3, max_value=3.0),
+        r0=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_boundary_always_closed_and_positive(self, power, aspect, r0):
+        pts = boundary_points(HoleShape(r0=r0, power=power, aspect=aspect), 48)
+        radii = np.hypot(pts[:, 0], pts[:, 1])
+        assert np.all(radii > 0)
+        # Superellipses bulge up to a factor 2^(1/2 - 1/p) < sqrt(2)
+        # beyond r0 at the diagonals.
+        bound = r0 * max(1.0, 1.0 / aspect) * np.sqrt(2.0) + 1e-9
+        assert np.all(radii <= bound)
+
+
+class TestPafec:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        boundary = boundary_points(HoleShape(), 64)
+        mesh = build_ring_mesh(boundary, n_rings=20, half_width=6.0)
+        return mesh, solve_plane_stress(mesh)
+
+    def test_kirsch_scf(self, solution):
+        """Circular hole under uniaxial tension: SCF ~ 3 (Kirsch)."""
+        _, result = solution
+        assert 2.7 < stress_concentration_factor(result) < 3.6
+
+    def test_peak_at_hole_sides(self, solution):
+        mesh, result = solution
+        hole_elems = np.nonzero((mesh.triangles < mesh.n_around).any(axis=1))[0]
+        e = hole_elems[np.argmax(result.von_mises[hole_elems])]
+        cx, cy = mesh.nodes[mesh.triangles[e]].mean(axis=0)
+        angle = abs(np.degrees(np.arctan2(cy, cx)))
+        assert angle < 15 or angle > 165
+
+    def test_far_field_stress_recovered(self, solution):
+        """Elements far from the hole should carry roughly sigma_yy =
+        applied, sigma_xx ~ 0."""
+        mesh, result = solution
+        centroids = mesh.nodes[mesh.triangles].mean(axis=1)
+        far = np.hypot(centroids[:, 0], centroids[:, 1]) > 4.5
+        syy = result.element_stress[far, 1]
+        assert np.median(syy) == pytest.approx(result.applied_stress, rel=0.25)
+
+    def test_displacements_symmetric(self, solution):
+        """Top edge moves up, bottom edge moves down under tension."""
+        mesh, result = solution
+        uy = result.displacements[:, 1]
+        top = mesh.nodes[:, 1] > 5.5
+        bottom = mesh.nodes[:, 1] < -5.5
+        assert uy[top].mean() > 0
+        assert uy[bottom].mean() < 0
+
+    def test_mesh_validation(self):
+        with pytest.raises(ValueError):
+            build_ring_mesh(np.zeros((4, 2)), n_rings=10)
+        with pytest.raises(ValueError):
+            build_ring_mesh(boundary_points(HoleShape(), 16), n_rings=2)
+
+    def test_material_validation(self):
+        with pytest.raises(ValueError):
+            Material(youngs=0)
+        with pytest.raises(ValueError):
+            Material(poisson=0.6)
+
+    def test_finer_mesh_higher_scf(self):
+        """Convergence from below: coarse meshes underestimate the peak."""
+        coarse = solve_plane_stress(
+            build_ring_mesh(boundary_points(HoleShape(), 32), n_rings=10, half_width=6.0)
+        )
+        fine = solve_plane_stress(
+            build_ring_mesh(boundary_points(HoleShape(), 96), n_rings=28, half_width=6.0)
+        )
+        assert stress_concentration_factor(fine) > stress_concentration_factor(coarse)
+
+
+class TestMakeSf:
+    def test_tangential_stress_peaks_at_sides(self):
+        boundary = boundary_points(HoleShape(), 64)
+        mesh = build_ring_mesh(boundary, n_rings=16, half_width=6.0)
+        result = solve_plane_stress(mesh)
+        sigma_t = boundary_tangential_stress(
+            mesh.nodes, mesh.n_around, mesh.triangles, result.element_stress
+        )
+        peak_idx = int(np.argmax(sigma_t))
+        x, y = mesh.nodes[peak_idx]
+        angle = abs(np.degrees(np.arctan2(y, x)))
+        assert angle < 20 or angle > 160
+        # Kirsch: tangential stress ~ 3x applied at the sides.
+        assert sigma_t[peak_idx] == pytest.approx(3 * result.applied_stress, rel=0.25)
+
+    def test_coincident_points_rejected(self):
+        nodes = np.zeros((8, 2))
+        with pytest.raises(ValueError):
+            boundary_tangential_stress(nodes, 8, np.zeros((0, 3), dtype=int), np.zeros((0, 3)))
+
+
+class TestFast:
+    def test_matches_closed_form_constant_stress(self):
+        numeric = cycles_to_grow(200e6, 1e-3, 10e-3)
+        analytic = cycles_closed_form(200e6, 1e-3, 10e-3)
+        assert numeric == pytest.approx(analytic, rel=1e-3)
+
+    def test_m_equals_2_log_form(self):
+        law = ParisLaw(c=1e-11, m=2.0)
+        numeric = cycles_to_grow(150e6, 1e-3, 5e-3, law=law)
+        analytic = cycles_closed_form(150e6, 1e-3, 5e-3, law=law)
+        assert numeric == pytest.approx(analytic, rel=1e-3)
+
+    def test_higher_stress_shorter_life(self):
+        low = cycles_to_grow(100e6, 1e-3, 10e-3)
+        high = cycles_to_grow(300e6, 1e-3, 10e-3)
+        assert high < low
+
+    def test_zero_stress_infinite_life(self):
+        assert cycles_to_grow(0.0, 1e-3, 10e-3) == float("inf")
+
+    def test_no_growth_needed_zero_cycles(self):
+        assert cycles_to_grow(100e6, 5e-3, 5e-3) == 0.0
+
+    def test_stress_profile_decay_extends_life(self):
+        flat = cycles_to_grow(200e6, 1e-3, 10e-3)
+        decaying = cycles_to_grow(
+            200e6, 1e-3, 10e-3, stress_profile=lambda a: 1.0 / (1.0 + 100 * a)
+        )
+        assert decaying > flat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParisLaw(c=0)
+        with pytest.raises(ValueError):
+            ParisLaw(m=1.0)
+        with pytest.raises(ValueError):
+            cycles_to_grow(1e8, 0.0, 1e-2)
+        with pytest.raises(ValueError):
+            cycles_to_grow(1e8, 1e-3, 1e-2, steps=7)
+
+    @given(
+        sigma=st.floats(min_value=1e7, max_value=1e9),
+        a0=st.floats(min_value=1e-4, max_value=1e-3),
+        growth=st.floats(min_value=1.1, max_value=50.0),
+        m=st.floats(min_value=1.5, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_numeric_matches_analytic_property(self, sigma, a0, growth, m):
+        law = ParisLaw(c=2e-12, m=m)
+        af = a0 * growth
+        numeric = cycles_to_grow(sigma, a0, af, law=law)
+        analytic = cycles_closed_form(sigma, a0, af, law=law)
+        assert numeric == pytest.approx(analytic, rel=1e-2)
+
+
+class TestObjective:
+    def test_min_finite_life(self):
+        life, idx = design_life(np.array([5e6, 2e6, float("inf"), 9e6]))
+        assert life == 2e6
+        assert idx == 1
+
+    def test_all_infinite_raises(self):
+        with pytest.raises(ValueError):
+            design_life(np.array([float("inf")] * 3))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            design_life(np.array([]))
+
+
+class TestPipelineDefinitions:
+    def test_real_workflow_structure(self):
+        wf = durability_workflow()
+        order = wf.topological_order()
+        assert order.index("CHAMMY") < order.index("PAFEC") < order.index("MAKE_SF_FILES")
+        assert order.index("FAST") < order.index("OBJECTIVE")
+        assert "RESULT.DAT" in wf.final_outputs()
+
+    def test_sim_workflow_total_work_matches_exp1(self):
+        """Works were fitted so exp1 (jagan, sequential) is ~99:17."""
+        from repro.grid.testbed import TESTBED
+
+        wf = durability_sim_workflow()
+        jagan = TESTBED["jagan"]
+        total_work = sum(s.work for s in wf.stages.values())
+        seconds = total_work / jagan.speed / (1 - jagan.idle_io_fraction)
+        assert seconds == pytest.approx(99 * 60 + 17, rel=0.05)
+
+    def test_table2_plans(self):
+        assert table2_plan(1).coupling["JOB.SF"] == "local"
+        assert table2_plan(2).coupling["JOB.SF"] == "buffer"
+        plan3 = table2_plan(3)
+        assert plan3.machine_of("PAFEC") == "jagan"
+        assert plan3.machine_of("CHAMMY") == "koume00"
+        with pytest.raises(KeyError):
+            table2_plan(4)
+
+    def test_experiment_metadata(self):
+        assert TABLE2_EXPERIMENTS[1]["paper_total"] == 5957
+        assert TABLE2_EXPERIMENTS[3]["paper_total"] == 3311

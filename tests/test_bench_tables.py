@@ -1,0 +1,124 @@
+"""Tests for table formatting and the experiment drivers."""
+
+import pytest
+
+from repro.bench.ascii_render import ascii_field, rasterize_von_mises, write_pgm
+from repro.bench.tables import ShapeCheck, TableBuilder, hms, parse_hms
+
+
+class TestTimeFormatting:
+    @pytest.mark.parametrize(
+        "seconds,text",
+        [(0, "00:00:00"), (59, "00:00:59"), (61, "00:01:01"), (3661, "01:01:01"), (5957, "01:39:17")],
+    )
+    def test_hms(self, seconds, text):
+        assert hms(seconds) == text
+
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("99:17", 5957), ("00:28:21", 1701), ("1:39:33", 5973), ("0:50", 50)],
+    )
+    def test_parse_hms(self, text, seconds):
+        assert parse_hms(text) == seconds
+
+    def test_parse_roundtrip(self):
+        for s in (0, 59, 3600, 5957, 86399):
+            assert parse_hms(hms(s)) == s
+
+    def test_parse_bad_raises(self):
+        with pytest.raises(ValueError):
+            parse_hms("12")
+
+
+class TestTableBuilder:
+    def test_render_alignment(self):
+        t = TableBuilder("Title", ["col1", "longer column"])
+        t.add_row("a", 1)
+        t.add_row("bbbb", 22)
+        text = t.render()
+        assert "Title" in text
+        assert "col1" in text
+        lines = text.splitlines()
+        assert len(lines) >= 6
+
+    def test_wrong_cell_count_rejected(self):
+        t = TableBuilder("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_checks_summary(self):
+        t = TableBuilder("T", ["a"])
+        t.add_check("claim 1", True)
+        assert t.all_checks_pass
+        t.add_check("claim 2", False)
+        assert not t.all_checks_pass
+        assert "[FAIL] claim 2" in t.render()
+
+    def test_shape_check_str(self):
+        assert str(ShapeCheck("x", True)) == "[PASS] x"
+
+
+class TestExperimentDrivers:
+    def test_table1(self):
+        from repro.bench.experiments import run_table1
+
+        table = run_table1()
+        assert len(table.rows) == 7
+        assert table.all_checks_pass
+
+    def test_fig6_small(self):
+        from repro.bench.experiments import run_fig6_stress
+
+        table = run_fig6_stress(n_rings=12, n_boundary=48)
+        assert table.all_checks_pass
+
+    def test_table2_shapes(self):
+        from repro.bench.experiments import run_table2
+
+        assert run_table2().all_checks_pass
+
+    def test_table3_shapes(self):
+        from repro.bench.experiments import run_table3
+
+        assert run_table3().all_checks_pass
+
+    def test_cli_subset(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+
+class TestAsciiRender:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.apps.mecheng import HoleShape, boundary_points, build_ring_mesh, solve_plane_stress
+
+        mesh = build_ring_mesh(boundary_points(HoleShape(), 32), n_rings=10, half_width=5.0)
+        return solve_plane_stress(mesh)
+
+    def test_raster_shape_and_hole(self, result):
+        raster = rasterize_von_mises(result, resolution=24)
+        assert raster.shape == (24, 24)
+        # Centre of the plate is inside the hole -> NaN.
+        import numpy as np
+
+        assert np.isnan(raster[12, 12])
+        assert np.isfinite(raster[0, 0])
+
+    def test_ascii_field(self, result):
+        raster = rasterize_von_mises(result, resolution=20)
+        art = ascii_field(raster)
+        lines = art.splitlines()
+        assert len(lines) == 20
+        assert any(" " in line for line in lines)  # the hole
+        assert any(c not in " " for line in lines for c in line)
+
+    def test_write_pgm(self, result, tmp_path):
+        raster = rasterize_von_mises(result, resolution=16)
+        path = tmp_path / "stress.pgm"
+        write_pgm(raster, path)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n16 16\n255\n")
+        assert len(data) == len(b"P5\n16 16\n255\n") + 16 * 16

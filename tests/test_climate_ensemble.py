@@ -1,0 +1,86 @@
+"""Tests for the multi-region ensemble (broadcast streaming)."""
+
+import pytest
+
+from repro.apps.climate.ensemble import (
+    ensemble_plan,
+    ensemble_sim_workflow,
+    ensemble_workflow,
+)
+from repro.workflow.runner import RealRunner
+from repro.workflow.scheduler import plan_workflow
+from repro.workflow.simrunner import simulate_plan
+
+PARAMS = {"nlon": 48, "nlat": 24, "nsteps": 5, "lam_nx": 36, "lam_ny": 30}
+
+
+class TestStructure:
+    def test_workflow_shape(self):
+        wf = ensemble_workflow(3)
+        assert len(wf.stages) == 5
+        assert wf.consumers_of("lam_input") == ["darlam_r0", "darlam_r1", "darlam_r2"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ensemble_workflow(0)
+        with pytest.raises(ValueError):
+            ensemble_sim_workflow(0)
+
+
+class TestRealBroadcast:
+    def test_two_regions_identical_outputs(self):
+        """Both regions consume the same broadcast stream and, with
+        identical parameters, must produce identical outputs."""
+        wf = ensemble_workflow(2)
+        placement = {
+            "ccam": "hub",
+            "cc2lam": "hub",
+            "darlam_r0": "siteA",
+            "darlam_r1": "siteB",
+        }
+        plan = plan_workflow(
+            wf, placement, coupling={"ccam_hist": "buffer", "lam_input": "buffer"}
+        )
+        runner = RealRunner(plan, params=PARAMS, stage_timeout=120)
+        result = runner.run()
+        assert result.ok, result.errors
+        out_a = (
+            runner.deployment.hosts.host("siteA")
+            .resolve("/wf/climate-ensemble/darlam_out_r0")
+            .read_bytes()
+        )
+        out_b = (
+            runner.deployment.hosts.host("siteB")
+            .resolve("/wf/climate-ensemble/darlam_out_r1")
+            .read_bytes()
+        )
+        # Outputs differ only in the magic-length header region?  No —
+        # identical params and inputs give byte-identical results.
+        assert out_a == out_b
+        assert len(out_a) > 0
+        # The stream really was broadcast: both readers registered.
+        stats = runner.deployment.buffer_server.service.stats(
+            "climate-ensemble:lam_input"
+        )
+        assert stats.bytes_read >= 2 * stats.bytes_written  # both drained + rereads
+        runner.deployment.stop()
+
+
+class TestSimulatedScaling:
+    def test_broadcast_slower_than_single_region_but_sublinear(self):
+        single = simulate_plan(ensemble_plan("brecca", ["dione"])).makespan
+        triple = simulate_plan(
+            ensemble_plan("brecca", ["dione", "vpac27", "freak"])
+        ).makespan
+        assert triple >= single
+        assert triple < 3 * single  # broadcast, not three sequential runs
+
+    def test_slowest_region_dominates(self):
+        fast = simulate_plan(ensemble_plan("brecca", ["dione", "dione"])).makespan
+        with_slow = simulate_plan(ensemble_plan("brecca", ["dione", "vpac27"])).makespan
+        assert with_slow > fast
+
+    def test_copy_fanout_also_supported(self):
+        report = simulate_plan(ensemble_plan("brecca", ["dione", "freak"], mechanism="copy"))
+        # Sequential semantics: regional models start after the copies.
+        assert report.timings["darlam_r0"].start >= report.timings["cc2lam"].finish

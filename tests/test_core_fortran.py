@@ -1,0 +1,192 @@
+"""Tests for Fortran unformatted sequential record handling."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fortran import (
+    FortranRecordReader,
+    FortranRecordWriter,
+    translate_fortran_stream,
+)
+from repro.core.heterogeneity import FieldType, HeterogeneityError, RecordSchema
+
+
+def schema() -> RecordSchema:
+    return RecordSchema([FieldType("step", "int32"), FieldType("value", "float64")])
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        buf = io.BytesIO()
+        w = FortranRecordWriter(buf)
+        w.write_record(b"first")
+        w.write_record(b"second record")
+        buf.seek(0)
+        r = FortranRecordReader(buf)
+        assert r.read_record() == b"first"
+        assert r.read_record() == b"second record"
+        assert r.read_record() is None
+        assert r.records_read == 2
+
+    def test_wire_format_little_endian(self):
+        buf = io.BytesIO()
+        FortranRecordWriter(buf, byte_order="little").write_record(b"abc")
+        raw = buf.getvalue()
+        assert raw == struct.pack("<I", 3) + b"abc" + struct.pack("<I", 3)
+
+    def test_wire_format_big_endian(self):
+        buf = io.BytesIO()
+        FortranRecordWriter(buf, byte_order="big").write_record(b"abc")
+        raw = buf.getvalue()
+        assert raw == struct.pack(">I", 3) + b"abc" + struct.pack(">I", 3)
+
+    def test_iteration(self):
+        buf = io.BytesIO()
+        w = FortranRecordWriter(buf)
+        for i in range(5):
+            w.write_record(bytes([i]) * (i + 1))
+        buf.seek(0)
+        records = list(FortranRecordReader(buf))
+        assert [len(r) for r in records] == [1, 2, 3, 4, 5]
+
+    def test_truncated_payload_detected(self):
+        buf = io.BytesIO(struct.pack("<I", 100) + b"short")
+        with pytest.raises(HeterogeneityError, match="truncated"):
+            FortranRecordReader(buf).read_record()
+
+    def test_marker_mismatch_detected(self):
+        buf = io.BytesIO(struct.pack("<I", 3) + b"abc" + struct.pack("<I", 99))
+        with pytest.raises(HeterogeneityError, match="marker mismatch"):
+            FortranRecordReader(buf).read_record()
+
+    def test_wrong_byte_order_detected_via_limit(self):
+        """Reading LE markers as BE gives an absurd length -> clear error."""
+        buf = io.BytesIO()
+        FortranRecordWriter(buf, byte_order="little").write_record(b"x" * 300)
+        buf.seek(0)
+        with pytest.raises(HeterogeneityError, match="byte order"):
+            FortranRecordReader(buf, byte_order="big", max_record=1 << 20).read_record()
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            FortranRecordWriter(io.BytesIO(), byte_order="pdp")
+
+
+class TestSchemaValues:
+    def test_values_roundtrip_native(self):
+        buf = io.BytesIO()
+        w = FortranRecordWriter(buf)
+        w.write_values(schema(), {"step": 3, "value": 2.5})
+        buf.seek(0)
+        rec = FortranRecordReader(buf).read_values(schema())
+        assert rec == {"step": 3, "value": 2.5}
+
+    def test_values_cross_endian(self):
+        """A 'big-endian machine' writes; a little-endian reader decodes."""
+        buf = io.BytesIO()
+        FortranRecordWriter(buf, byte_order="big").write_values(
+            schema(), {"step": 7, "value": -1.25}
+        )
+        # The wire really is big-endian:
+        raw = buf.getvalue()
+        assert raw[:4] == struct.pack(">I", 12)
+        assert struct.unpack(">id", raw[4:16]) == (7, -1.25)
+        buf.seek(0)
+        rec = FortranRecordReader(buf, byte_order="big").read_values(schema())
+        assert rec == {"step": 7, "value": -1.25}
+
+    def test_values_eof_returns_none(self):
+        assert FortranRecordReader(io.BytesIO()).read_values(schema()) is None
+
+
+class TestTranslation:
+    def test_translate_le_to_be_and_back(self):
+        src = io.BytesIO()
+        w = FortranRecordWriter(src, byte_order="little")
+        for i in range(4):
+            w.write_values(schema(), {"step": i, "value": i * 0.5})
+        src.seek(0)
+        mid = io.BytesIO()
+        n = translate_fortran_stream(src, mid, schema(), "little", "big")
+        assert n == 4
+        mid.seek(0)
+        back = io.BytesIO()
+        translate_fortran_stream(mid, back, schema(), "big", "little")
+        assert back.getvalue() == src.getvalue()
+
+    def test_translate_same_order_is_identity(self):
+        src = io.BytesIO()
+        w = FortranRecordWriter(src)
+        w.write_values(schema(), {"step": 1, "value": 1.0})
+        src.seek(0)
+        dst = io.BytesIO()
+        translate_fortran_stream(src, dst, schema(), "little", "little")
+        assert dst.getvalue() == src.getvalue()
+
+    def test_max_records_limit(self):
+        src = io.BytesIO()
+        w = FortranRecordWriter(src)
+        for i in range(10):
+            w.write_values(schema(), {"step": i, "value": 0.0})
+        src.seek(0)
+        dst = io.BytesIO()
+        assert translate_fortran_stream(src, dst, schema(), "little", "little", max_records=3) == 3
+
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                st.floats(allow_nan=False, allow_infinity=False, width=64),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_translation_preserves_values(self, values):
+        s = schema()
+        src = io.BytesIO()
+        w = FortranRecordWriter(src, byte_order="little")
+        for step, value in values:
+            w.write_values(s, {"step": step, "value": value})
+        src.seek(0)
+        dst = io.BytesIO()
+        translate_fortran_stream(src, dst, s, "little", "big")
+        dst.seek(0)
+        r = FortranRecordReader(dst, byte_order="big")
+        got = []
+        while True:
+            rec = r.read_values(s)
+            if rec is None:
+                break
+            got.append((rec["step"], rec["value"]))
+        assert got == [(s_, v) for s_, v in values]
+
+
+class TestThroughGridBuffer:
+    def test_fortran_records_over_a_stream(self, buffer_server):
+        """Fortran framing works over a live Grid Buffer stream."""
+        from repro.gridbuffer.client import GridBufferClient
+
+        client = GridBufferClient(*buffer_server.address)
+        bw = client.open_writer("fortran", cache=True)
+        w = FortranRecordWriter(bw)
+        for i in range(20):
+            w.write_values(schema(), {"step": i, "value": float(i) ** 0.5})
+        bw.close()
+        br = client.open_reader("fortran", read_timeout=10)
+        import io as _io
+
+        r = FortranRecordReader(_io.BufferedReader(br))
+        steps = []
+        while True:
+            rec = r.read_values(schema())
+            if rec is None:
+                break
+            steps.append(rec["step"])
+        assert steps == list(range(20))
+        client.close()

@@ -1,0 +1,141 @@
+"""Unit + property tests for the XDR-style neutral record encoding."""
+
+import struct
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heterogeneity import (
+    NATIVE_BYTE_ORDER,
+    FieldType,
+    HeterogeneityError,
+    RecordSchema,
+    needs_swap,
+)
+
+
+def schema() -> RecordSchema:
+    return RecordSchema(
+        [
+            FieldType("step", "int32"),
+            FieldType("flags", "uint32"),
+            FieldType("values", "float64", 3),
+            FieldType("count", "int64"),
+        ]
+    )
+
+
+class TestFieldType:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            FieldType("x", "complex128")
+
+    def test_count_validation(self):
+        with pytest.raises(HeterogeneityError):
+            FieldType("x", "int32", count=0)
+
+    def test_struct_code(self):
+        assert FieldType("x", "float32").struct_code == "f"
+        assert FieldType("x", "float64", 4).struct_code == "4d"
+
+
+class TestRecordSchema:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            RecordSchema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            RecordSchema([FieldType("a", "int32"), FieldType("a", "int64")])
+
+    def test_record_size(self):
+        assert schema().record_size == 4 + 4 + 24 + 8
+
+    def test_pack_unpack_roundtrip(self):
+        s = schema()
+        rec = {"step": -5, "flags": 7, "values": (1.5, -2.5, 3.25), "count": 2**40}
+        assert s.unpack_native(s.pack_native(rec)) == rec
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(HeterogeneityError, match="missing field"):
+            schema().pack_native({"step": 1})
+
+    def test_wrong_array_length_rejected(self):
+        with pytest.raises(HeterogeneityError, match="expects 3 values"):
+            schema().pack_native(
+                {"step": 1, "flags": 0, "values": (1.0,), "count": 0}
+            )
+
+    def test_wrong_size_unpack_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            schema().unpack_native(b"\x00" * 3)
+
+    def test_neutral_is_big_endian(self):
+        s = RecordSchema([FieldType("x", "uint32")])
+        raw = s.pack_native({"x": 0x01020304})
+        neutral = s.to_neutral(raw)
+        assert neutral == b"\x01\x02\x03\x04"
+
+    def test_neutral_roundtrip(self):
+        s = schema()
+        rec = {"step": 42, "flags": 0xDEAD, "values": (0.1, 0.2, 0.3), "count": -9}
+        raw = s.pack_native(rec)
+        assert s.from_neutral(s.to_neutral(raw)) == raw
+
+    def test_multiple_records_transcoded(self):
+        s = RecordSchema([FieldType("x", "int32")])
+        raw = s.pack_native({"x": 1}) + s.pack_native({"x": 2})
+        neutral = s.to_neutral(raw)
+        assert len(neutral) == 8
+        assert s.from_neutral(neutral) == raw
+
+    def test_partial_record_payload_rejected(self):
+        s = RecordSchema([FieldType("x", "int64")])
+        with pytest.raises(HeterogeneityError, match="multiple"):
+            s.to_neutral(b"\x00" * 12)
+
+    def test_simulated_foreign_writer(self):
+        """A 'big-endian writer' produces neutral bytes directly; a
+        little-endian reader must recover the same values."""
+        s = RecordSchema([FieldType("a", "int32"), FieldType("b", "float64")])
+        wire = struct.pack(">id", 77, 2.5)  # what a BE machine would send
+        native = s.from_neutral(wire)
+        assert s.unpack_native(native) == {"a": 77, "b": 2.5}
+
+    @given(
+        step=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        flags=st.integers(min_value=0, max_value=2**32 - 1),
+        values=st.tuples(
+            *(st.floats(allow_nan=False, allow_infinity=False, width=64) for _ in range(3))
+        ),
+        count=st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_neutral_roundtrip_property(self, step, flags, values, count):
+        s = schema()
+        rec = {"step": step, "flags": flags, "values": values, "count": count}
+        raw = s.pack_native(rec)
+        back = s.unpack_native(s.from_neutral(s.to_neutral(raw)))
+        assert back["step"] == step
+        assert back["flags"] == flags
+        assert back["count"] == count
+        assert back["values"] == values
+
+
+class TestNeedsSwap:
+    def test_same_order_passthrough(self):
+        assert not needs_swap("little", "little")
+        assert not needs_swap("big", "big")
+
+    def test_cross_order_swaps(self):
+        assert needs_swap("little", "big")
+        assert needs_swap("big", "little")
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            needs_swap("middle", "little")
+
+    def test_native_order_constant(self):
+        assert NATIVE_BYTE_ORDER == sys.byteorder

@@ -1,0 +1,158 @@
+"""Tests for builtins.open interposition (the LD_PRELOAD analogue)."""
+
+import builtins
+
+import pytest
+
+from repro.core.interpose import FmOpen, interposed
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.gns.records import BufferEndpoint, GnsRecord, IOMode
+
+
+@pytest.fixture()
+def fm(hosts, gns, buffer_server):
+    fm = FileMultiplexer(
+        GridContext(
+            machine="alpha",
+            gns=gns,
+            hosts=hosts,
+            buffer_locator=lambda m: buffer_server.address,
+        )
+    )
+    yield fm
+    fm.close()
+
+
+class TestInterposed:
+    def test_open_restored_after_context(self, fm):
+        original = builtins.open
+        with interposed(fm, prefixes=("/wf/",)):
+            assert builtins.open is not original
+        assert builtins.open is original
+
+    def test_restored_on_exception(self, fm):
+        original = builtins.open
+        with pytest.raises(RuntimeError):
+            with interposed(fm, prefixes=("/wf/",)):
+                raise RuntimeError("boom")
+        assert builtins.open is original
+
+    def test_text_roundtrip_through_fm(self, fm, hosts):
+        with interposed(fm, prefixes=("/wf/",)):
+            with open("/wf/out.txt", "w") as fh:
+                fh.write("line 1\nline 2\n")
+            with open("/wf/out.txt") as fh:
+                assert fh.readlines() == ["line 1\n", "line 2\n"]
+        assert hosts.host("alpha").resolve("/wf/out.txt").exists()
+
+    def test_binary_roundtrip(self, fm):
+        with interposed(fm, prefixes=("/wf/",)):
+            with open("/wf/data.bin", "wb") as fh:
+                fh.write(b"\x00\x01\x02")
+            with open("/wf/data.bin", "rb") as fh:
+                assert fh.read() == b"\x00\x01\x02"
+
+    def test_non_matching_path_falls_through(self, fm, tmp_path):
+        outside = tmp_path / "outside.txt"
+        with interposed(fm, prefixes=("/wf/",)):
+            with open(outside, "w") as fh:
+                fh.write("real fs")
+        assert outside.read_text() == "real fs"
+        assert all(s.path != str(outside) for s in fm.open_history)
+
+    def test_legacy_function_unmodified(self, fm):
+        """The paper's core claim: the 'legacy program' below knows
+        nothing about the grid, yet its IO routes through the FM."""
+
+        def legacy_program():
+            with open("/wf/input.txt", "w") as out:
+                out.write("42\n")
+            with open("/wf/input.txt") as inp:
+                return int(inp.readline())
+
+        with interposed(fm, prefixes=("/wf/",)):
+            assert legacy_program() == 42
+        assert any(s.path == "/wf/input.txt" for s in fm.open_history)
+
+    def test_legacy_streaming_through_buffer(self, fm, hosts, gns, buffer_server):
+        """Rewiring a legacy file to a Grid Buffer stream requires only
+        a GNS record — same open() calls."""
+        import threading
+
+        gns.add(
+            GnsRecord(
+                machine="*",
+                path="/wf/pipe.dat",
+                mode=IOMode.BUFFER,
+                buffer=BufferEndpoint(stream="interpose-pipe", cache=True),
+            )
+        )
+        fm2 = FileMultiplexer(
+            GridContext(
+                machine="beta",
+                gns=gns,
+                hosts=hosts,
+                buffer_locator=lambda m: buffer_server.address,
+            )
+        )
+
+        # Two FMs in one process: patching builtins globally would race,
+        # so each side uses its own FmOpen callable directly.
+        writer_open = FmOpen(fm2, prefixes=("/wf/",))
+
+        def produce():
+            with writer_open("/wf/pipe.dat", "w") as fh:
+                fh.write("streamed text\n")
+
+        t = threading.Thread(target=produce)
+        t.start()
+        reader_open = FmOpen(fm, prefixes=("/wf/",))
+        with reader_open("/wf/pipe.dat") as fh:
+            assert fh.readline() == "streamed text\n"
+        t.join(timeout=10)
+        fm2.close()
+
+    def test_unbuffered_text_rejected(self, fm):
+        fm_open = FmOpen(fm, prefixes=("/wf/",))
+        with pytest.raises(ValueError):
+            fm_open("/wf/x", "r", buffering=0)
+
+    def test_empty_prefixes_rejected(self, fm):
+        with pytest.raises(ValueError):
+            FmOpen(fm, prefixes=())
+
+    def test_nested_interposition_innermost_wins(self, fm, hosts, gns, buffer_server):
+        """Nested contexts: the inner FM serves opens; the outer patch
+        is restored when the inner context exits."""
+        from repro.core.multiplexer import FileMultiplexer, GridContext
+
+        hosts.add_host("gamma")
+        fm_inner = FileMultiplexer(
+            GridContext(
+                machine="gamma",
+                gns=gns,
+                hosts=hosts,
+                buffer_locator=lambda m: buffer_server.address,
+            )
+        )
+        with interposed(fm, prefixes=("/wf/",)):
+            with open("/wf/outer.txt", "w") as fh:
+                fh.write("outer")
+            with interposed(fm_inner, prefixes=("/wf/",)):
+                with open("/wf/inner.txt", "w") as fh:
+                    fh.write("inner")
+            with open("/wf/outer2.txt", "w") as fh:
+                fh.write("outer again")
+        assert hosts.host("alpha").resolve("/wf/outer.txt").exists()
+        assert hosts.host("gamma").resolve("/wf/inner.txt").exists()
+        assert not hosts.host("alpha").resolve("/wf/inner.txt").exists()
+        assert hosts.host("alpha").resolve("/wf/outer2.txt").exists()
+        fm_inner.close()
+
+    def test_path_objects_fall_through(self, fm, tmp_path):
+        """Non-str path-likes are never intercepted."""
+        target = tmp_path / "pathobj.txt"
+        fm_open = FmOpen(fm, prefixes=("/",))
+        with fm_open(target, "w") as fh:
+            fh.write("via Path")
+        assert target.read_text() == "via Path"

@@ -1,0 +1,128 @@
+"""Unit + property tests for the copy-vs-proxy access policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import AccessEstimate, AccessPolicy
+
+
+def est(**kw) -> AccessEstimate:
+    base = dict(file_size=100 * 1024 * 1024, bandwidth=1e6, latency=0.1, read_fraction=1.0)
+    base.update(kw)
+    return AccessEstimate(**base)
+
+
+class TestValidation:
+    def test_estimate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            est(file_size=-1)
+        with pytest.raises(ValueError):
+            est(bandwidth=0)
+        with pytest.raises(ValueError):
+            est(latency=-1)
+        with pytest.raises(ValueError):
+            est(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            est(block_size=0)
+
+    def test_policy_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AccessPolicy(max_copy_bytes=-1)
+
+
+class TestDecisions:
+    def test_full_sequential_read_prefers_copy(self):
+        """Reading the whole file: one bulk copy beats per-block RPCs."""
+        policy = AccessPolicy()
+        decision = policy.decide(est(read_fraction=1.0, latency=0.1))
+        assert decision.mode == "copy"
+
+    def test_tiny_fraction_prefers_proxy(self):
+        """Section 3.1: 'if an application reads a small fraction of the
+        remote file, it may not warrant copying it'."""
+        policy = AccessPolicy()
+        decision = policy.decide(est(read_fraction=0.001))
+        assert decision.mode == "proxy"
+
+    def test_huge_file_forced_to_proxy(self):
+        """'if the file is very large, it may not be possible to copy it'."""
+        policy = AccessPolicy(max_copy_bytes=1024)
+        decision = policy.decide(est(file_size=10_000, read_fraction=1.0))
+        assert decision.mode == "proxy"
+        assert "max_copy_bytes" in decision.reason
+
+    def test_small_file_high_latency_copies(self):
+        """'if a file is small and the latency high... more efficient to
+        copy the file'."""
+        policy = AccessPolicy()
+        decision = policy.decide(
+            est(file_size=512 * 1024, latency=0.5, read_fraction=0.5, block_size=4096)
+        )
+        assert decision.mode == "copy"
+
+    def test_decision_records_both_costs(self):
+        policy = AccessPolicy()
+        d = policy.decide(est())
+        assert d.copy_cost > 0
+        assert d.proxy_cost > 0
+
+
+class TestCrossover:
+    def test_crossover_between_zero_and_one(self):
+        policy = AccessPolicy()
+        frac = policy.crossover_fraction(est(latency=0.05, block_size=64 * 1024))
+        assert 0.0 < frac < 1.0
+        # Just below: proxy wins; just above: copy wins.
+        below = policy.decide(est(read_fraction=max(0.0, frac - 0.05), latency=0.05, block_size=64 * 1024))
+        above = policy.decide(est(read_fraction=min(1.0, frac + 0.05), latency=0.05, block_size=64 * 1024))
+        assert below.mode == "proxy"
+        assert above.mode == "copy"
+
+    def test_crossover_one_when_copy_never_wins(self):
+        # Zero latency: proxy has no penalty, copy never strictly wins.
+        policy = AccessPolicy(copy_setup_rtts=10.0)
+        frac = policy.crossover_fraction(est(latency=0.0))
+        assert frac == 1.0
+
+
+class TestProperties:
+    @given(
+        size=st.integers(min_value=1, max_value=10**9),
+        bw=st.floats(min_value=1e3, max_value=1e9),
+        lat=st.floats(min_value=0.0, max_value=1.0),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_proxy_cost_monotone_in_fraction(self, size, bw, lat, frac):
+        policy = AccessPolicy()
+        base = est(file_size=size, bandwidth=bw, latency=lat, read_fraction=frac)
+        more = est(
+            file_size=size, bandwidth=bw, latency=lat, read_fraction=min(1.0, frac + 0.1)
+        )
+        assert policy.proxy_cost(more) >= policy.proxy_cost(base) - 1e-9
+
+    @given(
+        size=st.integers(min_value=1, max_value=10**9),
+        bw=st.floats(min_value=1e3, max_value=1e9),
+        lat=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_copy_cost_independent_of_fraction(self, size, bw, lat):
+        policy = AccessPolicy()
+        a = policy.copy_cost(est(file_size=size, bandwidth=bw, latency=lat, read_fraction=0.1))
+        b = policy.copy_cost(est(file_size=size, bandwidth=bw, latency=lat, read_fraction=0.9))
+        assert a == b
+
+    @given(
+        size=st.integers(min_value=1, max_value=10**8),
+        lat=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decision_picks_cheaper_unless_capped(self, size, lat):
+        policy = AccessPolicy()
+        e = est(file_size=size, latency=lat)
+        d = policy.decide(e)
+        if size <= policy.max_copy_bytes:
+            expected = "copy" if d.copy_cost <= d.proxy_cost else "proxy"
+            assert d.mode == expected

@@ -1,0 +1,110 @@
+"""Unit tests for NWS-driven replica selection and re-mapping."""
+
+import pytest
+
+from repro.core.replica import NoReplicaError, ReplicaSelector
+from repro.grid.nws import Measurement, NetworkWeatherService
+from repro.grid.replica_catalog import Replica, ReplicaCatalog
+
+
+def make_world():
+    catalog = ReplicaCatalog()
+    nws = NetworkWeatherService()
+    catalog.register("lfn://d", Replica("fast-host", "/d", size=10_000_000))
+    catalog.register("lfn://d", Replica("slow-host", "/d", size=10_000_000))
+    for i in range(4):
+        nws.record("fast-host", "client", Measurement(time=i, bandwidth=10e6, latency=0.01))
+        nws.record("slow-host", "client", Measurement(time=i, bandwidth=1e6, latency=0.2))
+    return catalog, nws
+
+
+class TestRanking:
+    def test_fastest_first(self):
+        catalog, nws = make_world()
+        selector = ReplicaSelector(catalog, nws)
+        ranked = selector.rank("lfn://d", "client")
+        assert [c.replica.host for c in ranked] == ["fast-host", "slow-host"]
+
+    def test_best(self):
+        catalog, nws = make_world()
+        selector = ReplicaSelector(catalog, nws)
+        assert selector.best("lfn://d", "client").replica.host == "fast-host"
+
+    def test_local_replica_always_first(self):
+        catalog, nws = make_world()
+        catalog.register("lfn://d", Replica("client", "/local/d", size=10_000_000))
+        selector = ReplicaSelector(catalog, nws)
+        best = selector.best("lfn://d", "client")
+        assert best.replica.host == "client"
+        assert best.predicted_seconds == 0.0
+        assert best.method == "local"
+
+    def test_unknown_logical_name_raises(self):
+        catalog, nws = make_world()
+        selector = ReplicaSelector(catalog, nws)
+        with pytest.raises(NoReplicaError):
+            selector.best("lfn://missing", "client")
+
+    def test_static_cost_fallback(self):
+        catalog = ReplicaCatalog()
+        catalog.register("f", Replica("far", "/f"))
+        catalog.register("f", Replica("near", "/f"))
+        selector = ReplicaSelector(
+            catalog, static_cost=lambda src, dst: 10.0 if src == "far" else 1.0
+        )
+        assert selector.best("f", "client").replica.host == "near"
+
+    def test_no_information_keeps_registration_order(self):
+        catalog = ReplicaCatalog()
+        catalog.register("f", Replica("first", "/f"))
+        catalog.register("f", Replica("second", "/f"))
+        selector = ReplicaSelector(catalog)
+        assert selector.best("f", "client").replica.host == "first"
+
+
+class TestRemap:
+    def test_no_remap_when_current_is_best(self):
+        catalog, nws = make_world()
+        selector = ReplicaSelector(catalog, nws)
+        current = catalog.lookup("lfn://d")[0]  # fast-host
+        assert selector.maybe_remap("lfn://d", "client", current) is None
+
+    def test_remap_when_current_degrades(self):
+        catalog, nws = make_world()
+        selector = ReplicaSelector(catalog, nws, hysteresis=1.5)
+        current = catalog.lookup("lfn://d")[0]  # fast-host
+        for i in range(10, 20):
+            nws.record("fast-host", "client", Measurement(time=i, bandwidth=0.05e6, latency=0.5))
+        choice = selector.maybe_remap("lfn://d", "client", current)
+        assert choice is not None
+        assert choice.replica.host == "slow-host"
+
+    def test_hysteresis_prevents_thrash(self):
+        """A marginally better alternative must NOT trigger a switch."""
+        catalog = ReplicaCatalog()
+        nws = NetworkWeatherService()
+        catalog.register("f", Replica("a", "/f", size=1_000_000))
+        catalog.register("f", Replica("b", "/f", size=1_000_000))
+        for i in range(4):
+            nws.record("a", "client", Measurement(time=i, bandwidth=1.0e6, latency=0.01))
+            nws.record("b", "client", Measurement(time=i, bandwidth=1.1e6, latency=0.01))
+        selector = ReplicaSelector(catalog, nws, hysteresis=1.5)
+        current = catalog.lookup("f")[0]  # a — slightly worse than b
+        assert selector.maybe_remap("f", "client", current) is None
+
+    def test_hysteresis_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSelector(ReplicaCatalog(), hysteresis=0.5)
+
+    def test_remap_away_from_unmeasured_source(self):
+        catalog = ReplicaCatalog()
+        nws = NetworkWeatherService()
+        catalog.register("f", Replica("dark", "/f", size=1_000_000))
+        catalog.register("f", Replica("lit", "/f", size=1_000_000))
+        for i in range(3):
+            nws.record("lit", "client", Measurement(time=i, bandwidth=5e6, latency=0.01))
+        selector = ReplicaSelector(catalog, nws)
+        current = catalog.lookup("f")[0]  # dark, no measurements
+        choice = selector.maybe_remap("f", "client", current)
+        assert choice is not None
+        assert choice.replica.host == "lit"

@@ -1,0 +1,84 @@
+"""Tests for FM call tracing."""
+
+import io
+
+import pytest
+
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.core.trace import FmTracer
+from repro.gns.client import LocalGnsClient
+from repro.gns.server import NameService
+
+
+@pytest.fixture()
+def fm(hosts):
+    fm = FileMultiplexer(
+        GridContext(machine="alpha", gns=LocalGnsClient(NameService()), hosts=hosts)
+    )
+    yield fm
+    fm.close()
+
+
+class TestFmTracer:
+    def test_operations_recorded_in_order(self, fm):
+        tracer = FmTracer(fm)
+        f = tracer.open("/t.bin", "w")
+        f.write(b"12345")
+        f.close()
+        f = tracer.open("/t.bin", "r")
+        f.read(3)
+        f.seek(0)
+        f.read(2)
+        f.close()
+        ops = [e.op for e in tracer.events]
+        assert ops == ["open", "write", "close", "open", "read", "seek", "read", "close"]
+
+    def test_summary_aggregates(self, fm):
+        tracer = FmTracer(fm)
+        f = tracer.open("/s.bin", "w")
+        f.write(b"x" * 100)
+        f.write(b"y" * 50)
+        f.close()
+        f = tracer.open("/s.bin", "r")
+        f.read(150)
+        f.close()
+        summary = tracer.summary()["/s.bin"]
+        assert summary["opens"] == 2
+        assert summary["writes"] == 2
+        assert summary["bytes_written"] == 150
+        assert summary["bytes_read"] == 150
+
+    def test_mode_captured(self, fm):
+        tracer = FmTracer(fm)
+        tracer.open("/m.bin", "w").close()
+        assert tracer.events[0].mode == "local"
+
+    def test_echo_stream(self, fm):
+        sink = io.StringIO()
+        tracer = FmTracer(fm, echo=sink)
+        tracer.open("/e.bin", "w").close()
+        text = sink.getvalue()
+        assert "open" in text and "/e.bin" in text
+
+    def test_bounded_log(self, fm):
+        tracer = FmTracer(fm, max_events=4)
+        f = tracer.open("/b.bin", "w")
+        for _ in range(10):
+            f.write(b"z")
+        f.close()
+        assert len(tracer.events) == 4
+
+    def test_clear(self, fm):
+        tracer = FmTracer(fm)
+        tracer.open("/c.bin", "w").close()
+        tracer.clear()
+        assert len(tracer.events) == 0
+
+    def test_traced_handle_is_functional(self, fm, hosts):
+        tracer = FmTracer(fm)
+        with io.BufferedWriter(tracer.open("/fn.txt", "w")) as fh:
+            fh.write(b"through the tracer\n")
+        assert (
+            hosts.host("alpha").resolve("/fn.txt").read_bytes()
+            == b"through the tracer\n"
+        )

@@ -1,0 +1,119 @@
+"""Tests for transparent record translation on FM handles."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heterogeneity import FieldType, HeterogeneityError, RecordSchema
+from repro.core.translating import TranslatingReader, TranslatingWriter
+
+
+def schema() -> RecordSchema:
+    return RecordSchema([FieldType("idx", "int32"), FieldType("val", "float32")])
+
+
+def be_records(n):
+    return b"".join(struct.pack(">if", i, i * 0.5) for i in range(n))
+
+
+def native_records(n):
+    return b"".join(struct.pack("=if", i, i * 0.5) for i in range(n))
+
+
+class TestTranslatingReader:
+    def test_whole_file_read(self):
+        r = TranslatingReader(io.BytesIO(be_records(10)), schema(), "big")
+        assert r.read() == native_records(10)
+
+    def test_unaligned_small_reads(self):
+        r = TranslatingReader(io.BytesIO(be_records(6)), schema(), "big")
+        out = bytearray()
+        while True:
+            chunk = r.read(3)  # never aligned with the 8-byte records
+            if not chunk:
+                break
+            out += chunk
+        assert bytes(out) == native_records(6)
+
+    def test_mid_record_truncation_detected(self):
+        raw = be_records(3)[:-2]
+        r = TranslatingReader(io.BytesIO(raw), schema(), "big")
+        with pytest.raises(HeterogeneityError, match="mid-record"):
+            r.read()
+
+    def test_same_order_passthrough(self):
+        native = native_records(4)
+        import sys
+
+        r = TranslatingReader(io.BytesIO(native), schema(), sys.byteorder)
+        assert r.read() == native
+
+    def test_works_under_buffered_reader(self):
+        r = io.BufferedReader(TranslatingReader(io.BytesIO(be_records(8)), schema(), "big"))
+        assert r.read(8) == native_records(1)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(HeterogeneityError):
+            TranslatingReader(io.BytesIO(), schema(), "vax")
+
+
+class TestTranslatingWriter:
+    def test_whole_records(self):
+        sink = io.BytesIO()
+        w = TranslatingWriter(sink, schema(), "big", close_inner=False)
+        w.write(native_records(5))
+        w.close()
+        assert sink.getvalue() == be_records(5)
+
+    def test_fragmented_writes(self):
+        sink = io.BytesIO()
+        w = TranslatingWriter(sink, schema(), "big", close_inner=False)
+        data = native_records(4)
+        for i in range(0, len(data), 3):
+            w.write(data[i : i + 3])
+        w.close()
+        assert sink.getvalue() == be_records(4)
+
+    def test_incomplete_record_at_close_rejected(self):
+        w = TranslatingWriter(io.BytesIO(), schema(), "big")
+        w.write(b"\x00\x01\x02")
+        with pytest.raises(HeterogeneityError, match="incomplete record"):
+            w.close()
+
+    @given(
+        n=st.integers(min_value=0, max_value=30),
+        chunk=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any_fragmentation(self, n, chunk):
+        sink = io.BytesIO()
+        w = TranslatingWriter(sink, schema(), "big", close_inner=False)
+        data = native_records(n)
+        for i in range(0, len(data), chunk):
+            w.write(data[i : i + chunk])
+        w.close()
+        r = TranslatingReader(io.BytesIO(sink.getvalue()), schema(), "big")
+        assert r.read() == data
+
+
+class TestEndToEndHeterogeneous:
+    def test_big_endian_writer_little_reader_over_gridbuffer(self, buffer_server):
+        """A 'big-endian machine' writes a stream; the reader machine
+        sees native-order data — the FM heterogeneity path live."""
+        from repro.gridbuffer.client import GridBufferClient
+
+        client = GridBufferClient(*buffer_server.address)
+        s = schema()
+        bw = client.open_writer("hetero", cache=True)
+        # Writer-side translation: native producer -> big-endian wire.
+        tw = TranslatingWriter(bw, s, "big")
+        tw.write(native_records(16))
+        tw.close()
+        br = client.open_reader("hetero", read_timeout=10)
+        tr = TranslatingReader(br, s, "big")
+        assert tr.read() == native_records(16)
+        tr.close()
+        client.close()

@@ -1,0 +1,182 @@
+"""Edge-case coverage across modules: error paths, boundaries, reuse."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.netsim import LinkSpec, Network
+
+
+class TestEngineEdges:
+    def test_mixed_environment_events_rejected_in_condition(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            env1.all_of([env1.event(), env2.event()])
+
+    def test_process_waiting_on_foreign_event_fails(self):
+        env1, env2 = Environment(), Environment()
+
+        def proc(env):
+            try:
+                yield env2.event()
+            except SimulationError:
+                return "caught"
+
+        p = env1.process(proc(env1))
+        env1.run()
+        assert p.value == "caught"
+
+    def test_failed_event_without_defuse_crashes_run(self):
+        env = Environment()
+        evt = env.event()
+        evt.fail(RuntimeError("unobserved failure"))
+        with pytest.raises(RuntimeError, match="unobserved"):
+            env.run()
+
+    def test_step_on_empty_queue_raises(self):
+        env = Environment()
+        with pytest.raises(IndexError):
+            env.step()
+
+    def test_run_until_between_events(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.timeout(5.0)
+        env.run(until=3.0)
+        assert env.now == 3.0
+        env.run()
+        assert env.now == 5.0
+
+    def test_timeout_value_delivered(self):
+        env = Environment()
+
+        def proc(env):
+            value = yield env.timeout(1, "payload")
+            return value
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "payload"
+
+
+class TestNetworkEdges:
+    def test_zero_latency_link(self):
+        env = Environment()
+        net = Network(env)
+        net.connect("a", "b", LinkSpec(bandwidth=1e6, latency=0.0))
+        net.message("a", "b", 1_000_000)
+        env.run()
+        assert env.now == pytest.approx(1.0)
+
+    def test_directional_override(self):
+        """An explicit reverse entry overrides the symmetric default."""
+        env = Environment()
+        net = Network(env)
+        net.connect("a", "b", LinkSpec(bandwidth=1e6, latency=0.1))
+        net._specs[("b", "a")] = LinkSpec(bandwidth=2e6, latency=0.2)
+        assert net.spec("a", "b").latency == 0.1
+        assert net.spec("b", "a").latency == 0.2
+
+    def test_set_spec_invalidates_both_directions(self):
+        env = Environment()
+        net = Network(env)
+        net.connect("a", "b", LinkSpec(bandwidth=1e6, latency=0.1))
+        _ = net.link("a", "b")
+        _ = net.link("b", "a")
+        net.set_spec("a", "b", LinkSpec(bandwidth=5e6, latency=0.01))
+        assert net.link("a", "b").spec.bandwidth == 5e6
+        assert net.link("b", "a").spec.bandwidth == 5e6
+
+
+class TestCliEdges:
+    def test_unknown_experiment_rejected(self, capsys):
+        from repro.bench.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["no-such-table"])
+
+    def test_failing_check_sets_exit_code(self, monkeypatch):
+        from repro.bench import cli
+        from repro.bench.tables import TableBuilder
+
+        def fake():
+            t = TableBuilder("Fake", ["x"])
+            t.add_check("always fails", False)
+            return t
+
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "table1", fake)
+        assert cli.main(["table1"]) == 1
+
+    def test_out_dir_writes_tables(self, tmp_path):
+        from repro.bench.cli import main
+
+        assert main(["table1", "--out", str(tmp_path / "results")]) == 0
+        text = (tmp_path / "results" / "table1.txt").read_text()
+        assert "Table 1" in text and "brecca" in text
+
+
+class TestGnsEdges:
+    def test_announce_timeout_local_client(self):
+        from repro.gns.client import LocalGnsClient
+        from repro.gns.server import NameService
+
+        client = LocalGnsClient(NameService())  # no locator: never located
+        with pytest.raises(TimeoutError):
+            client.announce("st", "writer", "m", timeout=0.05, poll_interval=0.01)
+
+    def test_resolve_prefers_machine_specificity_over_path(self):
+        from repro.gns.records import GnsRecord, IOMode
+        from repro.gns.server import NameService
+
+        ns = NameService()
+        ns.add(GnsRecord(machine="m1", path="/*", mode=IOMode.LOCAL, local_path="/by-machine"))
+        ns.add(GnsRecord(machine="*", path="/exact", mode=IOMode.LOCAL, local_path="/by-path"))
+        # (machine exact, path glob) sorts above (machine glob, path exact).
+        assert ns.resolve("m1", "/exact").local_path == "/by-machine"
+
+
+class TestRemoteClientEdges:
+    def test_proxy_read_empty_file(self, hosts, ftp_beta):
+        from repro.core.remote_client import RemoteFileClient
+        from repro.transport.gridftp import GridFtpClient
+
+        hosts.host("beta").resolve("/empty.bin").write_bytes(b"")
+        client = RemoteFileClient(GridFtpClient(*ftp_beta.address))
+        f = client.open_proxy("/empty.bin", "r")
+        assert f.read() == b""
+        f.close()
+
+    def test_copy_double_close_safe(self, hosts, ftp_beta, tmp_path):
+        from repro.core.remote_client import RemoteFileClient
+        from repro.transport.gridftp import GridFtpClient
+
+        hosts.host("beta").resolve("/f.bin").write_bytes(b"data")
+        client = RemoteFileClient(GridFtpClient(*ftp_beta.address), scratch_dir=tmp_path)
+        f = client.open_copy("/f.bin", "r")
+        f.close()
+        f.close()  # idempotent
+
+
+class TestSimRunnerEdges:
+    def test_stage_with_no_files(self):
+        from repro.workflow.scheduler import plan_workflow
+        from repro.workflow.simrunner import simulate_plan
+        from repro.workflow.spec import Stage, Workflow
+
+        wf = Workflow("solo", [Stage("only", work=50, chunks=5)])
+        report = simulate_plan(plan_workflow(wf, {"only": "brecca"}))
+        assert report.makespan > 0
+
+    def test_zero_work_stage(self):
+        from repro.workflow.scheduler import plan_workflow
+        from repro.workflow.simrunner import simulate_plan
+        from repro.workflow.spec import FileUse, Stage, Workflow
+
+        wf = Workflow(
+            "zw",
+            [
+                Stage("p", writes=(FileUse("f", 1024),), work=0.0, chunks=1),
+                Stage("q", reads=(FileUse("f", 1024),), work=10.0, chunks=1),
+            ],
+        )
+        report = simulate_plan(plan_workflow(wf, {"p": "brecca", "q": "brecca"}))
+        assert report.timings["p"].elapsed < report.timings["q"].elapsed

@@ -1,0 +1,42 @@
+"""The shipped example GNS configs must stay loadable and faithful."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.climate import climate_workflow
+from repro.gns.persistence import load_records
+from repro.gns.records import IOMode
+from repro.workflow.runner import records_for_plan
+from repro.workflow.scheduler import plan_workflow
+
+CONFIG_DIR = Path(__file__).resolve().parents[1] / "examples" / "configs"
+
+
+class TestShippedConfigs:
+    def test_buffers_config_loads(self):
+        records = load_records((CONFIG_DIR / "climate_buffers.gns.json").read_text())
+        assert len(records) == 2
+        assert all(r.mode is IOMode.BUFFER for r in records)
+        assert {r.buffer.stream for r in records} == {
+            "climate:ccam_hist",
+            "climate:lam_input",
+        }
+
+    def test_copies_config_loads(self):
+        records = load_records((CONFIG_DIR / "climate_copies.gns.json").read_text())
+        assert len(records) == 1  # only the cross-machine edge needs a record
+        assert records[0].mode is IOMode.COPY
+        assert records[0].machine == "dione"
+
+    def test_configs_match_generated_wiring(self):
+        """The files on disk equal what records_for_plan produces —
+        regeneration is reproducible."""
+        wf = climate_workflow()
+        placement = {"ccam": "brecca", "cc2lam": "brecca", "darlam": "dione"}
+        plan = plan_workflow(
+            wf, placement, coupling={"ccam_hist": "buffer", "lam_input": "buffer"}
+        )
+        generated = records_for_plan(plan)
+        shipped = load_records((CONFIG_DIR / "climate_buffers.gns.json").read_text())
+        assert generated == shipped

@@ -1,0 +1,234 @@
+"""Unit + integration tests for the GriddLeS Name Service."""
+
+import pytest
+
+from repro.gns.client import GnsClient, LocalGnsClient
+from repro.gns.matcher import ConnectionMatcher
+from repro.gns.records import BufferEndpoint, GnsRecord, IOMode
+from repro.gns.server import GnsServer, NameService
+
+
+class TestIOMode:
+    def test_parse_string(self):
+        assert IOMode.parse("local") is IOMode.LOCAL
+        assert IOMode.parse("remote-replica") is IOMode.REMOTE_REPLICA
+
+    def test_parse_enum_passthrough(self):
+        assert IOMode.parse(IOMode.BUFFER) is IOMode.BUFFER
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown IO mode"):
+            IOMode.parse("carrier-pigeon")
+
+    def test_six_modes(self):
+        assert len(IOMode) == 6
+
+
+class TestGnsRecord:
+    def test_remote_requires_host_and_path(self):
+        with pytest.raises(ValueError):
+            GnsRecord(machine="m", path="/f", mode=IOMode.REMOTE)
+
+    def test_replica_requires_logical_name(self):
+        with pytest.raises(ValueError):
+            GnsRecord(machine="m", path="/f", mode=IOMode.LOCAL_REPLICA)
+
+    def test_buffer_requires_endpoint(self):
+        with pytest.raises(ValueError):
+            GnsRecord(machine="m", path="/f", mode=IOMode.BUFFER)
+
+    def test_glob_matching(self):
+        rec = GnsRecord(machine="*", path="/data/*.dat", mode=IOMode.LOCAL)
+        assert rec.matches("anyhost", "/data/x.dat")
+        assert not rec.matches("anyhost", "/data/x.txt")
+
+    def test_exact_machine_matching(self):
+        rec = GnsRecord(machine="m1", path="/f", mode=IOMode.LOCAL)
+        assert rec.matches("m1", "/f")
+        assert not rec.matches("m2", "/f")
+
+    def test_specificity_ordering(self):
+        exact = GnsRecord(machine="m1", path="/f", mode=IOMode.LOCAL)
+        machine_glob = GnsRecord(machine="*", path="/f", mode=IOMode.LOCAL)
+        path_glob = GnsRecord(machine="m1", path="/*", mode=IOMode.LOCAL)
+        all_glob = GnsRecord(machine="*", path="/*", mode=IOMode.LOCAL)
+        assert exact.specificity() > machine_glob.specificity()
+        assert exact.specificity() > path_glob.specificity()
+        assert path_glob.specificity() > all_glob.specificity()
+
+    def test_dict_roundtrip(self):
+        rec = GnsRecord(
+            machine="m",
+            path="/f",
+            mode=IOMode.BUFFER,
+            buffer=BufferEndpoint(stream="st", n_readers=2, placement="writer"),
+        )
+        back = GnsRecord.from_dict(rec.to_dict())
+        assert back == rec
+
+    def test_buffer_endpoint_validation(self):
+        with pytest.raises(ValueError):
+            BufferEndpoint(stream="s", placement="middle")
+        with pytest.raises(ValueError):
+            BufferEndpoint(stream="s", n_readers=0)
+
+
+class TestNameService:
+    def test_no_match_defaults_to_local(self):
+        ns = NameService()
+        rec = ns.resolve("m1", "/whatever")
+        assert rec.mode is IOMode.LOCAL
+
+    def test_most_specific_wins(self):
+        ns = NameService()
+        ns.add(GnsRecord(machine="*", path="/data/*", mode=IOMode.LOCAL))
+        ns.add(
+            GnsRecord(
+                machine="m1",
+                path="/data/special.dat",
+                mode=IOMode.REMOTE,
+                remote_host="other",
+                remote_path="/d/special.dat",
+            )
+        )
+        assert ns.resolve("m1", "/data/special.dat").mode is IOMode.REMOTE
+        assert ns.resolve("m1", "/data/other.dat").mode is IOMode.LOCAL
+        assert ns.resolve("m2", "/data/special.dat").mode is IOMode.LOCAL
+
+    def test_later_record_wins_ties(self):
+        ns = NameService()
+        ns.add(GnsRecord(machine="m1", path="/f", mode=IOMode.LOCAL, local_path="/old"))
+        ns.add(GnsRecord(machine="m1", path="/f", mode=IOMode.LOCAL, local_path="/new"))
+        assert ns.resolve("m1", "/f").local_path == "/new"
+
+    def test_remove(self):
+        ns = NameService()
+        ns.add(GnsRecord(machine="m1", path="/f", mode=IOMode.LOCAL))
+        assert ns.remove("m1", "/f") == 1
+        assert ns.remove("m1", "/f") == 0
+
+    def test_clear_and_records(self):
+        ns = NameService()
+        ns.add(GnsRecord(machine="m1", path="/f", mode=IOMode.LOCAL))
+        assert len(ns.records()) == 1
+        ns.clear()
+        assert ns.records() == []
+
+
+class TestConnectionMatcher:
+    def test_reader_end_placement(self):
+        matcher = ConnectionMatcher(lambda machine: (f"{machine}.addr", 999))
+        binding = matcher.announce("st", "writer", "w-host")
+        assert not binding.located  # reader-end: waits for a reader
+        binding = matcher.announce("st", "reader", "r-host")
+        assert binding.located
+        assert binding.host == "r-host.addr"
+
+    def test_writer_end_placement(self):
+        matcher = ConnectionMatcher(lambda machine: (f"{machine}.addr", 999))
+        binding = matcher.announce("st", "writer", "w-host", placement="writer")
+        assert binding.located
+        assert binding.host == "w-host.addr"
+
+    def test_two_writers_rejected(self):
+        matcher = ConnectionMatcher()
+        matcher.announce("st", "writer", "h1")
+        with pytest.raises(ValueError, match="already has writer"):
+            matcher.announce("st", "writer", "h2")
+
+    def test_same_writer_reannounce_ok(self):
+        matcher = ConnectionMatcher()
+        matcher.announce("st", "writer", "h1")
+        matcher.announce("st", "writer", "h1")
+
+    def test_pin(self):
+        matcher = ConnectionMatcher()
+        binding = matcher.pin("st", "fixed-host", 1234)
+        assert binding.located
+        assert matcher.lookup("st").host == "fixed-host"
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionMatcher().announce("st", "observer", "h")
+
+    def test_streams_listing(self):
+        matcher = ConnectionMatcher()
+        matcher.announce("b", "writer", "h")
+        matcher.announce("a", "reader", "h")
+        assert matcher.streams() == ["a", "b"]
+
+
+class TestGnsOverTcp:
+    @pytest.fixture()
+    def server(self):
+        ns = NameService(locate_buffer_server=lambda machine: ("buf-host", 7777))
+        with GnsServer(ns) as srv:
+            yield srv
+
+    def test_resolve_remote(self, server):
+        with GnsClient(*server.address) as client:
+            client.add(
+                GnsRecord(
+                    machine="m1",
+                    path="/f",
+                    mode=IOMode.COPY,
+                    remote_host="m2",
+                    remote_path="/real/f",
+                )
+            )
+            rec = client.resolve("m1", "/f")
+            assert rec.mode is IOMode.COPY
+            assert rec.remote_host == "m2"
+
+    def test_list_and_remove(self, server):
+        with GnsClient(*server.address) as client:
+            client.add(GnsRecord(machine="m", path="/a", mode=IOMode.LOCAL))
+            client.add(GnsRecord(machine="m", path="/b", mode=IOMode.LOCAL))
+            assert len(client.list_records()) == 2
+            assert client.remove("m", "/a") == 1
+            assert len(client.list_records()) == 1
+
+    def test_announce_blocks_until_located(self, server):
+        import threading
+
+        with GnsClient(*server.address) as client:
+            result = {}
+
+            def writer_side():
+                c = GnsClient(*server.address)
+                result["addr"] = c.announce("st", "writer", "w-host", timeout=5)
+                c.close()
+
+            t = threading.Thread(target=writer_side)
+            t.start()
+            # Reader announces; the matcher can now place the buffer.
+            client.announce("st", "reader", "r-host", timeout=5)
+            t.join(timeout=5)
+            assert result["addr"] == ("buf-host", 7777)
+
+    def test_announce_nowait(self, server):
+        with GnsClient(*server.address) as client:
+            host, port = client.announce("lonely", "writer", "w", wait=False)
+            assert (host, port) == ("", 0)
+
+    def test_pin_stream(self, server):
+        with GnsClient(*server.address) as client:
+            client.pin_stream("st2", "pinhost", 4321)
+            assert client.announce("st2", "reader", "r", wait=False) == ("pinhost", 4321)
+
+    def test_bad_record_rejected(self, server):
+        from repro.transport.tcp import RpcClient, RpcError
+
+        with RpcClient(*server.address) as rpc:
+            with pytest.raises(RpcError, match="bad-record"):
+                rpc.call("gns.add", {"record": {"machine": "m", "path": "/f", "mode": "nope"}})
+
+
+class TestLocalGnsClient:
+    def test_mirrors_service(self):
+        ns = NameService()
+        client = LocalGnsClient(ns)
+        client.add(GnsRecord(machine="m", path="/f", mode=IOMode.LOCAL, local_path="/x"))
+        assert client.resolve("m", "/f").local_path == "/x"
+        assert len(client.list_records()) == 1
+        assert client.remove("m", "/f") == 1

@@ -1,0 +1,78 @@
+"""Tests for GNS config persistence."""
+
+import pytest
+
+from repro.gns.persistence import dump_records, load_gns, load_records, save_gns
+from repro.gns.records import BufferEndpoint, GnsRecord, IOMode
+from repro.gns.server import NameService
+
+
+def sample_records():
+    return [
+        GnsRecord(machine="m1", path="/wf/a", mode=IOMode.LOCAL, local_path="/real/a"),
+        GnsRecord(
+            machine="m2", path="/wf/a", mode=IOMode.COPY, remote_host="m1", remote_path="/wf/a"
+        ),
+        GnsRecord(
+            machine="*",
+            path="/wf/stream",
+            mode=IOMode.BUFFER,
+            buffer=BufferEndpoint(stream="wf:s", n_readers=2, placement="writer", cache=False),
+        ),
+        GnsRecord(
+            machine="m3", path="/wf/ref", mode=IOMode.REMOTE_REPLICA, logical_name="lfn://r"
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_dump_load_identity(self):
+        records = sample_records()
+        assert load_records(dump_records(records)) == records
+
+    def test_dump_is_stable(self):
+        records = sample_records()
+        assert dump_records(records) == dump_records(records)
+
+    def test_save_load_file(self, tmp_path):
+        ns = NameService()
+        ns.add_all(sample_records())
+        path = tmp_path / "workflow.gns.json"
+        save_gns(ns, path)
+        loaded = load_gns(path)
+        assert loaded.records() == ns.records()
+
+    def test_load_into_existing_service(self, tmp_path):
+        ns = NameService()
+        ns.add(GnsRecord(machine="pre", path="/x", mode=IOMode.LOCAL))
+        path = tmp_path / "cfg.json"
+        path.write_text(dump_records(sample_records()))
+        load_gns(path, ns)
+        assert len(ns.records()) == 1 + len(sample_records())
+
+    def test_loaded_service_resolves(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(dump_records(sample_records()))
+        ns = load_gns(path)
+        rec = ns.resolve("m2", "/wf/a")
+        assert rec.mode is IOMode.COPY
+        assert rec.remote_host == "m1"
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ValueError, match="invalid GNS config JSON"):
+            load_records("{not json")
+
+    def test_missing_records_key(self):
+        with pytest.raises(ValueError, match="'records'"):
+            load_records("{}")
+
+    def test_records_not_list(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            load_records('{"records": 5}')
+
+    def test_invalid_record_reports_index(self):
+        bad = '{"records": [{"machine": "m", "path": "/f", "mode": "warp"}]}'
+        with pytest.raises(ValueError, match="record #0"):
+            load_records(bad)

@@ -1,0 +1,122 @@
+"""Unit tests for machine specs and instances."""
+
+import pytest
+
+from repro.grid.machine import Machine, MachineSpec
+from repro.grid.testbed import TESTBED, make_machines, paper_table1_rows
+from repro.grid.testbed import testbed_topology as _testbed_topology
+from repro.sim.engine import Environment
+
+
+def spec(**overrides) -> MachineSpec:
+    base = dict(
+        name="test",
+        address="test.example.org",
+        country="AU",
+        cpu="Test CPU",
+        mem_mb=256,
+        speed=1.0,
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestMachineSpec:
+    def test_compute_seconds(self):
+        assert spec(speed=2.0).compute_seconds(10.0) == pytest.approx(5.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            spec().compute_seconds(-1)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("speed", 0.0),
+            ("speed", -1.0),
+            ("cores", 0),
+            ("mem_mb", 0),
+            ("buffer_cpu_per_mb", -0.1),
+            ("file_cpu_per_mb", -0.1),
+            ("idle_io_fraction", 1.0),
+            ("idle_io_fraction", -0.1),
+            ("file_stream_sync", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            spec(**{field: value})
+
+
+class TestMachine:
+    def test_compute_uses_speed(self):
+        env = Environment()
+        machine = Machine(env, spec(speed=4.0))
+
+        def job(env):
+            yield machine.compute(8.0)
+
+        env.process(job(env))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_concurrent_jobs_share_cpu(self):
+        env = Environment()
+        machine = Machine(env, spec(speed=1.0, cores=1))
+        done = []
+
+        def job(env):
+            yield machine.compute(3.0)
+            done.append(env.now)
+
+        env.process(job(env))
+        env.process(job(env))
+        env.run()
+        assert done == [pytest.approx(6.0)] * 2
+
+    def test_fs_attached_to_host(self):
+        env = Environment()
+        machine = Machine(env, spec(name="mach1"))
+        assert machine.fs.host == "mach1"
+
+
+class TestTestbed:
+    def test_all_paper_machines_present(self):
+        expected = {"dione", "freak", "vpac27", "brecca", "bouscat", "jagan", "koume00"}
+        assert set(TESTBED) == expected
+
+    def test_speeds_ordered_like_table3(self):
+        """Table 3's C-CAM column implies brecca > dione/freak > vpac27/bouscat."""
+        s = {name: m.speed for name, m in TESTBED.items()}
+        assert s["brecca"] > s["dione"] > s["vpac27"]
+        assert s["brecca"] > s["freak"] > s["bouscat"]
+        assert s["jagan"] < s["vpac27"]  # 350 MHz P3 is the slowest
+
+    def test_brecca_is_multicore(self):
+        assert TESTBED["brecca"].cores == 2
+        assert all(m.cores == 1 for n, m in TESTBED.items() if n != "brecca")
+
+    def test_countries_match_table1(self):
+        assert TESTBED["freak"].country == "US"
+        assert TESTBED["bouscat"].country == "UK"
+        assert TESTBED["koume00"].country == "JP"
+        assert TESTBED["dione"].country == "AU"
+
+    def test_make_machines_instantiates_all(self):
+        env = Environment()
+        machines = make_machines(env)
+        assert set(machines) == set(TESTBED)
+        assert all(m.env is env for m in machines.values())
+
+    def test_topology_same_site_pairs(self):
+        topo = _testbed_topology()
+        assert topo.classify("brecca", "vpac27") == "same-site"
+        assert topo.classify("dione", "jagan") == "same-site"
+        assert topo.classify("dione", "brecca") == "metro"
+        assert topo.classify("brecca", "bouscat") == "AU-UK"
+        assert topo.classify("freak", "koume00") == "JP-US"
+
+    def test_paper_table1_rows_complete(self):
+        rows = paper_table1_rows()
+        assert len(rows) == 7
+        assert all({"name", "address", "cpu", "mem_mb", "country"} <= set(r) for r in rows)

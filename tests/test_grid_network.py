@@ -1,0 +1,86 @@
+"""Unit tests for the WAN topology model."""
+
+import pytest
+
+from repro.grid.network import MB, SiteTopology, build_network
+from repro.grid.testbed import make_network
+from repro.grid.testbed import testbed_topology as _testbed_topology  # noqa: F401 - name must not start with "test"
+from repro.sim.engine import Environment
+
+
+def topo() -> SiteTopology:
+    t = SiteTopology()
+    t.add_host("a1", site="siteA", country="AU")
+    t.add_host("a2", site="siteA", country="AU")
+    t.add_host("b1", site="siteB", country="AU")
+    t.add_host("us1", site="siteC", country="US")
+    t.add_host("uk1", site="siteD", country="UK")
+    t.add_host("jp1", site="siteE", country="JP")
+    return t
+
+
+class TestSiteTopology:
+    def test_same_host_is_same_site(self):
+        assert topo().classify("a1", "a1") == "same-site"
+
+    def test_same_site(self):
+        assert topo().classify("a1", "a2") == "same-site"
+
+    def test_same_country_cross_site_is_metro(self):
+        assert topo().classify("a1", "b1") == "metro"
+
+    def test_international_sorted_class_names(self):
+        t = topo()
+        assert t.classify("a1", "us1") == "AU-US"
+        assert t.classify("us1", "a1") == "AU-US"
+        assert t.classify("jp1", "us1") == "JP-US"
+        assert t.classify("uk1", "us1") == "UK-US"
+        assert t.classify("jp1", "uk1") == "JP-UK"
+
+    def test_unknown_host_raises(self):
+        with pytest.raises(KeyError):
+            topo().classify("a1", "nope")
+
+    def test_latency_ordering_au_links(self):
+        """AU-JP < AU-US < AU-UK latency, as in real geography."""
+        t = topo()
+        jp = t.path_spec("a1", "jp1").latency
+        us = t.path_spec("a1", "us1").latency
+        uk = t.path_spec("a1", "uk1").latency
+        assert jp < us < uk
+
+    def test_bandwidth_ordering(self):
+        t = topo()
+        lan = t.path_spec("a1", "a2").bandwidth
+        metro = t.path_spec("a1", "b1").bandwidth
+        intl = t.path_spec("a1", "uk1").bandwidth
+        assert lan > metro > intl
+
+
+class TestBuildNetwork:
+    def test_all_pairs_connected(self):
+        env = Environment()
+        net = build_network(env, topo())
+        hosts = ["a1", "a2", "b1", "us1", "uk1", "jp1"]
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                assert net.spec(a, b).bandwidth > 0
+
+    def test_testbed_network_calibration(self):
+        """Link speeds implied by Table 5's File Copy rows."""
+        env = Environment()
+        net = make_network(env)
+        # brecca->vpac27: 150 MB in ~15 s -> ~10 MB/s (same site).
+        assert net.spec("brecca", "vpac27").bandwidth == pytest.approx(10 * MB, rel=0.3)
+        # brecca->dione: 150 MB in ~50 s -> ~3 MB/s (metro).
+        assert net.spec("brecca", "dione").bandwidth == pytest.approx(3 * MB, rel=0.3)
+        # brecca->freak: 150 MB in ~215 s -> ~0.7 MB/s (AU-US).
+        assert net.spec("brecca", "freak").bandwidth == pytest.approx(0.7 * MB, rel=0.3)
+        # brecca->bouscat: 150 MB in ~450 s -> ~0.33 MB/s (AU-UK).
+        assert net.spec("brecca", "bouscat").bandwidth == pytest.approx(0.33 * MB, rel=0.3)
+
+    def test_high_latency_to_uk(self):
+        env = Environment()
+        net = make_network(env)
+        assert net.spec("brecca", "bouscat").latency > 0.2
+        assert net.spec("brecca", "vpac27").latency < 0.01

@@ -1,0 +1,129 @@
+"""Unit + property tests for the Network Weather Service."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.nws import Forecast, Forecaster, Measurement, NetworkWeatherService
+
+
+class TestMeasurement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Measurement(time=0, bandwidth=0, latency=0)
+        with pytest.raises(ValueError):
+            Measurement(time=0, bandwidth=1e6, latency=-1)
+
+
+class TestForecast:
+    def test_transfer_time(self):
+        fc = Forecast(bandwidth=1e6, latency=0.5, method="mean")
+        assert fc.transfer_time(2_000_000) == pytest.approx(2.5)
+
+
+class TestForecaster:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Forecaster().forecast()
+
+    def test_single_value_is_last(self):
+        f = Forecaster()
+        f.observe(5.0)
+        value, method = f.forecast()
+        assert value == 5.0
+        assert method == "last"
+
+    def test_constant_series_predicts_constant(self):
+        f = Forecaster()
+        for _ in range(10):
+            f.observe(3.0)
+        value, _ = f.forecast()
+        assert value == pytest.approx(3.0)
+
+    def test_median_wins_with_outliers(self):
+        """A series that is constant except rare spikes favours the
+        median predictor (classic NWS behaviour)."""
+        f = Forecaster()
+        series = [10.0] * 4 + [100.0] + [10.0] * 4 + [100.0] + [10.0] * 6
+        for v in series:
+            f.observe(v)
+        value, method = f.forecast()
+        assert method == "median"
+        assert value == pytest.approx(10.0)
+
+    def test_window_bounds_history(self):
+        f = Forecaster(window=4)
+        for v in [100, 100, 100, 1, 1, 1, 1]:
+            f.observe(v)
+        assert len(f) == 4
+        value, _ = f.forecast()
+        assert value == pytest.approx(1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Forecaster(window=0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_forecast_within_history_range(self, values):
+        """Any predictor output lies within [min, max] of its history —
+        they are all convex combinations or order statistics."""
+        f = Forecaster()
+        for v in values:
+            f.observe(v)
+        pred, _ = f.forecast()
+        assert min(values) - 1e-9 <= pred <= max(values) + 1e-9
+
+
+class TestNetworkWeatherService:
+    def _nws(self) -> NetworkWeatherService:
+        nws = NetworkWeatherService()
+        for i in range(5):
+            nws.record("src1", "dst", Measurement(time=i, bandwidth=10e6, latency=0.01))
+            nws.record("src2", "dst", Measurement(time=i, bandwidth=1e6, latency=0.3))
+        return nws
+
+    def test_has_data(self):
+        nws = self._nws()
+        assert nws.has_data("src1", "dst")
+        assert not nws.has_data("dst", "src1")
+
+    def test_last(self):
+        nws = self._nws()
+        assert nws.last("src1", "dst").bandwidth == 10e6
+        with pytest.raises(KeyError):
+            nws.last("x", "y")
+
+    def test_forecast_unknown_path_raises(self):
+        with pytest.raises(KeyError):
+            NetworkWeatherService().forecast("a", "b")
+
+    def test_best_source_prefers_fast_path(self):
+        nws = self._nws()
+        assert nws.best_source(["src1", "src2"], "dst", 10_000_000) == "src1"
+
+    def test_best_source_small_transfer_prefers_low_latency(self):
+        nws = NetworkWeatherService()
+        for i in range(3):
+            nws.record("fat", "dst", Measurement(time=i, bandwidth=100e6, latency=1.0))
+            nws.record("near", "dst", Measurement(time=i, bandwidth=1e6, latency=0.001))
+        assert nws.best_source(["fat", "near"], "dst", 1000) == "near"
+
+    def test_best_source_unmeasured_fallback(self):
+        nws = self._nws()
+        assert nws.best_source(["unknown1", "unknown2"], "dst", 100) == "unknown1"
+
+    def test_best_source_empty_returns_none(self):
+        assert NetworkWeatherService().best_source([], "dst", 1) is None
+
+    def test_adaptation_to_changed_conditions(self):
+        """After a path degrades, the forecast should track downward and
+        flip the best-source decision — the FM's dynamic re-map input."""
+        nws = NetworkWeatherService(window=8)
+        for i in range(8):
+            nws.record("a", "dst", Measurement(time=i, bandwidth=10e6, latency=0.01))
+            nws.record("b", "dst", Measurement(time=i, bandwidth=5e6, latency=0.01))
+        assert nws.best_source(["a", "b"], "dst", 50_000_000) == "a"
+        for i in range(8, 16):
+            nws.record("a", "dst", Measurement(time=i, bandwidth=0.5e6, latency=0.01))
+        assert nws.best_source(["a", "b"], "dst", 50_000_000) == "b"

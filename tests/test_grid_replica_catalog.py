@@ -1,0 +1,61 @@
+"""Unit tests for the replica catalogue."""
+
+import pytest
+
+from repro.grid.replica_catalog import Replica, ReplicaCatalog
+
+
+class TestReplicaCatalog:
+    def test_register_and_lookup(self):
+        cat = ReplicaCatalog()
+        cat.register("lfn://data", Replica("hostA", "/a/data", size=100))
+        replicas = cat.lookup("lfn://data")
+        assert len(replicas) == 1
+        assert replicas[0].host == "hostA"
+
+    def test_lookup_unknown_is_empty(self):
+        assert ReplicaCatalog().lookup("nope") == []
+
+    def test_duplicate_registration_updates_size(self):
+        cat = ReplicaCatalog()
+        cat.register("f", Replica("h", "/p", size=1))
+        cat.register("f", Replica("h", "/p", size=99))
+        replicas = cat.lookup("f")
+        assert len(replicas) == 1
+        assert replicas[0].size == 99
+
+    def test_multiple_replicas_ordered_by_registration(self):
+        cat = ReplicaCatalog()
+        cat.register("f", Replica("h1", "/p"))
+        cat.register("f", Replica("h2", "/p"))
+        assert [r.host for r in cat.lookup("f")] == ["h1", "h2"]
+
+    def test_unregister(self):
+        cat = ReplicaCatalog()
+        cat.register("f", Replica("h1", "/p"))
+        cat.register("f", Replica("h2", "/p"))
+        assert cat.unregister("f", "h1", "/p") is True
+        assert cat.hosts_holding("f") == {"h2"}
+        assert cat.unregister("f", "h1", "/p") is False
+
+    def test_unregister_last_removes_entry(self):
+        cat = ReplicaCatalog()
+        cat.register("f", Replica("h", "/p"))
+        cat.unregister("f", "h", "/p")
+        assert not cat.exists("f")
+        assert len(cat) == 0
+
+    def test_lookup_returns_copy(self):
+        cat = ReplicaCatalog()
+        cat.register("f", Replica("h", "/p"))
+        cat.lookup("f").clear()
+        assert len(cat.lookup("f")) == 1
+
+    def test_logical_names_sorted(self):
+        cat = ReplicaCatalog()
+        cat.register("zz", Replica("h", "/1"))
+        cat.register("aa", Replica("h", "/2"))
+        assert list(cat.logical_names()) == ["aa", "zz"]
+
+    def test_replica_str(self):
+        assert str(Replica("host1", "/d/f")) == "host1:/d/f"

@@ -1,0 +1,317 @@
+"""Unit tests for the Grid Buffer service semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.gridbuffer.cache import BufferCache
+from repro.gridbuffer.service import GridBufferError, GridBufferService, StreamClosed
+
+
+@pytest.fixture()
+def svc():
+    return GridBufferService()
+
+
+def make_stream(svc, name="s", n_readers=1, readers=("r1",), cache=None, capacity=None):
+    svc.create_stream(name, n_readers=n_readers, capacity_bytes=capacity, cache=cache)
+    for r in readers:
+        svc.register_reader(name, r)
+
+
+class TestBasicReadWrite:
+    def test_sequential_roundtrip(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"abc")
+        svc.write("s", 3, b"def")
+        svc.close_writer("s")
+        assert svc.read("s", "r1", 0, 6) == b"abcdef"
+
+    def test_read_smaller_than_block(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"0123456789")
+        assert svc.read("s", "r1", 0, 4) == b"0123"
+        assert svc.read("s", "r1", 4, 6) == b"456789"
+
+    def test_read_spanning_blocks(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"aaa")
+        svc.write("s", 3, b"bbb")
+        svc.write("s", 6, b"ccc")
+        assert svc.read("s", "r1", 1, 7) == b"aabbbcc"
+
+    def test_eof_semantics(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"xy")
+        total = svc.close_writer("s")
+        assert total == 2
+        assert svc.read("s", "r1", 0, 10) == b"xy"  # short read at EOF
+        assert svc.read("s", "r1", 2, 10) == b""    # at EOF
+        assert svc.read("s", "r1", 99, 1) == b""    # beyond EOF
+
+    def test_random_offset_writes(self, svc):
+        """The hash table supports out-of-order (random) writes."""
+        make_stream(svc)
+        svc.write("s", 5, b"world")
+        svc.write("s", 0, b"hello")
+        svc.close_writer("s")
+        assert svc.read("s", "r1", 0, 10) == b"helloworld"
+
+    def test_close_with_gap_raises(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"a")
+        svc.write("s", 5, b"b")
+        with pytest.raises(GridBufferError, match="gap"):
+            svc.close_writer("s")
+
+    def test_write_after_close_raises(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"x")
+        svc.close_writer("s")
+        with pytest.raises(StreamClosed):
+            svc.write("s", 1, b"y")
+
+    def test_close_idempotent(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"x")
+        assert svc.close_writer("s") == 1
+        assert svc.close_writer("s") == 1
+
+    def test_unknown_stream_raises(self, svc):
+        with pytest.raises(GridBufferError, match="unknown stream"):
+            svc.write("nope", 0, b"x")
+
+    def test_unregistered_reader_raises(self, svc):
+        make_stream(svc)
+        with pytest.raises(GridBufferError, match="not registered"):
+            svc.read("s", "ghost", 0, 1)
+
+    def test_too_many_readers_raises(self, svc):
+        make_stream(svc, n_readers=1)
+        with pytest.raises(GridBufferError, match="already has"):
+            svc.register_reader("s", "r2")
+
+    def test_reregister_same_reader_ok(self, svc):
+        make_stream(svc)
+        svc.register_reader("s", "r1")  # no error
+
+    def test_create_idempotent_same_config(self, svc):
+        svc.create_stream("s", n_readers=2)
+        svc.create_stream("s", n_readers=2)
+        with pytest.raises(GridBufferError):
+            svc.create_stream("s", n_readers=3)
+
+
+class TestBlockingReads:
+    def test_read_blocks_until_written(self, svc):
+        make_stream(svc)
+        result = {}
+
+        def reader():
+            result["data"] = svc.read("s", "r1", 0, 5, timeout=5)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        assert "data" not in result  # still blocked
+        svc.write("s", 0, b"12345")
+        t.join(timeout=5)
+        assert result["data"] == b"12345"
+
+    def test_partial_data_returned_without_blocking(self, svc):
+        """POSIX semantics: an over-long read returns what is there."""
+        make_stream(svc)
+        svc.write("s", 0, b"short")
+        assert svc.read("s", "r1", 0, 100, timeout=5) == b"short"
+
+    def test_read_at_unwritten_offset_blocks_until_eof(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"12345")
+        result = {}
+
+        def reader():
+            # Offset 5 has nothing yet; must block until close -> EOF.
+            result["data"] = svc.read("s", "r1", 5, 10, timeout=5)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        assert "data" not in result
+        svc.close_writer("s")
+        t.join(timeout=5)
+        assert result["data"] == b""
+
+    def test_read_timeout(self, svc):
+        make_stream(svc)
+        with pytest.raises(TimeoutError):
+            svc.read("s", "r1", 0, 1, timeout=0.05)
+
+
+class TestDeleteOnRead:
+    def test_block_removed_after_consumption(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"x" * 100)
+        assert svc.stats("s").bytes_in_table == 100
+        svc.read("s", "r1", 0, 100)
+        assert svc.stats("s").bytes_in_table == 0
+
+    def test_partial_consumption_keeps_block(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"x" * 100)
+        svc.read("s", "r1", 0, 40)
+        assert svc.stats("s").bytes_in_table == 100  # not fully consumed
+        svc.read("s", "r1", 40, 60)
+        assert svc.stats("s").bytes_in_table == 0
+
+    def test_reread_without_cache_raises(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"data")
+        svc.read("s", "r1", 0, 4)
+        with pytest.raises(GridBufferError, match="no\\s+cache"):
+            svc.read("s", "r1", 0, 4)
+
+    def test_reread_with_cache_served(self, svc, tmp_path):
+        cache = BufferCache(tmp_path / "s.cache")
+        make_stream(svc, cache=cache)
+        svc.write("s", 0, b"cached-data")
+        svc.close_writer("s")
+        assert svc.read("s", "r1", 0, 11) == b"cached-data"
+        assert svc.stats("s").bytes_in_table == 0
+        # Seek back: the paper's DARLAM re-read pattern.
+        assert svc.read("s", "r1", 0, 6) == b"cached"
+        assert svc.stats("s").cache_hits >= 1
+
+    def test_arbitrary_seek_with_cache(self, svc, tmp_path):
+        cache = BufferCache(tmp_path / "s.cache")
+        make_stream(svc, cache=cache)
+        svc.write("s", 0, b"0123456789")
+        svc.close_writer("s")
+        svc.read("s", "r1", 0, 10)
+        assert svc.read("s", "r1", 3, 4) == b"3456"
+
+
+class TestBroadcast:
+    def test_both_readers_get_data(self, svc):
+        make_stream(svc, n_readers=2, readers=("a", "b"))
+        svc.write("s", 0, b"broadcast")
+        assert svc.read("s", "a", 0, 9) == b"broadcast"
+        assert svc.read("s", "b", 0, 9) == b"broadcast"
+
+    def test_block_kept_until_all_readers_consume(self, svc):
+        make_stream(svc, n_readers=2, readers=("a", "b"))
+        svc.write("s", 0, b"x" * 10)
+        svc.read("s", "a", 0, 10)
+        assert svc.stats("s").bytes_in_table == 10  # b hasn't read
+        svc.read("s", "b", 0, 10)
+        assert svc.stats("s").bytes_in_table == 0
+
+    def test_block_kept_until_all_readers_registered(self, svc):
+        svc.create_stream("s", n_readers=2)
+        svc.register_reader("s", "a")
+        svc.write("s", 0, b"keep")
+        svc.read("s", "a", 0, 4)
+        assert svc.stats("s").bytes_in_table == 4  # late reader must see it
+        svc.register_reader("s", "b")
+        assert svc.read("s", "b", 0, 4) == b"keep"
+        assert svc.stats("s").bytes_in_table == 0
+
+
+class TestBackpressure:
+    def test_writer_blocks_at_capacity(self, svc):
+        make_stream(svc, capacity=100)
+        svc.write("s", 0, b"x" * 100)
+        with pytest.raises(TimeoutError):
+            svc.write("s", 100, b"y", timeout=0.05)
+        assert svc.stats("s").writer_stalls >= 1
+
+    def test_reader_frees_capacity(self, svc):
+        make_stream(svc, capacity=100)
+        svc.write("s", 0, b"x" * 100)
+        unblocked = []
+
+        def writer():
+            svc.write("s", 100, b"y" * 50, timeout=5)
+            unblocked.append(True)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert not unblocked
+        svc.read("s", "r1", 0, 100)  # consume -> free space
+        t.join(timeout=5)
+        assert unblocked == [True]
+
+    def test_block_larger_than_capacity_rejected(self, svc):
+        make_stream(svc, capacity=10)
+        with pytest.raises(GridBufferError, match="exceeds"):
+            svc.write("s", 0, b"x" * 11)
+
+
+class TestStatsAndLifecycle:
+    def test_stats_counts(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"abcd")
+        svc.read("s", "r1", 0, 2)
+        stats = svc.stats("s")
+        assert stats.bytes_written == 4
+        assert stats.bytes_read == 2
+
+    def test_drop_stream(self, svc):
+        make_stream(svc)
+        assert svc.exists("s")
+        svc.drop_stream("s")
+        assert not svc.exists("s")
+        svc.drop_stream("s")  # idempotent
+
+    def test_validation(self, svc):
+        with pytest.raises(ValueError):
+            svc.create_stream("s", n_readers=0)
+        make_stream(svc)
+        with pytest.raises(ValueError):
+            svc.write("s", -1, b"x")
+        with pytest.raises(ValueError):
+            svc.read("s", "r1", -1, 1)
+
+    def test_empty_write_is_noop(self, svc):
+        make_stream(svc)
+        svc.write("s", 0, b"")
+        assert svc.stats("s").bytes_written == 0
+
+
+class TestConcurrentStreaming:
+    def test_pipelined_writer_reader(self, svc, tmp_path):
+        """A full producer/consumer run with randomish chunk sizes."""
+        cache = BufferCache(tmp_path / "p.cache")
+        make_stream(svc, name="pipe", cache=cache, capacity=4096)
+        payload = bytes(i % 256 for i in range(100_000))
+        received = bytearray()
+
+        def writer():
+            pos = 0
+            sizes = [1, 7, 512, 4096, 33, 999]
+            i = 0
+            while pos < len(payload):
+                size = sizes[i % len(sizes)]
+                chunk = payload[pos : pos + size]
+                svc.write("pipe", pos, chunk, timeout=10)
+                pos += len(chunk)
+                i += 1
+            svc.close_writer("pipe")
+
+        def reader():
+            pos = 0
+            while True:
+                chunk = svc.read("pipe", "r1", pos, 777, timeout=10)
+                if not chunk:
+                    break
+                received.extend(chunk)
+                pos += len(chunk)
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join(timeout=30)
+        tr.join(timeout=30)
+        assert bytes(received) == payload

@@ -1,0 +1,127 @@
+"""Integration tests: Grid Buffer over real TCP."""
+
+import threading
+
+import pytest
+
+from repro.gridbuffer.client import GridBufferClient
+from repro.transport.tcp import RpcError
+
+
+@pytest.fixture()
+def client(buffer_server):
+    c = GridBufferClient(*buffer_server.address)
+    yield c
+    c.close()
+
+
+class TestRemoteStream:
+    def test_roundtrip(self, client):
+        client.create_stream("s")
+        client.register_reader("s", "r")
+        client.write("s", 0, b"over the wire")
+        client.close_writer("s")
+        assert client.read("s", "r", 0, 13) == b"over the wire"
+
+    def test_stream_exists(self, client):
+        assert not client.stream_exists("s")
+        client.create_stream("s")
+        assert client.stream_exists("s")
+
+    def test_stats(self, client):
+        client.create_stream("s")
+        client.register_reader("s", "r")
+        client.write("s", 0, b"abcd")
+        stats = client.stats("s")
+        assert stats["bytes_written"] == 4
+
+    def test_error_propagates_as_rpc_error(self, client):
+        with pytest.raises(RpcError):
+            client.write("unknown-stream", 0, b"x")
+
+    def test_drop(self, client):
+        client.create_stream("s")
+        client.drop_stream("s")
+        assert not client.stream_exists("s")
+
+
+class TestFileLikeAdapters:
+    def test_writer_reader_threads(self, client, buffer_server):
+        payload = bytes(i % 256 for i in range(50_000))
+
+        def produce():
+            w = client.open_writer("wire", cache=True)
+            pos = 0
+            while pos < len(payload):
+                w.write(payload[pos : pos + 4096])
+                pos += 4096
+            w.close()
+
+        received = {}
+
+        def consume():
+            reader_client = GridBufferClient(*buffer_server.address)
+            r = reader_client.open_reader("wire", read_timeout=10)
+            received["data"] = r.read()
+            r.close()
+            reader_client.close()
+
+        tw = threading.Thread(target=produce)
+        tr = threading.Thread(target=consume)
+        tw.start()
+        tr.start()
+        tw.join(timeout=30)
+        tr.join(timeout=30)
+        assert received["data"] == payload
+
+    def test_reader_seek_and_reread_via_cache(self, client):
+        w = client.open_writer("seekable", cache=True)
+        w.write(b"0123456789")
+        w.close()
+        r = client.open_reader("seekable", read_timeout=5)
+        assert r.read(10) == b"0123456789"
+        r.seek(2)
+        assert r.read(4) == b"2345"
+        assert r.tell() == 6
+        r.close()
+
+    def test_writer_tracks_position(self, client):
+        w = client.open_writer("pos")
+        w.write(b"abc")
+        assert w.tell() == 3
+        w.seek(10)
+        w.write(b"z")
+        assert w.tell() == 11
+
+    def test_write_after_close_raises(self, client):
+        w = client.open_writer("closed")
+        w.write(b"x")
+        w.close()
+        with pytest.raises(ValueError):
+            w.write(b"y")
+
+    def test_broadcast_two_remote_readers(self, client, buffer_server):
+        w = client.open_writer("bcast", n_readers=2, cache=True)
+        w.write(b"fanout")
+        w.close()
+        got = []
+        for name in ("one", "two"):
+            c = GridBufferClient(*buffer_server.address)
+            r = c.open_reader("bcast", reader_id=name, read_timeout=5)
+            got.append(r.read(6))
+            r.close()
+            c.close()
+        assert got == [b"fanout", b"fanout"]
+
+    def test_readinto_supported(self, client):
+        """BufferedReader requires raw readinto — regression test."""
+        import io
+
+        w = client.open_writer("buffered")
+        w.write(b"line one\nline two\n")
+        w.close()
+        r = client.open_reader("buffered", read_timeout=5)
+        buffered = io.BufferedReader(r)
+        assert buffered.readline() == b"line one\n"
+        assert buffered.readline() == b"line two\n"
+        buffered.close()

@@ -1,0 +1,77 @@
+"""Tests for the library's logging integration."""
+
+import logging
+
+import pytest
+
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.gns.client import LocalGnsClient
+from repro.gns.server import NameService
+from repro.gridbuffer.service import GridBufferService
+
+
+class TestFmLogging:
+    def test_open_logged_with_mode(self, hosts, caplog):
+        fm = FileMultiplexer(
+            GridContext(machine="alpha", gns=LocalGnsClient(NameService()), hosts=hosts)
+        )
+        with caplog.at_level(logging.DEBUG, logger="repro.core.fm"):
+            fm.open("/logged.bin", "w").close()
+        fm.close()
+        messages = [r.message for r in caplog.records]
+        assert any("/logged.bin" in m and "local" in m for m in messages)
+
+
+class TestGridBufferLogging:
+    def test_stream_creation_logged(self, caplog):
+        svc = GridBufferService()
+        with caplog.at_level(logging.DEBUG, logger="repro.gridbuffer"):
+            svc.create_stream("noisy", n_readers=2)
+        assert any("noisy" in r.message for r in caplog.records)
+
+    def test_abort_logged_as_warning(self, caplog):
+        svc = GridBufferService()
+        svc.create_stream("bad")
+        with caplog.at_level(logging.WARNING, logger="repro.gridbuffer"):
+            svc.abort_writer("bad", "test reason")
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        assert any("test reason" in r.message for r in warnings)
+
+
+class TestRunnerLogging:
+    def test_stage_lifecycle_logged(self, caplog):
+        from repro.workflow.runner import RealRunner
+        from repro.workflow.scheduler import plan_workflow
+        from repro.workflow.spec import FileUse, Stage, Workflow
+
+        def produce(io):
+            with io.open("out", "w") as fh:
+                fh.write("x")
+
+        wf = Workflow("logged", [Stage("p", writes=(FileUse("out"),), func=produce)])
+        plan = plan_workflow(wf, {"p": "m1"})
+        runner = RealRunner(plan)
+        with caplog.at_level(logging.INFO, logger="repro.workflow.runner"):
+            result = runner.run()
+        runner.deployment.stop()
+        assert result.ok
+        messages = [r.message for r in caplog.records]
+        assert any("starting" in m for m in messages)
+        assert any("finished" in m for m in messages)
+
+    def test_failure_logged_as_warning(self, caplog):
+        from repro.workflow.runner import RealRunner
+        from repro.workflow.scheduler import plan_workflow
+        from repro.workflow.spec import Stage, Workflow
+
+        def bad(io):
+            raise RuntimeError("kaput")
+
+        wf = Workflow("failing", [Stage("p", func=bad)])
+        plan = plan_workflow(wf, {"p": "m1"})
+        runner = RealRunner(plan)
+        with caplog.at_level(logging.WARNING, logger="repro.workflow.runner"):
+            result = runner.run()
+        runner.deployment.stop()
+        assert not result.ok
+        assert any("kaput" in r.message for r in caplog.records)

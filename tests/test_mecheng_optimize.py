@@ -1,0 +1,136 @@
+"""Tests for the hole-shape design study and in-memory execution."""
+
+import pytest
+
+from repro.apps.mecheng.chammy import HoleShape
+from repro.apps.mecheng.optimize import (
+    best_by_life,
+    best_by_stress,
+    evaluate_shape,
+    grid_study,
+    optimize_shape,
+)
+from repro.workflow.localio import MemoryStageIO, run_workflow_in_memory
+from repro.workflow.spec import Stage, Workflow, WorkflowError
+
+FAST_KW = {"n_boundary": 32, "n_rings": 8}
+
+
+class TestMemoryStageIO:
+    def test_text_roundtrip(self):
+        io_a = MemoryStageIO()
+        with io_a.open("f.txt", "w") as fh:
+            fh.write("hello\n")
+        with io_a.open("f.txt", "r") as fh:
+            assert fh.read() == "hello\n"
+
+    def test_binary_roundtrip(self):
+        io_a = MemoryStageIO()
+        with io_a.open("f.bin", "wb") as fh:
+            fh.write(b"\x00\x01")
+        with io_a.open("f.bin", "rb") as fh:
+            assert fh.read() == b"\x00\x01"
+
+    def test_append(self):
+        io_a = MemoryStageIO()
+        with io_a.open("f", "w") as fh:
+            fh.write("a")
+        with io_a.open("f", "a") as fh:
+            fh.write("b")
+        with io_a.open("f") as fh:
+            assert fh.read() == "ab"
+
+    def test_missing_read_raises(self):
+        with pytest.raises(FileNotFoundError):
+            MemoryStageIO().open("nope", "r")
+
+    def test_params(self):
+        io_a = MemoryStageIO(params={"n": 5})
+        assert io_a.param("n") == 5
+        assert io_a.param("missing", "dflt") == "dflt"
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            MemoryStageIO().open("f", "r+")
+
+    def test_seeded_inputs(self):
+        io_a = MemoryStageIO(files={"seed": b"xyz"})
+        with io_a.open("seed", "rb") as fh:
+            assert fh.read() == b"xyz"
+
+
+class TestRunInMemory:
+    def test_stage_ordering_respected(self):
+        log = []
+
+        def first(io):
+            log.append("first")
+            with io.open("f", "w") as fh:
+                fh.write("1")
+
+        def second(io):
+            with io.open("f") as fh:
+                assert fh.read() == "1"
+            log.append("second")
+
+        wf = Workflow(
+            "order",
+            [
+                Stage("second", reads=("f",), func=second),
+                Stage("first", writes=("f",), func=first),
+            ],
+        )
+        files = run_workflow_in_memory(wf)
+        assert log == ["first", "second"]
+        assert files["f"] == b"1"
+
+    def test_missing_func_rejected(self):
+        wf = Workflow("nf", [Stage("s")])
+        with pytest.raises(WorkflowError):
+            run_workflow_in_memory(wf)
+
+
+class TestDesignStudy:
+    def test_evaluate_circle(self):
+        point = evaluate_shape(HoleShape(), **FAST_KW)
+        assert point.life > 0
+        assert point.peak_stress > 2.0 * 100e6  # concentration near 3x
+
+    def test_grid_study_covers_all_points(self):
+        points = grid_study([2.0, 3.0], [0.9, 1.1], **FAST_KW)
+        assert len(points) == 4
+        combos = {(p.shape.power, p.shape.aspect) for p in points}
+        assert combos == {(2.0, 0.9), (2.0, 1.1), (3.0, 0.9), (3.0, 1.1)}
+
+    def test_higher_stress_means_lower_life(self):
+        """Across the design grid, life anti-correlates with peak stress
+        (Paris law makes life ~ stress^-3)."""
+        points = grid_study([2.0, 3.0, 4.0], [0.8, 1.0, 1.3], **FAST_KW)
+        ordered_by_stress = sorted(points, key=lambda p: p.peak_stress)
+        assert ordered_by_stress[0].life > ordered_by_stress[-1].life
+
+    def test_best_selectors(self):
+        points = grid_study([2.0, 4.0], [1.0], **FAST_KW)
+        assert best_by_life(points).life == max(p.life for p in points)
+        assert best_by_stress(points).peak_stress == min(p.peak_stress for p in points)
+
+    def test_optimizer_improves_or_matches_start(self):
+        start = evaluate_shape(HoleShape(), **FAST_KW)
+        refined = optimize_shape(start=HoleShape(), max_evals=12, **FAST_KW)
+        assert refined.life >= start.life * 0.999
+
+    def test_optimizer_respects_bounds(self):
+        refined = optimize_shape(
+            start=HoleShape(power=2.0, aspect=1.0),
+            bounds=((1.5, 3.0), (0.8, 1.2)),
+            max_evals=10,
+            **FAST_KW,
+        )
+        assert 1.5 <= refined.shape.power <= 3.0
+        assert 0.8 <= refined.shape.aspect <= 1.2
+
+    def test_deterministic(self):
+        a = evaluate_shape(HoleShape(power=3.0), **FAST_KW)
+        b = evaluate_shape(HoleShape(power=3.0), **FAST_KW)
+        assert a.life == b.life
+        assert a.peak_stress == b.peak_stress

@@ -1,0 +1,53 @@
+"""Public-API surface checks: exports resolve and carry docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.gns",
+    "repro.gridbuffer",
+    "repro.transport",
+    "repro.grid",
+    "repro.sim",
+    "repro.workflow",
+    "repro.apps.mecheng",
+    "repro.apps.climate",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip(), f"{package} lacks a docstring"
+
+    def test_public_callables_documented(self, package):
+        """Every exported class/function carries a docstring."""
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{package}: undocumented exports {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)

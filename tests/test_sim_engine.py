@@ -1,0 +1,299 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEventBasics:
+    def test_event_starts_pending(self):
+        env = Environment()
+        evt = env.event()
+        assert not evt.triggered
+        assert evt.ok is None
+
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed(42)
+        assert evt.triggered
+        assert evt.ok is True
+        assert evt.value == 42
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(SimulationError):
+            evt.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+
+class TestClock:
+    def test_time_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(3.5)
+        env.run()
+        assert env.now == 3.5
+
+    def test_run_until_caps_clock(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_peek_empty_queue_is_inf(self):
+        env = Environment()
+        env.run()
+        assert env.peek() == float("inf")
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "done"
+
+    def test_processes_interleave_by_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            log.append((env.now, name))
+
+        env.process(proc(env, "late", 2.0))
+        env.process(proc(env, "early", 1.0))
+        env.run()
+        assert log == [(1.0, "early"), (2.0, "late")]
+
+    def test_same_time_fifo_order(self):
+        env = Environment()
+        log = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            env.process(proc(env, name))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(5)
+            return 7
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value * 2
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 14
+        assert env.now == 5.0
+
+    def test_waiting_on_already_finished_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(1)
+            return "x"
+
+        def parent(env, child_proc):
+            yield env.timeout(10)
+            value = yield child_proc
+            return value
+
+        c = env.process(child(env))
+        p = env.process(parent(env, c))
+        env.run()
+        assert p.value == "x"
+        assert env.now == 10.0
+
+    def test_unhandled_process_exception_surfaces(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise RuntimeError("boom")
+
+        env.process(bad(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_watched_failure_propagates_to_waiter(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env, proc):
+            try:
+                yield proc
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter(env, env.process(bad(env))))
+        env.run()
+        assert p.value == "caught inner"
+
+    def test_yield_non_event_raises_in_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+                return ("slept", env.now)
+            except Interrupt as intr:
+                return (f"interrupted:{intr.cause}", env.now)
+
+        def interrupter(env, target):
+            yield env.timeout(1)
+            target.interrupt("stop")
+
+        p = env.process(sleeper(env))
+        env.process(interrupter(env, p))
+        env.run()
+        # The abandoned 100 s timeout still drains the queue (and moves
+        # the clock), but the process itself resumed at t=1.
+        assert p.value == ("interrupted:stop", 1.0)
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.all_of([env.timeout(1, "a"), env.timeout(3, "b")])
+            return sorted(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["a", "b"]
+        assert env.now == 3.0
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.any_of([env.timeout(5, "slow"), env.timeout(1, "fast")])
+            return (list(result.values()), env.now)
+
+        p = env.process(proc(env))
+        env.run()
+        # The abandoned slow timeout still drains afterwards; the
+        # condition itself fired at t=1 with only the fast value.
+        assert p.value == (["fast"], 1.0)
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+        bad = env.event()
+
+        def proc(env):
+            try:
+                yield env.all_of([env.timeout(1), bad])
+            except RuntimeError:
+                return "failed"
+
+        p = env.process(proc(env))
+        bad.fail(RuntimeError("x"))
+        env.run()
+        assert p.value == "failed"
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def proc(env, name, delays):
+                for d in delays:
+                    yield env.timeout(d)
+                    trace.append((round(env.now, 9), name))
+
+            env.process(proc(env, "a", [0.1] * 20))
+            env.process(proc(env, "b", [0.13] * 17))
+            env.process(proc(env, "c", [0.07] * 25))
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

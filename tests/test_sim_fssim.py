@@ -1,0 +1,132 @@
+"""Unit tests for simulated disks and file systems."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.fssim import Disk, DiskSpec, SimFileSystem
+
+
+class TestDiskSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(read_bandwidth=0)
+        with pytest.raises(ValueError):
+            DiskSpec(write_bandwidth=-1)
+        with pytest.raises(ValueError):
+            DiskSpec(seek_time=-0.1)
+
+
+class TestDisk:
+    def test_read_time(self):
+        env = Environment()
+        disk = Disk(env, DiskSpec(read_bandwidth=10e6, write_bandwidth=10e6, seek_time=0.01))
+        disk.read(10_000_000)
+        env.run()
+        assert env.now == pytest.approx(0.01 + 1.0)
+
+    def test_write_slower_than_read(self):
+        spec = DiskSpec(read_bandwidth=40e6, write_bandwidth=20e6, seek_time=0.0)
+        env1, env2 = Environment(), Environment()
+        Disk(env1, spec).read(40_000_000)
+        env1.run()
+        Disk(env2, spec).write(40_000_000)
+        env2.run()
+        assert env2.now == pytest.approx(2 * env1.now)
+
+    def test_concurrent_io_shares_bandwidth(self):
+        env = Environment()
+        disk = Disk(env, DiskSpec(read_bandwidth=10e6, write_bandwidth=10e6, seek_time=0.0))
+        done = []
+
+        def reader(env):
+            yield disk.read(10_000_000)
+            done.append(env.now)
+
+        env.process(reader(env))
+        env.process(reader(env))
+        env.run()
+        assert done == [pytest.approx(2.0)] * 2
+
+    def test_negative_size_rejected(self):
+        env = Environment()
+        disk = Disk(env)
+        with pytest.raises(ValueError):
+            disk.read(-1)
+
+
+class TestSimFileSystem:
+    def test_write_creates_file(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+        fs.write_file("/out.dat", 1000)
+        env.run()
+        assert fs.exists("/out.dat")
+        assert fs.stat("/out.dat").size == 1000
+
+    def test_append_grows_file(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+
+        def proc(env):
+            yield fs.write_file("/log", 100)
+            yield fs.write_file("/log", 50, append=True)
+
+        env.process(proc(env))
+        env.run()
+        assert fs.stat("/log").size == 150
+
+    def test_overwrite_resets_size(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+
+        def proc(env):
+            yield fs.write_file("/f", 100)
+            yield fs.write_file("/f", 10)
+
+        env.process(proc(env))
+        env.run()
+        assert fs.stat("/f").size == 10
+
+    def test_stat_missing_raises(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+        with pytest.raises(FileNotFoundError):
+            fs.stat("/nope")
+
+    def test_unlink(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+        fs.touch("/f", size=5)
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        with pytest.raises(FileNotFoundError):
+            fs.unlink("/f")
+
+    def test_read_whole_file_timing(self):
+        env = Environment()
+        fs = SimFileSystem(
+            env, host="m1", disk=Disk(env, DiskSpec(read_bandwidth=1e6, write_bandwidth=1e6, seek_time=0.0))
+        )
+        fs.touch("/data", size=2_000_000)
+        fs.read_file("/data")
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_listdir_sorted(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+        fs.touch("/b")
+        fs.touch("/a")
+        assert fs.listdir() == ["/a", "/b"]
+
+    def test_mtime_tracks_clock(self):
+        env = Environment()
+        fs = SimFileSystem(env, host="m1")
+
+        def proc(env):
+            yield env.timeout(5)
+            yield fs.write_file("/f", 10)
+
+        env.process(proc(env))
+        env.run()
+        assert fs.stat("/f").mtime >= 5.0

@@ -1,0 +1,150 @@
+"""Unit tests for the simulated WAN."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.netsim import LOCALHOST_LINK, Link, LinkSpec, Network
+
+
+def run_to_completion(env, evt):
+    env.run()
+    assert evt.triggered
+    return env.now
+
+
+class TestLinkSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0, latency=0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1e6, latency=-1)
+
+    def test_rtt(self):
+        assert LinkSpec(bandwidth=1e6, latency=0.05).rtt == pytest.approx(0.1)
+
+
+class TestLink:
+    def test_message_time_is_latency_plus_serialisation(self):
+        env = Environment()
+        link = Link(env, LinkSpec(bandwidth=1e6, latency=0.5))
+        evt = link.message(1_000_000)
+        t = run_to_completion(env, evt)
+        assert t == pytest.approx(0.5 + 1.0)
+
+    def test_zero_byte_message_costs_latency_only(self):
+        env = Environment()
+        link = Link(env, LinkSpec(bandwidth=1e6, latency=0.25))
+        evt = link.message(0)
+        assert run_to_completion(env, evt) == pytest.approx(0.25)
+
+    def test_concurrent_messages_share_bandwidth(self):
+        env = Environment()
+        link = Link(env, LinkSpec(bandwidth=1e6, latency=0.0))
+        done = []
+
+        def send(env):
+            yield link.message(1_000_000)
+            done.append(env.now)
+
+        env.process(send(env))
+        env.process(send(env))
+        env.run()
+        assert done == [pytest.approx(2.0)] * 2
+
+    def test_negative_size_rejected(self):
+        env = Environment()
+        link = Link(env, LOCALHOST_LINK)
+        with pytest.raises(ValueError):
+            link.message(-1)
+
+
+class TestNetwork:
+    def _net(self, env):
+        net = Network(env)
+        net.connect("a", "b", LinkSpec(bandwidth=1e6, latency=0.1))
+        return net
+
+    def test_symmetric_lookup(self):
+        env = Environment()
+        net = self._net(env)
+        assert net.spec("a", "b") == net.spec("b", "a")
+
+    def test_loopback_implicit(self):
+        env = Environment()
+        net = self._net(env)
+        assert net.spec("a", "a") == LOCALHOST_LINK
+
+    def test_unknown_pair_raises_without_default(self):
+        env = Environment()
+        net = self._net(env)
+        with pytest.raises(KeyError):
+            net.spec("a", "zzz")
+
+    def test_default_spec_fallback(self):
+        env = Environment()
+        net = Network(env, default=LinkSpec(bandwidth=5e5, latency=0.2))
+        assert net.spec("x", "y").latency == 0.2
+
+    def test_request_response_costs_one_rtt(self):
+        env = Environment()
+        net = self._net(env)
+        evt = net.request_response("a", "b", 100, 100)
+        env.run()
+        assert evt.triggered
+        # Two latencies + two tiny serialisations.
+        assert env.now == pytest.approx(0.2 + 200 / 1e6, rel=1e-6)
+
+    def test_bulk_transfer_latency_insensitive(self):
+        env = Environment()
+        net = self._net(env)
+        evt = net.bulk_transfer("a", "b", 10_000_000)
+        env.run()
+        # setup (2 rtts = 0.4) + 10 s serialisation + final latency.
+        assert env.now == pytest.approx(0.4 + 10.0 + 0.1, rel=1e-6)
+
+    def test_windowed_stream_pays_per_window_rtt(self):
+        env = Environment()
+        net = Network(env)
+        net.connect("a", "b", LinkSpec(bandwidth=1e9, latency=0.1))
+        # 16 blocks of 1000 bytes, window 4 -> 4 acks; latency dominates.
+        evt = net.windowed_stream("a", "b", 16_000, block_size=1000, window=4)
+        env.run()
+        # Each block pays one latency (0.1 * 16) + 4 ack latencies.
+        assert env.now == pytest.approx(16 * 0.1 + 4 * 0.1, rel=0.05)
+
+    def test_stream_slower_than_bulk_on_high_latency(self):
+        """The Table 5 mechanism: per-block streams lose to bulk copies
+        when latency is high."""
+        env = Environment()
+        net = Network(env)
+        net.connect("au", "uk", LinkSpec(bandwidth=0.33 * 1024 * 1024, latency=0.32))
+        nbytes = 10 * 1024 * 1024
+        bulk = net.estimate_bulk_time("au", "uk", nbytes)
+        stream = net.estimate_stream_time("au", "uk", nbytes, block_size=4096, window=8)
+        assert stream > 2 * bulk
+
+    def test_stream_competitive_on_lan(self):
+        """On a LAN the per-block stream is the same order of magnitude
+        as the bulk copy (its cost hides under compute overlap); on the
+        WAN (previous test) it is many times worse."""
+        env = Environment()
+        net = Network(env)
+        net.connect("m1", "m2", LinkSpec(bandwidth=10 * 1024 * 1024, latency=0.0005))
+        nbytes = 10 * 1024 * 1024
+        bulk = net.estimate_bulk_time("m1", "m2", nbytes)
+        stream = net.estimate_stream_time("m1", "m2", nbytes, block_size=4096, window=8)
+        assert stream < 3 * bulk
+
+    def test_parallel_streams_validation(self):
+        env = Environment()
+        net = self._net(env)
+        with pytest.raises(ValueError):
+            net.bulk_transfer("a", "b", 100, streams=0)
+
+    def test_windowed_stream_validation(self):
+        env = Environment()
+        net = self._net(env)
+        with pytest.raises(ValueError):
+            net.windowed_stream("a", "b", 100, block_size=0)
+        with pytest.raises(ValueError):
+            net.windowed_stream("a", "b", 100, block_size=10, window=0)

@@ -1,0 +1,159 @@
+"""Property-based tests of the simulated runner's physics.
+
+Whatever the workflow and placement, the simulation must respect basic
+conservation laws: no machine finishes its work faster than its CPU
+allows, sequential couplings never beat pipelined ones on multi-core
+hardware, and adding work never makes a run faster.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.machine import Machine, MachineSpec
+from repro.sim.engine import Environment
+from repro.sim.netsim import LinkSpec, Network
+from repro.workflow.scheduler import plan_workflow
+from repro.workflow.simrunner import simulate_plan
+from repro.workflow.spec import FileUse, Stage, Workflow
+
+MB = 1024 * 1024
+
+
+def build_env(names, speed=1.0, cores=1):
+    env = Environment()
+    machines = {
+        n: Machine(
+            env,
+            MachineSpec(
+                name=n, address=f"{n}.t", country="AU", cpu="t", mem_mb=512,
+                speed=speed, cores=cores,
+                idle_io_fraction=0.0, buffer_cpu_per_mb=0.0, file_cpu_per_mb=0.0,
+            ),
+        )
+        for n in names
+    }
+    net = Network(env, default=LinkSpec(bandwidth=1000 * MB, latency=1e-6))
+    return env, machines, net
+
+
+def chain_workflow(works, nbytes=1 * MB, chunks=8):
+    stages = []
+    prev = None
+    for i, work in enumerate(works):
+        reads = (FileUse(prev, nbytes),) if prev else ()
+        fname = f"f{i}"
+        stages.append(
+            Stage(f"s{i}", reads=reads, writes=(FileUse(fname, nbytes),), work=work, chunks=chunks)
+        )
+        prev = fname
+    return Workflow("prop", stages)
+
+
+class TestConservation:
+    @given(
+        works=st.lists(st.floats(min_value=1.0, max_value=200.0), min_size=1, max_size=4),
+        speed=st.floats(min_value=0.2, max_value=4.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_machine_cpu_lower_bound(self, works, speed):
+        """One single-core machine can never beat total-work/speed."""
+        wf = chain_workflow(works)
+        env, machines, net = build_env(["m"], speed=speed)
+        plan = plan_workflow(wf, {s: "m" for s in wf.stages}, coupling={
+            f: "buffer" for f in wf.pipeline_files()
+        })
+        report = simulate_plan(plan, machines=machines, network=net, env=env)
+        assert report.makespan >= sum(works) / speed * 0.999
+
+    @given(
+        works=st.lists(st.floats(min_value=5.0, max_value=100.0), min_size=2, max_size=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pipelined_never_slower_than_sequential_cross_machine(self, works):
+        """With one machine per stage and fast links, streaming beats
+        (or ties) the sequential local+copy wiring."""
+        names = [f"m{i}" for i in range(len(works))]
+        placement = {f"s{i}": names[i] for i in range(len(works))}
+
+        def run(mech):
+            wf = chain_workflow(works)
+            env, machines, net = build_env(names)
+            plan = plan_workflow(
+                wf, placement, coupling={f: mech for f in wf.pipeline_files()}
+            )
+            return simulate_plan(plan, machines=machines, network=net, env=env).makespan
+
+        assert run("buffer") <= run("copy") * 1.01
+
+    @given(
+        base=st.floats(min_value=10.0, max_value=100.0),
+        extra=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_more_work_never_faster(self, base, extra):
+        def run(works):
+            wf = chain_workflow(works)
+            env, machines, net = build_env(["m"])
+            plan = plan_workflow(wf, {s: "m" for s in wf.stages})
+            return simulate_plan(plan, machines=machines, network=net, env=env).makespan
+
+        assert run([base, base + extra]) >= run([base, base]) * 0.999
+
+    @given(chunks=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=15, deadline=None)
+    def test_chunking_does_not_change_sequential_total(self, chunks):
+        """Chunk granularity is a modelling knob; the sequential total
+        must be insensitive to it (same work, same bytes)."""
+        wf = chain_workflow([50.0, 50.0], chunks=chunks)
+        env, machines, net = build_env(["m"])
+        plan = plan_workflow(wf, {s: "m" for s in wf.stages})
+        t = simulate_plan(plan, machines=machines, network=net, env=env).makespan
+        wf2 = chain_workflow([50.0, 50.0], chunks=1)
+        env2, machines2, net2 = build_env(["m"])
+        plan2 = plan_workflow(wf2, {s: "m" for s in wf2.stages})
+        t2 = simulate_plan(plan2, machines=machines2, network=net2, env=env2).makespan
+        assert t == pytest.approx(t2, rel=0.02)
+
+    @given(cores=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_more_cores_never_slower(self, cores):
+        def run(c):
+            wf = chain_workflow([60.0, 60.0, 60.0])
+            env, machines, net = build_env(["m"], cores=c)
+            plan = plan_workflow(
+                wf, {s: "m" for s in wf.stages},
+                coupling={f: "buffer" for f in wf.pipeline_files()},
+            )
+            return simulate_plan(plan, machines=machines, network=net, env=env).makespan
+
+        assert run(cores + 1) <= run(cores) * 1.01
+
+    @given(
+        bandwidth_mb=st.floats(min_value=0.1, max_value=100.0),
+        latency=st.floats(min_value=0.0001, max_value=0.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_copy_time_matches_link_model(self, bandwidth_mb, latency):
+        """The copy window in the report equals the closed-form cost
+        within disk overheads."""
+        wf = chain_workflow([10.0, 10.0], nbytes=20 * MB, chunks=1)
+        env = Environment()
+        machines = {
+            n: Machine(
+                env,
+                MachineSpec(
+                    name=n, address=f"{n}.t", country="AU", cpu="t", mem_mb=512,
+                    speed=1.0, idle_io_fraction=0.0,
+                ),
+            )
+            for n in ("a", "b")
+        }
+        net = Network(env)
+        net.connect("a", "b", LinkSpec(bandwidth=bandwidth_mb * MB, latency=latency))
+        plan = plan_workflow(wf, {"s0": "a", "s1": "b"}, coupling={"f0": "copy", "f1": "local"})
+        report = simulate_plan(plan, machines=machines, network=net, env=env)
+        start, finish = report.copy_times["f0"]
+        ideal = net.estimate_bulk_time("a", "b", 20 * MB)
+        assert finish - start >= ideal * 0.99
+        assert finish - start <= ideal + 5.0  # disk read/write overheads

@@ -1,0 +1,41 @@
+"""Tests for CPU-load sampling in the simulated runner."""
+
+import pytest
+
+from repro.apps.climate import concurrent_plan, sequential_plan
+from repro.workflow.simrunner import simulate_plan
+
+
+class TestLoadSampling:
+    def test_concurrent_single_cpu_is_saturated(self):
+        """Table 4's explanation: three models concurrently on one CPU
+        keep it essentially always busy."""
+        report = simulate_plan(concurrent_plan("dione", "buffer"), sample_interval=10.0)
+        assert report.utilisation("dione") > 0.95
+
+    def test_sequential_run_has_idle_slices(self):
+        """Sequential runs idle during blocking IO (idle_io_fraction)."""
+        report = simulate_plan(sequential_plan("freak"), sample_interval=5.0)
+        # freak has 12% idle-IO; utilisation must reflect some idleness.
+        assert 0.7 < report.utilisation("freak") < 0.99
+
+    def test_no_samples_without_request(self):
+        report = simulate_plan(sequential_plan("brecca"))
+        assert report.load_samples == {}
+        with pytest.raises(ValueError, match="sample_interval"):
+            report.utilisation("brecca")
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_plan(sequential_plan("brecca"), sample_interval=0.0)
+
+    def test_sampling_does_not_change_timings(self):
+        plain = simulate_plan(sequential_plan("dione")).makespan
+        sampled = simulate_plan(sequential_plan("dione"), sample_interval=7.0).makespan
+        assert plain == pytest.approx(sampled, rel=1e-9)
+
+    def test_samples_cover_the_run(self):
+        report = simulate_plan(sequential_plan("brecca"), sample_interval=10.0)
+        times = [t for t, _ in report.load_samples["brecca"]]
+        assert times[0] == 0.0
+        assert times[-1] >= report.makespan - 10.0

@@ -1,0 +1,119 @@
+"""Unit tests for the virtual-host registry."""
+
+import time
+
+import pytest
+
+from repro.transport.inmem import DelayModel, HostRegistry, VirtualHost
+
+
+class TestVirtualHost:
+    def test_resolve_inside_root(self, tmp_path):
+        host = VirtualHost("h", tmp_path / "h")
+        p = host.resolve("/data/file.txt")
+        assert str(p).startswith(str((tmp_path / "h").resolve()))
+
+    def test_escape_rejected(self, tmp_path):
+        host = VirtualHost("h", tmp_path / "h")
+        with pytest.raises(PermissionError):
+            host.resolve("/../outside")
+
+    def test_size_and_exists(self, tmp_path):
+        host = VirtualHost("h", tmp_path / "h")
+        target = host.resolve("/f.bin")
+        target.write_bytes(b"12345")
+        assert host.exists("/f.bin")
+        assert host.size("/f.bin") == 5
+        assert not host.exists("/g.bin")
+
+
+class TestHostRegistry:
+    def test_add_and_lookup(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        reg.add_host("a")
+        assert reg.host("a").name == "a"
+        assert reg.hosts() == ["a"]
+
+    def test_add_idempotent(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        h1 = reg.add_host("a")
+        h2 = reg.add_host("a")
+        assert h1 is h2
+
+    def test_unknown_host_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            HostRegistry(tmp_path).host("nope")
+
+    def test_no_base_dir_requires_root(self):
+        reg = HostRegistry()
+        with pytest.raises(ValueError):
+            reg.add_host("a")
+
+    def test_copy_file_between_hosts(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        a, b = reg.add_host("a"), reg.add_host("b")
+        a.resolve("/src.bin").write_bytes(b"payload")
+        n = reg.copy_file("a", "/src.bin", "b", "/dst/copy.bin")
+        assert n == 7
+        assert b.resolve("/dst/copy.bin").read_bytes() == b"payload"
+
+    def test_copy_missing_raises(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        reg.add_host("a")
+        reg.add_host("b")
+        with pytest.raises(FileNotFoundError):
+            reg.copy_file("a", "/nope", "b", "/x")
+
+    def test_read_block_cross_host(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        a = reg.add_host("a")
+        reg.add_host("b")
+        a.resolve("/f").write_bytes(b"0123456789")
+        assert reg.read_block("a", "/f", 2, 4, "b") == b"2345"
+
+    def test_delay_model_applied(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        a = reg.add_host("a")
+        reg.add_host("b")
+        a.resolve("/f").write_bytes(b"x" * 1000)
+        reg.set_delay("a", "b", DelayModel(bandwidth=1e6, latency=0.02, scale=1.0))
+        t0 = time.monotonic()
+        reg.copy_file("a", "/f", "b", "/f")
+        elapsed = time.monotonic() - t0
+        assert elapsed >= 0.04  # two messages of latency
+
+    def test_same_host_no_delay(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        reg.add_host("a")
+        assert reg.delay("a", "a").latency == 0.0
+
+    def test_delay_symmetric_by_default(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        reg.add_host("a")
+        reg.add_host("b")
+        model = DelayModel(latency=0.5)
+        reg.set_delay("a", "b", model)
+        assert reg.delay("b", "a").latency == 0.5
+
+    def test_cleanup_removes_sandboxes(self, tmp_path):
+        reg = HostRegistry(tmp_path)
+        a = reg.add_host("a")
+        root = a.root
+        assert root.exists()
+        reg.cleanup()
+        assert not root.exists()
+        assert reg.hosts() == []
+
+
+class TestDelayModel:
+    def test_scale_shrinks_sleep(self):
+        model = DelayModel(bandwidth=1e6, latency=0.1, scale=0.0)
+        t0 = time.monotonic()
+        model.sleep_for(10_000_000, messages=5)
+        assert time.monotonic() - t0 < 0.05
+
+    def test_infinite_bandwidth_skips_serialisation(self):
+        model = DelayModel(latency=0.0)
+        t0 = time.monotonic()
+        model.sleep_for(10**9)
+        assert time.monotonic() - t0 < 0.05

@@ -1,0 +1,167 @@
+"""Unit + property tests for the framed TCP RPC layer."""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.tcp import (
+    FrameError,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def echo_server():
+    server = RpcServer()
+    server.register("echo", lambda header, payload: ({"echo": header.get("msg")}, payload))
+
+    def boom(header, payload):
+        raise ValueError("deliberate")
+
+    server.register("boom", boom)
+
+    def typed_error(header, payload):
+        raise RpcError("custom-kind", "custom message")
+
+    server.register("typed", typed_error)
+    with server:
+        yield server
+
+
+class TestFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "x", "n": 3}, b"payload")
+            header, payload = recv_frame(b)
+            assert header["op"] == "x"
+            assert header["n"] == 3
+            assert payload == b"payload"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "x"})
+            header, payload = recv_frame(b)
+            assert payload == b""
+            assert header["payload_len"] == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\x00\x00\x00\x10partial")
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        b.close()
+
+    def test_garbage_header_raises(self):
+        a, b = socket.socketpair()
+        bad = b"not json!!"
+        a.sendall(len(bad).to_bytes(4, "big") + bad)
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        b.close()
+
+    @given(
+        msg=st.text(max_size=200),
+        payload=st.binary(max_size=5000),
+        extra=st.integers(min_value=-(2**31), max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_header_payload_roundtrips(self, msg, payload, extra):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "t", "msg": msg, "extra": extra}, payload)
+            header, got = recv_frame(b)
+            assert header["msg"] == msg
+            assert header["extra"] == extra
+            assert got == payload
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRpc:
+    def test_echo(self, echo_server):
+        with RpcClient(*echo_server.address) as client:
+            reply, payload = client.call("echo", {"msg": "hi"}, b"data")
+            assert reply["echo"] == "hi"
+            assert payload == b"data"
+
+    def test_unknown_op_is_rpc_error(self, echo_server):
+        with RpcClient(*echo_server.address) as client:
+            with pytest.raises(RpcError, match="no handler"):
+                client.call("nope")
+
+    def test_handler_exception_becomes_error_reply(self, echo_server):
+        with RpcClient(*echo_server.address) as client:
+            with pytest.raises(RpcError, match="deliberate"):
+                client.call("boom")
+            # Connection survives the error.
+            reply, _ = client.call("echo", {"msg": "still-alive"})
+            assert reply["echo"] == "still-alive"
+
+    def test_typed_rpc_error_kind_preserved(self, echo_server):
+        with RpcClient(*echo_server.address) as client:
+            with pytest.raises(RpcError) as exc_info:
+                client.call("typed")
+            assert exc_info.value.kind == "custom-kind"
+
+    def test_concurrent_clients(self, echo_server):
+        errors = []
+
+        def worker(n):
+            try:
+                with RpcClient(*echo_server.address) as client:
+                    for i in range(20):
+                        reply, _ = client.call("echo", {"msg": f"{n}:{i}"})
+                        assert reply["echo"] == f"{n}:{i}"
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_large_payload(self, echo_server):
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        with RpcClient(*echo_server.address) as client:
+            _, got = client.call("echo", {"msg": "big"}, blob)
+            assert got == blob
+
+    def test_client_is_thread_safe(self, echo_server):
+        client = RpcClient(*echo_server.address)
+        errors = []
+
+        def worker(n):
+            try:
+                for i in range(10):
+                    reply, _ = client.call("echo", {"msg": f"{n}.{i}"})
+                    assert reply["echo"] == f"{n}.{i}"
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        client.close()
+        assert errors == []

@@ -1,0 +1,101 @@
+"""Tests for the automatic placement scheduler."""
+
+import pytest
+
+from repro.grid.testbed import TESTBED
+from repro.grid.testbed import testbed_topology as _topology
+from repro.workflow.autoplace import (
+    exhaustive_placement,
+    greedy_placement,
+    links_from_network,
+)
+from repro.workflow.scheduler import estimate_makespan, plan_workflow
+from repro.workflow.spec import FileUse, Stage, Workflow
+
+MB = 1024 * 1024
+
+
+def machines_subset(names):
+    return {n: TESTBED[n] for n in names}
+
+
+def links_for(names):
+    return links_from_network(sorted(names), _topology())
+
+
+def simple_chain():
+    return Workflow(
+        "chain",
+        [
+            Stage("a", writes=(FileUse("ab", 10 * MB),), work=100, chunks=20),
+            Stage("b", reads=(FileUse("ab", 10 * MB),), writes=(FileUse("bc", 10 * MB),), work=300, chunks=20),
+            Stage("c", reads=(FileUse("bc", 10 * MB),), work=50, chunks=20),
+        ],
+    )
+
+
+class TestExhaustive:
+    def test_all_on_fastest_machine_when_links_slow(self):
+        """With only slow international links available, scattering
+        stages cannot pay off: everything lands on brecca."""
+        names = ["brecca", "bouscat"]
+        result = exhaustive_placement(simple_chain(), machines_subset(names), links_for(names))
+        assert set(result.placement.values()) == {"brecca"}
+
+    def test_beats_naive_single_slow_machine(self):
+        names = ["brecca", "vpac27", "dione"]
+        result = exhaustive_placement(simple_chain(), machines_subset(names), links_for(names))
+        naive = plan_workflow(simple_chain(), {s: "vpac27" for s in ("a", "b", "c")})
+        naive_time = estimate_makespan(naive, machines_subset(names), links_for(names))
+        assert result.estimated_makespan <= naive_time
+
+    def test_search_space_guard(self):
+        wf = Workflow("w", [Stage(f"s{i}", work=1) for i in range(12)])
+        with pytest.raises(ValueError, match="max_candidates"):
+            exhaustive_placement(wf, machines_subset(list(TESTBED)), links_for(list(TESTBED)))
+
+    def test_plan_is_valid(self):
+        names = ["brecca", "dione"]
+        result = exhaustive_placement(simple_chain(), machines_subset(names), links_for(names))
+        # ExecutionPlan construction validates coupling consistency.
+        assert set(result.coupling) == {"ab", "bc"}
+
+
+class TestGreedy:
+    def test_close_to_exhaustive_on_small_problem(self):
+        names = ["brecca", "vpac27", "dione"]
+        machines, links = machines_subset(names), links_for(names)
+        best = exhaustive_placement(simple_chain(), machines, links)
+        greedy = greedy_placement(simple_chain(), machines, links)
+        assert greedy.estimated_makespan <= best.estimated_makespan * 1.5
+
+    def test_handles_larger_workflows(self):
+        stages = [Stage("s0", writes=(FileUse("f0", MB),), work=50, chunks=10)]
+        for i in range(1, 8):
+            stages.append(
+                Stage(
+                    f"s{i}",
+                    reads=(FileUse(f"f{i-1}", MB),),
+                    writes=(FileUse(f"f{i}", MB),),
+                    work=50,
+                    chunks=10,
+                )
+            )
+        wf = Workflow("long", stages)
+        names = list(TESTBED)
+        result = greedy_placement(wf, machines_subset(names), links_for(names))
+        assert result.estimated_makespan > 0
+        assert set(result.placement) == set(wf.stages)
+
+    def test_greedy_avoids_slowest_machine_for_heavy_stage(self):
+        names = ["brecca", "jagan"]
+        result = greedy_placement(simple_chain(), machines_subset(names), links_for(names))
+        assert result.placement["b"] == "brecca"  # the 300-unit stage
+
+
+class TestLinksHelper:
+    def test_links_cover_all_pairs(self):
+        names = sorted(["brecca", "dione", "freak"])
+        links = links_for(names)
+        assert len(links) == 3
+        assert all(spec.bandwidth > 0 for spec in links.values())

@@ -1,0 +1,100 @@
+"""Tests for the computational-economy scheduler."""
+
+import pytest
+
+from repro.grid.testbed import TESTBED
+from repro.grid.testbed import testbed_topology as _topology
+from repro.workflow.autoplace import links_from_network
+from repro.workflow.economy import EconomyResult, QosGoal, economy_schedule, plan_cost
+from repro.workflow.scheduler import plan_workflow
+from repro.workflow.spec import FileUse, Stage, Workflow
+
+MB = 1024 * 1024
+
+#: Faster machines cost more grid-dollars per CPU-second.
+PRICES = {"brecca": 10.0, "dione": 4.0, "vpac27": 1.0}
+
+
+def wf():
+    return Workflow(
+        "econ",
+        [
+            Stage("a", writes=(FileUse("f", 5 * MB),), work=100, chunks=10),
+            Stage("b", reads=(FileUse("f", 5 * MB),), work=200, chunks=10),
+        ],
+    )
+
+
+def machines():
+    return {n: TESTBED[n] for n in PRICES}
+
+
+def links():
+    return links_from_network(sorted(PRICES), _topology())
+
+
+class TestQosGoal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QosGoal(deadline=0)
+        with pytest.raises(ValueError):
+            QosGoal(budget=-1)
+        with pytest.raises(ValueError):
+            QosGoal(optimise="balanced")
+
+
+class TestPlanCost:
+    def test_cost_formula(self):
+        plan = plan_workflow(wf(), {"a": "brecca", "b": "vpac27"})
+        cost = plan_cost(plan, machines(), PRICES)
+        expected = (100 / TESTBED["brecca"].speed) * 10.0 + (
+            200 / TESTBED["vpac27"].speed
+        ) * 1.0
+        assert cost == pytest.approx(expected)
+
+
+class TestEconomySchedule:
+    def test_cheapest_with_loose_deadline_picks_cheap_machine(self):
+        goal = QosGoal(deadline=1e9, optimise="cheapest")
+        result = economy_schedule(wf(), machines(), links(), PRICES, goal)
+        assert result is not None
+        # vpac27 is by far the cheapest per work unit.
+        assert set(result.plan.placement.values()) == {"vpac27"}
+
+    def test_tight_deadline_forces_fast_expensive_machine(self):
+        goal = QosGoal(deadline=330.0, optimise="cheapest")
+        result = economy_schedule(wf(), machines(), links(), PRICES, goal)
+        assert result is not None
+        assert result.makespan <= 330.0
+        assert "brecca" in result.plan.placement.values()
+        loose = economy_schedule(
+            wf(), machines(), links(), PRICES, QosGoal(optimise="cheapest")
+        )
+        assert result.cost > loose.cost  # meeting the deadline costs money
+
+    def test_fastest_within_budget(self):
+        goal = QosGoal(budget=2000.0, optimise="fastest")
+        result = economy_schedule(wf(), machines(), links(), PRICES, goal)
+        assert result is not None
+        assert result.cost <= 2000.0
+        unconstrained = economy_schedule(
+            wf(), machines(), links(), PRICES, QosGoal(optimise="fastest")
+        )
+        assert result.makespan >= unconstrained.makespan
+
+    def test_infeasible_returns_none(self):
+        goal = QosGoal(deadline=1.0, optimise="cheapest")
+        assert economy_schedule(wf(), machines(), links(), PRICES, goal) is None
+
+    def test_budget_and_deadline_both_bind(self):
+        goal = QosGoal(deadline=330.0, budget=1.0, optimise="cheapest")
+        assert economy_schedule(wf(), machines(), links(), PRICES, goal) is None
+
+    def test_missing_price_rejected(self):
+        with pytest.raises(ValueError, match="no price"):
+            economy_schedule(wf(), machines(), links(), {"brecca": 1.0}, QosGoal())
+
+    def test_search_space_guard(self):
+        big = Workflow("big", [Stage(f"s{i}", work=1) for i in range(30)])
+        with pytest.raises(ValueError, match="max_candidates"):
+            economy_schedule(big, machines(), links(), PRICES, QosGoal())

@@ -1,0 +1,138 @@
+"""Tests for external-input access modes in the simulated runner."""
+
+import pytest
+
+from repro.grid.machine import Machine, MachineSpec
+from repro.sim.engine import Environment
+from repro.sim.netsim import LinkSpec, Network
+from repro.workflow.external import ExternalInput
+from repro.workflow.scheduler import plan_workflow
+from repro.workflow.simrunner import simulate_plan
+from repro.workflow.spec import FileUse, Stage, Workflow
+
+MB = 1024 * 1024
+
+
+def build(names, bandwidth=2 * MB, latency=0.05):
+    env = Environment()
+    machines = {
+        n: Machine(
+            env,
+            MachineSpec(
+                name=n, address=f"{n}.t", country="AU", cpu="t", mem_mb=512,
+                speed=1.0, idle_io_fraction=0.0, buffer_cpu_per_mb=0.0, file_cpu_per_mb=0.0,
+            ),
+        )
+        for n in names
+    }
+    net = Network(env)
+    pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+    for a, b in pairs:
+        net.connect(a, b, LinkSpec(bandwidth=bandwidth, latency=latency))
+    return env, machines, net
+
+
+def analysis_workflow(nbytes=32 * MB, fraction=1.0, work=10.0, chunks=8):
+    return Workflow(
+        "analysis",
+        [
+            Stage(
+                "analyse",
+                reads=(FileUse("dataset", nbytes),),
+                writes=(FileUse("report", 1 * MB),),
+                work=work,
+                chunks=chunks,
+            )
+        ],
+    )
+
+
+def run(externals, **net_kw):
+    wf = analysis_workflow()
+    env, machines, net = build(["worker", "store"], **net_kw)
+    plan = plan_workflow(wf, {"analyse": "worker"})
+    report = simulate_plan(
+        plan, machines=machines, network=net, env=env, externals=externals
+    )
+    return report.makespan
+
+
+class TestExternalInput:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExternalInput(host="h", mode="teleport")
+        with pytest.raises(ValueError):
+            ExternalInput(host="h", read_fraction=0.0)
+
+    def test_local_input_is_baseline(self):
+        base = run(None)
+        local = run({"dataset": ExternalInput(host="worker", mode="local")})
+        assert local == pytest.approx(base, rel=0.01)
+
+    def test_copy_pays_one_transfer(self):
+        base = run(None)
+        copied = run({"dataset": ExternalInput(host="store", mode="copy")})
+        # 32 MB at 2 MB/s ~ 16 s on top of the ~10 s compute baseline.
+        assert copied - base == pytest.approx(16.0, rel=0.3)
+
+    def test_remote_full_read_slower_than_copy_on_high_latency(self):
+        """Reading everything block-by-block over a laggy link loses to
+        one bulk copy — Section 3.1's 'copy small files on high
+        latency' in simulated form."""
+        copied = run(
+            {"dataset": ExternalInput(host="store", mode="copy")}, latency=0.2
+        )
+        proxied = run(
+            {"dataset": ExternalInput(host="store", mode="remote", read_fraction=1.0)},
+            latency=0.2,
+        )
+        assert proxied > copied
+
+    def test_remote_tiny_fraction_beats_copy(self):
+        """Touching 2% of the file: proxy reads skip 98% of the bytes."""
+        copied = run({"dataset": ExternalInput(host="store", mode="copy")})
+        proxied = run(
+            {"dataset": ExternalInput(host="store", mode="remote", read_fraction=0.02)}
+        )
+        assert proxied < copied
+
+    def test_remote_cost_scales_with_fraction(self):
+        small = run(
+            {"dataset": ExternalInput(host="store", mode="remote", read_fraction=0.1)}
+        )
+        large = run(
+            {"dataset": ExternalInput(host="store", mode="remote", read_fraction=0.9)}
+        )
+        assert large > small
+
+    def test_unknown_external_file_rejected(self):
+        wf = analysis_workflow()
+        env, machines, net = build(["worker", "store"])
+        plan = plan_workflow(wf, {"analyse": "worker"})
+        with pytest.raises(KeyError, match="no-such-file"):
+            simulate_plan(
+                plan,
+                machines=machines,
+                network=net,
+                env=env,
+                externals={"no-such-file": ExternalInput(host="store")},
+            )
+
+    def test_pipeline_file_cannot_be_external(self):
+        wf = Workflow(
+            "two",
+            [
+                Stage("p", writes=(FileUse("mid", MB),), work=1),
+                Stage("q", reads=(FileUse("mid", MB),), work=1),
+            ],
+        )
+        env, machines, net = build(["worker", "store"])
+        plan = plan_workflow(wf, {"p": "worker", "q": "worker"})
+        with pytest.raises(KeyError, match="pipeline file"):
+            simulate_plan(
+                plan,
+                machines=machines,
+                network=net,
+                env=env,
+                externals={"mid": ExternalInput(host="store")},
+            )

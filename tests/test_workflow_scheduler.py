@@ -1,0 +1,152 @@
+"""Unit tests for planning, constraints and coupling choice."""
+
+import pytest
+
+from repro.grid.testbed import TESTBED
+from repro.sim.engine import Environment
+from repro.sim.netsim import LinkSpec
+from repro.workflow.scheduler import (
+    ExecutionPlan,
+    choose_coupling,
+    estimate_makespan,
+    plan_workflow,
+)
+from repro.workflow.spec import FileUse, Stage, Workflow, WorkflowError
+
+
+def chain(nbytes=1024) -> Workflow:
+    return Workflow(
+        "chain",
+        [
+            Stage("p", writes=(FileUse("f", nbytes),), work=100, chunks=10),
+            Stage("q", reads=(FileUse("f", nbytes),), work=50, chunks=10),
+        ],
+    )
+
+
+class TestPlanValidation:
+    def test_missing_placement_rejected(self):
+        with pytest.raises(WorkflowError, match="no placement"):
+            ExecutionPlan(chain(), {"p": "m1"}, {"f": "local"})
+
+    def test_missing_coupling_rejected(self):
+        with pytest.raises(WorkflowError, match="no coupling"):
+            ExecutionPlan(chain(), {"p": "m1", "q": "m1"}, {})
+
+    def test_local_cross_machine_rejected(self):
+        with pytest.raises(WorkflowError, match="marked local"):
+            ExecutionPlan(chain(), {"p": "m1", "q": "m2"}, {"f": "local"})
+
+    def test_file_stream_cross_machine_rejected(self):
+        with pytest.raises(WorkflowError, match="marked file-stream"):
+            ExecutionPlan(chain(), {"p": "m1", "q": "m2"}, {"f": "file-stream"})
+
+    def test_buffer_cross_machine_allowed(self):
+        plan = ExecutionPlan(chain(), {"p": "m1", "q": "m2"}, {"f": "buffer"})
+        assert plan.machine_of("q") == "m2"
+
+
+class TestPlanWorkflow:
+    def test_same_machine_defaults_local(self):
+        plan = plan_workflow(chain(), {"p": "m", "q": "m"})
+        assert plan.coupling["f"] == "local"
+
+    def test_cross_machine_defaults_copy(self):
+        plan = plan_workflow(chain(), {"p": "m1", "q": "m2"})
+        assert plan.coupling["f"] == "copy"
+
+    def test_override_wins(self):
+        plan = plan_workflow(chain(), {"p": "m1", "q": "m2"}, coupling={"f": "buffer"})
+        assert plan.coupling["f"] == "buffer"
+
+
+class TestConstraints:
+    def test_sequential_couplings_constrain_start(self):
+        for mech in ("local", "copy"):
+            plan = plan_workflow(
+                chain(), {"p": "m1", "q": "m1" if mech == "local" else "m2"},
+                coupling={"f": mech},
+            )
+            assert plan.start_constraints()["q"] == ["p"]
+
+    def test_buffer_has_no_start_constraint(self):
+        """Paper Section 6: buffered stages 'need to run at the same
+        time'; file copies force sequential execution."""
+        plan = plan_workflow(chain(), {"p": "m1", "q": "m2"}, coupling={"f": "buffer"})
+        assert plan.start_constraints()["q"] == []
+
+    def test_is_fully_pipelined(self):
+        buffered = plan_workflow(chain(), {"p": "m", "q": "m"}, coupling={"f": "buffer"})
+        assert buffered.is_fully_pipelined()
+        local = plan_workflow(chain(), {"p": "m", "q": "m"})
+        assert not local.is_fully_pipelined()
+
+    def test_copies_required(self):
+        plan = plan_workflow(chain(), {"p": "m1", "q": "m2"}, coupling={"f": "copy"})
+        assert plan.copies_required() == [("f", "m1", "m2")]
+        same = plan_workflow(chain(), {"p": "m1", "q": "m1"}, coupling={"f": "copy"})
+        assert same.copies_required() == []
+
+
+class TestChooseCoupling:
+    def _links(self):
+        return {
+            ("m1", "m2"): LinkSpec(bandwidth=10 * 1024 * 1024, latency=0.0005),
+            ("m1", "m3"): LinkSpec(bandwidth=0.33 * 1024 * 1024, latency=0.32),
+        }
+
+    def _machines(self):
+        return {name: TESTBED["brecca"] for name in ("m1", "m2", "m3")}
+
+    def test_same_machine_prefers_buffer(self):
+        wf = chain(nbytes=10 * 1024 * 1024)
+        decision = choose_coupling(wf, {"p": "m1", "q": "m1"}, self._machines(), self._links())
+        assert decision["f"] == "buffer"
+
+    def test_fast_link_prefers_buffer(self):
+        wf = chain(nbytes=10 * 1024 * 1024)
+        decision = choose_coupling(wf, {"p": "m1", "q": "m2"}, self._machines(), self._links())
+        assert decision["f"] == "buffer"
+
+    def test_high_latency_link_prefers_copy(self):
+        """The paper's AU→UK result, derived from the cost model."""
+        wf = chain(nbytes=10 * 1024 * 1024)
+        decision = choose_coupling(wf, {"p": "m1", "q": "m3"}, self._machines(), self._links())
+        assert decision["f"] == "copy"
+
+
+class TestEstimateMakespan:
+    def _setup(self):
+        machines = {"m1": TESTBED["brecca"], "m2": TESTBED["brecca"]}
+        links = {("m1", "m2"): LinkSpec(bandwidth=10 * 1024 * 1024, latency=0.001)}
+        return machines, links
+
+    def test_sequential_is_sum(self):
+        machines, links = self._setup()
+        plan = plan_workflow(chain(), {"p": "m1", "q": "m1"})
+        t = estimate_makespan(plan, machines, links)
+        assert t == pytest.approx(150 / TESTBED["brecca"].speed, rel=0.01)
+
+    def test_buffered_overlaps(self):
+        machines, links = self._setup()
+        seq = estimate_makespan(plan_workflow(chain(), {"p": "m1", "q": "m1"}), machines, links)
+        buf = estimate_makespan(
+            plan_workflow(chain(), {"p": "m1", "q": "m2"}, coupling={"f": "buffer"}),
+            machines,
+            links,
+        )
+        assert buf < seq
+
+    def test_copy_adds_transfer_time(self):
+        machines, links = self._setup()
+        big = Workflow(
+            "big",
+            [
+                Stage("p", writes=(FileUse("f", 100 * 1024 * 1024),), work=10),
+                Stage("q", reads=(FileUse("f", 100 * 1024 * 1024),), work=10),
+            ],
+        )
+        t = estimate_makespan(
+            plan_workflow(big, {"p": "m1", "q": "m2"}, coupling={"f": "copy"}), machines, links
+        )
+        assert t > 10  # the 10 s transfer dominates the ~20 work units

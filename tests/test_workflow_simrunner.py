@@ -1,0 +1,212 @@
+"""Behavioural tests for the simulated workflow runner."""
+
+import pytest
+
+from repro.grid.machine import Machine, MachineSpec
+from repro.sim.engine import Environment
+from repro.sim.netsim import LinkSpec, Network
+from repro.workflow.scheduler import plan_workflow
+from repro.workflow.simrunner import simulate_plan
+from repro.workflow.spec import FileUse, Stage, Workflow
+
+MB = 1024 * 1024
+
+
+def simple_machines(env, names, speed=1.0, cores=1, **spec_kw):
+    machines = {}
+    for name in names:
+        spec = MachineSpec(
+            name=name,
+            address=f"{name}.test",
+            country="AU",
+            cpu="test",
+            mem_mb=1024,
+            speed=speed,
+            cores=cores,
+            idle_io_fraction=0.0,
+            buffer_cpu_per_mb=0.0,
+            file_cpu_per_mb=0.0,
+            **spec_kw,
+        )
+        machines[name] = Machine(env, spec)
+    return machines
+
+
+def fast_network(env, names):
+    net = Network(env)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            net.connect(a, b, LinkSpec(bandwidth=1000 * MB, latency=1e-6))
+    return net
+
+
+def chain(work_p=100.0, work_q=100.0, nbytes=1 * MB, chunks=10):
+    return Workflow(
+        "chain",
+        [
+            Stage("p", writes=(FileUse("f", nbytes),), work=work_p, chunks=chunks),
+            Stage("q", reads=(FileUse("f", nbytes),), work=work_q, chunks=chunks),
+        ],
+    )
+
+
+def run(plan, names, speed=1.0, cores=1, net=None, **spec_kw):
+    env = Environment()
+    machines = simple_machines(env, names, speed=speed, cores=cores, **spec_kw)
+    network = net(env) if net else fast_network(env, names)
+    return simulate_plan(plan, machines=machines, network=network, env=env)
+
+
+class TestSequentialSemantics:
+    def test_local_runs_back_to_back(self):
+        plan = plan_workflow(chain(), {"p": "m", "q": "m"})
+        report = run(plan, ["m"])
+        assert report.timings["q"].start >= report.timings["p"].finish
+        assert report.makespan == pytest.approx(200, rel=0.05)
+
+    def test_copy_inserts_transfer(self):
+        wf = chain(nbytes=100 * MB)
+        plan = plan_workflow(wf, {"p": "m1", "q": "m2"}, coupling={"f": "copy"})
+
+        def slow_net(env):
+            net = Network(env)
+            net.connect("m1", "m2", LinkSpec(bandwidth=10 * MB, latency=0.01))
+            return net
+
+        report = run(plan, ["m1", "m2"], net=slow_net)
+        assert "f" in report.copy_times
+        start, finish = report.copy_times["f"]
+        assert start >= report.timings["p"].finish
+        # 100 MB at 10 MB/s link plus source-disk read and dest-disk write.
+        assert 10.0 <= finish - start <= 20.0
+        assert report.timings["q"].start >= finish
+
+
+class TestPipelinedSemantics:
+    def test_buffer_overlaps_stages(self):
+        plan = plan_workflow(chain(), {"p": "m1", "q": "m2"}, coupling={"f": "buffer"})
+        report = run(plan, ["m1", "m2"])
+        # q starts immediately and finishes just after p (one chunk tail).
+        assert report.timings["q"].start == 0.0
+        assert report.makespan == pytest.approx(110, rel=0.05)
+
+    def test_buffer_on_one_cpu_is_cpu_bound(self):
+        plan = plan_workflow(chain(), {"p": "m", "q": "m"}, coupling={"f": "buffer"})
+        report = run(plan, ["m"])
+        # 200 work units on one unit-speed CPU: no speedup possible.
+        assert report.makespan == pytest.approx(200, rel=0.05)
+
+    def test_buffer_on_two_cores_overlaps(self):
+        plan = plan_workflow(chain(), {"p": "m", "q": "m"}, coupling={"f": "buffer"})
+        report = run(plan, ["m"], cores=2)
+        assert report.makespan == pytest.approx(110, rel=0.1)
+
+    def test_slow_consumer_paces_itself(self):
+        wf = chain(work_p=10, work_q=100)
+        plan = plan_workflow(wf, {"p": "m1", "q": "m2"}, coupling={"f": "buffer"})
+        report = run(plan, ["m1", "m2"])
+        assert report.makespan == pytest.approx(101, rel=0.05)
+
+    def test_high_latency_stream_stalls_writer(self):
+        """Backpressure: the paper's brecca→bouscat behaviour."""
+        wf = chain(work_p=10, work_q=10, nbytes=10 * MB, chunks=20)
+        plan = plan_workflow(wf, {"p": "m1", "q": "m2"}, coupling={"f": "buffer"})
+
+        def wan(env):
+            net = Network(env)
+            net.connect("m1", "m2", LinkSpec(bandwidth=0.33 * MB, latency=0.32))
+            return net
+
+        report = run(plan, ["m1", "m2"], net=wan)
+        # Far slower than the 20 work units: stream-dominated.
+        assert report.makespan > 100
+
+    def test_tail_fraction_serialises_after_stream(self):
+        wf = Workflow(
+            "t",
+            [
+                Stage("p", writes=(FileUse("f", 1 * MB),), work=100, chunks=10),
+                Stage(
+                    "q",
+                    reads=(FileUse("f", 1 * MB),),
+                    work=100,
+                    chunks=10,
+                    tail_fraction=0.5,
+                ),
+            ],
+        )
+        plan = plan_workflow(wf, {"p": "m1", "q": "m2"}, coupling={"f": "buffer"})
+        report = run(plan, ["m1", "m2"])
+        # Tail (50 units) can only run after p finishes at ~100.
+        assert report.makespan == pytest.approx(100 + 50 + 5, rel=0.1)
+
+
+class TestFileStreamSemantics:
+    def test_file_stream_overlaps_but_costs_more_cpu(self):
+        wf = chain(nbytes=50 * MB)
+        same = {"p": "m", "q": "m"}
+        buf_plan = plan_workflow(chain(nbytes=50 * MB), same, coupling={"f": "buffer"})
+        fs_plan = plan_workflow(wf, same, coupling={"f": "file-stream"})
+        env1 = Environment()
+        m1 = simple_machines(env1, ["m"])
+        m1["m"].spec = MachineSpec(
+            name="m", address="m.t", country="AU", cpu="t", mem_mb=512,
+            speed=1.0, file_cpu_per_mb=1.0, buffer_cpu_per_mb=0.1, idle_io_fraction=0.0,
+        )
+        r_fs = simulate_plan(fs_plan, machines=m1, network=fast_network(env1, ["m"]), env=env1)
+        env2 = Environment()
+        m2 = simple_machines(env2, ["m"])
+        m2["m"].spec = m1["m"].spec
+        r_buf = simulate_plan(buf_plan, machines=m2, network=fast_network(env2, ["m"]), env=env2)
+        assert r_buf.makespan < r_fs.makespan
+
+    def test_file_stream_sync_extends_producer(self):
+        wf = chain(chunks=20)
+        plan = plan_workflow(wf, {"p": "m", "q": "m"}, coupling={"f": "file-stream"})
+        report = run(plan, ["m"], file_stream_sync=1.0)
+        # 20 chunks x 1 s sync on the writer chain, on top of 200 work.
+        assert report.makespan >= 215
+
+
+class TestFanOutAndRereads:
+    def test_broadcast_to_two_consumers(self):
+        wf = Workflow(
+            "fan",
+            [
+                Stage("src", writes=(FileUse("f", 1 * MB),), work=50, chunks=5),
+                Stage("c1", reads=(FileUse("f", 1 * MB),), work=20, chunks=5),
+                Stage("c2", reads=(FileUse("f", 1 * MB),), work=20, chunks=5),
+            ],
+        )
+        plan = plan_workflow(
+            wf, {"src": "m1", "c1": "m2", "c2": "m3"}, coupling={"f": "buffer"}
+        )
+        report = run(plan, ["m1", "m2", "m3"])
+        assert set(report.timings) == {"src", "c1", "c2"}
+        assert report.makespan == pytest.approx(54, rel=0.1)
+
+    def test_reread_adds_disk_time(self):
+        wf_plain = chain()
+        wf_reread = Workflow(
+            "chain",
+            [
+                Stage("p", writes=(FileUse("f", 1 * MB),), work=100, chunks=10),
+                Stage(
+                    "q",
+                    reads=(FileUse("f", 1 * MB, reread_bytes=500 * MB),),
+                    work=100,
+                    chunks=10,
+                ),
+            ],
+        )
+        base = run(plan_workflow(wf_plain, {"p": "m", "q": "m"}), ["m"])
+        rr = run(plan_workflow(wf_reread, {"p": "m", "q": "m"}), ["m"])
+        assert rr.makespan > base.makespan + 5  # 500 MB re-read from disk
+
+
+class TestDefaultTestbed:
+    def test_runs_on_calibrated_testbed_by_default(self):
+        plan = plan_workflow(chain(), {"p": "brecca", "q": "brecca"})
+        report = simulate_plan(plan)
+        assert report.makespan > 0
+        assert report.timings["p"].machine == "brecca"

@@ -1,0 +1,144 @@
+"""Unit tests for workflow specs and the dataflow graph."""
+
+import pytest
+
+from repro.workflow.spec import FileUse, Stage, Workflow, WorkflowError
+
+
+def diamond() -> Workflow:
+    """a -> (b, c) -> d, plus an external input and final output."""
+    return Workflow(
+        "diamond",
+        [
+            Stage("a", reads=(FileUse("ext.in"),), writes=(FileUse("ab"), FileUse("ac"))),
+            Stage("b", reads=(FileUse("ab"),), writes=(FileUse("bd"),)),
+            Stage("c", reads=(FileUse("ac"),), writes=(FileUse("cd"),)),
+            Stage("d", reads=(FileUse("bd"), FileUse("cd")), writes=(FileUse("final.out"),)),
+        ],
+    )
+
+
+class TestStage:
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            Stage("s", work=-1)
+        with pytest.raises(WorkflowError):
+            Stage("s", chunks=0)
+        with pytest.raises(WorkflowError):
+            Stage("s", tail_fraction=1.5)
+        with pytest.raises(WorkflowError):
+            Stage("s", reads=(FileUse("f"), FileUse("f")))
+
+    def test_fileuse_validation(self):
+        with pytest.raises(WorkflowError):
+            FileUse("f", nbytes=-1)
+        with pytest.raises(WorkflowError):
+            FileUse("f", reread_bytes=-1)
+
+    def test_name_helpers(self):
+        s = Stage("s", reads=(FileUse("a"),), writes=(FileUse("b"),))
+        assert s.read_names() == ["a"]
+        assert s.write_names() == ["b"]
+
+
+class TestWorkflowValidation:
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(WorkflowError, match="duplicate stage"):
+            Workflow("w", [Stage("x"), Stage("x")])
+
+    def test_two_producers_rejected(self):
+        with pytest.raises(WorkflowError, match="written by both"):
+            Workflow(
+                "w",
+                [
+                    Stage("a", writes=(FileUse("f"),)),
+                    Stage("b", writes=(FileUse("f"),)),
+                ],
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkflowError, match="reads its own output"):
+            Workflow("w", [Stage("a", reads=(FileUse("f"),), writes=(FileUse("f"),))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError, match="cycle"):
+            Workflow(
+                "w",
+                [
+                    Stage("a", reads=(FileUse("ca"),), writes=(FileUse("ab"),)),
+                    Stage("b", reads=(FileUse("ab"),), writes=(FileUse("bc"),)),
+                    Stage("c", reads=(FileUse("bc"),), writes=(FileUse("ca"),)),
+                ],
+            )
+
+
+class TestGraphQueries:
+    def test_pipeline_files(self):
+        wf = diamond()
+        assert wf.pipeline_files() == ["ab", "ac", "bd", "cd"]
+
+    def test_external_inputs_and_outputs(self):
+        wf = diamond()
+        assert wf.external_inputs() == ["ext.in"]
+        assert wf.final_outputs() == ["final.out"]
+
+    def test_producer_consumer(self):
+        wf = diamond()
+        assert wf.producer_of("ab") == "a"
+        assert wf.consumers_of("ab") == ["b"]
+        assert wf.producer_of("ext.in") is None
+
+    def test_topological_order(self):
+        order = diamond().topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_upstream(self):
+        assert diamond().upstream("d") == {"a", "b", "c"}
+        assert diamond().upstream("a") == set()
+
+    def test_file_use_lookup(self):
+        wf = diamond()
+        assert wf.file_use("a", "ab", "write").name == "ab"
+        with pytest.raises(KeyError):
+            wf.file_use("a", "bd", "write")
+
+    def test_total_pipeline_bytes(self):
+        wf = Workflow(
+            "w",
+            [
+                Stage("a", writes=(FileUse("f", 100),)),
+                Stage("b", reads=(FileUse("f", 100),), writes=(FileUse("g", 50),)),
+                Stage("c", reads=(FileUse("g", 50),)),
+            ],
+        )
+        assert wf.total_pipeline_bytes() == 150
+
+    def test_fanout_file_has_two_consumers(self):
+        wf = Workflow(
+            "w",
+            [
+                Stage("src", writes=(FileUse("shared"),)),
+                Stage("c1", reads=(FileUse("shared"),)),
+                Stage("c2", reads=(FileUse("shared"),)),
+            ],
+        )
+        assert sorted(wf.consumers_of("shared")) == ["c1", "c2"]
+
+
+class TestBuildHelper:
+    def test_build_from_dicts(self):
+        wf = Workflow.build(
+            "built",
+            [
+                {"name": "a", "writes": ["f"], "work": 5.0},
+                {"name": "b", "reads": [FileUse("f", 10)], "chunks": 4},
+            ],
+        )
+        assert wf.stages["a"].work == 5.0
+        assert wf.stages["b"].chunks == 4
+        assert wf.pipeline_files() == ["f"]
+
+    def test_build_rejects_bad_file_spec(self):
+        with pytest.raises(WorkflowError):
+            Workflow.build("w", [{"name": "a", "writes": [42]}])
