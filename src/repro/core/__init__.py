@@ -23,10 +23,11 @@ from .interpose import FmOpen, interposed
 from .local_client import LocalFileClient
 from .modes import BufferEndpoint, GnsRecord, IOMode
 from .multiplexer import FileMultiplexer, FMError, FMFile, GridContext, OpenStats
-from .policy import AccessEstimate, AccessPolicy, RemoteDecision
+from .policy import AccessEstimate, AccessPolicy, RemoteDecision, observed_estimate
 from .remote_client import CopyInOutFile, RemoteFileClient, RemoteProxyFile
+from .remote_io import BlockCache, BlockPrefetcher, WriteCoalescer
 from .replica import NoReplicaError, ReplicaChoice, ReplicaSelector
-from .trace import FmTracer, TraceEvent
+from .trace import FmTracer, TraceEvent, TransferMonitor, TransferSample
 from .translating import TranslatingReader, TranslatingWriter
 
 __all__ = [
@@ -63,4 +64,10 @@ __all__ = [
     "TranslatingWriter",
     "FmTracer",
     "TraceEvent",
+    "TransferMonitor",
+    "TransferSample",
+    "BlockCache",
+    "BlockPrefetcher",
+    "WriteCoalescer",
+    "observed_estimate",
 ]

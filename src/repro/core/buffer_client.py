@@ -45,6 +45,7 @@ class GridBufferClientPool:
         endpoint: BufferEndpoint,
         server: Tuple[str, int],
         write_timeout: Optional[float] = None,
+        coalesce_bytes: int = 0,
     ) -> BufferWriter:
         client = self.client_for(*server)
         return client.open_writer(
@@ -53,6 +54,7 @@ class GridBufferClientPool:
             capacity_bytes=endpoint.capacity_bytes,
             cache=endpoint.cache,
             write_timeout=write_timeout,
+            coalesce_bytes=coalesce_bytes,
         )
 
     def open_reader(
@@ -61,6 +63,7 @@ class GridBufferClientPool:
         server: Tuple[str, int],
         reader_id: Optional[str] = None,
         read_timeout: Optional[float] = None,
+        read_ahead: bool = False,
     ) -> BufferReader:
         client = self.client_for(*server)
         # The stream may not exist yet if the reader opens first: create
@@ -72,7 +75,12 @@ class GridBufferClientPool:
             cache=endpoint.cache,
         )
         rid = reader_id or f"{self.machine}:{endpoint.stream}"
-        return client.open_reader(endpoint.stream, reader_id=rid, read_timeout=read_timeout)
+        return client.open_reader(
+            endpoint.stream,
+            reader_id=rid,
+            read_timeout=read_timeout,
+            read_ahead=read_ahead,
+        )
 
     def close(self) -> None:
         with self._lock:

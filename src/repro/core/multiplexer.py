@@ -41,7 +41,7 @@ from ..transport.gridftp import GridFtpClient
 from ..transport.inmem import HostRegistry
 from .buffer_client import GridBufferClientPool
 from .local_client import LocalFileClient
-from .policy import AccessEstimate, AccessPolicy
+from .policy import AccessEstimate, AccessPolicy, observed_estimate
 from .remote_client import RemoteFileClient
 from .replica import ReplicaSelector
 
@@ -112,6 +112,15 @@ class GridContext:
     remap_every: int = 64
     #: Verify the SHA-256 of every copy-in against the remote server.
     verify_copies: bool = False
+    #: Pipeline sequential proxy reads through a background prefetcher.
+    prefetch: bool = True
+    #: Parallel TCP streams for bulk copies (fetch and store).
+    parallel_streams: int = 1
+    #: Double-buffer Grid Buffer reads on a second connection.
+    buffer_readahead: bool = True
+    #: Coalesce Grid Buffer writes into runs of this many bytes
+    #: (0 = write-through; coalescing delays downstream visibility).
+    buffer_coalesce_bytes: int = 0
 
 
 class FMFile(ReadIntoFromRead, io.RawIOBase):
@@ -210,8 +219,13 @@ class FileMultiplexer:
         self._buffer_locator = _as_locator(ctx.buffer_locator, "Grid Buffer")
         self._buffer_pool = GridBufferClientPool(ctx.machine)
         self._ftp_clients: Dict[str, GridFtpClient] = {}
+        self._remote_clients: Dict[str, RemoteFileClient] = {}
         self._lock = threading.Lock()
         self.open_history: list[OpenStats] = []
+        # Measured per-host throughput/latency; feeds the access policy.
+        from .trace import TransferMonitor  # local import: trace imports us
+
+        self.monitor = TransferMonitor()
 
     # -- plumbing ----------------------------------------------------------
     def _ftp(self, host: str) -> GridFtpClient:
@@ -219,12 +233,33 @@ class FileMultiplexer:
             client = self._ftp_clients.get(host)
             if client is None:
                 addr = self._gridftp_locator(host)
-                client = GridFtpClient(*addr)
+                client = GridFtpClient(
+                    *addr,
+                    parallel_streams=self.ctx.parallel_streams,
+                    monitor=self.monitor,
+                    peer=host,
+                )
                 self._ftp_clients[host] = client
             return client
 
     def _remote(self, host: str) -> RemoteFileClient:
-        return RemoteFileClient(self._ftp(host), scratch_dir=self.ctx.scratch_dir)
+        with self._lock:
+            remote = self._remote_clients.get(host)
+        if remote is not None:
+            return remote
+        client = self._ftp(host)
+        with self._lock:
+            remote = self._remote_clients.get(host)
+            if remote is None:
+                remote = RemoteFileClient(
+                    client, scratch_dir=self.ctx.scratch_dir, prefetch=self.ctx.prefetch
+                )
+                self._remote_clients[host] = remote
+            return remote
+
+    def link_estimate(self, host: str, file_size: int, read_fraction: float = 1.0) -> AccessEstimate:
+        """An :class:`AccessEstimate` for ``host`` from measured numbers."""
+        return observed_estimate(self.monitor, host, file_size, read_fraction=read_fraction)
 
     # -- the public entry point ----------------------------------------------
     def open(self, path: str, mode: str = "r") -> FMFile:
@@ -324,11 +359,17 @@ class FileMultiplexer:
         server = self._locate_buffer(endpoint, role)
         if role == "writer":
             inner = self._buffer_pool.open_writer(
-                endpoint, server, write_timeout=self.ctx.io_timeout
+                endpoint,
+                server,
+                write_timeout=self.ctx.io_timeout,
+                coalesce_bytes=self.ctx.buffer_coalesce_bytes,
             )
         else:
             inner = self._buffer_pool.open_reader(
-                endpoint, server, read_timeout=self.ctx.io_timeout
+                endpoint,
+                server,
+                read_timeout=self.ctx.io_timeout,
+                read_ahead=self.ctx.buffer_readahead,
             )
         return FMFile(inner, record, stats)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["AccessEstimate", "AccessPolicy", "RemoteDecision"]
+__all__ = ["AccessEstimate", "AccessPolicy", "RemoteDecision", "observed_estimate"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,36 @@ class RemoteDecision:
     reason: str
 
 
+def observed_estimate(
+    monitor,
+    peer: str,
+    file_size: int,
+    read_fraction: float = 1.0,
+    block_size: int = 64 * 1024,
+    default_bandwidth: float = 10 * 1024 * 1024,
+    default_latency: float = 0.005,
+) -> AccessEstimate:
+    """Build an :class:`AccessEstimate` from *measured* link numbers.
+
+    ``monitor`` is a :class:`repro.core.trace.TransferMonitor` (duck
+    typed: anything with ``bandwidth(peer)`` / ``latency(peer)``).
+    Before any transfer has been observed the defaults stand in, so the
+    estimate degrades gracefully to a configured guess — the paper's
+    NWS plays the same role with forecasts.
+    """
+    bandwidth = latency = None
+    if monitor is not None:
+        bandwidth = monitor.bandwidth(peer)
+        latency = monitor.latency(peer)
+    return AccessEstimate(
+        file_size=file_size,
+        bandwidth=bandwidth if bandwidth else default_bandwidth,
+        latency=latency if latency is not None else default_latency,
+        read_fraction=read_fraction,
+        block_size=block_size,
+    )
+
+
 class AccessPolicy:
     """Cost-model based copy-vs-proxy decision.
 
@@ -90,6 +120,24 @@ class AccessPolicy:
         nblocks = max(1, int(-(-touched // est.block_size))) if touched > 0 else 0
         rtt = 2.0 * est.latency
         return nblocks * rtt + touched / est.bandwidth
+
+    def decide_observed(
+        self,
+        monitor,
+        peer: str,
+        file_size: int,
+        read_fraction: float = 1.0,
+        block_size: int = 64 * 1024,
+    ) -> RemoteDecision:
+        """:meth:`decide` fed by measured link numbers for ``peer``.
+
+        This is the §3.1 loop closed: the FM's own transfer monitor
+        (rather than static configuration) supplies bandwidth/latency.
+        """
+        est = observed_estimate(
+            monitor, peer, file_size, read_fraction=read_fraction, block_size=block_size
+        )
+        return self.decide(est)
 
     def decide(self, est: AccessEstimate) -> RemoteDecision:
         c_copy = self.copy_cost(est)

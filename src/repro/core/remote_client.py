@@ -9,7 +9,8 @@ Section 3.1 describes the two remote strategies the FM can choose:
 * **proxy** — "the FM can access the file on the remote machine using a
   proxy file server" (our GridFTP-like block server).  Implemented by
   :class:`RemoteProxyFile`, a file-like object that fetches blocks on
-  demand with read-ahead and a small LRU block cache.
+  demand, pipelines sequential reads through a background prefetcher,
+  and coalesces small sequential writes into block-sized RPCs.
 """
 
 from __future__ import annotations
@@ -17,23 +18,39 @@ from __future__ import annotations
 import io
 import os
 import tempfile
-from collections import OrderedDict
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..ioutil import ReadIntoFromRead
 from ..transport.gridftp import DEFAULT_BLOCK, GridFtpClient
+from .remote_io import BlockCache, BlockPrefetcher, WriteCoalescer
 
 __all__ = ["RemoteProxyFile", "CopyInOutFile", "RemoteFileClient"]
+
+#: Prefetch window bounds: start at MIN once sequential access is
+#: detected, double on every pipeline hit up to MAX.
+MIN_PREFETCH_WINDOW = 2
+MAX_PREFETCH_WINDOW = 16
+#: RPC connections (— concurrent in-flight blocks) per prefetcher.
+DEFAULT_PREFETCH_STREAMS = 4
 
 
 class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
     """File-like proxy over a remote file, block at a time.
 
-    Reads fetch ``block_size`` aligned blocks and keep the most recent
-    ``cache_blocks`` of them, so sequential legacy read loops make one
-    RPC per block rather than one per READ call.  Writes go straight
-    through (write-through, no local buffering) to keep close() simple.
+    Reads fetch ``block_size``-aligned blocks through a shared
+    :class:`~repro.core.remote_io.BlockCache`.  Once two consecutive
+    blocks have been read (sequential access detected) a
+    :class:`~repro.core.remote_io.BlockPrefetcher` keeps an adaptive
+    window of upcoming blocks in flight on ``prefetch_streams``
+    dedicated RPC connections, so a sequential legacy read loop never
+    stalls on a round trip.  Writes
+    are coalesced write-behind into block-sized ``put_block`` RPCs,
+    flushed on seek/flush/close (and before any overlapping read).
+
+    Observable counters: ``rpc_reads`` (demand RPCs this handle
+    issued), ``prefetch_hits`` (reads served by the pipeline) and
+    ``prefetch_wasted`` (prefetched blocks never consumed).
     """
 
     def __init__(
@@ -43,6 +60,10 @@ class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
         writable: bool = False,
         block_size: int = DEFAULT_BLOCK,
         cache_blocks: int = 8,
+        cache: Optional[BlockCache] = None,
+        prefetch: bool = True,
+        max_prefetch_window: int = MAX_PREFETCH_WINDOW,
+        prefetch_streams: int = DEFAULT_PREFETCH_STREAMS,
     ):
         super().__init__()
         if block_size < 1:
@@ -52,10 +73,20 @@ class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
         self._writable = writable
         self._block_size = block_size
         self._pos = 0
-        self._cache: OrderedDict[int, bytes] = OrderedDict()
-        self._cache_blocks = max(1, cache_blocks)
+        self._cache = cache if cache is not None else BlockCache(max(1, cache_blocks))
         self._size_cache: Optional[int] = None
-        self.rpc_reads = 0  # observable for tests/policy
+        self.rpc_reads = 0  # demand RPCs issued by this handle
+        self.prefetch_hits = 0
+        # -- pipeline state --
+        self._prefetch_enabled = prefetch
+        self._prefetcher: Optional[BlockPrefetcher] = None
+        self._prefetch_channels: list = []
+        self._prefetch_streams = max(1, prefetch_streams)
+        self._max_window = max(MIN_PREFETCH_WINDOW, max_prefetch_window)
+        self._window = MIN_PREFETCH_WINDOW
+        self._last_block: Optional[int] = None
+        self._streak = 0
+        self._coalescer = WriteCoalescer(self._flush_run, block_size) if writable else None
 
     # -- capabilities ----------------------------------------------------------
     def readable(self) -> bool:
@@ -67,6 +98,15 @@ class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
     def seekable(self) -> bool:
         return True
 
+    @property
+    def prefetch_wasted(self) -> int:
+        """Prefetched blocks (across the shared cache) never consumed."""
+        return self._cache.prefetch_wasted
+
+    @property
+    def put_rpcs(self) -> int:
+        return self._coalescer.flushes if self._coalescer is not None else 0
+
     # -- geometry ----------------------------------------------------------
     def _size(self, refresh: bool = False) -> int:
         if self._size_cache is None or refresh:
@@ -74,37 +114,101 @@ class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
         return self._size_cache
 
     def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
+        self._flush_writes()
         if whence == os.SEEK_SET:
-            self._pos = offset
+            new_pos = offset
         elif whence == os.SEEK_CUR:
-            self._pos += offset
+            new_pos = self._pos + offset
         elif whence == os.SEEK_END:
-            self._pos = self._size(refresh=True) + offset
+            new_pos = self._size(refresh=True) + offset
         else:
             raise ValueError(f"bad whence {whence}")
-        if self._pos < 0:
+        if new_pos < 0:
             raise ValueError("negative seek position")
+        if new_pos // self._block_size != self._pos // self._block_size:
+            # Jumping out of the current block breaks the sequential
+            # run: shrink the window and drop queued read-ahead.
+            self._streak = 0
+            self._window = MIN_PREFETCH_WINDOW
+            if self._prefetcher is not None:
+                self._prefetcher.cancel_queued()
+        self._pos = new_pos
         return self._pos
 
     def tell(self) -> int:
         return self._pos
 
+    # -- pipeline ----------------------------------------------------------
+    def _ensure_prefetcher(self) -> BlockPrefetcher:
+        if self._prefetcher is None:
+
+            def bind(channel):
+                def fetch(block_no: int) -> bytes:
+                    return self._client.read_block_via(
+                        channel, self._path, block_no * self._block_size, self._block_size
+                    )
+
+                return fetch
+
+            fetches = []
+            for _ in range(self._prefetch_streams):
+                channel = self._client.open_channel()
+                self._prefetch_channels.append(channel)
+                fetches.append(bind(channel))
+            self._prefetcher = BlockPrefetcher(
+                self._path, fetches, self._cache, name=f"fm-prefetch:{self._path}"
+            )
+        return self._prefetcher
+
+    def _note_sequential(self, block_no: int, served_by_pipeline: bool) -> None:
+        """Update the access-pattern detector and top up the window."""
+        if self._last_block is not None and block_no == self._last_block + 1:
+            self._streak += 1
+        elif self._last_block is None or block_no != self._last_block:
+            self._streak = 1
+        self._last_block = block_no
+        if not self._prefetch_enabled or self._streak < 2:
+            return
+        if served_by_pipeline:
+            self._window = min(self._window * 2, self._max_window)
+        prefetcher = self._ensure_prefetcher()
+        try:
+            nblocks = -(-self._size() // self._block_size)
+        except Exception:
+            nblocks = None
+        want = []
+        for ahead in range(1, self._window + 1):
+            nxt = block_no + ahead
+            if nblocks is not None and nxt >= nblocks:
+                break
+            want.append(nxt)
+        if want:
+            prefetcher.schedule(want)
+
     # -- reads -----------------------------------------------------------
     def _fetch_block(self, block_no: int) -> bytes:
-        cached = self._cache.get(block_no)
-        if cached is not None:
-            self._cache.move_to_end(block_no)
-            return cached
+        data, pipelined = self._cache.fetch(self._path, block_no)
+        if data is not None:
+            if pipelined:
+                self.prefetch_hits += 1
+            self._note_sequential(block_no, served_by_pipeline=pipelined)
+            return data
+        if self._prefetcher is not None and self._prefetcher.claim(block_no, timeout=30.0):
+            data, _ = self._cache.fetch(self._path, block_no)
+            if data is not None:
+                self.prefetch_hits += 1
+                self._note_sequential(block_no, served_by_pipeline=True)
+                return data
         data = self._client.read_block(
             self._path, block_no * self._block_size, self._block_size
         )
         self.rpc_reads += 1
-        self._cache[block_no] = data
-        while len(self._cache) > self._cache_blocks:
-            self._cache.popitem(last=False)
+        self._cache.put(self._path, block_no, data, prefetched=False)
+        self._note_sequential(block_no, served_by_pipeline=False)
         return data
 
     def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        self._flush_writes()
         if size is None or size < 0:
             size = max(0, self._size(refresh=True) - self._pos)
         out = bytearray()
@@ -122,20 +226,55 @@ class RemoteProxyFile(ReadIntoFromRead, io.RawIOBase):
         return bytes(out)
 
     # -- writes -----------------------------------------------------------
+    def _flush_run(self, offset: int, data: bytes) -> None:
+        """Coalescer sink: one ``put_block`` RPC plus cache invalidation."""
+        self._client.write_block(self._path, offset, data)
+        first = offset // self._block_size
+        last = (offset + len(data) - 1) // self._block_size
+        self._cache.invalidate(self._path, first, last)
+        if self._prefetcher is not None:
+            self._prefetcher.invalidate(first, last)
+        self._size_cache = None
+
+    def _flush_writes(self) -> None:
+        if self._coalescer is not None:
+            self._coalescer.flush()
+
     def write(self, data) -> int:  # type: ignore[override]
         if not self._writable:
             raise io.UnsupportedOperation("file not open for writing")
         data = bytes(data)
         if data:
-            self._client.write_block(self._path, self._pos, data)
-            # Invalidate cached blocks the write touched.
+            assert self._coalescer is not None
+            # Invalidate eagerly so a prefetched copy of the old bytes
+            # can't be served between this write and its flush.
             first = self._pos // self._block_size
             last = (self._pos + len(data) - 1) // self._block_size
-            for b in range(first, last + 1):
-                self._cache.pop(b, None)
+            self._cache.invalidate(self._path, first, last)
+            if self._prefetcher is not None:
+                self._prefetcher.invalidate(first, last)
+            self._coalescer.write(self._pos, data)
             self._pos += len(data)
             self._size_cache = None
         return len(data)
+
+    def flush(self) -> None:  # type: ignore[override]
+        self._flush_writes()
+        super().flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            self._flush_writes()
+        finally:
+            if self._prefetcher is not None:
+                self._prefetcher.close()
+                self._prefetcher = None
+            for channel in self._prefetch_channels:
+                channel.close()
+            self._prefetch_channels.clear()
+            super().close()
 
 
 class CopyInOutFile(ReadIntoFromRead, io.RawIOBase):
@@ -170,12 +309,19 @@ class CopyInOutFile(ReadIntoFromRead, io.RawIOBase):
         os.close(fd)
         self._local_path = Path(tmp)
         if core in ("r", "r+", "a", "a+"):
-            if not client.exists(remote_path):
-                self._local_path.unlink(missing_ok=True)
-                raise FileNotFoundError(remote_path)
-            client.fetch_file(remote_path, self._local_path)
-            if verify:
-                self._verify_against_remote()
+            exists = client.exists(remote_path)
+            if not exists:
+                if core.startswith("a"):
+                    # POSIX append creates a missing file; the copy-out
+                    # on close materialises it remotely.
+                    self._dirty = True
+                else:
+                    self._local_path.unlink(missing_ok=True)
+                    raise FileNotFoundError(remote_path)
+            else:
+                client.fetch_file(remote_path, self._local_path)
+                if verify:
+                    self._verify_against_remote()
         self._fh = open(self._local_path, self._local_mode(core))
         if core.startswith("a"):
             self._fh.seek(0, os.SEEK_END)
@@ -245,20 +391,54 @@ class CopyInOutFile(ReadIntoFromRead, io.RawIOBase):
 
 
 class RemoteFileClient:
-    """Factory choosing proxy vs copy for one remote server."""
+    """Factory choosing proxy vs copy for one remote server.
 
-    def __init__(self, client: GridFtpClient, scratch_dir: Optional[Path] = None):
+    All proxy files opened through one instance share one
+    :class:`BlockCache`, so concurrent readers of the same remote file
+    pipeline for each other instead of re-fetching.
+    """
+
+    def __init__(
+        self,
+        client: GridFtpClient,
+        scratch_dir: Optional[Path] = None,
+        cache_blocks: int = 64,
+        prefetch: bool = True,
+        prefetch_streams: int = DEFAULT_PREFETCH_STREAMS,
+    ):
         self.client = client
         self.scratch_dir = scratch_dir
+        self.prefetch = prefetch
+        self.prefetch_streams = prefetch_streams
+        self.block_cache = BlockCache(cache_blocks)
 
-    def open_proxy(self, path: str, mode: str = "r", block_size: int = DEFAULT_BLOCK) -> RemoteProxyFile:
+    def open_proxy(
+        self,
+        path: str,
+        mode: str = "r",
+        block_size: int = DEFAULT_BLOCK,
+        prefetch: Optional[bool] = None,
+    ) -> RemoteProxyFile:
         core = mode.replace("b", "").replace("t", "")
         writable = any(f in core for f in ("w", "a", "+"))
-        if core in ("r", "r+", "a", "a+") and not self.client.exists(path):
+        exists = self.client.exists(path)
+        if core in ("r", "r+") and not exists:
             raise FileNotFoundError(path)
         if core in ("w", "w+"):
             self.client.write_block(path, 0, b"", truncate=True)
-        f = RemoteProxyFile(self.client, path, writable=writable, block_size=block_size)
+            self.block_cache.invalidate_path(path)
+        if core.startswith("a") and not exists:
+            # POSIX append creates the file rather than failing.
+            self.client.write_block(path, 0, b"")
+        f = RemoteProxyFile(
+            self.client,
+            path,
+            writable=writable,
+            block_size=block_size,
+            cache=self.block_cache,
+            prefetch=self.prefetch if prefetch is None else prefetch,
+            prefetch_streams=self.prefetch_streams,
+        )
         if core.startswith("a"):
             f.seek(0, os.SEEK_END)
         return f

@@ -1,0 +1,324 @@
+"""Pipelined remote-IO building blocks.
+
+The paper's buffer/proxy modes win on low-latency links because blocks
+are *pipelined* — the next block is already in flight while the
+application consumes the current one.  This module supplies the three
+mechanisms the FM's remote paths share to get that behaviour:
+
+* :class:`BlockCache` — a thread-safe LRU of ``(path, block_no)``
+  blocks, shared by every proxy file opened through one
+  :class:`~repro.core.remote_client.RemoteFileClient`, with counters
+  distinguishing demand hits from prefetch hits and wasted prefetches.
+* :class:`BlockPrefetcher` — background threads that keep an adaptive
+  window of sequential blocks in flight on their *own* RPC
+  connections, so demand reads never queue behind read-ahead traffic.
+* :class:`WriteCoalescer` — a write-behind buffer that merges small
+  contiguous writes into block-sized flushes (one ``put_block`` RPC
+  per block instead of one per legacy WRITE call).
+
+None of these know about sockets directly: the prefetcher is handed a
+``fetch`` callable bound to a dedicated channel, and the coalescer a
+``flush`` callable, so the same machinery serves the GridFTP proxy
+path and (for coalescing) the Grid Buffer writer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
+
+__all__ = ["BlockCache", "BlockPrefetcher", "WriteCoalescer"]
+
+BlockKey = Tuple[str, int]
+
+
+class _CacheEntry:
+    __slots__ = ("data", "prefetched", "consumed")
+
+    def __init__(self, data: bytes, prefetched: bool):
+        self.data = data
+        self.prefetched = prefetched
+        self.consumed = False
+
+
+class BlockCache:
+    """Thread-safe LRU block cache keyed by ``(path, block_no)``.
+
+    Shared between every proxy file of one remote client so concurrent
+    readers of the same file benefit from each other's fetches.
+    Counters:
+
+    * ``prefetch_hits`` — reads served by a block a prefetcher loaded;
+    * ``prefetch_wasted`` — prefetched blocks evicted or invalidated
+      before any reader consumed them;
+    * ``demand_hits`` — reads served by a previously demand-fetched block.
+    """
+
+    def __init__(self, capacity_blocks: int = 64):
+        self._capacity = max(1, capacity_blocks)
+        self._entries: "OrderedDict[BlockKey, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.prefetch_hits = 0
+        self.prefetch_wasted = 0
+        self.demand_hits = 0
+
+    def get(self, path: str, block_no: int) -> Optional[bytes]:
+        data, _ = self.fetch(path, block_no)
+        return data
+
+    def fetch(self, path: str, block_no: int) -> Tuple[Optional[bytes], bool]:
+        """Like :meth:`get` but also reports pipeline credit.
+
+        The second element is True when this lookup is the first consume
+        of a prefetched block — i.e. the background pipeline, not a past
+        demand fetch, paid for it.
+        """
+        with self._lock:
+            entry = self._entries.get((path, block_no))
+            if entry is None:
+                return None, False
+            self._entries.move_to_end((path, block_no))
+            pipelined = entry.prefetched and not entry.consumed
+            if pipelined:
+                self.prefetch_hits += 1
+            elif not entry.prefetched:
+                self.demand_hits += 1
+            entry.consumed = True
+            return entry.data, pipelined
+
+    def put(self, path: str, block_no: int, data: bytes, prefetched: bool = False) -> None:
+        with self._lock:
+            self._entries[(path, block_no)] = _CacheEntry(data, prefetched)
+            self._entries.move_to_end((path, block_no))
+            while len(self._entries) > self._capacity:
+                _, evicted = self._entries.popitem(last=False)
+                if evicted.prefetched and not evicted.consumed:
+                    self.prefetch_wasted += 1
+
+    def contains(self, path: str, block_no: int) -> bool:
+        with self._lock:
+            return (path, block_no) in self._entries
+
+    def invalidate(self, path: str, first_block: int, last_block: int) -> None:
+        """Drop blocks ``first..last`` of ``path`` (a write dirtied them)."""
+        with self._lock:
+            for block_no in range(first_block, last_block + 1):
+                entry = self._entries.pop((path, block_no), None)
+                if entry is not None and entry.prefetched and not entry.consumed:
+                    self.prefetch_wasted += 1
+
+    def invalidate_path(self, path: str) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == path]:
+                entry = self._entries.pop(key)
+                if entry.prefetched and not entry.consumed:
+                    self.prefetch_wasted += 1
+
+    def note_wasted(self, n: int = 1) -> None:
+        """Account prefetched data discarded before it entered the cache."""
+        with self._lock:
+            self.prefetch_wasted += n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _InFlight:
+    __slots__ = ("event", "stale")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.stale = False
+
+
+class BlockPrefetcher:
+    """Keeps a window of upcoming blocks in flight on dedicated channels.
+
+    The owner (a proxy file) calls :meth:`schedule` with the block
+    numbers it expects to need next; background worker threads fetch
+    them through the ``fetch`` callables (each bound to its own RPC
+    connection — the strict request/reply framing allows one
+    outstanding RPC per connection, so in-flight depth equals the
+    number of workers) and deposit them in the shared
+    :class:`BlockCache` marked *prefetched*.  A reader about to
+    demand-fetch a block first calls :meth:`claim` — if that block is
+    in flight it waits for the pipeline instead of issuing a duplicate
+    RPC.
+
+    Writes call :meth:`invalidate` so an in-flight block dirtied under
+    the prefetcher is discarded on arrival (counted as wasted) rather
+    than poisoning the cache.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fetch: "Callable[[int], bytes] | Iterable[Callable[[int], bytes]]",
+        cache: BlockCache,
+        name: str = "fm-prefetch",
+    ):
+        self._path = path
+        fetches = [fetch] if callable(fetch) else list(fetch)
+        if not fetches:
+            raise ValueError("at least one fetch callable required")
+        self._cache = cache
+        self._cv = threading.Condition()
+        self._queue: Deque[int] = deque()
+        self._inflight: Dict[int, _InFlight] = {}
+        self._stopped = False
+        self.rpc_reads = 0  # RPCs issued by the prefetch channels
+        self._threads = [
+            threading.Thread(target=self._run, args=(fn,), name=f"{name}#{i}", daemon=True)
+            for i, fn in enumerate(fetches)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- owner-side API ----------------------------------------------------
+    def schedule(self, block_nos: Iterable[int]) -> None:
+        with self._cv:
+            if self._stopped:
+                return
+            for block_no in block_nos:
+                if block_no in self._inflight or block_no in self._queue:
+                    continue
+                if self._cache.contains(self._path, block_no):
+                    continue
+                self._queue.append(block_no)
+            self._cv.notify()
+
+    def claim(self, block_no: int, timeout: Optional[float] = None) -> bool:
+        """Wait for ``block_no`` if it is in flight.
+
+        Returns True when the block was (or is now) in the cache thanks
+        to the pipeline; False means the caller must demand-fetch.  A
+        queued-but-unstarted block is dropped from the queue so the
+        demand fetch doesn't race a duplicate.
+        """
+        with self._cv:
+            pending = self._inflight.get(block_no)
+            if pending is None:
+                try:
+                    self._queue.remove(block_no)
+                except ValueError:
+                    pass
+                return False
+        if not pending.event.wait(timeout):
+            return False
+        return self._cache.contains(self._path, block_no)
+
+    def invalidate(self, first_block: int, last_block: int) -> None:
+        """A write dirtied ``first..last``: drop them from queue/flight."""
+        with self._cv:
+            for block_no in range(first_block, last_block + 1):
+                try:
+                    self._queue.remove(block_no)
+                except ValueError:
+                    pass
+                pending = self._inflight.get(block_no)
+                if pending is not None:
+                    pending.stale = True
+
+    def cancel_queued(self) -> None:
+        """Random seek: the queued window is no longer the likely future."""
+        with self._cv:
+            self._queue.clear()
+
+    def in_flight(self, block_no: int) -> bool:
+        with self._cv:
+            return block_no in self._inflight or block_no in self._queue
+
+    def close(self) -> None:
+        with self._cv:
+            self._stopped = True
+            self._queue.clear()
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=5)
+
+    # -- workers -----------------------------------------------------------
+    def _run(self, fetch: Callable[[int], bytes]) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopped:
+                    self._cv.wait()
+                if self._stopped:
+                    # Wake any claim() waiters; entries owned by workers
+                    # still mid-RPC are released by their finally blocks.
+                    for pending in self._inflight.values():
+                        pending.event.set()
+                    return
+                block_no = self._queue.popleft()
+                pending = self._inflight[block_no] = _InFlight()
+            try:
+                data = fetch(block_no)
+                with self._cv:
+                    self.rpc_reads += 1
+            except Exception:
+                data = None  # demand path will retry and surface the error
+            with self._cv:
+                if data is not None:
+                    if pending.stale:
+                        self._cache.note_wasted()
+                    else:
+                        self._cache.put(self._path, block_no, data, prefetched=True)
+                self._inflight.pop(block_no, None)
+                pending.event.set()
+
+
+class WriteCoalescer:
+    """Write-behind buffer merging contiguous writes into block flushes.
+
+    ``write(offset, data)`` extends the pending run when the write is
+    contiguous with it; anything else (a backwards write, a hole, an
+    explicit ``flush``) pushes the pending bytes out through ``flush_fn``
+    first.  Runs longer than ``block_size`` are flushed eagerly in
+    block-sized RPCs so the buffer never grows unboundedly.
+    """
+
+    def __init__(self, flush_fn: Callable[[int, bytes], None], block_size: int):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self._flush_fn = flush_fn
+        self._block_size = block_size
+        self._start = 0
+        self._buf = bytearray()
+        self.flushes = 0          # put RPCs issued
+        self.writes_coalesced = 0  # WRITE calls absorbed without an RPC
+
+    @property
+    def pending(self) -> Tuple[int, int]:
+        """``(offset, length)`` of the not-yet-flushed run."""
+        return self._start, len(self._buf)
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        if self._buf and offset != self._start + len(self._buf):
+            self.flush()
+        if not self._buf:
+            self._start = offset
+        else:
+            self.writes_coalesced += 1
+        self._buf += data
+        while len(self._buf) >= self._block_size:
+            chunk = bytes(self._buf[: self._block_size])
+            self._flush_fn(self._start, chunk)
+            self.flushes += 1
+            del self._buf[: self._block_size]
+            self._start += len(chunk)
+
+    def flush(self) -> None:
+        if self._buf:
+            self._flush_fn(self._start, bytes(self._buf))
+            self.flushes += 1
+            self._start += len(self._buf)
+            self._buf.clear()
+
+    def overlaps(self, offset: int, length: int) -> bool:
+        """Does pending data intersect ``[offset, offset+length)``?"""
+        if not self._buf or length <= 0:
+            return False
+        return offset < self._start + len(self._buf) and self._start < offset + length

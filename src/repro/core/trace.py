@@ -19,15 +19,96 @@ from __future__ import annotations
 
 import io
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, TextIO
+from typing import Any, Deque, Dict, Optional, TextIO
 
 from ..ioutil import ReadIntoFromRead
 from .multiplexer import FileMultiplexer, FMFile
 
-__all__ = ["TraceEvent", "FmTracer"]
+__all__ = ["TraceEvent", "FmTracer", "TransferSample", "TransferMonitor"]
+
+
+@dataclass(frozen=True)
+class TransferSample:
+    """One timed remote transfer operation against one peer."""
+
+    peer: str       # remote host label (GridFTP server, buffer server…)
+    op: str         # get_block / put_block / size / fetch / store …
+    nbytes: int
+    seconds: float
+
+
+class TransferMonitor:
+    """Rolling per-peer transfer observations → bandwidth/latency estimates.
+
+    The paper's policy (§3.1) and replica selection both want *measured*
+    link numbers, not configured ones.  Every remote client records its
+    RPCs here; :meth:`bandwidth` and :meth:`latency` turn the samples
+    into the inputs :class:`~repro.core.policy.AccessEstimate` needs.
+
+    Latency is estimated from the fastest small-payload round trip seen
+    (halved: one-way), bandwidth from the aggregate of bulk samples —
+    small ones are dominated by the round trip, not the pipe.
+    """
+
+    #: Samples at or below this payload size count as latency probes.
+    SMALL_BYTES = 4096
+
+    def __init__(self, max_samples: int = 1024):
+        self._samples: Dict[str, Deque[TransferSample]] = {}
+        self._max = max_samples
+        self._lock = threading.Lock()
+
+    def record(self, peer: str, op: str, nbytes: int, seconds: float) -> None:
+        sample = TransferSample(peer=peer, op=op, nbytes=nbytes, seconds=max(0.0, seconds))
+        with self._lock:
+            bucket = self._samples.get(peer)
+            if bucket is None:
+                bucket = self._samples[peer] = deque(maxlen=self._max)
+            bucket.append(sample)
+
+    def samples(self, peer: str) -> list:
+        with self._lock:
+            return list(self._samples.get(peer, ()))
+
+    def latency(self, peer: str) -> Optional[float]:
+        """Best observed one-way latency to ``peer`` in seconds."""
+        probes = [
+            s.seconds for s in self.samples(peer) if s.nbytes <= self.SMALL_BYTES
+        ]
+        if not probes:
+            return None
+        return min(probes) / 2.0
+
+    def bandwidth(self, peer: str) -> Optional[float]:
+        """Observed bulk throughput to ``peer`` in bytes/second."""
+        bulk = [s for s in self.samples(peer) if s.nbytes > self.SMALL_BYTES]
+        if not bulk:
+            return None
+        total_bytes = sum(s.nbytes for s in bulk)
+        total_secs = sum(s.seconds for s in bulk)
+        if total_secs <= 0:
+            return None
+        return total_bytes / total_secs
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-peer roll-up for logging/benchmark emission."""
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            peers = list(self._samples)
+        for peer in peers:
+            samples = self.samples(peer)
+            out[peer] = {
+                "ops": len(samples),
+                "bytes": sum(s.nbytes for s in samples),
+                "seconds": sum(s.seconds for s in samples),
+                "bandwidth_bps": self.bandwidth(peer),
+                "latency_s": self.latency(peer),
+            }
+        return out
 
 
 @dataclass(frozen=True)
@@ -118,6 +199,11 @@ class FmTracer:
         return _TracedFile(handle, self, path)
 
     # -- analysis ----------------------------------------------------------
+    def transfer_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-peer throughput/latency observed by the wrapped FM."""
+        monitor = getattr(self.fm, "monitor", None)
+        return monitor.summary() if monitor is not None else {}
+
     def summary(self) -> Dict[str, Dict[str, int]]:
         """Per-path op counts and byte totals."""
         out: Dict[str, Dict[str, int]] = {}

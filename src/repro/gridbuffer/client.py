@@ -12,6 +12,13 @@ Two layers:
 
 Because a blocking remote read parks a server thread, every reader
 uses its own TCP connection (``dedicated_connection=True`` default).
+The reader can additionally *double-buffer*: a background thread on a
+second connection requests the next block while the application
+consumes the current one, so a sequential read loop overlaps its RPC
+round trips with real work.  The writer can coalesce small sequential
+writes into block-sized RPCs (``coalesce_bytes``) — off by default
+because it delays downstream visibility, which tightly pipelined
+streams may care about.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import threading
 import uuid
 from typing import Any, Dict, Optional, Tuple
 
+from ..core.remote_io import WriteCoalescer
 from ..ioutil import ReadIntoFromRead
 from ..transport.tcp import RpcClient
 from .protocol import (
@@ -40,6 +48,10 @@ from .protocol import (
 )
 
 __all__ = ["GridBufferClient", "BufferWriter", "BufferReader"]
+
+#: Poll cadence while waiting for a stream to be created; tunable so
+#: tests (and co-located deployments) don't burn 10 ms a spin.
+OPEN_POLL_INTERVAL = float(os.environ.get("REPRO_BUFFER_OPEN_POLL", "0.01"))
 
 
 class GridBufferClient:
@@ -133,9 +145,12 @@ class GridBufferClient:
         capacity_bytes: Optional[int] = None,
         cache: bool = False,
         write_timeout: Optional[float] = None,
+        coalesce_bytes: int = 0,
     ) -> "BufferWriter":
         self.create_stream(name, n_readers=n_readers, capacity_bytes=capacity_bytes, cache=cache)
-        return BufferWriter(self, name, write_timeout=write_timeout)
+        return BufferWriter(
+            self, name, write_timeout=write_timeout, coalesce_bytes=coalesce_bytes
+        )
 
     def open_reader(
         self,
@@ -144,6 +159,9 @@ class GridBufferClient:
         read_timeout: Optional[float] = None,
         dedicated_connection: bool = True,
         open_timeout: float = 10.0,
+        poll_interval: Optional[float] = None,
+        read_ahead: bool = False,
+        read_ahead_bytes: int = DEFAULT_BLOCK_SIZE * 16,
     ) -> "BufferReader":
         """Attach a reader, waiting for the stream to exist.
 
@@ -154,14 +172,24 @@ class GridBufferClient:
         import time as _time
 
         rid = reader_id or f"reader-{uuid.uuid4().hex[:8]}"
+        interval = OPEN_POLL_INTERVAL if poll_interval is None else poll_interval
         deadline = _time.monotonic() + open_timeout
         while not self.stream_exists(name):
             if _time.monotonic() > deadline:
                 raise TimeoutError(f"stream {name!r} never appeared")
-            _time.sleep(0.01)
+            _time.sleep(interval)
         self.register_reader(name, rid)
-        rpc = self._fresh_connection() if dedicated_connection else None
-        return BufferReader(self, name, rid, read_timeout=read_timeout, rpc=rpc)
+        rpc = self._fresh_connection() if dedicated_connection or read_ahead else None
+        ra_rpc = self._fresh_connection() if read_ahead else None
+        return BufferReader(
+            self,
+            name,
+            rid,
+            read_timeout=read_timeout,
+            rpc=rpc,
+            read_ahead_rpc=ra_rpc,
+            read_ahead_bytes=read_ahead_bytes,
+        )
 
     def close(self) -> None:
         self._rpc.close()
@@ -174,9 +202,20 @@ class GridBufferClient:
 
 
 class BufferWriter(io.RawIOBase):
-    """File-like writer feeding a Grid Buffer stream."""
+    """File-like writer feeding a Grid Buffer stream.
 
-    def __init__(self, client: GridBufferClient, name: str, write_timeout: Optional[float] = None):
+    With ``coalesce_bytes > 0`` small sequential writes are buffered
+    locally and pushed in runs of that size (one RPC per run instead of
+    one per WRITE); the run is flushed on seek, ``flush`` and close.
+    """
+
+    def __init__(
+        self,
+        client: GridBufferClient,
+        name: str,
+        write_timeout: Optional[float] = None,
+        coalesce_bytes: int = 0,
+    ):
         super().__init__()
         self._client = client
         self.name = name
@@ -184,6 +223,19 @@ class BufferWriter(io.RawIOBase):
         self._timeout = write_timeout
         self._closed_writer = False
         self._lock = threading.Lock()
+        self._coalescer = (
+            WriteCoalescer(self._push_run, coalesce_bytes) if coalesce_bytes > 0 else None
+        )
+
+    def _push_run(self, offset: int, data: bytes) -> None:
+        self._client.write(self.name, offset, data, timeout=self._timeout)
+
+    @property
+    def rpc_writes(self) -> int:
+        """WRITE RPCs actually issued (== writes unless coalescing)."""
+        return self._coalescer.flushes if self._coalescer is not None else self._raw_writes
+
+    _raw_writes = 0
 
     def writable(self) -> bool:
         return True
@@ -194,12 +246,18 @@ class BufferWriter(io.RawIOBase):
             if self._closed_writer:
                 raise ValueError("write to closed BufferWriter")
             if data:
-                self._client.write(self.name, self._pos, data, timeout=self._timeout)
+                if self._coalescer is not None:
+                    self._coalescer.write(self._pos, data)
+                else:
+                    self._client.write(self.name, self._pos, data, timeout=self._timeout)
+                    self._raw_writes += 1
                 self._pos += len(data)
         return len(data)
 
     def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
         with self._lock:
+            if self._coalescer is not None:
+                self._coalescer.flush()
             if whence == os.SEEK_SET:
                 self._pos = offset
             elif whence == os.SEEK_CUR:
@@ -216,12 +274,125 @@ class BufferWriter(io.RawIOBase):
     def tell(self) -> int:
         return self._pos
 
+    def flush(self) -> None:  # type: ignore[override]
+        with self._lock:
+            if self._coalescer is not None and not self._closed_writer:
+                self._coalescer.flush()
+        super().flush()
+
     def close(self) -> None:
         with self._lock:
             if not self._closed_writer:
                 self._closed_writer = True
-                self._client.close_writer(self.name)
+                try:
+                    if self._coalescer is not None:
+                        self._coalescer.flush()
+                finally:
+                    self._client.close_writer(self.name)
         super().close()
+
+
+class _ReadAheadWorker:
+    """One in-flight read-ahead request on a dedicated connection.
+
+    The worker owns its RPC; a request that blocks server-side (data
+    not yet written) therefore never head-of-line blocks the demand
+    connection.  At most one request is outstanding — double buffering,
+    exactly: the block being consumed plus the block in flight.
+    """
+
+    def __init__(self, client: GridBufferClient, name: str, reader_id: str,
+                 rpc: RpcClient, timeout: Optional[float]):
+        self._client = client
+        self._name = name
+        self._reader_id = reader_id
+        self._rpc = rpc
+        self._timeout = timeout
+        self._cv = threading.Condition()
+        self._want: Optional[Tuple[int, int]] = None    # queued (offset, length)
+        self._busy_offset: Optional[int] = None         # offset of in-flight RPC
+        self._result: Optional[Tuple[int, bytes]] = None
+        self._error: Optional[Tuple[int, BaseException]] = None
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"gb-readahead:{name}", daemon=True
+        )
+        self._thread.start()
+
+    def request(self, offset: int, length: int) -> None:
+        """Ask for ``[offset, offset+length)`` unless one is outstanding."""
+        with self._cv:
+            if self._stopped or self._want is not None or self._busy_offset is not None:
+                return
+            if self._result is not None and self._result[0] == offset:
+                return  # already buffered
+            self._want = (offset, length)
+            self._cv.notify_all()
+
+    def take(self, offset: int) -> Optional[bytes]:
+        """Data at ``offset`` from the pipeline, waiting if it is queued
+        or in flight there; None means the caller must read directly.
+        A read-ahead that errored *at this offset* re-raises here; stale
+        errors for other offsets are dropped (the demand path will hit
+        any persistent stream failure itself)."""
+        with self._cv:
+            while True:
+                if self._error is not None:
+                    eoff, exc = self._error
+                    self._error = None
+                    if eoff == offset:
+                        raise exc
+                if self._result is not None:
+                    roff, data = self._result
+                    self._result = None
+                    if roff == offset:
+                        return data
+                    return None  # stale (seek happened): discard
+                pending = self._want[0] if self._want is not None else self._busy_offset
+                if pending == offset:
+                    self._cv.wait(timeout=0.05)
+                    continue
+                return None
+
+    def discard(self) -> None:
+        with self._cv:
+            self._result = None
+            self._want = None
+
+    def close(self) -> None:
+        with self._cv:
+            self._stopped = True
+            self._want = None
+            self._cv.notify_all()
+        # Closing the socket unblocks a server-side blocking read.
+        self._rpc.close()
+        self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while self._want is None and not self._stopped:
+                    self._cv.wait()
+                if self._stopped:
+                    return
+                offset, length = self._want
+                self._want = None
+                self._busy_offset = offset
+            try:
+                data = self._client.read(
+                    self._name, self._reader_id, offset, length,
+                    timeout=self._timeout, rpc=self._rpc,
+                )
+                with self._cv:
+                    self._result = (offset, data)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on take()
+                with self._cv:
+                    if not self._stopped:
+                        self._error = (offset, exc)
+            finally:
+                with self._cv:
+                    self._busy_offset = None
+                    self._cv.notify_all()
 
 
 class BufferReader(ReadIntoFromRead, io.RawIOBase):
@@ -229,7 +400,9 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
 
     Sequential reads drain the hash table; re-reads and backwards
     seeks hit the server-side cache file — exactly the DARLAM pattern
-    in Section 5.3.
+    in Section 5.3.  With a ``read_ahead_rpc`` the next chunk is
+    requested in the background while the current one is consumed
+    (double buffering), overlapping RPC latency with application work.
     """
 
     def __init__(
@@ -239,6 +412,8 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         reader_id: str,
         read_timeout: Optional[float] = None,
         rpc: Optional[RpcClient] = None,
+        read_ahead_rpc: Optional[RpcClient] = None,
+        read_ahead_bytes: int = DEFAULT_BLOCK_SIZE * 16,
     ):
         super().__init__()
         self._client = client
@@ -247,9 +422,22 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         self._pos = 0
         self._timeout = read_timeout
         self._rpc = rpc
+        self._ra_bytes = max(1, read_ahead_bytes)
+        self._ra: Optional[_ReadAheadWorker] = None
+        self._ra_buf = b""          # data already fetched ahead, at _pos
+        self._at_eof = False
+        self.readahead_hits = 0     # reads served (fully) from the pipeline
+        if read_ahead_rpc is not None:
+            self._ra = _ReadAheadWorker(client, name, reader_id, read_ahead_rpc, read_timeout)
 
     def readable(self) -> bool:
         return True
+
+    def _read_direct(self, size: int) -> bytes:
+        data = self._client.read(
+            self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+        )
+        return data
 
     def read(self, size: int = -1) -> bytes:  # type: ignore[override]
         if size is None or size < 0:
@@ -260,21 +448,71 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
                     break
                 chunks.append(chunk)
             return b"".join(chunks)
-        data = self._client.read(
-            self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
-        )
-        self._pos += len(data)
-        return data
+        if size == 0:
+            return b""
+        out = bytearray()
+        # 1. Serve from the read-ahead buffer first.
+        if self._ra_buf:
+            take = min(size, len(self._ra_buf))
+            out += self._ra_buf[:take]
+            self._ra_buf = self._ra_buf[take:]
+            self._pos += take
+            size -= take
+            if size == 0:
+                self.readahead_hits += 1
+                self._schedule_readahead()
+                return bytes(out)
+        # 2. Collect a completed/in-flight read-ahead landing at _pos.
+        if self._ra is not None and not self._at_eof:
+            data = self._ra.take(self._pos)
+            if data is not None:
+                if not data:
+                    self._at_eof = True
+                else:
+                    take = min(size, len(data))
+                    out += data[:take]
+                    self._ra_buf = data[take:]
+                    self._pos += take
+                    size -= take
+                if out:
+                    self.readahead_hits += 1
+                    self._schedule_readahead()
+                    return bytes(out)
+        # 3. Whatever is still missing comes from a demand RPC (a short
+        # read is fine — POSIX semantics — but never block past EOF).
+        if size > 0 and not self._at_eof:
+            data = self._read_direct(size)
+            if not data and not out:
+                self._at_eof = True
+            out += data
+            self._pos += len(data)
+        self._schedule_readahead()
+        return bytes(out)
+
+    def _schedule_readahead(self) -> None:
+        if self._ra is None or self._at_eof:
+            return
+        self._ra.request(self._pos + len(self._ra_buf), self._ra_bytes)
 
     def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
         if whence == os.SEEK_SET:
-            self._pos = offset
+            new_pos = offset
         elif whence == os.SEEK_CUR:
-            self._pos += offset
+            new_pos = self._pos + offset
         else:
             raise OSError("SEEK_END unsupported on a stream reader")
-        if self._pos < 0:
+        if new_pos < 0:
             raise ValueError("negative seek position")
+        if new_pos != self._pos:
+            if self._ra_buf and self._pos <= new_pos < self._pos + len(self._ra_buf):
+                # Seek lands inside the buffered run: keep the tail.
+                self._ra_buf = self._ra_buf[new_pos - self._pos:]
+            else:
+                self._ra_buf = b""
+                if self._ra is not None:
+                    self._ra.discard()
+            self._at_eof = False
+        self._pos = new_pos
         return self._pos
 
     def seekable(self) -> bool:
@@ -284,6 +522,9 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         return self._pos
 
     def close(self) -> None:
+        if self._ra is not None:
+            self._ra.close()
+            self._ra = None
         if self._rpc is not None:
             self._rpc.close()
             self._rpc = None

@@ -16,6 +16,8 @@ Provides the queuing building blocks the grid model needs:
 
 from __future__ import annotations
 
+import math
+
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Optional
@@ -252,11 +254,13 @@ class ProcessorSharing:
     def _scheduler(self):
         while self._jobs:
             self._advance_all()
-            # A job is done when less than a nanosecond of work remains;
-            # an absolute cutoff would spin on float residue for large
-            # work values (ulp of 1e6 work units exceeds any fixed eps).
+            # A job is done when less than a nanosecond of work remains
+            # — or less than the clock can resolve: once env.now is
+            # large, ulp(now) exceeds a fixed nanosecond, a scheduled
+            # timeout below it no longer advances float time and the
+            # loop would livelock on the unreachable residue.
             rate = self._per_job_rate()
-            eps = rate * 1e-9
+            eps = rate * max(1e-9, 2.0 * math.ulp(self.env.now))
             finished = [j for j in self._jobs if j.remaining <= eps]
             if finished:
                 self._jobs = [j for j in self._jobs if j.remaining > eps]

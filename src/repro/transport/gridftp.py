@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -35,10 +36,16 @@ class GridFtpServer:
     ``checksum``, ``mkdirs``, ``delete``.
     """
 
-    def __init__(self, root: Path, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        root: Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        simulated_latency: float = 0.0,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._rpc = RpcServer(host, port)
+        self._rpc = RpcServer(host, port, simulated_latency=simulated_latency)
         self._lock = threading.Lock()
         self._rpc.register("size", self._op_size)
         self._rpc.register("exists", self._op_exists)
@@ -156,11 +163,23 @@ class GridFtpClient:
     """Client-side API over one GridFTP server.
 
     ``parallel_streams`` splits bulk copies into interleaved ranges
-    fetched by concurrent connections, mirroring GridFTP's parallel
-    TCP streams.
+    moved by concurrent connections (both directions: fetch and store),
+    mirroring GridFTP's parallel TCP streams.
+
+    ``monitor`` is any object with ``record(peer, op, nbytes, seconds)``
+    (e.g. :class:`repro.core.trace.TransferMonitor`); every RPC is
+    timed into it so policy decisions can use measured link numbers.
     """
 
-    def __init__(self, host: str, port: int, parallel_streams: int = 1, block_size: int = DEFAULT_BLOCK):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        parallel_streams: int = 1,
+        block_size: int = DEFAULT_BLOCK,
+        monitor=None,
+        peer: Optional[str] = None,
+    ):
         if parallel_streams < 1:
             raise ValueError("parallel_streams must be >= 1")
         if block_size < 1:
@@ -168,15 +187,38 @@ class GridFtpClient:
         self._addr = (host, port)
         self.parallel_streams = parallel_streams
         self.block_size = block_size
+        self.monitor = monitor
+        self.peer = peer or f"{host}:{port}"
         self._rpc = RpcClient(host, port)
+
+    # -- observability -------------------------------------------------------
+    def _timed(self, op: str, rpc: RpcClient, header: Dict[str, Any], payload: bytes = b""):
+        """One RPC round trip, recorded into the monitor if present."""
+        if self.monitor is None:
+            return rpc.call(op, header, payload=payload)
+        t0 = time.perf_counter()
+        reply, data = rpc.call(op, header, payload=payload)
+        self.monitor.record(
+            self.peer, op, max(len(payload), len(data)), time.perf_counter() - t0
+        )
+        return reply, data
+
+    def open_channel(self) -> RpcClient:
+        """A dedicated connection for a background pipeline thread.
+
+        Prefetchers and parallel streams must not share the demand
+        connection: one blocking request would head-of-line block the
+        application's reads.
+        """
+        return self._rpc.clone()
 
     # -- metadata -----------------------------------------------------------
     def size(self, path: str) -> int:
-        reply, _ = self._rpc.call("size", {"path": path})
+        reply, _ = self._timed("size", self._rpc, {"path": path})
         return int(reply["size"])
 
     def exists(self, path: str) -> bool:
-        reply, _ = self._rpc.call("exists", {"path": path})
+        reply, _ = self._timed("exists", self._rpc, {"path": path})
         return bool(reply["exists"])
 
     def checksum(self, path: str) -> str:
@@ -214,54 +256,82 @@ class GridFtpClient:
 
     # -- block proxy ----------------------------------------------------------
     def read_block(self, path: str, offset: int, length: int) -> bytes:
-        _, data = self._rpc.call("get_block", {"path": path, "offset": offset, "length": length})
+        _, data = self._timed(
+            "get_block", self._rpc, {"path": path, "offset": offset, "length": length}
+        )
+        return data
+
+    def read_block_via(self, rpc: RpcClient, path: str, offset: int, length: int) -> bytes:
+        """``read_block`` over a caller-owned channel (prefetch/stream)."""
+        _, data = self._timed(
+            "get_block", rpc, {"path": path, "offset": offset, "length": length}
+        )
         return data
 
     def write_block(self, path: str, offset: int, data: bytes, truncate: bool = False) -> int:
-        reply, _ = self._rpc.call(
-            "put_block", {"path": path, "offset": offset, "truncate": truncate}, payload=data
+        reply, _ = self._timed(
+            "put_block",
+            self._rpc,
+            {"path": path, "offset": offset, "truncate": truncate},
+            payload=data,
         )
         return int(reply["written"])
 
     # -- bulk copy -----------------------------------------------------------
     def fetch_file(self, remote_path: str, local_path: Path) -> int:
-        """Copy remote → local, using parallel streams for large files."""
+        """Copy remote → local, using parallel streams for large files.
+
+        Returns the actual number of bytes copied and raises ``IOError``
+        if it differs from the remote size at transfer start (e.g. the
+        file shrank mid-copy) — a short copy must never pass silently.
+        """
         total = self.size(remote_path)
         local_path = Path(local_path)
         local_path.parent.mkdir(parents=True, exist_ok=True)
         if total == 0:
             local_path.write_bytes(b"")
             return 0
+        t0 = time.perf_counter()
         if self.parallel_streams == 1 or total <= self.block_size:
+            copied = 0
             with open(local_path, "wb") as out:
-                offset = 0
-                while offset < total:
-                    data = self.read_block(remote_path, offset, self.block_size)
+                while copied < total:
+                    data = self.read_block(remote_path, copied, self.block_size)
                     if not data:
                         break
                     out.write(data)
-                    offset += len(data)
-            return total
-        return self._parallel_fetch(remote_path, local_path, total)
+                    copied += len(data)
+        else:
+            copied = self._parallel_fetch(remote_path, local_path, total)
+        if copied != total:
+            raise IOError(
+                f"short fetch of {remote_path!r}: copied {copied} of {total} bytes"
+            )
+        if self.monitor is not None:
+            self.monitor.record(self.peer, "fetch", copied, time.perf_counter() - t0)
+        return copied
 
     def _parallel_fetch(self, remote_path: str, local_path: Path, total: int) -> int:
         with open(local_path, "wb") as out:
             out.truncate(total)
         errors: list[BaseException] = []
+        copied = [0] * self.parallel_streams
 
         def worker(stream_idx: int) -> None:
-            client = RpcClient(*self._addr)
+            client = self._rpc.clone()
             try:
                 with open(local_path, "r+b") as out:
                     offset = stream_idx * self.block_size
                     stride = self.parallel_streams * self.block_size
                     while offset < total:
-                        _, data = client.call(
-                            "get_block",
-                            {"path": remote_path, "offset": offset, "length": self.block_size},
+                        data = self.read_block_via(
+                            client, remote_path, offset, self.block_size
                         )
+                        if not data:
+                            break
                         out.seek(offset)
                         out.write(data)
+                        copied[stream_idx] += len(data)
                         offset += stride
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
                 errors.append(exc)
@@ -278,25 +348,80 @@ class GridFtpClient:
             t.join()
         if errors:
             raise errors[0]
-        return total
+        return sum(copied)
 
     def store_file(self, local_path: Path, remote_path: str) -> int:
-        """Copy local → remote."""
+        """Copy local → remote, using parallel streams for large files."""
         local_path = Path(local_path)
         total = local_path.stat().st_size
-        with open(local_path, "rb") as fh:
-            offset = 0
-            first = True
-            while True:
-                chunk = fh.read(self.block_size)
-                if not chunk and not first:
-                    break
-                self.write_block(remote_path, offset, chunk, truncate=first)
-                if not chunk:
-                    break
-                offset += len(chunk)
-                first = False
-        return total
+        t0 = time.perf_counter()
+        if total == 0:
+            self.write_block(remote_path, 0, b"", truncate=True)
+            return 0
+        if self.parallel_streams == 1 or total <= self.block_size:
+            with open(local_path, "rb") as fh:
+                offset = 0
+                first = True
+                while True:
+                    chunk = fh.read(self.block_size)
+                    if not chunk:
+                        break
+                    self.write_block(remote_path, offset, chunk, truncate=first)
+                    offset += len(chunk)
+                    first = False
+            stored = offset
+        else:
+            stored = self._parallel_store(local_path, remote_path, total)
+        if stored != total:
+            raise IOError(
+                f"short store of {remote_path!r}: sent {stored} of {total} bytes"
+            )
+        if self.monitor is not None:
+            self.monitor.record(self.peer, "store", stored, time.perf_counter() - t0)
+        return stored
+
+    def _parallel_store(self, local_path: Path, remote_path: str, total: int) -> int:
+        """Interleaved-range upload mirroring :meth:`_parallel_fetch`."""
+        # Create/truncate the target first so every stream can open r+b.
+        self.write_block(remote_path, 0, b"", truncate=True)
+        errors: list[BaseException] = []
+        sent = [0] * self.parallel_streams
+
+        def worker(stream_idx: int) -> None:
+            client = self._rpc.clone()
+            try:
+                with open(local_path, "rb") as src:
+                    offset = stream_idx * self.block_size
+                    stride = self.parallel_streams * self.block_size
+                    while offset < total:
+                        src.seek(offset)
+                        chunk = src.read(self.block_size)
+                        if not chunk:
+                            break
+                        self._timed(
+                            "put_block",
+                            client,
+                            {"path": remote_path, "offset": offset, "truncate": False},
+                            payload=chunk,
+                        )
+                        sent[stream_idx] += len(chunk)
+                        offset += stride
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.parallel_streams)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return sum(sent)
 
     def close(self) -> None:
         self._rpc.close()

@@ -22,10 +22,12 @@ many payload bytes follow.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import socketserver
 import struct
 import threading
+import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 __all__ = [
@@ -39,6 +41,10 @@ __all__ = [
 
 _LEN = struct.Struct(">I")
 MAX_HEADER = 16 * 1024 * 1024
+
+#: Default RPC timeout; tests shrink it via REPRO_RPC_TIMEOUT so a hung
+#: peer fails a test in seconds rather than stalling the whole suite.
+DEFAULT_RPC_TIMEOUT = float(os.environ.get("REPRO_RPC_TIMEOUT", "30.0"))
 
 
 class FrameError(ConnectionError):
@@ -100,10 +106,15 @@ class RpcServer:
     Exceptions become error replies rather than killing the connection.
 
     Use as a context manager or call :meth:`start` / :meth:`stop`.
+
+    ``simulated_latency`` (seconds) delays every reply by one-way link
+    latency twice (request + response legs), so benchmarks can A/B the
+    pipelined IO paths over a slow link without leaving localhost.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, simulated_latency: float = 0.0):
         self._handlers: Dict[str, Handler] = {}
+        self.simulated_latency = max(0.0, simulated_latency)
         outer = self
 
         class _ConnHandler(socketserver.BaseRequestHandler):
@@ -114,6 +125,8 @@ class RpcServer:
                         header, payload = recv_frame(sock)
                     except (FrameError, OSError):
                         return
+                    if outer.simulated_latency:
+                        time.sleep(2.0 * outer.simulated_latency)
                     op = header.get("op", "")
                     handler = outer._handlers.get(op)
                     try:
@@ -146,7 +159,12 @@ class RpcServer:
         self._handlers[op] = handler
 
     def start(self) -> "RpcServer":
-        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        # The default serve_forever poll interval (0.5 s) makes every
+        # stop() wait out the tail of a poll cycle — multiplied by a few
+        # hundred server fixtures that dominates the test suite's time.
+        self._thread = threading.Thread(
+            target=lambda: self._server.serve_forever(poll_interval=0.05), daemon=True
+        )
         self._thread.start()
         return self
 
@@ -167,11 +185,20 @@ class RpcServer:
 class RpcClient:
     """Blocking client holding one connection to an :class:`RpcServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
         self._addr = (host, port)
-        self._timeout = timeout
+        self._timeout = DEFAULT_RPC_TIMEOUT if timeout is None else timeout
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
+
+    def clone(self) -> "RpcClient":
+        """A fresh, unconnected client to the same server.
+
+        Background pipelines (prefetcher threads, parallel streams) use
+        clones so their in-flight requests never serialise behind the
+        owner's demand traffic on the shared connection lock.
+        """
+        return RpcClient(*self._addr, timeout=self._timeout)
 
     def _connect(self) -> socket.socket:
         if self._sock is None:

@@ -1,6 +1,18 @@
-"""Shared fixtures: in-process grid deployments, hosts, servers."""
+"""Shared fixtures: in-process grid deployments, hosts, servers.
+
+Also enforces a per-test wall-clock ceiling.  When the ``pytest-timeout``
+plugin is installed it owns the job (configure it via its own options);
+otherwise a SIGALRM-based fallback aborts any test that exceeds
+``REPRO_TEST_TIMEOUT`` seconds (default 120) so one wedged poll loop
+cannot hang the whole suite.  ``@pytest.mark.timeout(N)`` adjusts the
+ceiling per test in either case.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import os
+import signal
 
 import pytest
 
@@ -9,6 +21,39 @@ from repro.gns.client import LocalGnsClient
 from repro.gridbuffer.server import GridBufferServer
 from repro.transport.gridftp import GridFtpServer
 from repro.transport.inmem import HostRegistry
+
+_HAVE_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+_DEFAULT_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test (deselect with -m 'not slow')")
+    if not _HAVE_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers", "timeout(seconds): per-test wall-clock ceiling (fallback impl)"
+        )
+
+
+if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.fixture(autouse=True)
+    def _test_deadline(request):
+        marker = request.node.get_closest_marker("timeout")
+        limit = float(marker.args[0]) if marker and marker.args else _DEFAULT_TIMEOUT
+        if limit <= 0:
+            yield
+            return
+
+        def _expired(signum, frame):
+            pytest.fail(f"test exceeded {limit:.0f}s wall-clock ceiling", pytrace=False)
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

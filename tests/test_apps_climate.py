@@ -169,6 +169,7 @@ class TestEndToEnd:
         runner.deployment.stop()
         return data
 
+    @pytest.mark.slow
     def test_files_and_buffers_byte_identical(self):
         """The FM guarantee: coupling choice cannot change results."""
         same = {s: "m1" for s in ("ccam", "cc2lam", "darlam")}

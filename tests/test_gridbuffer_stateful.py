@@ -94,4 +94,5 @@ class GridBufferModel(RuleBasedStateMachine):
 
 
 TestGridBufferModel = GridBufferModel.TestCase
+TestGridBufferModel = pytest.mark.slow(TestGridBufferModel)
 TestGridBufferModel.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)

@@ -114,6 +114,7 @@ class TestDesignStudy:
         assert best_by_life(points).life == max(p.life for p in points)
         assert best_by_stress(points).peak_stress == min(p.peak_stress for p in points)
 
+    @pytest.mark.slow
     def test_optimizer_improves_or_matches_start(self):
         start = evaluate_shape(HoleShape(), **FAST_KW)
         refined = optimize_shape(start=HoleShape(), max_evals=12, **FAST_KW)

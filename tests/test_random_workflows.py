@@ -87,6 +87,7 @@ def workflow_strategy(draw):
     return Workflow("fuzz", stages), machine_count, placement_seed, use_buffers, out_size
 
 
+@pytest.mark.slow
 class TestRandomWorkflows:
     @given(spec=workflow_strategy())
     @settings(

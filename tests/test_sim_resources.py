@@ -342,3 +342,31 @@ class TestProcessorSharingProperties:
         order = sorted(range(len(works)), key=lambda i: works[i])
         times = [finish[i] for i in order]
         assert times == sorted(times)
+
+    @pytest.mark.timeout(30)
+    def test_large_clock_values_do_not_livelock(self):
+        """Regression: completion times ~2.4e7 where ulp(now) > 1e-9.
+
+        With a fixed nanosecond finish epsilon, the residual work of the
+        slow jobs fell below what a scheduled timeout could add to the
+        float clock, so the scheduler spun forever without advancing
+        time.  The epsilon must scale with ulp(env.now).
+        """
+        works = [
+            168397.89, 308429.01, 247742.68, 369066.51,
+            106753.29, 61760.57, 904710.85, 911605.64,
+        ]
+        speed = 0.13
+        env = Environment()
+        ps = ProcessorSharing(env, speed=speed)
+        done = []
+
+        def job(env, w):
+            yield ps.compute(w)
+            done.append(env.now)
+
+        for w in works:
+            env.process(job(env, w))
+        env.run()
+        assert len(done) == len(works)
+        assert max(done) == pytest.approx(sum(works) / speed, rel=1e-6)
