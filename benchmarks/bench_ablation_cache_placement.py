@@ -17,7 +17,6 @@ import pytest
 from repro.bench.tables import TableBuilder
 from repro.gridbuffer.client import GridBufferClient
 from repro.gridbuffer.server import GridBufferServer
-from repro.gridbuffer.service import GridBufferError
 
 PAYLOAD = bytes(range(256)) * 2048  # 512 KiB
 CHUNK = 4096

@@ -9,7 +9,6 @@ parallel-stream trajectory is tracked from commit to commit.
 
 import hashlib
 import json
-import threading
 import time
 from pathlib import Path
 
@@ -125,7 +124,7 @@ def _drain(f, chunk=AB_BLOCK):
 
 
 @pytest.mark.slow
-def test_remote_io_prefetch_ab(tmp_path):
+def test_remote_io_prefetch_ab(tmp_path, obs_snapshot):
     """Sequential proxy read, prefetch on vs off, over a 5 ms link.
 
     Acceptance: ≥ 2x throughput with the pipeline engaged
@@ -195,6 +194,8 @@ def test_remote_io_prefetch_ab(tmp_path):
             for k, v in results.items()
         },
     }
+    if obs_snapshot is not None:
+        out["metrics"] = obs_snapshot()
     (Path(__file__).resolve().parents[1] / "BENCH_remote_io.json").write_text(
         json.dumps(out, indent=2) + "\n"
     )

@@ -1,0 +1,102 @@
+"""Overhead of the observability layer on the remote-read hot path.
+
+Pairs the same pipelined proxy read (prefetch on, simulated-latency
+link) with the default registry enabled vs disabled
+(:func:`repro.obs.disabled`).  The instrumentation budget is <5% —
+each FM read costs one lock acquisition and a float add per bound
+counter, which must vanish next to even a LAN round trip.
+
+Emits ``BENCH_obs_overhead.json`` at the repo root so the overhead
+trajectory is tracked commit to commit.
+"""
+
+import hashlib
+import json
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.remote_client import RemoteFileClient
+from repro.transport.gridftp import GridFtpClient, GridFtpServer
+
+LINK_LATENCY = 0.002          # one-way seconds injected per RPC
+BLOCK = 8192
+FILE_BYTES = BLOCK * 48
+REPS = 5                      # paired, interleaved repetitions per arm
+#: Allowed overhead: 5% relative plus a small absolute floor so timer
+#: noise on a sub-100ms run cannot fail the assertion spuriously.
+MAX_RELATIVE = 0.05
+ABS_SLACK = 0.010
+
+
+def _timed_read(server_addr, root_digest, scratch):
+    client = GridFtpClient(*server_addr, block_size=BLOCK)
+    remote = RemoteFileClient(client, scratch_dir=scratch)
+    f = remote.open_proxy("/ab.bin", "r", block_size=BLOCK, prefetch=True)
+    h = hashlib.sha256()
+    t0 = time.perf_counter()
+    while True:
+        data = f.read(BLOCK)
+        if not data:
+            break
+        h.update(data)
+    elapsed = time.perf_counter() - t0
+    f.close()
+    client.close()
+    assert h.hexdigest() == root_digest, "corrupted transfer"
+    return elapsed
+
+
+@pytest.mark.slow
+def test_obs_overhead_remote_read(tmp_path):
+    """Instrumented vs uninstrumented pipelined remote read, paired."""
+    root = tmp_path / "export"
+    root.mkdir()
+    payload = bytes(i % 256 for i in range(FILE_BYTES))
+    (root / "ab.bin").write_bytes(payload)
+    digest = hashlib.sha256(payload).hexdigest()
+
+    on_times, off_times = [], []
+    with GridFtpServer(root, simulated_latency=LINK_LATENCY) as server:
+        # Warm-up run absorbs first-connection and import costs.
+        _timed_read(server.address, digest, tmp_path / "scratch-warm")
+        for rep in range(REPS):
+            on_times.append(
+                _timed_read(server.address, digest, tmp_path / f"scratch-on-{rep}")
+            )
+            with obs.disabled():
+                off_times.append(
+                    _timed_read(server.address, digest, tmp_path / f"scratch-off-{rep}")
+                )
+
+    on_s = min(on_times)
+    off_s = min(off_times)
+    overhead = (on_s - off_s) / off_s
+    assert on_s <= off_s * (1.0 + MAX_RELATIVE) + ABS_SLACK, (
+        f"obs overhead {overhead:+.1%} exceeds {MAX_RELATIVE:.0%} "
+        f"(enabled {on_s * 1e3:.1f}ms vs disabled {off_s * 1e3:.1f}ms)"
+    )
+
+    out = {
+        "bench": "obs_overhead_remote_read",
+        "link_latency_s": LINK_LATENCY,
+        "file_bytes": FILE_BYTES,
+        "block_size": BLOCK,
+        "reps": REPS,
+        "enabled_s": {
+            "min": round(on_s, 5),
+            "median": round(statistics.median(on_times), 5),
+        },
+        "disabled_s": {
+            "min": round(off_s, 5),
+            "median": round(statistics.median(off_times), 5),
+        },
+        "overhead_relative": round(overhead, 4),
+        "budget_relative": MAX_RELATIVE,
+    }
+    (Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json").write_text(
+        json.dumps(out, indent=2) + "\n"
+    )

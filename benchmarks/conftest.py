@@ -4,9 +4,36 @@ Every benchmark both *times* its experiment (pytest-benchmark) and
 *prints* the regenerated table so the output can be compared with the
 paper directly (run with ``-s`` to see the tables inline; they are also
 asserted via the shape checks).
+
+``--obs`` additionally embeds a :mod:`repro.obs` metrics snapshot into
+each BENCH_*.json a benchmark writes, so a run's IO counters travel
+with its timings.
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs",
+        action="store_true",
+        default=False,
+        help="embed repro.obs metrics snapshots into BENCH_*.json outputs",
+    )
+
+
+@pytest.fixture()
+def obs_snapshot(request):
+    """None, or a zero-arg callable returning the current obs snapshot.
+
+    Benchmarks call it right before writing their BENCH_*.json and embed
+    the result under a ``"metrics"`` key when --obs was given.
+    """
+    if not request.config.getoption("--obs"):
+        return None
+    from repro import obs
+
+    return obs.snapshot
 
 
 def run_once(benchmark, fn, *args, **kwargs):

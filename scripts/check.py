@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Repo lint gate: ruff when installed, a built-in fallback otherwise.
+
+CI images that carry ruff get the full ``ruff check`` configured in
+pyproject.toml.  Minimal images still get a useful gate with no
+third-party dependency:
+
+* every Python file under src/, tests/, benchmarks/ and scripts/ must
+  byte-compile;
+* module-level imports that are never used are reported (skipped in
+  ``__init__.py`` re-export modules and for names listed in
+  ``__all__``);
+* no file may contain tab indentation or trailing whitespace.
+
+Exit status is non-zero on any finding, so ``python scripts/check.py``
+works as a pre-commit / CI step independent of pytest.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+CHECKED_DIRS = ("src", "tests", "benchmarks", "scripts")
+
+
+def python_files() -> list[Path]:
+    out: list[Path] = []
+    for name in CHECKED_DIRS:
+        base = REPO / name
+        if base.is_dir():
+            out.extend(sorted(base.rglob("*.py")))
+    return out
+
+
+def run_ruff() -> int:
+    proc = subprocess.run(
+        ["ruff", "check", *CHECKED_DIRS], cwd=REPO, check=False
+    )
+    return proc.returncode
+
+
+def _used_names(tree: ast.AST) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            inner = node
+            while isinstance(inner, ast.Attribute):
+                inner = inner.value
+            if isinstance(inner, ast.Name):
+                used.add(inner.id)
+    return used
+
+
+def _declared_all(tree: ast.Module) -> set[str]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    try:
+                        return set(ast.literal_eval(node.value))
+                    except ValueError:
+                        return set()
+    return set()
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    rel = path.relative_to(REPO)
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            problems.append(f"{rel}:{lineno}: trailing whitespace")
+        body = stripped.lstrip()
+        indent = stripped[: len(stripped) - len(body)]
+        if "\t" in indent:
+            problems.append(f"{rel}:{lineno}: tab indentation")
+    try:
+        tree = ast.parse(text, filename=str(rel))
+    except SyntaxError as exc:
+        problems.append(f"{rel}:{exc.lineno}: syntax error: {exc.msg}")
+        return problems
+    if path.name == "__init__.py":
+        return problems  # re-export modules import for their namespace
+    exported = _declared_all(tree)
+    used = _used_names(tree)
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            names = [(a.asname or a.name.split(".")[0], a.name) for a in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__" or any(a.name == "*" for a in node.names):
+                continue
+            names = [(a.asname or a.name, a.name) for a in node.names]
+        else:
+            continue
+        for bound, original in names:
+            if bound.startswith("_") or bound in used or bound in exported:
+                continue
+            problems.append(
+                f"{rel}:{node.lineno}: unused import {original!r}"
+            )
+    return problems
+
+
+def run_fallback() -> int:
+    problems: list[str] = []
+    for path in python_files():
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} problem(s) found")
+        return 1
+    print(f"checked {len(python_files())} files: clean")
+    return 0
+
+
+def main() -> int:
+    if shutil.which("ruff"):
+        return run_ruff()
+    print("ruff not installed; running built-in fallback checks", file=sys.stderr)
+    return run_fallback()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

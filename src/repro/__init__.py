@@ -11,6 +11,8 @@ Grid Workflows* (IPPS 2004).  The package provides:
 * :mod:`repro.grid` — the calibrated testbed model (machines, WAN, NWS,
   replica catalogue).
 * :mod:`repro.sim` — the deterministic discrete-event engine.
+* :mod:`repro.obs` — unified metrics registry and span tracing across
+  the FM, transports, Grid Buffer and workflow runner.
 * :mod:`repro.workflow` — workflow specs, scheduling, real and
   simulated execution.
 * :mod:`repro.apps` — the two case studies (durability pipeline,

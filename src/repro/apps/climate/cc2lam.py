@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .ccam import HIST_MAGIC, read_history_header
+from .ccam import read_history_header
 
 __all__ = ["LamDomain", "interpolate_to_domain", "run_cc2lam", "LAM_MAGIC"]
 

@@ -8,7 +8,6 @@ PGM image (readable by any image viewer) for the record.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,7 @@ scripts in ``benchmarks/`` and the CLI both call these.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..apps.climate import (
 )
 from ..apps.mecheng import TABLE2_EXPERIMENTS, table2_plan
 from ..grid.testbed import TESTBED, paper_table1_rows, testbed_topology
-from ..workflow.simrunner import SimReport, simulate_plan
+from ..workflow.simrunner import simulate_plan
 from .tables import TableBuilder, hms
 
 __all__ = [

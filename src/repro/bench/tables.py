@@ -7,8 +7,8 @@ roughly by how much) that EXPERIMENTS.md tracks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 __all__ = ["hms", "parse_hms", "TableBuilder", "ShapeCheck"]
 

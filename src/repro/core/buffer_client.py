@@ -14,7 +14,7 @@ client instance.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 
 from ..gridbuffer.client import BufferReader, BufferWriter, GridBufferClient
 from ..gns.records import BufferEndpoint

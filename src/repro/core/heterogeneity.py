@@ -19,7 +19,7 @@ from __future__ import annotations
 import struct
 import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "NATIVE_BYTE_ORDER",

@@ -25,7 +25,7 @@ import builtins
 import io
 import threading
 from contextlib import contextmanager
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from .multiplexer import FileMultiplexer
 

@@ -11,9 +11,8 @@ otherwise they go straight to the real file system.
 from __future__ import annotations
 
 import io
-import os
 from pathlib import Path
-from typing import Optional, Union
+from pathlib import Path
 
 from ..transport.inmem import VirtualHost
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from .. import obs
 from ..gns.client import GnsClient, LocalGnsClient
 from ..gns.records import BufferEndpoint, GnsRecord, IOMode
 from ..grid.replica_catalog import Replica
@@ -48,6 +49,20 @@ from .replica import ReplicaSelector
 __all__ = ["FMError", "OpenStats", "GridContext", "FMFile", "FileMultiplexer"]
 
 logger = logging.getLogger("repro.core.fm")
+
+_FM_OPENS = obs.counter(
+    "fm_opens_total", "FM open() calls by resolved IO mode", labelnames=("mode",)
+)
+_FM_OPS = obs.counter(
+    "fm_ops_total", "FM file operations by op and IO mode", labelnames=("op", "mode")
+)
+_FM_BYTES = obs.counter(
+    "fm_bytes_total", "Bytes through FM handles by direction and IO mode",
+    labelnames=("direction", "mode"),
+)
+_FM_REMAPS = obs.counter(
+    "fm_remaps_total", "Mid-read replica re-mappings performed by FM handles"
+)
 
 Address = Tuple[str, int]
 Locator = Union[Callable[[str], Address], Dict[str, Address]]
@@ -145,6 +160,14 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
         self.stats = stats
         self._remap_hook = remap_hook
         self._remap_every = max(1, remap_every)
+        # Children bound once per open: the per-op cost is a lock + add.
+        mode = record.mode.value
+        self._m_reads = _FM_OPS.labels(op="read", mode=mode)
+        self._m_writes = _FM_OPS.labels(op="write", mode=mode)
+        self._m_seeks = _FM_OPS.labels(op="seek", mode=mode)
+        self._m_closes = _FM_OPS.labels(op="close", mode=mode)
+        self._m_bytes_read = _FM_BYTES.labels(direction="read", mode=mode)
+        self._m_bytes_written = _FM_BYTES.labels(direction="write", mode=mode)
 
     # -- capability passthrough ---------------------------------------------
     def readable(self) -> bool:
@@ -166,16 +189,21 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
         data = self._inner.read(size)
         self.stats.read_ops += 1
         self.stats.bytes_read += len(data or b"")
+        self._m_reads.inc()
+        self._m_bytes_read.inc(len(data or b""))
         return data
 
     def write(self, data) -> int:  # type: ignore[override]
         n = self._inner.write(bytes(data)) or 0
         self.stats.write_ops += 1
         self.stats.bytes_written += n
+        self._m_writes.inc()
+        self._m_bytes_written.inc(n)
         return n
 
     def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
         self.stats.seeks += 1
+        self._m_seeks.inc()
         return self._inner.seek(offset, whence)
 
     def tell(self) -> int:
@@ -187,6 +215,7 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
 
     def close(self) -> None:
         if not self.closed:
+            self._m_closes.inc()
             try:
                 self._inner.close()
             finally:
@@ -206,6 +235,7 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
             self._inner = replacement
             old.close()
             self.stats.remaps += 1
+            _FM_REMAPS.inc()
 
 
 class FileMultiplexer:
@@ -267,6 +297,10 @@ class FileMultiplexer:
         record = self.ctx.gns.resolve(self.ctx.machine, path)
         stats = OpenStats(path=path, mode=mode, io_mode=record.mode.value)
         self.open_history.append(stats)
+        _FM_OPENS.labels(mode=record.mode.value).inc()
+        obs.event(
+            "fm.open", path=path, machine=self.ctx.machine, io_mode=record.mode.value
+        )
         logger.debug(
             "open %s mode=%s on %s -> %s", path, mode, self.ctx.machine, record.mode.value
         )

@@ -18,9 +18,16 @@ impossible (no local space / too large).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+
+from .. import obs
 
 __all__ = ["AccessEstimate", "AccessPolicy", "RemoteDecision", "observed_estimate"]
+
+_DECISIONS = obs.counter(
+    "fm_policy_decisions_total",
+    "Copy-vs-proxy verdicts by outcome and deciding rule",
+    labelnames=("mode", "reason"),
+)
 
 
 @dataclass(frozen=True)
@@ -143,10 +150,24 @@ class AccessPolicy:
         c_copy = self.copy_cost(est)
         c_proxy = self.proxy_cost(est)
         if est.file_size > self.max_copy_bytes:
-            return RemoteDecision("proxy", c_copy, c_proxy, "file exceeds max_copy_bytes")
-        if c_copy <= c_proxy:
-            return RemoteDecision("copy", c_copy, c_proxy, "bulk copy predicted cheaper")
-        return RemoteDecision("proxy", c_copy, c_proxy, "partial proxy access predicted cheaper")
+            decision = RemoteDecision("proxy", c_copy, c_proxy, "file exceeds max_copy_bytes")
+            _DECISIONS.labels(mode=decision.mode, reason="size_cap").inc()
+        elif c_copy <= c_proxy:
+            decision = RemoteDecision("copy", c_copy, c_proxy, "bulk copy predicted cheaper")
+            _DECISIONS.labels(mode=decision.mode, reason="copy_cheaper").inc()
+        else:
+            decision = RemoteDecision(
+                "proxy", c_copy, c_proxy, "partial proxy access predicted cheaper"
+            )
+            _DECISIONS.labels(mode=decision.mode, reason="proxy_cheaper").inc()
+        obs.event(
+            "policy.decide",
+            mode=decision.mode,
+            copy_cost=decision.copy_cost,
+            proxy_cost=decision.proxy_cost,
+            reason=decision.reason,
+        )
+        return decision
 
     def crossover_fraction(self, est: AccessEstimate, tol: float = 1e-4) -> float:
         """The read fraction at which copy and proxy costs break even.

@@ -28,9 +28,36 @@ import threading
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
 
+from .. import obs
+
 __all__ = ["BlockCache", "BlockPrefetcher", "WriteCoalescer"]
 
 BlockKey = Tuple[str, int]
+
+# Registry twins of the per-instance counters below: the instance
+# attributes stay (policy/benchmarks read them per cache), the registry
+# series aggregate across every cache/prefetcher/coalescer in process.
+_PREFETCH_HITS = obs.counter(
+    "fm_prefetch_hits_total", "Reads served by a block the pipeline prefetched"
+)
+_PREFETCH_WASTED = obs.counter(
+    "fm_prefetch_wasted_total", "Prefetched blocks discarded before any read used them"
+)
+_DEMAND_HITS = obs.counter(
+    "fm_demand_hits_total", "Reads served by a previously demand-fetched cached block"
+)
+_PREFETCH_RPCS = obs.counter(
+    "fm_prefetch_rpcs_total", "Block RPCs issued by background prefetch channels"
+)
+_WRITE_FLUSHES = obs.counter(
+    "fm_write_flushes_total", "Block flushes issued by write-behind coalescers"
+)
+_WRITE_COALESCED = obs.counter(
+    "fm_write_coalesced_total", "WRITE calls absorbed into a pending run without an RPC"
+)
+_BLOCKS_CACHED = obs.gauge(
+    "fm_blocks_cached", "Blocks currently resident across FM block caches"
+)
 
 
 class _CacheEntry:
@@ -82,19 +109,25 @@ class BlockCache:
             pipelined = entry.prefetched and not entry.consumed
             if pipelined:
                 self.prefetch_hits += 1
+                _PREFETCH_HITS.inc()
             elif not entry.prefetched:
                 self.demand_hits += 1
+                _DEMAND_HITS.inc()
             entry.consumed = True
             return entry.data, pipelined
 
     def put(self, path: str, block_no: int, data: bytes, prefetched: bool = False) -> None:
         with self._lock:
+            if (path, block_no) not in self._entries:
+                _BLOCKS_CACHED.inc()
             self._entries[(path, block_no)] = _CacheEntry(data, prefetched)
             self._entries.move_to_end((path, block_no))
             while len(self._entries) > self._capacity:
                 _, evicted = self._entries.popitem(last=False)
+                _BLOCKS_CACHED.dec()
                 if evicted.prefetched and not evicted.consumed:
                     self.prefetch_wasted += 1
+                    _PREFETCH_WASTED.inc()
 
     def contains(self, path: str, block_no: int) -> bool:
         with self._lock:
@@ -105,20 +138,27 @@ class BlockCache:
         with self._lock:
             for block_no in range(first_block, last_block + 1):
                 entry = self._entries.pop((path, block_no), None)
-                if entry is not None and entry.prefetched and not entry.consumed:
+                if entry is None:
+                    continue
+                _BLOCKS_CACHED.dec()
+                if entry.prefetched and not entry.consumed:
                     self.prefetch_wasted += 1
+                    _PREFETCH_WASTED.inc()
 
     def invalidate_path(self, path: str) -> None:
         with self._lock:
             for key in [k for k in self._entries if k[0] == path]:
                 entry = self._entries.pop(key)
+                _BLOCKS_CACHED.dec()
                 if entry.prefetched and not entry.consumed:
                     self.prefetch_wasted += 1
+                    _PREFETCH_WASTED.inc()
 
     def note_wasted(self, n: int = 1) -> None:
         """Account prefetched data discarded before it entered the cache."""
         with self._lock:
             self.prefetch_wasted += n
+        _PREFETCH_WASTED.inc(n)
 
     def __len__(self) -> int:
         with self._lock:
@@ -254,6 +294,7 @@ class BlockPrefetcher:
                 pending = self._inflight[block_no] = _InFlight()
             try:
                 data = fetch(block_no)
+                _PREFETCH_RPCS.inc()
                 with self._cv:
                     self.rpc_reads += 1
             except Exception:
@@ -302,11 +343,13 @@ class WriteCoalescer:
             self._start = offset
         else:
             self.writes_coalesced += 1
+            _WRITE_COALESCED.inc()
         self._buf += data
         while len(self._buf) >= self._block_size:
             chunk = bytes(self._buf[: self._block_size])
             self._flush_fn(self._start, chunk)
             self.flushes += 1
+            _WRITE_FLUSHES.inc()
             del self._buf[: self._block_size]
             self._start += len(chunk)
 
@@ -314,6 +357,7 @@ class WriteCoalescer:
         if self._buf:
             self._flush_fn(self._start, bytes(self._buf))
             self.flushes += 1
+            _WRITE_FLUSHES.inc()
             self._start += len(self._buf)
             self._buf.clear()
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..grid.nws import NetworkWeatherService
 from ..grid.replica_catalog import Replica, ReplicaCatalog

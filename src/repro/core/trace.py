@@ -7,6 +7,13 @@ legacy binary performs.  :class:`FmTracer` recreates that: wrap a
 write/seek/close is appended to a bounded in-memory log (optionally
 echoed to a stream), with per-path summaries for post-run analysis.
 
+Both classes here are thin adapters over :mod:`repro.obs`, the single
+source of truth for process-wide telemetry: :class:`FmTracer` mirrors
+each event into the obs tracer's sink (when one is configured) and
+:class:`TransferMonitor` feeds every sample into the metrics registry
+(``transport_transfer_bytes_total`` / ``transport_transfer_seconds_total``)
+while keeping its local rolling window for bandwidth/latency estimation.
+
 Usage::
 
     tracer = FmTracer(fm)
@@ -23,12 +30,24 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Optional, TextIO
+from typing import Any, Deque, Dict, List, Optional, TextIO
 
+from .. import obs
 from ..ioutil import ReadIntoFromRead
 from .multiplexer import FileMultiplexer, FMFile
 
 __all__ = ["TraceEvent", "FmTracer", "TransferSample", "TransferMonitor"]
+
+_TRANSFER_BYTES = obs.counter(
+    "transport_transfer_bytes_total",
+    "Bytes moved per monitored transfer operation",
+    labelnames=("peer", "op"),
+)
+_TRANSFER_SECONDS = obs.counter(
+    "transport_transfer_seconds_total",
+    "Wall seconds spent in monitored transfer operations",
+    labelnames=("peer", "op"),
+)
 
 
 @dataclass(frozen=True)
@@ -52,10 +71,18 @@ class TransferMonitor:
     Latency is estimated from the fastest small-payload round trip seen
     (halved: one-way), bandwidth from the aggregate of bulk samples —
     small ones are dominated by the round trip, not the pipe.
+
+    Classification goes by op type as well as payload size: a
+    whole-file ``fetch``/``store`` is a bulk transfer even when the
+    file happens to be tiny — its duration includes per-block RPCs and
+    disk IO, so counting it as a latency probe would skew the one-way
+    estimate upward.
     """
 
     #: Samples at or below this payload size count as latency probes.
     SMALL_BYTES = 4096
+    #: Ops that are whole-file transfers, never latency probes.
+    BULK_OPS = frozenset({"fetch", "store"})
 
     def __init__(self, max_samples: int = 1024):
         self._samples: Dict[str, Deque[TransferSample]] = {}
@@ -64,6 +91,8 @@ class TransferMonitor:
 
     def record(self, peer: str, op: str, nbytes: int, seconds: float) -> None:
         sample = TransferSample(peer=peer, op=op, nbytes=nbytes, seconds=max(0.0, seconds))
+        _TRANSFER_BYTES.labels(peer=peer, op=op).inc(max(0, nbytes))
+        _TRANSFER_SECONDS.labels(peer=peer, op=op).inc(sample.seconds)
         with self._lock:
             bucket = self._samples.get(peer)
             if bucket is None:
@@ -74,18 +103,19 @@ class TransferMonitor:
         with self._lock:
             return list(self._samples.get(peer, ()))
 
+    def _is_bulk(self, sample: TransferSample) -> bool:
+        return sample.op in self.BULK_OPS or sample.nbytes > self.SMALL_BYTES
+
     def latency(self, peer: str) -> Optional[float]:
         """Best observed one-way latency to ``peer`` in seconds."""
-        probes = [
-            s.seconds for s in self.samples(peer) if s.nbytes <= self.SMALL_BYTES
-        ]
+        probes = [s.seconds for s in self.samples(peer) if not self._is_bulk(s)]
         if not probes:
             return None
         return min(probes) / 2.0
 
     def bandwidth(self, peer: str) -> Optional[float]:
         """Observed bulk throughput to ``peer`` in bytes/second."""
-        bulk = [s for s in self.samples(peer) if s.nbytes > self.SMALL_BYTES]
+        bulk = [s for s in self.samples(peer) if self._is_bulk(s)]
         if not bulk:
             return None
         total_bytes = sum(s.nbytes for s in bulk)
@@ -170,7 +200,15 @@ class _TracedFile(ReadIntoFromRead, io.RawIOBase):
 
 
 class FmTracer:
-    """Wraps an FM; opened handles log every operation."""
+    """Wraps an FM; opened handles log every operation.
+
+    The event log is a bounded deque guarded by a lock: handles may be
+    used from several threads (the runner's stage threads all trace
+    through one tracer), so appends and :meth:`summary`'s iteration
+    must never interleave unprotected.  Each event is also mirrored to
+    the :mod:`repro.obs` tracer sink (when configured) as an
+    ``fm.<op>`` point event, nesting under whatever span is active.
+    """
 
     def __init__(
         self,
@@ -184,14 +222,22 @@ class FmTracer:
         self.echo = echo
         self._clock = clock
         self._t0 = clock()
+        self._lock = threading.Lock()
 
     def _record(self, op: str, path: str, mode: str, detail: int = 0) -> None:
         event = TraceEvent(
             timestamp=self._clock() - self._t0, op=op, path=path, mode=mode, detail=detail
         )
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
+        obs.event(f"fm.{op}", path=path, mode=mode, detail=detail)
         if self.echo is not None:
             print(event, file=self.echo)
+
+    def snapshot(self) -> List[TraceEvent]:
+        """A consistent copy of the event log (safe under concurrency)."""
+        with self._lock:
+            return list(self.events)
 
     def open(self, path: str, mode: str = "r") -> _TracedFile:
         handle = self.fm.open(path, mode)
@@ -207,7 +253,7 @@ class FmTracer:
     def summary(self) -> Dict[str, Dict[str, int]]:
         """Per-path op counts and byte totals."""
         out: Dict[str, Dict[str, int]] = {}
-        for event in self.events:
+        for event in self.snapshot():
             entry = out.setdefault(
                 event.path,
                 {"opens": 0, "reads": 0, "writes": 0, "seeks": 0, "bytes_read": 0, "bytes_written": 0},
@@ -225,4 +271,5 @@ class FmTracer:
         return out
 
     def clear(self) -> None:
-        self.events.clear()
+        with self._lock:
+            self.events.clear()

@@ -17,7 +17,6 @@ arbitrary sizes; only whole records are ever translated.
 from __future__ import annotations
 
 import io
-from typing import Optional
 
 from ..ioutil import ReadIntoFromRead
 from .heterogeneity import NATIVE_BYTE_ORDER, HeterogeneityError, RecordSchema

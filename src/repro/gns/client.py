@@ -8,7 +8,7 @@ runs inside one Python process (tests, examples, the simulator).
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..transport.tcp import RpcClient
 from .records import GnsRecord

@@ -14,7 +14,7 @@ single wildcard default can coexist with per-file overrides.
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from enum import Enum
 from typing import Any, Dict, Optional
 

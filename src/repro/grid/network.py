@@ -10,7 +10,7 @@ intermediate dataset in 7:30, brecca→vpac27 in 15 s).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable
 
 from ..sim.engine import Environment
 from ..sim.netsim import LinkSpec, Network

@@ -29,6 +29,7 @@ import threading
 import uuid
 from typing import Any, Dict, Optional, Tuple
 
+from .. import obs
 from ..core.remote_io import WriteCoalescer
 from ..ioutil import ReadIntoFromRead
 from ..transport.tcp import RpcClient
@@ -52,6 +53,17 @@ __all__ = ["GridBufferClient", "BufferWriter", "BufferReader"]
 #: Poll cadence while waiting for a stream to be created; tunable so
 #: tests (and co-located deployments) don't burn 10 ms a spin.
 OPEN_POLL_INTERVAL = float(os.environ.get("REPRO_BUFFER_OPEN_POLL", "0.01"))
+
+_READAHEAD_HITS = obs.counter(
+    "buffer_readahead_hits_total",
+    "Client reads served from the double-buffering pipeline",
+    labelnames=("stream",),
+)
+_WRITE_RPCS = obs.counter(
+    "buffer_write_rpcs_total",
+    "WRITE RPCs issued by client-side writers",
+    labelnames=("stream",),
+)
 
 
 class GridBufferClient:
@@ -223,12 +235,14 @@ class BufferWriter(io.RawIOBase):
         self._timeout = write_timeout
         self._closed_writer = False
         self._lock = threading.Lock()
+        self._m_write_rpcs = _WRITE_RPCS.labels(stream=name)
         self._coalescer = (
             WriteCoalescer(self._push_run, coalesce_bytes) if coalesce_bytes > 0 else None
         )
 
     def _push_run(self, offset: int, data: bytes) -> None:
         self._client.write(self.name, offset, data, timeout=self._timeout)
+        self._m_write_rpcs.inc()
 
     @property
     def rpc_writes(self) -> int:
@@ -251,6 +265,7 @@ class BufferWriter(io.RawIOBase):
                 else:
                     self._client.write(self.name, self._pos, data, timeout=self._timeout)
                     self._raw_writes += 1
+                    self._m_write_rpcs.inc()
                 self._pos += len(data)
         return len(data)
 
@@ -427,6 +442,7 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         self._ra_buf = b""          # data already fetched ahead, at _pos
         self._at_eof = False
         self.readahead_hits = 0     # reads served (fully) from the pipeline
+        self._m_ra_hits = _READAHEAD_HITS.labels(stream=name)
         if read_ahead_rpc is not None:
             self._ra = _ReadAheadWorker(client, name, reader_id, read_ahead_rpc, read_timeout)
 
@@ -460,6 +476,7 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
             size -= take
             if size == 0:
                 self.readahead_hits += 1
+                self._m_ra_hits.inc()
                 self._schedule_readahead()
                 return bytes(out)
         # 2. Collect a completed/in-flight read-ahead landing at _pos.
@@ -476,6 +493,7 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
                     size -= take
                 if out:
                     self.readahead_hits += 1
+                    self._m_ra_hits.inc()
                     self._schedule_readahead()
                     return bytes(out)
         # 3. Whatever is still missing comes from a demand RPC (a short

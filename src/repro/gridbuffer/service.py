@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import logging
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import obs
 from .cache import BufferCache, IntervalSet
 
 __all__ = [
@@ -41,6 +42,48 @@ __all__ = [
 
 
 logger = logging.getLogger("repro.gridbuffer")
+
+_BYTES_WRITTEN = obs.counter(
+    "buffer_bytes_written_total", "Bytes accepted by buffer streams", labelnames=("stream",)
+)
+_BLOCKS_STORED = obs.counter(
+    "buffer_blocks_stored_total", "Blocks stored into buffer hash tables", labelnames=("stream",)
+)
+_BYTES_READ = obs.counter(
+    "buffer_bytes_read_total", "Bytes delivered to buffer readers", labelnames=("stream",)
+)
+_CACHE_HITS = obs.counter(
+    "buffer_cache_hits_total", "Reads served from a stream's cache file", labelnames=("stream",)
+)
+_CACHE_MISSES = obs.counter(
+    "buffer_cache_misses_total",
+    "Reads of consumed data with no cache file to fall back on",
+    labelnames=("stream",),
+)
+_WRITER_STALLS = obs.counter(
+    "buffer_writer_stalls_total",
+    "Writer waits on a capacity-full buffer (backpressure events)",
+    labelnames=("stream",),
+)
+_READER_WAITS = obs.counter(
+    "buffer_reader_waits_total",
+    "Reader waits for data not yet written",
+    labelnames=("stream",),
+)
+_BLOCKS_CACHED = obs.gauge(
+    "buffer_blocks_cached", "Blocks currently held in a stream's hash table", labelnames=("stream",)
+)
+_BYTES_CACHED = obs.gauge(
+    "buffer_bytes_cached", "Bytes currently held in a stream's hash table", labelnames=("stream",)
+)
+_READERS = obs.gauge(
+    "buffer_readers", "Readers registered on a stream (broadcast fan-out)", labelnames=("stream",)
+)
+_READER_LAG = obs.gauge(
+    "buffer_reader_lag_bytes",
+    "Bytes between the writer's high-water mark and a reader's read frontier",
+    labelnames=("stream", "reader"),
+)
 
 
 class GridBufferError(RuntimeError):
@@ -90,6 +133,30 @@ class _Stream:
         self.mem_bytes = 0
         self.cond = threading.Condition()
         self.stats = StreamStats()
+        # Per-stream metric children bound once; hot paths pay a lock + add.
+        self.m_bytes_written = _BYTES_WRITTEN.labels(stream=name)
+        self.m_blocks_stored = _BLOCKS_STORED.labels(stream=name)
+        self.m_bytes_read = _BYTES_READ.labels(stream=name)
+        self.m_cache_hits = _CACHE_HITS.labels(stream=name)
+        self.m_cache_misses = _CACHE_MISSES.labels(stream=name)
+        self.m_writer_stalls = _WRITER_STALLS.labels(stream=name)
+        self.m_reader_waits = _READER_WAITS.labels(stream=name)
+        self.m_blocks_cached = _BLOCKS_CACHED.labels(stream=name)
+        self.m_bytes_cached = _BYTES_CACHED.labels(stream=name)
+        self.m_readers = _READERS.labels(stream=name)
+
+    def sync_table_gauges(self) -> None:
+        """Push table occupancy into the registry (callers hold ``cond``)."""
+        self.m_blocks_cached.set(len(self.blocks))
+        self.m_bytes_cached.set(self.mem_bytes)
+
+    def sync_reader_lag(self, reader_id: str) -> None:
+        """Publish writer-frontier minus reader-frontier (callers hold ``cond``)."""
+        ivs = self.written.intervals()
+        top = ivs[-1][1] if ivs else 0
+        done = self.consumed[reader_id].intervals()
+        frontier = done[-1][1] if done else 0
+        _READER_LAG.labels(stream=self.name, reader=reader_id).set(max(0, top - frontier))
 
 
 def _remove_interval(ivs: IntervalSet, start: int, end: int) -> None:
@@ -160,6 +227,7 @@ class GridBufferService:
                     f"stream {name!r} already has {st.n_readers} readers"
                 )
             st.consumed[reader_id] = IntervalSet()
+            st.m_readers.set(len(st.consumed))
             st.cond.notify_all()
 
     def stats(self, name: str) -> StreamStats:
@@ -194,6 +262,7 @@ class GridBufferService:
                 )
             while st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
                 st.stats.writer_stalls += 1
+                st.m_writer_stalls.inc()
                 if not st.cond.wait(timeout=timeout):
                     raise TimeoutError(f"write stalled on full buffer {name!r}")
             if st.written.covers(offset, offset + len(data)) and st.cache is None:
@@ -204,6 +273,9 @@ class GridBufferService:
             st.written.add(offset, offset + len(data))
             st.mem_bytes += len(data)
             st.stats.bytes_written += len(data)
+            st.m_bytes_written.inc(len(data))
+            st.m_blocks_stored.inc()
+            st.sync_table_gauges()
             if st.cache is not None:
                 st.cache.store(offset, data)
             st.cond.notify_all()
@@ -307,10 +379,13 @@ class GridBufferService:
                 if avail_end > offset:
                     data = self._assemble(st, reader_id, offset, avail_end)
                     st.stats.bytes_read += len(data)
+                    st.m_bytes_read.inc(len(data))
+                    st.sync_reader_lag(reader_id)
                     st.cond.notify_all()
                     return data
                 self._check_recoverable(st, offset, end)
                 st.stats.reader_waits += 1
+                st.m_reader_waits.inc()
                 if not st.cond.wait(timeout=timeout):
                     raise TimeoutError(
                         f"read of [{offset},{end}) timed out on stream {name!r}"
@@ -370,15 +445,18 @@ class GridBufferService:
                 upto = min(st.cache.valid_upto(pos), end)
                 out += st.cache.load(pos, upto - pos)
                 st.stats.cache_hits += 1
+                st.m_cache_hits.inc()
                 pos = upto
                 continue
             st.stats.cache_misses += 1
+            st.m_cache_misses.inc()
             raise GridBufferError(
                 f"range [{pos},{end}) of stream {st.name!r} was consumed and no "
                 "cache file is configured (sequential-only stream)"
             )
         st.consumed[reader_id].add(start, end)
         self._gc_blocks(st, touched)
+        st.sync_table_gauges()
         return bytes(out)
 
     def _covering_block(self, st: _Stream, pos: int) -> Optional[int]:

@@ -1,0 +1,153 @@
+"""Unified observability: metrics registry + span tracing (``repro.obs``).
+
+The paper's FM sat on Bypass partly because interception gives
+*inspection* — GriddLeS could watch every IO call a legacy binary made
+and feed measured link numbers back into mode selection (§3.1).  This
+package is that inspection layer grown up: one process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+histograms with labels) plus one hierarchical span
+:class:`~repro.obs.spans.Tracer`, shared by the FM, the transports,
+the Grid Buffer and the workflow runner.
+
+Quick start::
+
+    from repro import obs
+
+    OPS = obs.counter("myapp_ops_total", "operations", labelnames=("op",))
+    OPS.labels(op="read").inc()
+
+    with obs.span("workflow", workflow="climate"):
+        with obs.span("task", task="ccam"):
+            ...
+
+    print(obs.render_text())          # Prometheus-style exposition
+    snap = obs.snapshot()             # JSON-embeddable dict
+
+Trace files (``obs.configure(obs.JsonLinesSink(path))``) are rendered
+into per-task timelines and per-peer link tables by
+``python -m repro.obs.report``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsError,
+    MetricsRegistry,
+    disabled,
+    get_registry,
+)
+from .spans import JsonLinesSink, MemorySink, Span, SpanContext, Tracer, get_tracer
+
+__all__ = [
+    "MetricsError",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "disabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "render_text",
+    "value",
+    "reset",
+    "Tracer",
+    "Span",
+    "SpanContext",
+    "JsonLinesSink",
+    "MemorySink",
+    "get_tracer",
+    "span",
+    "event",
+    "configure",
+    "current_context",
+    "attach",
+    "write_metrics",
+]
+
+
+# -- default-registry conveniences ------------------------------------------
+def counter(name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+    """Declare (or fetch) a counter on the default registry."""
+    return get_registry().counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+    """Declare (or fetch) a gauge on the default registry."""
+    return get_registry().gauge(name, help, labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> MetricFamily:
+    """Declare (or fetch) a histogram on the default registry."""
+    return get_registry().histogram(name, help, labelnames, buckets)
+
+
+def snapshot() -> Dict[str, Any]:
+    """Snapshot of the default registry (JSON-serialisable dict)."""
+    return get_registry().snapshot()
+
+
+def render_text() -> str:
+    """Prometheus-style text exposition of the default registry."""
+    return get_registry().render_text()
+
+
+def value(name: str, labels: Optional[Dict[str, str]] = None) -> Optional[float]:
+    """Current value of one default-registry series (None if absent)."""
+    return get_registry().value(name, labels)
+
+
+def reset() -> None:
+    """Zero every series in the default registry (test isolation).
+
+    Families stay registered (instrumented modules bind them at import
+    time); only their labelled series are dropped and lazily recreated.
+    """
+    get_registry().reset()
+
+
+# -- default-tracer conveniences ---------------------------------------------
+def span(name: str, parent: Optional[SpanContext] = None, **attrs: Any):
+    """Open a span on the default tracer (context manager)."""
+    return get_tracer().span(name, parent=parent, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a point event on the default tracer (no-op without a sink)."""
+    get_tracer().event(name, **attrs)
+
+
+def configure(sink: Optional[Any]) -> Optional[Any]:
+    """Set the default tracer's sink; returns the previous one."""
+    return get_tracer().configure(sink)
+
+
+def current_context() -> Optional[SpanContext]:
+    """The default tracer's innermost active span on this thread."""
+    return get_tracer().current_context()
+
+
+def attach(context: Optional[SpanContext]):
+    """Adopt a captured span context on this thread (context manager)."""
+    return get_tracer().attach(context)
+
+
+def write_metrics() -> None:
+    """Embed a default-registry snapshot record into the trace stream."""
+    get_tracer().write_metrics(get_registry())

@@ -1,0 +1,439 @@
+"""Thread-safe metrics primitives: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process is the single source of truth
+for every quantitative observation the stack makes — FM operations,
+transport RPC timings, Grid Buffer occupancy, workflow progress.  The
+registry is deliberately small and dependency-free (the rest of
+``repro`` imports it, never the other way around):
+
+* **families** — ``registry.counter("fm_ops_total", labelnames=("op",
+  "mode"))`` declares a metric once; re-declaring with identical
+  schema returns the same family, a conflicting schema raises.
+* **children** — ``family.labels(op="read", mode="local")`` resolves
+  (and caches) one labelled series; hot paths bind children once and
+  call ``inc``/``observe`` on them, which costs a lock plus a float add.
+* **export** — :meth:`MetricsRegistry.snapshot` returns plain dicts
+  (JSON-embeddable into ``BENCH_*.json`` or a trace file) and
+  :meth:`MetricsRegistry.render_text` emits Prometheus-style text
+  exposition.
+
+A process-wide default registry is reachable through
+:func:`get_registry` and the module-level convenience constructors in
+:mod:`repro.obs`; :func:`disabled` turns all mutation into no-ops for
+overhead A/B measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "disabled",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): spans sub-millisecond RPCs on
+#: localhost up to multi-second bulk copies over slow links.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class MetricsError(ValueError):
+    """Invalid metric name, label schema, or conflicting registration."""
+
+
+class Counter:
+    """Monotonically increasing value (one labelled series)."""
+
+    __slots__ = ("_family", "_value")
+
+    def __init__(self, family: "MetricFamily"):
+        self._family = family
+        self._value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise MetricsError("counters can only increase")
+        registry = self._family.registry
+        if not registry.enabled:
+            return
+        with self._family._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        with self._family._lock:
+            return self._value
+
+    def _export(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that can go up and down (one labelled series)."""
+
+    __slots__ = ("_family", "_value")
+
+    def __init__(self, family: "MetricFamily"):
+        self._family = family
+        self._value = 0.0
+
+    def set(self, v: float) -> None:
+        if not self._family.registry.enabled:
+            return
+        with self._family._lock:
+            self._value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        if not self._family.registry.enabled:
+            return
+        with self._family._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        with self._family._lock:
+            return self._value
+
+    def _export(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (one labelled series)."""
+
+    __slots__ = ("_family", "_counts", "_sum", "_count")
+
+    def __init__(self, family: "MetricFamily"):
+        self._family = family
+        self._counts = [0] * (len(family.buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, v: float) -> None:
+        registry = self._family.registry
+        if not registry.enabled:
+            return
+        buckets = self._family.buckets
+        idx = len(buckets)
+        for i, bound in enumerate(buckets):
+            if v <= bound:
+                idx = i
+                break
+        with self._family._lock:
+            self._counts[idx] += 1
+            self._sum += v
+            self._count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager observing the elapsed wall time in seconds."""
+        import time as _time
+
+        t0 = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(_time.perf_counter() - t0)
+
+    @property
+    def count(self) -> int:
+        with self._family._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._family._lock:
+            return self._sum
+
+    def _export(self) -> Dict[str, Any]:
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self._family.buckets, self._counts):
+            running += n
+            cumulative[_fmt_float(bound)] = running
+        cumulative["+Inf"] = running + self._counts[-1]
+        return {"count": self._count, "sum": self._sum, "buckets": cumulative}
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _fmt_float(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    out = repr(float(v))
+    return out[:-2] if out.endswith(".0") else out
+
+
+class MetricFamily:
+    """One named metric plus all of its labelled children.
+
+    With an empty label schema the family itself behaves as its single
+    child — ``registry.counter("x").inc()`` works directly.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricsError(f"invalid label name {label!r}")
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self._lock = threading.Lock()
+        self._children: Dict[LabelValues, Any] = {}
+
+    def labels(self, **labelvalues: str) -> Any:
+        """The child series for exactly this label combination."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _CHILD_TYPES[self.kind](self)
+            return child
+
+    def _default_child(self) -> Any:
+        if self.labelnames:
+            raise MetricsError(f"{self.name} requires labels {self.labelnames}")
+        return self.labels()
+
+    # -- unlabelled convenience passthrough ---------------------------------
+    def inc(self, n: float = 1.0) -> None:
+        self._default_child().inc(n)
+
+    def dec(self, n: float = 1.0) -> None:
+        self._default_child().dec(n)
+
+    def set(self, v: float) -> None:
+        self._default_child().set(v)
+
+    def observe(self, v: float) -> None:
+        self._default_child().observe(v)
+
+    def time(self):
+        return self._default_child().time()
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    # -- export -------------------------------------------------------------
+    def series(self) -> Iterator[Tuple[Dict[str, str], Any]]:
+        with self._lock:
+            items = list(self._children.items())
+        for key, child in items:
+            yield dict(zip(self.labelnames, key)), child._export()
+
+
+class MetricsRegistry:
+    """Registry of metric families; the process's one metrics namespace."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+        #: When False every inc/set/observe is a no-op (overhead A/B).
+        self.enabled = True
+
+    # -- declaration ----------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise MetricsError(
+                        f"metric {name!r} already registered as {family.kind}"
+                        f"{family.labelnames}, cannot re-register as {kind}{tuple(labelnames)}"
+                    )
+                return family
+            family = MetricFamily(self, name, kind, help, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Declare (or fetch) a counter family."""
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Declare (or fetch) a gauge family."""
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """Declare (or fetch) a histogram family."""
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    # -- lookup ---------------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Optional[float]:
+        """Current value of one counter/gauge series (None if absent).
+
+        For histograms returns the observation count — enough for the
+        common "did anything happen here?" assertions.
+        """
+        family = self.get(name)
+        if family is None:
+            return None
+        want = {k: str(v) for k, v in (labels or {}).items()}
+        key = tuple(want.get(label, "") for label in family.labelnames)
+        with family._lock:
+            child = family._children.get(key)
+            if child is None:
+                return None
+        if family.kind == "histogram":
+            return float(child.count)
+        return child.value
+
+    def reset(self) -> None:
+        """Zero every series without unregistering families.
+
+        Instrumented modules bind family objects at import time;
+        dropping families would orphan those bindings, so reset only
+        clears the labelled children (they are lazily recreated).
+        """
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            with family._lock:
+                family._children.clear()
+
+    # -- export ---------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict dump of every series (JSON-serialisable)."""
+        with self._lock:
+            families = list(self._families.values())
+        out: Dict[str, Any] = {}
+        for family in sorted(families, key=lambda f: f.name):
+            series = [
+                {"labels": labels, "value": value}
+                for labels, value in family.series()
+            ]
+            if not series:
+                continue
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of the whole registry."""
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._families.values())
+        for family in sorted(families, key=lambda f: f.name):
+            pairs = list(family.series())
+            if not pairs:
+                continue
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, value in pairs:
+                if family.kind == "histogram":
+                    for le, n in value["buckets"].items():
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels({**labels, 'le': le})} {n}"
+                        )
+                    lines.append(f"{family.name}_sum{_render_labels(labels)} {_fmt_float(value['sum'])}")
+                    lines.append(f"{family.name}_count{_render_labels(labels)} {value['count']}")
+                else:
+                    lines.append(f"{family.name}{_render_labels(labels)} {_fmt_float(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in labels.items()
+    )
+    return "{" + body + "}"
+
+
+#: The process-wide default registry.  Instrumented modules bind their
+#: families against this at import time; it is never replaced, only
+#: reset (tests) or disabled (overhead measurements).
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT_REGISTRY
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Temporarily make all default-registry mutation a no-op.
+
+    Used by the overhead benchmark to A/B the cost of instrumentation
+    on a hot path without touching any call sites.
+    """
+    registry = get_registry()
+    prior = registry.enabled
+    registry.enabled = False
+    try:
+        yield
+    finally:
+        registry.enabled = prior

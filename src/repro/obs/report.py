@@ -1,0 +1,189 @@
+"""Render a JSON-lines trace into human-readable timelines and tables.
+
+``python -m repro.obs.report TRACE.jsonl`` prints:
+
+* a **per-task timeline** — one ASCII bar per ``task`` span, scaled to
+  the workflow's wall-clock, so pipelined (overlapping) stages are
+  visually distinct from sequential ones;
+* a **per-peer link table** — built from the latest embedded metrics
+  snapshot (``gridftp_rpc_seconds`` / ``gridftp_rpc_bytes_total``),
+  the measured equivalents of the paper's Table 1 link numbers;
+* a **metrics summary** — the non-zero counter series, so a run's IO
+  behaviour (modes chosen, cache hits, bytes moved) reads at a glance.
+
+The module doubles as a library: :func:`load_trace`,
+:func:`render_timeline`, :func:`render_link_table` and
+:func:`render_counters` each return plain strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "load_trace",
+    "render_timeline",
+    "render_link_table",
+    "render_counters",
+    "render_report",
+    "main",
+]
+
+
+def load_trace(path: Path) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines trace file, skipping malformed lines."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _task_label(span: Dict[str, Any]) -> str:
+    attrs = span.get("attrs") or {}
+    return str(attrs.get("task") or attrs.get("stage") or span.get("name", "?"))
+
+
+def render_timeline(records: Sequence[Dict[str, Any]], width: int = 60) -> str:
+    """ASCII Gantt of the trace's ``task`` spans (fallback: all spans)."""
+    spans = [
+        r for r in records
+        if r.get("type") == "span" and r.get("end") is not None
+    ]
+    tasks = [s for s in spans if s.get("name") == "task"] or spans
+    if not tasks:
+        return "(no finished spans in trace)\n"
+    t0 = min(s["start"] for s in tasks)
+    t1 = max(s["end"] for s in tasks)
+    total = max(t1 - t0, 1e-9)
+    label_w = max(len(_task_label(s)) for s in tasks)
+    workflows = {
+        str((r.get("attrs") or {}).get("workflow"))
+        for r in records
+        if r.get("type") == "span" and r.get("name") == "workflow"
+    } - {"None"}
+    title = "Per-task timeline"
+    if workflows:
+        title += f" (workflow {', '.join(sorted(workflows))})"
+    lines = [f"{title} — {total:.3f}s total"]
+    for span in sorted(tasks, key=lambda s: (s["start"], _task_label(s))):
+        begin = int(round((span["start"] - t0) / total * width))
+        length = max(1, int(round((span["end"] - span["start"]) / total * width)))
+        begin = min(begin, width - 1)
+        length = min(length, width - begin)
+        bar = " " * begin + "#" * length + " " * (width - begin - length)
+        lines.append(
+            f"{_task_label(span):<{label_w}} |{bar}| "
+            f"{span['start'] - t0:8.3f}s → {span['end'] - t0:8.3f}s"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _latest_snapshot(records: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    snap = None
+    for record in records:
+        if record.get("type") == "metrics" and isinstance(record.get("snapshot"), dict):
+            snap = record["snapshot"]
+    return snap
+
+
+def render_link_table(snapshot: Optional[Dict[str, Any]]) -> str:
+    """Per-peer RPC table from ``gridftp_rpc_*`` series in a snapshot."""
+    if not snapshot:
+        return "(no metrics snapshot embedded in trace)\n"
+    seconds = snapshot.get("gridftp_rpc_seconds", {}).get("series", [])
+    nbytes = snapshot.get("gridftp_rpc_bytes_total", {}).get("series", [])
+    peers: Dict[str, Dict[str, float]] = {}
+    for series in seconds:
+        peer = series["labels"].get("peer", "?")
+        entry = peers.setdefault(peer, {"ops": 0.0, "seconds": 0.0, "bytes": 0.0})
+        entry["ops"] += series["value"]["count"]
+        entry["seconds"] += series["value"]["sum"]
+    for series in nbytes:
+        peer = series["labels"].get("peer", "?")
+        entry = peers.setdefault(peer, {"ops": 0.0, "seconds": 0.0, "bytes": 0.0})
+        entry["bytes"] += series["value"]
+    if not peers:
+        return "(no gridftp_rpc_* series in snapshot)\n"
+    lines = [
+        "Per-peer link table (measured)",
+        f"{'peer':<16} {'rpcs':>8} {'bytes':>12} {'avg ms':>8} {'MiB/s':>8}",
+    ]
+    for peer in sorted(peers):
+        entry = peers[peer]
+        avg_ms = entry["seconds"] / entry["ops"] * 1e3 if entry["ops"] else 0.0
+        mibps = entry["bytes"] / entry["seconds"] / (1 << 20) if entry["seconds"] > 0 else 0.0
+        lines.append(
+            f"{peer:<16} {int(entry['ops']):>8} {int(entry['bytes']):>12} "
+            f"{avg_ms:>8.2f} {mibps:>8.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_counters(snapshot: Optional[Dict[str, Any]], limit: int = 40) -> str:
+    """Non-zero counter series from a snapshot, one per line."""
+    if not snapshot:
+        return ""
+    rows: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if family.get("type") != "counter":
+            continue
+        for series in family.get("series", []):
+            if not series["value"]:
+                continue
+            labels = series["labels"]
+            label_txt = (
+                "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}" if labels else ""
+            )
+            rows.append(f"{name}{label_txt} = {series['value']:g}")
+    if not rows:
+        return ""
+    shown = rows[:limit]
+    out = ["Counters (non-zero)"] + shown
+    if len(rows) > limit:
+        out.append(f"... and {len(rows) - limit} more")
+    return "\n".join(out) + "\n"
+
+
+def render_report(records: Sequence[Dict[str, Any]], width: int = 60) -> str:
+    """The full report: timeline + link table + counter summary."""
+    snapshot = _latest_snapshot(records)
+    parts = [render_timeline(records, width=width), render_link_table(snapshot)]
+    counters = render_counters(snapshot)
+    if counters:
+        parts.append(counters)
+    return "\n".join(parts)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.obs.report TRACE.jsonl``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a repro.obs JSON-lines trace into timelines and link tables.",
+    )
+    parser.add_argument("trace", type=Path, help="JSON-lines trace file")
+    parser.add_argument("--width", type=int, default=60, help="timeline bar width")
+    args = parser.parse_args(argv)
+    if not args.trace.exists():
+        print(f"trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    records = load_trace(args.trace)
+    sys.stdout.write(render_report(records, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -9,7 +9,7 @@ without touching the real file system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .engine import Environment, Event

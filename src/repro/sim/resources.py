@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Optional
 
 from .engine import Environment, Event, SimulationError

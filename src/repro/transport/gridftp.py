@@ -16,17 +16,28 @@ tree (a virtual host's root).
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from .. import obs
 from .tcp import RpcClient, RpcError, RpcServer
 
 __all__ = ["GridFtpServer", "GridFtpClient", "DEFAULT_BLOCK"]
 
 DEFAULT_BLOCK = 256 * 1024
+
+_RPC_SECONDS = obs.histogram(
+    "gridftp_rpc_seconds",
+    "Round-trip duration of client RPCs by peer and operation",
+    labelnames=("peer", "op"),
+)
+_RPC_BYTES = obs.counter(
+    "gridftp_rpc_bytes_total",
+    "Payload bytes moved by client RPCs by peer and operation",
+    labelnames=("peer", "op"),
+)
 
 
 class GridFtpServer:
@@ -193,14 +204,15 @@ class GridFtpClient:
 
     # -- observability -------------------------------------------------------
     def _timed(self, op: str, rpc: RpcClient, header: Dict[str, Any], payload: bytes = b""):
-        """One RPC round trip, recorded into the monitor if present."""
-        if self.monitor is None:
-            return rpc.call(op, header, payload=payload)
+        """One RPC round trip, always metered, monitor-recorded if present."""
         t0 = time.perf_counter()
         reply, data = rpc.call(op, header, payload=payload)
-        self.monitor.record(
-            self.peer, op, max(len(payload), len(data)), time.perf_counter() - t0
-        )
+        elapsed = time.perf_counter() - t0
+        nbytes = max(len(payload), len(data))
+        _RPC_SECONDS.labels(peer=self.peer, op=op).observe(elapsed)
+        _RPC_BYTES.labels(peer=self.peer, op=op).inc(nbytes)
+        if self.monitor is not None:
+            self.monitor.record(self.peer, op, nbytes, elapsed)
         return reply, data
 
     def open_channel(self) -> RpcClient:

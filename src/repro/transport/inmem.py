@@ -11,7 +11,6 @@ seconds).
 
 from __future__ import annotations
 
-import os
 import shutil
 import threading
 import time

@@ -30,6 +30,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from .. import obs
+
 __all__ = [
     "send_frame",
     "recv_frame",
@@ -41,6 +43,20 @@ __all__ = [
 
 _LEN = struct.Struct(">I")
 MAX_HEADER = 16 * 1024 * 1024
+
+_CLIENT_CALLS = obs.counter(
+    "rpc_client_calls_total", "RPC round trips issued by clients", labelnames=("op",)
+)
+_CLIENT_ERRORS = obs.counter(
+    "rpc_client_errors_total",
+    "Client RPC failures by error kind",
+    labelnames=("op", "kind"),
+)
+_SERVER_REQUESTS = obs.counter(
+    "rpc_server_requests_total",
+    "Requests dispatched by servers, by op and outcome",
+    labelnames=("op", "status"),
+)
 
 #: Default RPC timeout; tests shrink it via REPRO_RPC_TIMEOUT so a hung
 #: peer fails a test in seconds rather than stalling the whole suite.
@@ -135,10 +151,13 @@ class RpcServer:
                         reply, data = handler(header, payload)
                         reply = dict(reply)
                         reply.setdefault("ok", True)
+                        _SERVER_REQUESTS.labels(op=op, status="ok").inc()
                     except RpcError as exc:
                         reply, data = {"ok": False, "error": exc.kind, "message": exc.message}, b""
+                        _SERVER_REQUESTS.labels(op=op, status="error").inc()
                     except Exception as exc:  # noqa: BLE001 - reply with error
                         reply, data = {"ok": False, "error": type(exc).__name__, "message": str(exc)}, b""
+                        _SERVER_REQUESTS.labels(op=op, status="error").inc()
                     try:
                         send_frame(sock, reply, data)
                     except OSError:
@@ -211,16 +230,20 @@ class RpcClient:
         """One round trip; raises :class:`RpcError` on remote failure."""
         msg = dict(header or {})
         msg["op"] = op
+        _CLIENT_CALLS.labels(op=op).inc()
         with self._lock:
             sock = self._connect()
             try:
                 send_frame(sock, msg, payload)
                 reply, data = recv_frame(sock)
-            except (OSError, FrameError):
+            except (OSError, FrameError) as exc:
                 self.close()
+                _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
                 raise
         if not reply.get("ok", False):
-            raise RpcError(reply.get("error", "remote-error"), reply.get("message", ""))
+            kind = reply.get("error", "remote-error")
+            _CLIENT_ERRORS.labels(op=op, kind=kind).inc()
+            raise RpcError(kind, reply.get("message", ""))
         return reply, data
 
     def close(self) -> None:

@@ -16,7 +16,7 @@ exactly Nimrod/G's two QoS modes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 import itertools
 

@@ -24,21 +24,38 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..core.multiplexer import FileMultiplexer, GridContext
 from ..gns.client import LocalGnsClient
 from ..gns.records import BufferEndpoint, GnsRecord, IOMode
 from ..gns.server import NameService
 from ..gridbuffer.server import GridBufferServer
 from ..transport.gridftp import GridFtpServer
-from ..transport.inmem import DelayModel, HostRegistry
+from ..transport.inmem import HostRegistry
 from .scheduler import ExecutionPlan
-from .spec import Stage, Workflow, WorkflowError
+from .spec import Stage, WorkflowError
 
 __all__ = ["StageIO", "RunResult", "GridDeployment", "RealRunner", "records_for_plan"]
 
 logger = logging.getLogger("repro.workflow.runner")
+
+_TASKS = obs.counter(
+    "workflow_tasks_total", "Stage state transitions", labelnames=("state",)
+)
+_QUEUE_WAIT = obs.histogram(
+    "workflow_task_queue_wait_seconds",
+    "Seconds a stage spent waiting for its upstream producers",
+)
+_TASK_SECONDS = obs.histogram(
+    "workflow_task_seconds", "Stage body execution time (after upstreams released it)"
+)
+_EDGE_BYTES = obs.counter(
+    "workflow_edge_bytes_total",
+    "Bytes a stage moved through its FM, by direction",
+    labelnames=("task", "direction"),
+)
 
 
 def records_for_plan(plan: ExecutionPlan, prefix: Optional[str] = None) -> List[GnsRecord]:
@@ -237,37 +254,67 @@ class RealRunner:
         waits = self.plan.start_constraints()
         done: Dict[str, threading.Event] = {s: threading.Event() for s in wf.stages}
         start_time = time.monotonic()
+        tracer = obs.get_tracer()
 
-        def run_stage(stage: Stage) -> None:
-            try:
-                for producer in waits[stage.name]:
-                    if not done[producer].wait(timeout=self.stage_timeout):
-                        raise TimeoutError(f"timed out waiting for {producer!r}")
-                    if producer in result.errors:
-                        raise RuntimeError(f"upstream stage {producer!r} failed")
-                machine = self.plan.machine_of(stage.name)
-                logger.info("stage %s starting on %s", stage.name, machine)
-                ctx = self.deployment.context_for(machine)
-                with FileMultiplexer(ctx) as fm:
-                    io_adapter = StageIO(fm, self._prefix, self.params)
-                    stage.func(io_adapter)
-                result.finish_times[stage.name] = time.monotonic() - start_time
-                logger.info(
-                    "stage %s finished in %.3fs", stage.name, result.finish_times[stage.name]
+        def run_stage(stage: Stage, wf_ctx) -> None:
+            # Stage threads inherit the workflow span explicitly: span
+            # stacks are thread-local, so the context must be attached.
+            with obs.attach(wf_ctx):
+                _TASKS.labels(state="started").inc()
+                wait_t0 = time.monotonic()
+                try:
+                    for producer in waits[stage.name]:
+                        if not done[producer].wait(timeout=self.stage_timeout):
+                            raise TimeoutError(f"timed out waiting for {producer!r}")
+                        if producer in result.errors:
+                            raise RuntimeError(f"upstream stage {producer!r} failed")
+                    _QUEUE_WAIT.observe(time.monotonic() - wait_t0)
+                    machine = self.plan.machine_of(stage.name)
+                    logger.info("stage %s starting on %s", stage.name, machine)
+                    ctx = self.deployment.context_for(machine)
+                    body_t0 = time.monotonic()
+                    with obs.span("task", task=stage.name, machine=machine):
+                        with FileMultiplexer(ctx) as fm:
+                            io_adapter = StageIO(fm, self._prefix, self.params)
+                            try:
+                                stage.func(io_adapter)
+                            finally:
+                                self._account_stage_io(stage.name, fm)
+                    _TASK_SECONDS.observe(time.monotonic() - body_t0)
+                    result.finish_times[stage.name] = time.monotonic() - start_time
+                    _TASKS.labels(state="finished").inc()
+                    logger.info(
+                        "stage %s finished in %.3fs", stage.name, result.finish_times[stage.name]
+                    )
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    logger.warning("stage %s failed: %s", stage.name, exc)
+                    result.errors[stage.name] = exc
+                    _TASKS.labels(state="failed").inc()
+                finally:
+                    done[stage.name].set()
+
+        with tracer.span("workflow", workflow=wf.name, stages=len(wf.stages)):
+            wf_ctx = tracer.current_context()
+            threads = [
+                threading.Thread(
+                    target=run_stage, args=(stage, wf_ctx),
+                    name=f"stage-{stage.name}", daemon=True,
                 )
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                logger.warning("stage %s failed: %s", stage.name, exc)
-                result.errors[stage.name] = exc
-            finally:
-                done[stage.name].set()
-
-        threads = [
-            threading.Thread(target=run_stage, args=(stage,), name=f"stage-{stage.name}", daemon=True)
-            for stage in wf.stages.values()
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=self.stage_timeout)
-        result.elapsed = time.monotonic() - start_time
+                for stage in wf.stages.values()
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=self.stage_timeout)
+            result.elapsed = time.monotonic() - start_time
         return result
+
+    @staticmethod
+    def _account_stage_io(task: str, fm: FileMultiplexer) -> None:
+        """Roll the stage's per-open FM stats into per-edge byte counters."""
+        bytes_in = sum(s.bytes_read for s in fm.open_history)
+        bytes_out = sum(s.bytes_written for s in fm.open_history)
+        if bytes_in:
+            _EDGE_BYTES.labels(task=task, direction="read").inc(bytes_in)
+        if bytes_out:
+            _EDGE_BYTES.labels(task=task, direction="written").inc(bytes_out)

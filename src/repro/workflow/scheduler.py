@@ -15,14 +15,21 @@ the decision the paper's operators made by hand via GNS entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Literal, Mapping, Optional, Tuple
 
+from .. import obs
 from ..grid.machine import MachineSpec
-from ..sim.netsim import LinkSpec, Network
+from ..sim.netsim import LinkSpec
 from .spec import Workflow, WorkflowError
 
 __all__ = ["Coupling", "ExecutionPlan", "plan_workflow", "choose_coupling", "estimate_makespan"]
+
+_COUPLING = obs.counter(
+    "workflow_coupling_total",
+    "Edge-coupling mechanisms decided by planners",
+    labelnames=("mechanism", "source"),
+)
 
 #: How a pipeline file is realised:
 #:   local       — sequential same-machine file (consumer starts after producer)
@@ -106,10 +113,12 @@ def plan_workflow(
     for fname in workflow.pipeline_files():
         if coupling and fname in coupling:
             decided[fname] = coupling[fname]
+            _COUPLING.labels(mechanism=decided[fname], source="explicit").inc()
             continue
         prod = placement[workflow.producer_of(fname)]
         cross = any(placement[c] != prod for c in workflow.consumers_of(fname))
         decided[fname] = "copy" if cross else default
+        _COUPLING.labels(mechanism=decided[fname], source="default").inc()
     return ExecutionPlan(workflow, dict(placement), decided)
 
 
@@ -139,6 +148,7 @@ def choose_coupling(
         dsts = {placement[c] for c in consumers}
         if dsts == {src}:
             out[fname] = "buffer"
+            _COUPLING.labels(mechanism="buffer", source="cost_model").inc()
             continue
         dst = sorted(dsts - {src})[0] if dsts - {src} else src
         key = (src, dst) if (src, dst) in link_of else (dst, src)
@@ -152,6 +162,7 @@ def choose_coupling(
         producer_time = wf.stages[producer].work / machines[src].speed
         stream_critical = max(0.0, stall_time - producer_time) + 0.25 * min(stall_time, producer_time)
         out[fname] = "buffer" if stream_critical < copy_time else "copy"
+        _COUPLING.labels(mechanism=out[fname], source="cost_model").inc()
     return out
 
 

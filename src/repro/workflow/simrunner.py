@@ -34,12 +34,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..grid.machine import Machine
-from ..grid.testbed import TESTBED
 from ..sim.engine import Environment, Event
 from ..sim.netsim import Network
 from .external import REMOTE_BLOCK, ExternalInput
 from .scheduler import ExecutionPlan
-from .spec import FileUse, Stage, Workflow
+from .scheduler import ExecutionPlan
 
 __all__ = ["SimReport", "StageTiming", "simulate_plan", "GRID_BUFFER_BLOCK", "GRID_BUFFER_WINDOW"]
 

@@ -10,7 +10,7 @@ the simulator; ``func`` is the real implementation for in-process runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx

@@ -6,12 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.mecheng.chammy import HoleShape, boundary_points
-from repro.apps.mecheng.fast import (
-    EDGE_CRACK_Y,
-    ParisLaw,
-    cycles_closed_form,
-    cycles_to_grow,
-)
+from repro.apps.mecheng.fast import ParisLaw, cycles_closed_form, cycles_to_grow
 from repro.apps.mecheng.make_sf import boundary_tangential_stress
 from repro.apps.mecheng.objective import design_life
 from repro.apps.mecheng.pafec import (

@@ -8,12 +8,11 @@ the reproduction's fidelity to the design.
 
 import inspect
 
-import pytest
 
 from repro.core.multiplexer import FileMultiplexer, GridContext
-from repro.gns.client import LocalGnsClient
+from repro.core.multiplexer import FileMultiplexer, GridContext
 from repro.gns.records import IOMode
-from repro.gns.server import NameService
+from repro.gns.records import IOMode
 
 
 class TestFigure2FileMultiplexer:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.local_client import LocalFileClient
 from repro.core.remote_client import RemoteFileClient
-from repro.transport.gridftp import GridFtpClient, GridFtpServer
+from repro.transport.gridftp import GridFtpClient
 
 
 @pytest.fixture()

@@ -1,11 +1,12 @@
-"""Tests for FM call tracing."""
+"""Tests for FM call tracing and transfer monitoring."""
 
 import io
+import threading
 
 import pytest
 
 from repro.core.multiplexer import FileMultiplexer, GridContext
-from repro.core.trace import FmTracer
+from repro.core.trace import FmTracer, TransferMonitor
 from repro.gns.client import LocalGnsClient
 from repro.gns.server import NameService
 
@@ -82,3 +83,112 @@ class TestFmTracer:
             hosts.host("alpha").resolve("/fn.txt").read_bytes()
             == b"through the tracer\n"
         )
+
+    def test_summary_safe_under_concurrent_writes(self, fm):
+        """Regression: summary() iterating while handle threads append.
+
+        Before the tracer took a lock, a writer thread mutating the
+        event deque mid-iteration could raise ``RuntimeError: deque
+        mutated during iteration`` inside summary().
+        """
+        tracer = FmTracer(fm)
+        stop = threading.Event()
+        started = threading.Event()
+        errors = []
+
+        def writer():
+            f = tracer.open("/hot.bin", "w")
+            try:
+                while not stop.is_set():
+                    f.write(b"x" * 64)
+                    started.set()
+            finally:
+                f.close()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert started.wait(timeout=5), "writer thread never wrote"
+        try:
+            for _ in range(300):
+                try:
+                    tracer.summary()
+                    tracer.snapshot()
+                except RuntimeError as exc:  # pragma: no cover - the regression
+                    errors.append(exc)
+                    break
+        finally:
+            stop.set()
+            t.join(timeout=5)
+        assert not errors, f"summary raced the writer thread: {errors[0]}"
+        assert tracer.summary()["/hot.bin"]["writes"] > 0
+
+    def test_transfer_summary_without_monitor(self, fm):
+        tracer = FmTracer(fm)
+        assert tracer.transfer_summary() == {}
+
+
+class TestTransferMonitor:
+    def test_latency_from_small_probes(self):
+        mon = TransferMonitor()
+        mon.record("peerA", "size", 16, 0.010)
+        mon.record("peerA", "size", 16, 0.006)
+        assert mon.latency("peerA") == pytest.approx(0.003)  # fastest / 2
+
+    def test_bandwidth_from_bulk(self):
+        mon = TransferMonitor()
+        mon.record("peerA", "get_block", 1 << 20, 0.5)
+        mon.record("peerA", "get_block", 1 << 20, 0.5)
+        assert mon.bandwidth("peerA") == pytest.approx((2 << 20) / 1.0)
+
+    def test_small_fetch_is_not_a_latency_probe(self):
+        """A whole-file fetch of a tiny file is a bulk op, not a probe.
+
+        Its duration includes per-block RPCs and disk IO; classifying it
+        by payload size alone would report a wildly inflated latency.
+        """
+        mon = TransferMonitor()
+        mon.record("peerA", "size", 16, 0.004)       # real probe: 2 ms one-way
+        mon.record("peerA", "fetch", 100, 0.250)      # tiny file, slow whole-file copy
+        mon.record("peerA", "store", 100, 0.300)
+        assert mon.latency("peerA") == pytest.approx(0.002)
+        # ...and the fetch/store still count toward bandwidth.
+        bw = mon.bandwidth("peerA")
+        assert bw == pytest.approx(200 / 0.55)
+
+    def test_zero_duration_samples(self):
+        """Instant bulk samples must not divide by zero."""
+        mon = TransferMonitor()
+        mon.record("peerA", "get_block", 1 << 20, 0.0)
+        assert mon.bandwidth("peerA") is None
+        mon.record("peerA", "size", 8, 0.0)
+        assert mon.latency("peerA") == 0.0
+
+    def test_max_samples_eviction(self):
+        mon = TransferMonitor(max_samples=4)
+        for i in range(10):
+            mon.record("peerA", "size", 8, 0.001 * (i + 1))
+        samples = mon.samples("peerA")
+        assert len(samples) == 4
+        # Oldest (fastest) samples were evicted: latency reflects the rest.
+        assert mon.latency("peerA") == pytest.approx(0.007 / 2)
+
+    def test_unknown_peer(self):
+        mon = TransferMonitor()
+        assert mon.latency("nowhere") is None
+        assert mon.bandwidth("nowhere") is None
+        assert mon.samples("nowhere") == []
+
+    def test_negative_duration_clamped(self):
+        mon = TransferMonitor()
+        mon.record("peerA", "size", 8, -0.5)
+        assert mon.samples("peerA")[0].seconds == 0.0
+
+    def test_summary_rollup(self):
+        mon = TransferMonitor()
+        mon.record("peerA", "size", 16, 0.002)
+        mon.record("peerA", "get_block", 1 << 16, 0.1)
+        out = mon.summary()["peerA"]
+        assert out["ops"] == 2
+        assert out["bytes"] == 16 + (1 << 16)
+        assert out["bandwidth_bps"] is not None
+        assert out["latency_s"] == pytest.approx(0.001)

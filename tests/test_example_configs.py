@@ -2,7 +2,6 @@
 
 from pathlib import Path
 
-import pytest
 
 from repro.apps.climate import climate_workflow
 from repro.gns.persistence import load_records

@@ -1,6 +1,5 @@
 """Unit tests for the replica catalogue."""
 
-import pytest
 
 from repro.grid.replica_catalog import Replica, ReplicaCatalog
 

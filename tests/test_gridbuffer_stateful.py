@@ -9,13 +9,7 @@ and the close."""
 import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    initialize,
-    invariant,
-    precondition,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
 from repro.gridbuffer.cache import BufferCache
 from repro.gridbuffer.service import GridBufferService

@@ -2,7 +2,6 @@
 
 import logging
 
-import pytest
 
 from repro.core.multiplexer import FileMultiplexer, GridContext
 from repro.gns.client import LocalGnsClient

@@ -1,0 +1,178 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsError, MetricsRegistry
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestRegistration:
+    def test_counter_roundtrip(self, reg):
+        c = reg.counter("ops_total", "ops", labelnames=("op",))
+        c.labels(op="read").inc()
+        c.labels(op="read").inc(2)
+        assert reg.value("ops_total", {"op": "read"}) == 3
+        assert reg.value("ops_total", {"op": "write"}) is None
+
+    def test_redeclare_same_schema_returns_same_family(self, reg):
+        a = reg.counter("x_total", labelnames=("k",))
+        b = reg.counter("x_total", labelnames=("k",))
+        assert a is b
+
+    def test_conflicting_schema_raises(self, reg):
+        reg.counter("y_total", labelnames=("k",))
+        with pytest.raises(MetricsError):
+            reg.gauge("y_total", labelnames=("k",))
+        with pytest.raises(MetricsError):
+            reg.counter("y_total", labelnames=("other",))
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(MetricsError):
+            reg.counter("bad name")
+        with pytest.raises(MetricsError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+
+    def test_wrong_labels_rejected(self, reg):
+        c = reg.counter("z_total", labelnames=("a", "b"))
+        with pytest.raises(MetricsError):
+            c.labels(a="1")
+        with pytest.raises(MetricsError):
+            c.inc()  # labelled family has no default child
+
+    def test_unlabelled_family_is_its_own_child(self, reg):
+        c = reg.counter("plain_total")
+        c.inc(5)
+        assert c.value == 5
+        assert reg.value("plain_total") == 5
+
+
+class TestKinds:
+    def test_counter_monotonic(self, reg):
+        c = reg.counter("mono_total")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_gauge_up_down(self, reg):
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_histogram_buckets_cumulative(self, reg):
+        h = reg.histogram("lat_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(5.555)
+        [(labels, export)] = list(reg.get("lat_seconds").series())
+        assert labels == {}
+        assert export["buckets"] == {"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+
+    def test_histogram_time_context(self, reg):
+        h = reg.histogram("dur_seconds")
+        with h.time():
+            pass
+        assert h.count == 1
+
+
+class TestExport:
+    def test_snapshot_is_json_serialisable(self, reg):
+        reg.counter("a_total", "help a", labelnames=("k",)).labels(k="v").inc()
+        reg.histogram("b_seconds").observe(0.2)
+        snap = reg.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["a_total"]["type"] == "counter"
+        assert parsed["a_total"]["series"][0] == {"labels": {"k": "v"}, "value": 1.0}
+        assert parsed["b_seconds"]["series"][0]["value"]["count"] == 1
+
+    def test_snapshot_skips_empty_families(self, reg):
+        reg.counter("never_total")
+        assert "never_total" not in reg.snapshot()
+
+    def test_render_text_format(self, reg):
+        reg.counter("c_total", "a counter", labelnames=("op",)).labels(op="r").inc(2)
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        text = reg.render_text()
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{op="r"} 2' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_sum 0.5" in text
+        assert "h_seconds_count 1" in text
+
+    def test_label_value_escaping(self, reg):
+        reg.counter("e_total", labelnames=("p",)).labels(p='a"b\\c').inc()
+        text = reg.render_text()
+        assert 'p="a\\"b\\\\c"' in text
+
+
+class TestLifecycle:
+    def test_reset_keeps_families(self, reg):
+        fam = reg.counter("r_total", labelnames=("k",))
+        fam.labels(k="v").inc(7)
+        reg.reset()
+        assert reg.value("r_total", {"k": "v"}) is None
+        fam.labels(k="v").inc()  # import-time binding still live
+        assert reg.value("r_total", {"k": "v"}) == 1
+
+    def test_disabled_makes_mutation_noop(self):
+        fam = obs.counter("test_disabled_total")
+        before = fam.value
+        with obs.disabled():
+            fam.inc(100)
+        assert fam.value == before
+        fam.inc()
+        assert fam.value == before + 1
+
+    def test_thread_safety(self, reg):
+        c = reg.counter("t_total")
+        h = reg.histogram("t_seconds", buckets=(0.5,))
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+        assert h.count == 8000
+
+
+class TestDefaultRegistry:
+    def test_module_conveniences_share_one_registry(self):
+        fam = obs.counter("conv_total", labelnames=("k",))
+        fam.labels(k="a").inc()
+        assert obs.value("conv_total", {"k": "a"}) >= 1
+        assert obs.get_registry().get("conv_total") is fam
+
+    def test_instrumented_families_registered_at_import(self):
+        import repro.core.trace  # noqa: F401 - registers transport_transfer_*
+        import repro.workflow.runner  # noqa: F401 - registers workflow_* et al
+
+        # A sample from each instrumented layer must exist by import.
+        for name in (
+            "fm_ops_total",
+            "fm_policy_decisions_total",
+            "fm_prefetch_hits_total",
+            "gridftp_rpc_seconds",
+            "rpc_client_calls_total",
+            "buffer_bytes_written_total",
+            "workflow_tasks_total",
+            "workflow_coupling_total",
+            "transport_transfer_bytes_total",
+        ):
+            assert obs.get_registry().get(name) is not None, name

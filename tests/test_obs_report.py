@@ -1,0 +1,178 @@
+"""Tests for the trace report renderer (repro.obs.report)."""
+
+import json
+
+from repro import obs
+from repro.obs.report import (
+    load_trace,
+    main,
+    render_counters,
+    render_link_table,
+    render_report,
+    render_timeline,
+)
+
+
+def _span(name, start, end, **attrs):
+    return {
+        "type": "span",
+        "name": name,
+        "trace": "t1",
+        "span": name,
+        "parent": None,
+        "start": start,
+        "end": end,
+        "dur": end - start,
+        "thread": "MainThread",
+        "attrs": attrs,
+    }
+
+
+SNAPSHOT = {
+    "gridftp_rpc_seconds": {
+        "type": "histogram",
+        "series": [
+            {
+                "labels": {"peer": "alpha:5000", "op": "get_block"},
+                "value": {"count": 10, "sum": 0.5, "buckets": {}},
+            },
+        ],
+    },
+    "gridftp_rpc_bytes_total": {
+        "type": "counter",
+        "series": [
+            {"labels": {"peer": "alpha:5000", "op": "get_block"}, "value": 81920},
+        ],
+    },
+    "fm_ops_total": {
+        "type": "counter",
+        "series": [{"labels": {"op": "read", "mode": "local"}, "value": 7}],
+    },
+}
+
+
+class TestTimeline:
+    def test_bars_scale_to_wallclock(self):
+        records = [
+            _span("workflow", 0.0, 10.0, workflow="climate"),
+            _span("task", 0.0, 5.0, task="ccam"),
+            _span("task", 2.0, 8.0, task="cc2lam"),
+            _span("task", 6.0, 10.0, task="darlam"),
+        ]
+        out = render_timeline(records, width=40)
+        lines = out.splitlines()
+        assert "workflow climate" in lines[0]
+        assert [line.split()[0] for line in lines[1:]] == ["ccam", "cc2lam", "darlam"]
+        ccam, _, darlam = lines[1:]
+        # ccam starts at the left edge; darlam's bar starts past midline.
+        assert ccam.split("|")[1].startswith("#")
+        assert darlam.split("|")[1].startswith(" " * 20)
+
+    def test_unfinished_spans_ignored(self):
+        records = [_span("task", 0.0, 1.0, task="hung")]
+        records[0]["end"] = None
+        records[0]["dur"] = None
+        assert "(no finished spans in trace)" in render_timeline(records)
+
+    def test_falls_back_to_any_span_kind(self):
+        out = render_timeline([_span("fetch", 0.0, 1.0)])
+        assert "fetch" in out
+
+
+class TestLinkTable:
+    def test_peer_row_from_rpc_series(self):
+        out = render_link_table(SNAPSHOT)
+        row = [line for line in out.splitlines() if line.startswith("alpha:5000")][0]
+        cols = row.split()
+        assert cols[1] == "10"       # rpcs
+        assert cols[2] == "81920"    # bytes
+        assert float(cols[3]) == 50.0  # avg ms = 0.5s / 10
+        assert abs(float(cols[4]) - 81920 / 0.5 / (1 << 20)) < 0.01
+
+    def test_no_snapshot(self):
+        assert "no metrics snapshot" in render_link_table(None)
+
+    def test_snapshot_without_rpc_series(self):
+        assert "no gridftp_rpc_*" in render_link_table({"fm_ops_total": SNAPSHOT["fm_ops_total"]})
+
+
+class TestCounters:
+    def test_counter_lines(self):
+        out = render_counters(SNAPSHOT)
+        assert "fm_ops_total{op=read,mode=local} = 7" in out
+
+    def test_limit_truncates(self):
+        snap = {
+            f"c{i}_total": {"type": "counter", "series": [{"labels": {}, "value": 1}]}
+            for i in range(5)
+        }
+        out = render_counters(snap, limit=2)
+        assert "... and 3 more" in out
+
+
+class TestCli:
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_renders_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        records = [
+            _span("task", 0.0, 1.0, task="ccam"),
+            {"type": "metrics", "time": 1.0, "snapshot": SNAPSHOT},
+            "not a dict",
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\nbroken{json\n")
+        assert load_trace(path) == records[:2]  # malformed lines skipped
+        assert main([str(path), "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-task timeline" in out
+        assert "alpha:5000" in out
+        assert "fm_ops_total" in out
+
+
+class TestClimatePipelineTrace:
+    def test_report_from_real_climate_run(self, tmp_path, capsys):
+        """Acceptance: the report renders a per-task timeline from an
+        actual climate-pipeline trace captured via the default tracer."""
+        from repro.apps.climate.pipeline import climate_workflow
+        from repro.workflow.runner import RealRunner
+        from repro.workflow.scheduler import plan_workflow
+
+        trace_path = tmp_path / "climate.jsonl"
+        sink = obs.JsonLinesSink(trace_path)
+        prior = obs.configure(sink)
+        try:
+            wf = climate_workflow()
+            plan = plan_workflow(wf, {s: "m1" for s in ("ccam", "cc2lam", "darlam")})
+            runner = RealRunner(
+                plan,
+                params={"nlon": 32, "nlat": 16, "nsteps": 4,
+                        "lam_nx": 24, "lam_ny": 20, "lam_refine": 2},
+                stage_timeout=120,
+            )
+            result = runner.run()
+            assert result.ok, result.errors
+            runner.deployment.stop()
+            obs.write_metrics()
+        finally:
+            obs.configure(prior)
+            sink.close()
+
+        assert main([str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        for task in ("ccam", "cc2lam", "darlam"):
+            assert task in out, f"timeline missing task {task}"
+        assert "Per-task timeline" in out
+        assert "workflow climate" in out
+        assert "Counters (non-zero)" in out
+
+    def test_full_report_helper(self):
+        records = [
+            _span("task", 0.0, 2.0, task="ccam"),
+            {"type": "metrics", "time": 2.0, "snapshot": SNAPSHOT},
+        ]
+        out = render_report(records)
+        assert "Per-task timeline" in out
+        assert "Per-peer link table" in out
+        assert "Counters (non-zero)" in out

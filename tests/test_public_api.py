@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.gns",
     "repro.gridbuffer",
     "repro.transport",
+    "repro.obs",
     "repro.grid",
     "repro.sim",
     "repro.workflow",

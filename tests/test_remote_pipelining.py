@@ -10,8 +10,8 @@ import threading
 
 import pytest
 
-from repro.core.remote_client import RemoteFileClient, RemoteProxyFile
-from repro.core.remote_io import BlockCache, WriteCoalescer
+from repro.core.remote_client import RemoteFileClient
+from repro.core.remote_io import WriteCoalescer
 from repro.transport.gridftp import GridFtpClient, GridFtpServer
 
 PATTERN = bytes(i % 256 for i in range(64_000))

@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import (
-    AllOf,
-    AnyOf,
-    Environment,
-    Event,
-    Interrupt,
-    SimulationError,
-    Timeout,
-)
+from repro.sim.engine import Environment, Interrupt, SimulationError
 
 
 class TestEventBasics:

@@ -5,7 +5,7 @@ import pytest
 from repro.grid.testbed import TESTBED
 from repro.grid.testbed import testbed_topology as _topology
 from repro.workflow.autoplace import links_from_network
-from repro.workflow.economy import EconomyResult, QosGoal, economy_schedule, plan_cost
+from repro.workflow.economy import QosGoal, economy_schedule, plan_cost
 from repro.workflow.scheduler import plan_workflow
 from repro.workflow.spec import FileUse, Stage, Workflow
 

@@ -1,6 +1,5 @@
 """Tests for the plan → GNS-records translation and its persistence."""
 
-import pytest
 
 from repro.gns.persistence import dump_records, load_records
 from repro.gns.records import IOMode

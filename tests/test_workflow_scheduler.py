@@ -3,7 +3,6 @@
 import pytest
 
 from repro.grid.testbed import TESTBED
-from repro.sim.engine import Environment
 from repro.sim.netsim import LinkSpec
 from repro.workflow.scheduler import (
     ExecutionPlan,
