@@ -25,9 +25,15 @@ __all__ = ["GridBufferClientPool"]
 class GridBufferClientPool:
     """Pool of :class:`GridBufferClient` keyed by server address."""
 
-    def __init__(self, machine: str, default_timeout: float = 120.0):
+    def __init__(
+        self,
+        machine: str,
+        default_timeout: float = 120.0,
+        monitor: Optional[object] = None,
+    ):
         self.machine = machine
         self.default_timeout = default_timeout
+        self.monitor = monitor
         self._clients: Dict[Tuple[str, int], GridBufferClient] = {}
         self._lock = threading.Lock()
 
@@ -36,7 +42,13 @@ class GridBufferClientPool:
         with self._lock:
             client = self._clients.get(key)
             if client is None:
-                client = GridBufferClient(host, port, timeout=self.default_timeout)
+                client = GridBufferClient(
+                    host,
+                    port,
+                    timeout=self.default_timeout,
+                    monitor=self.monitor,
+                    peer=host,
+                )
                 self._clients[key] = client
             return client
 
@@ -46,6 +58,7 @@ class GridBufferClientPool:
         server: Tuple[str, int],
         write_timeout: Optional[float] = None,
         coalesce_bytes: int = 0,
+        flush_after: Optional[float] = None,
     ) -> BufferWriter:
         client = self.client_for(*server)
         return client.open_writer(
@@ -55,6 +68,7 @@ class GridBufferClientPool:
             cache=endpoint.cache,
             write_timeout=write_timeout,
             coalesce_bytes=coalesce_bytes,
+            flush_after=flush_after,
         )
 
     def open_reader(
@@ -64,6 +78,8 @@ class GridBufferClientPool:
         reader_id: Optional[str] = None,
         read_timeout: Optional[float] = None,
         read_ahead: bool = False,
+        read_ahead_depth: int = 4,
+        shared_cache: Optional[bool] = None,
     ) -> BufferReader:
         client = self.client_for(*server)
         # The stream may not exist yet if the reader opens first: create
@@ -75,11 +91,16 @@ class GridBufferClientPool:
             cache=endpoint.cache,
         )
         rid = reader_id or f"{self.machine}:{endpoint.stream}"
+        if shared_cache is None:
+            # Dedup fetches only when the stream actually broadcasts.
+            shared_cache = endpoint.n_readers > 1
         return client.open_reader(
             endpoint.stream,
             reader_id=rid,
             read_timeout=read_timeout,
             read_ahead=read_ahead,
+            read_ahead_depth=read_ahead_depth,
+            shared_cache=shared_cache,
         )
 
     def close(self) -> None:

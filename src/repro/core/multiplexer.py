@@ -131,11 +131,20 @@ class GridContext:
     prefetch: bool = True
     #: Parallel TCP streams for bulk copies (fetch and store).
     parallel_streams: int = 1
-    #: Double-buffer Grid Buffer reads on a second connection.
+    #: Pipeline Grid Buffer reads through an adaptive read-ahead window.
     buffer_readahead: bool = True
-    #: Coalesce Grid Buffer writes into runs of this many bytes
-    #: (0 = write-through; coalescing delays downstream visibility).
-    buffer_coalesce_bytes: int = 0
+    #: Maximum windowed read RPCs kept in flight per buffered reader.
+    buffer_readahead_depth: int = 4
+    #: Coalesce Grid Buffer writes into batches of this many bytes.
+    #: Safe by default: the writer's flush deadline bounds how long a
+    #: partial batch stays local (0 = write-through per WRITE call).
+    buffer_coalesce_bytes: int = 64 * 1024
+    #: Upper bound (seconds) on coalesced-write visibility lag; None
+    #: uses REPRO_BUFFER_FLUSH_DEADLINE (default 20 ms).
+    buffer_flush_deadline: Optional[float] = None
+    #: Share fetched blocks between co-located readers of one broadcast
+    #: stream (None = auto: enabled when the endpoint has >1 readers).
+    buffer_shared_cache: Optional[bool] = None
 
 
 class FMFile(ReadIntoFromRead, io.RawIOBase):
@@ -247,15 +256,16 @@ class FileMultiplexer:
         self._local = LocalFileClient(host)
         self._gridftp_locator = _as_locator(ctx.gridftp, "GridFTP")
         self._buffer_locator = _as_locator(ctx.buffer_locator, "Grid Buffer")
-        self._buffer_pool = GridBufferClientPool(ctx.machine)
         self._ftp_clients: Dict[str, GridFtpClient] = {}
         self._remote_clients: Dict[str, RemoteFileClient] = {}
         self._lock = threading.Lock()
         self.open_history: list[OpenStats] = []
-        # Measured per-host throughput/latency; feeds the access policy.
+        # Measured per-host throughput/latency; feeds the access policy
+        # and sizes the buffered readers' read-ahead windows.
         from .trace import TransferMonitor  # local import: trace imports us
 
         self.monitor = TransferMonitor()
+        self._buffer_pool = GridBufferClientPool(ctx.machine, monitor=self.monitor)
 
     # -- plumbing ----------------------------------------------------------
     def _ftp(self, host: str) -> GridFtpClient:
@@ -397,6 +407,7 @@ class FileMultiplexer:
                 server,
                 write_timeout=self.ctx.io_timeout,
                 coalesce_bytes=self.ctx.buffer_coalesce_bytes,
+                flush_after=self.ctx.buffer_flush_deadline,
             )
         else:
             inner = self._buffer_pool.open_reader(
@@ -404,6 +415,8 @@ class FileMultiplexer:
                 server,
                 read_timeout=self.ctx.io_timeout,
                 read_ahead=self.ctx.buffer_readahead,
+                read_ahead_depth=self.ctx.buffer_readahead_depth,
+                shared_cache=self.ctx.buffer_shared_cache,
             )
         return FMFile(inner, record, stats)
 

@@ -3,22 +3,30 @@
 Two layers:
 
 * :class:`GridBufferClient` — thin RPC mirror of the service methods,
-  one per (process, server) pair.
+  one per (process, server) pair.  Its transport is a *pooled*
+  :class:`~repro.transport.tcp.RpcClient`, so concurrent calls (a
+  read-ahead window, a writer flushing while a stats poll runs) fly in
+  parallel instead of serialising behind one connection lock.  The
+  vectored fast-path ops (``gb.write_multi``, ``gb.read_multi``,
+  ``gb.consume``) are used when the server speaks them and fall back
+  to the per-block ops against an old server — both directions stay
+  wire compatible.
 * :class:`BufferWriter` / :class:`BufferReader` — file-like adapters
-  the FM's Grid Buffer Client uses.  The writer tracks its own offset
-  (sequential append is the common legacy pattern) but honours seeks;
-  the reader supports ``read``/``seek``/``tell`` with re-reads served
-  by the server-side cache file.
+  the FM's Grid Buffer Client uses.  The writer coalesces small writes
+  into batched vectored RPCs behind a *bounded flush deadline* (safe
+  by default: downstream visibility lags by at most the deadline); the
+  reader keeps an adaptive window of up to N windowed reads in flight,
+  sized from measured link estimates when a
+  :class:`~repro.core.trace.TransferMonitor` is attached.
 
 Because a blocking remote read parks a server thread, every reader
-uses its own TCP connection (``dedicated_connection=True`` default).
-The reader can additionally *double-buffer*: a background thread on a
-second connection requests the next block while the application
-consumes the current one, so a sequential read loop overlaps its RPC
-round trips with real work.  The writer can coalesce small sequential
-writes into block-sized RPCs (``coalesce_bytes``) — off by default
-because it delays downstream visibility, which tightly pipelined
-streams may care about.
+still uses its own demand connection, and the read-ahead window owns a
+separate pooled connection set, so a request blocked server-side never
+head-of-line blocks demand traffic.  Co-located readers of one
+broadcast stream can share a per-process block cache: each block is
+fetched from the server once and the other readers acknowledge their
+consumption with cheap vectored ``gb.consume`` calls, keeping
+delete-on-read GC and per-reader lag gauges exact.
 """
 
 from __future__ import annotations
@@ -26,37 +34,53 @@ from __future__ import annotations
 import io
 import os
 import threading
+import time
 import uuid
-from typing import Any, Dict, Optional, Tuple
+from bisect import bisect_left, bisect_right, insort
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..core.remote_io import WriteCoalescer
 from ..ioutil import ReadIntoFromRead
-from ..transport.tcp import RpcClient
+from ..transport.tcp import RpcClient, RpcError
 from .protocol import (
-    DEFAULT_BLOCK_SIZE,
+    DEFAULT_READ_BUDGET,
     OP_ABORT,
     OP_CLOSE_WRITER,
+    OP_CONSUME,
     OP_CREATE,
     OP_DROP,
     OP_EXISTS,
     OP_HIGH_WATER,
     OP_READ,
+    OP_READ_MULTI,
     OP_REGISTER_READER,
     OP_RESUME,
     OP_STATS,
     OP_WRITE,
+    OP_WRITE_MULTI,
 )
 
 __all__ = ["GridBufferClient", "BufferWriter", "BufferReader"]
 
-#: Poll cadence while waiting for a stream to be created; tunable so
-#: tests (and co-located deployments) don't burn 10 ms a spin.
-OPEN_POLL_INTERVAL = float(os.environ.get("REPRO_BUFFER_OPEN_POLL", "0.01"))
+
+def _open_poll_interval() -> float:
+    """Poll cadence while waiting for a stream to be created.
+
+    Read from the environment *per call* (not at import time) so tests
+    and deployments can retune it without reimporting the module.
+    """
+    return float(os.environ.get("REPRO_BUFFER_OPEN_POLL", "0.01"))
+
+
+def _default_flush_deadline() -> float:
+    """Upper bound on how long coalesced writer bytes may stay local."""
+    return float(os.environ.get("REPRO_BUFFER_FLUSH_DEADLINE", "0.02"))
+
 
 _READAHEAD_HITS = obs.counter(
     "buffer_readahead_hits_total",
-    "Client reads served from the double-buffering pipeline",
+    "Client reads served from the read-ahead window",
     labelnames=("stream",),
 )
 _WRITE_RPCS = obs.counter(
@@ -64,18 +88,191 @@ _WRITE_RPCS = obs.counter(
     "WRITE RPCs issued by client-side writers",
     labelnames=("stream",),
 )
+_DEADLINE_FLUSHES = obs.counter(
+    "buffer_flush_deadline_total",
+    "Coalesced writer runs pushed out by the flush deadline",
+    labelnames=("stream",),
+)
+_SHARED_HITS = obs.counter(
+    "buffer_shared_cache_hits_total",
+    "Reads served from the per-process shared block cache",
+    labelnames=("stream",),
+)
+_VECTOR_FALLBACKS = obs.counter(
+    "buffer_vectored_fallbacks_total",
+    "Vectored ops refused by an old server (per-block fallback taken)",
+    labelnames=("op",),
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared per-process block cache (broadcast dedup)
+# ---------------------------------------------------------------------------
+
+
+class _SharedStreamCache:
+    """Recently fetched runs of one remote stream, shared process-wide.
+
+    R co-located readers of the same broadcast stream fetch each block
+    from the server once; the other R-1 serve it from here and batch
+    ``gb.consume`` acknowledgements instead of re-transferring.  Runs
+    are evicted LRU once ``capacity_bytes`` is exceeded — a straggler
+    that falls too far behind simply falls back to real reads (served
+    by the stream's cache file server-side).
+    """
+
+    def __init__(self, capacity_bytes: int = 8 * 1024 * 1024):
+        self._capacity = max(1, capacity_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._index: List[int] = []
+        self._max_len = 0
+        self._bytes = 0
+        self.eof_total: Optional[int] = None
+        self.refs = 0
+        self.hits = 0
+        self.inserts = 0
+
+    def note_eof(self, total: Optional[int]) -> None:
+        if total is None:
+            return
+        with self._lock:
+            self.eof_total = total if self.eof_total is None else min(self.eof_total, total)
+
+    def put(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        with self._lock:
+            if offset in self._entries:
+                self._entries.move_to_end(offset)
+                return
+            self._entries[offset] = bytes(data)
+            insort(self._index, offset)
+            self._max_len = max(self._max_len, len(data))
+            self._bytes += len(data)
+            self.inserts += 1
+            while self._bytes > self._capacity and len(self._entries) > 1:
+                old_off, old = self._entries.popitem(last=False)
+                self._bytes -= len(old)
+                i = bisect_left(self._index, old_off)
+                if i < len(self._index) and self._index[i] == old_off:
+                    del self._index[i]
+
+    def get(self, pos: int) -> Optional[bytes]:
+        """Bytes from ``pos`` to the end of a covering run, or None."""
+        with self._lock:
+            i = bisect_right(self._index, pos) - 1
+            floor = pos - self._max_len
+            while i >= 0:
+                off = self._index[i]
+                if off < floor:
+                    break
+                data = self._entries.get(off)
+                if data is not None and off <= pos < off + len(data):
+                    self._entries.move_to_end(off)
+                    self.hits += 1
+                    return data[pos - off :] if off != pos else data
+                i -= 1
+            return None
+
+    def covers(self, pos: int) -> bool:
+        with self._lock:
+            i = bisect_right(self._index, pos) - 1
+            floor = pos - self._max_len
+            while i >= 0:
+                off = self._index[i]
+                if off < floor:
+                    break
+                data = self._entries.get(off)
+                if data is not None and off <= pos < off + len(data):
+                    return True
+                i -= 1
+            return False
+
+
+_SHARED_CACHES: Dict[Tuple[str, int, str], _SharedStreamCache] = {}
+_SHARED_CACHES_LOCK = threading.Lock()
+
+
+def _shared_cache_acquire(addr: Tuple[str, int], stream: str) -> _SharedStreamCache:
+    key = (addr[0], addr[1], stream)
+    with _SHARED_CACHES_LOCK:
+        cache = _SHARED_CACHES.get(key)
+        if cache is None:
+            cache = _SHARED_CACHES[key] = _SharedStreamCache()
+        cache.refs += 1
+        return cache
+
+
+def _shared_cache_release(addr: Tuple[str, int], stream: str) -> None:
+    key = (addr[0], addr[1], stream)
+    with _SHARED_CACHES_LOCK:
+        cache = _SHARED_CACHES.get(key)
+        if cache is not None:
+            cache.refs -= 1
+            if cache.refs <= 0:
+                del _SHARED_CACHES[key]
+
+
+# ---------------------------------------------------------------------------
+# RPC mirror
+# ---------------------------------------------------------------------------
 
 
 class GridBufferClient:
-    """RPC client for one Grid Buffer server."""
+    """RPC client for one Grid Buffer server.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    ``monitor``/``peer`` optionally feed every data-plane round trip
+    into a :class:`~repro.core.trace.TransferMonitor`, which is what
+    lets the read-ahead window size itself from *measured* link
+    numbers instead of a guessed constant.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        max_connections: Optional[int] = None,
+        monitor: Optional[Any] = None,
+        peer: Optional[str] = None,
+    ):
         self._addr = (host, port)
         self._timeout = timeout
-        self._rpc = RpcClient(host, port, timeout=timeout)
+        self._rpc = RpcClient(host, port, timeout=timeout, max_connections=max_connections)
+        self.monitor = monitor
+        self.peer = peer or host
+        # None = unknown, probed on first vectored use; False pins the
+        # per-block fallback after one "unknown-op" from an old server.
+        self._vectored: Optional[bool] = None
 
-    def _fresh_connection(self) -> RpcClient:
-        return RpcClient(*self._addr, timeout=self._timeout)
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._addr
+
+    def _fresh_connection(self, max_connections: int = 1) -> RpcClient:
+        return RpcClient(*self._addr, timeout=self._timeout, max_connections=max_connections)
+
+    def _record(self, op: str, nbytes: int, seconds: float) -> None:
+        if self.monitor is not None:
+            self.monitor.record(self.peer, op, nbytes, seconds)
+
+    # -- capability probe ---------------------------------------------------
+    def supports_vectored(self) -> bool:
+        """Does the server speak the PR 3 vectored ops?  Probed once."""
+        if self._vectored is None:
+            try:
+                # Any reply other than unknown-op (here: unknown stream)
+                # proves the op is dispatched.
+                self._rpc.call(OP_CONSUME, {"name": "", "reader_id": "", "ranges": []})
+                self._vectored = True
+            except RpcError as exc:
+                self._vectored = exc.kind != "unknown-op"
+        return self._vectored
+
+    def _vectored_refused(self, op: str) -> None:
+        self._vectored = False
+        _VECTOR_FALLBACKS.labels(op=op).inc()
 
     # -- service mirror ----------------------------------------------------
     def create_stream(
@@ -99,7 +296,40 @@ class GridBufferClient:
         self._rpc.call(OP_REGISTER_READER, {"name": name, "reader_id": reader_id})
 
     def write(self, name: str, offset: int, data: bytes, timeout: Optional[float] = None) -> None:
+        t0 = time.perf_counter()
         self._rpc.call(OP_WRITE, {"name": name, "offset": offset, "timeout": timeout}, payload=data)
+        self._record("write", len(data), time.perf_counter() - t0)
+
+    def write_multi(
+        self,
+        name: str,
+        runs: Sequence[Tuple[int, bytes]],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Scatter several blocks in one frame; falls back per block."""
+        runs = [(offset, data) for offset, data in runs if data]
+        if not runs:
+            return
+        if len(runs) > 1 and self._vectored is not False:
+            header = {
+                "name": name,
+                "offsets": [offset for offset, _ in runs],
+                "sizes": [len(data) for _, data in runs],
+                "timeout": timeout,
+            }
+            payload = b"".join(data for _, data in runs)
+            try:
+                t0 = time.perf_counter()
+                self._rpc.call(OP_WRITE_MULTI, header, payload)
+                self._record("write_multi", len(payload), time.perf_counter() - t0)
+                self._vectored = True
+                return
+            except RpcError as exc:
+                if exc.kind != "unknown-op":
+                    raise
+                self._vectored_refused(OP_WRITE_MULTI)
+        for offset, data in runs:
+            self.write(name, offset, data, timeout=timeout)
 
     def read(
         self,
@@ -110,6 +340,7 @@ class GridBufferClient:
         timeout: Optional[float] = None,
         rpc: Optional[RpcClient] = None,
     ) -> bytes:
+        t0 = time.perf_counter()
         _, data = (rpc or self._rpc).call(
             OP_READ,
             {
@@ -120,7 +351,78 @@ class GridBufferClient:
                 "timeout": timeout,
             },
         )
+        self._record("read", len(data), time.perf_counter() - t0)
         return data
+
+    def read_window(
+        self,
+        name: str,
+        reader_id: str,
+        offset: int,
+        budget: int,
+        min_bytes: int = 1,
+        timeout: Optional[float] = None,
+        rpc: Optional[RpcClient] = None,
+    ) -> Tuple[bytes, Optional[int]]:
+        """Windowed read: ``(data, stream_total_if_known)``.
+
+        One reply carries as many contiguous bytes as the server has
+        available at ``offset`` up to ``budget``; against an old server
+        this degrades to a plain ``gb.read`` (no total reported).
+        """
+        if self._vectored is not False:
+            try:
+                t0 = time.perf_counter()
+                reply, data = (rpc or self._rpc).call(
+                    OP_READ_MULTI,
+                    {
+                        "name": name,
+                        "reader_id": reader_id,
+                        "offset": offset,
+                        "budget": budget,
+                        "min_bytes": min_bytes,
+                        "timeout": timeout,
+                    },
+                )
+                self._record("read_multi", len(data), time.perf_counter() - t0)
+                self._vectored = True
+                total = reply.get("total")
+                return data, (int(total) if total is not None else None)
+            except RpcError as exc:
+                if exc.kind != "unknown-op":
+                    raise
+                self._vectored_refused(OP_READ_MULTI)
+        return (
+            self.read(name, reader_id, offset, budget, timeout=timeout, rpc=rpc),
+            None,
+        )
+
+    def consume(
+        self, name: str, reader_id: str, ranges: Iterable[Tuple[int, int]]
+    ) -> bool:
+        """Acknowledge ranges served from a shared cache.
+
+        Returns False when the server predates the vectored ops (the
+        caller must then fetch for real instead of acking).
+        """
+        if self._vectored is False:
+            return False
+        try:
+            self._rpc.call(
+                OP_CONSUME,
+                {
+                    "name": name,
+                    "reader_id": reader_id,
+                    "ranges": [[int(s), int(e)] for s, e in ranges],
+                },
+            )
+            self._vectored = True
+            return True
+        except RpcError as exc:
+            if exc.kind != "unknown-op":
+                raise
+            self._vectored_refused(OP_CONSUME)
+            return False
 
     def close_writer(self, name: str) -> int:
         reply, _ = self._rpc.call(OP_CLOSE_WRITER, {"name": name})
@@ -158,10 +460,15 @@ class GridBufferClient:
         cache: bool = False,
         write_timeout: Optional[float] = None,
         coalesce_bytes: int = 0,
+        flush_after: Optional[float] = None,
     ) -> "BufferWriter":
         self.create_stream(name, n_readers=n_readers, capacity_bytes=capacity_bytes, cache=cache)
         return BufferWriter(
-            self, name, write_timeout=write_timeout, coalesce_bytes=coalesce_bytes
+            self,
+            name,
+            write_timeout=write_timeout,
+            coalesce_bytes=coalesce_bytes,
+            flush_after=flush_after,
         )
 
     def open_reader(
@@ -173,7 +480,9 @@ class GridBufferClient:
         open_timeout: float = 10.0,
         poll_interval: Optional[float] = None,
         read_ahead: bool = False,
-        read_ahead_bytes: int = DEFAULT_BLOCK_SIZE * 16,
+        read_ahead_bytes: int = DEFAULT_READ_BUDGET,
+        read_ahead_depth: int = 4,
+        shared_cache: bool = False,
     ) -> "BufferReader":
         """Attach a reader, waiting for the stream to exist.
 
@@ -181,26 +490,27 @@ class GridBufferClient:
         paper's FM blocks the legacy OPEN until matched); poll until the
         stream appears or ``open_timeout`` elapses.
         """
-        import time as _time
-
         rid = reader_id or f"reader-{uuid.uuid4().hex[:8]}"
-        interval = OPEN_POLL_INTERVAL if poll_interval is None else poll_interval
-        deadline = _time.monotonic() + open_timeout
+        interval = _open_poll_interval() if poll_interval is None else poll_interval
+        deadline = time.monotonic() + open_timeout
         while not self.stream_exists(name):
-            if _time.monotonic() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError(f"stream {name!r} never appeared")
-            _time.sleep(interval)
+            time.sleep(interval)
         self.register_reader(name, rid)
+        if shared_cache and not self.supports_vectored():
+            shared_cache = False  # old server: acks impossible, fetch for real
         rpc = self._fresh_connection() if dedicated_connection or read_ahead else None
-        ra_rpc = self._fresh_connection() if read_ahead else None
         return BufferReader(
             self,
             name,
             rid,
             read_timeout=read_timeout,
             rpc=rpc,
-            read_ahead_rpc=ra_rpc,
+            read_ahead=read_ahead,
             read_ahead_bytes=read_ahead_bytes,
+            read_ahead_depth=read_ahead_depth,
+            shared_cache=shared_cache,
         )
 
     def close(self) -> None:
@@ -213,12 +523,69 @@ class GridBufferClient:
         self.close()
 
 
+# ---------------------------------------------------------------------------
+# Writer side
+# ---------------------------------------------------------------------------
+
+
+class _RunBatcher:
+    """Multi-run write-behind buffer flushed as one vectored RPC.
+
+    Contiguous writes extend the active run; a scattered write opens a
+    new run instead of forcing a flush (the vectored ``gb.write_multi``
+    carries all runs in one frame).  The batch is pushed when it
+    reaches ``limit`` bytes, on an explicit flush, or by the owning
+    writer's deadline thread.
+    """
+
+    def __init__(self, flush_fn, limit: int):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self._flush_fn = flush_fn  # callable(list[(offset, bytes)])
+        self._limit = limit
+        self._runs: List[List[Any]] = []  # [start, bytearray]
+        self._bytes = 0
+        self.flushes = 0           # batch RPCs issued
+        self.writes_coalesced = 0  # WRITE calls absorbed without an RPC
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._bytes
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        if self._runs and offset == self._runs[-1][0] + len(self._runs[-1][1]):
+            self._runs[-1][1] += data
+            self.writes_coalesced += 1
+        else:
+            self._runs.append([offset, bytearray(data)])
+        self._bytes += len(data)
+        if self._bytes >= self._limit:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._runs:
+            return
+        runs = [(start, bytes(buf)) for start, buf in self._runs]
+        self._runs = []
+        self._bytes = 0
+        self._flush_fn(runs)
+        self.flushes += 1
+
+
 class BufferWriter(io.RawIOBase):
     """File-like writer feeding a Grid Buffer stream.
 
-    With ``coalesce_bytes > 0`` small sequential writes are buffered
-    locally and pushed in runs of that size (one RPC per run instead of
-    one per WRITE); the run is flushed on seek, ``flush`` and close.
+    With ``coalesce_bytes > 0`` writes are buffered locally and pushed
+    as *batched vectored RPCs*: contiguous runs merge, scattered runs
+    ride the same ``gb.write_multi`` frame.  Coalescing is safe by
+    default because a background deadline thread bounds how long bytes
+    stay local (``flush_after`` seconds, default from
+    ``REPRO_BUFFER_FLUSH_DEADLINE``, 20 ms) — a downstream blocking
+    reader sees new data within the deadline even mid-run, which keeps
+    tightly pipelined streams tight.  ``flush_after=0`` disables the
+    deadline (flush only on size/seek/flush/close).
     """
 
     def __init__(
@@ -227,6 +594,7 @@ class BufferWriter(io.RawIOBase):
         name: str,
         write_timeout: Optional[float] = None,
         coalesce_bytes: int = 0,
+        flush_after: Optional[float] = None,
     ):
         super().__init__()
         self._client = client
@@ -235,14 +603,42 @@ class BufferWriter(io.RawIOBase):
         self._timeout = write_timeout
         self._closed_writer = False
         self._lock = threading.Lock()
+        self._flush_cv = threading.Condition(self._lock)
         self._m_write_rpcs = _WRITE_RPCS.labels(stream=name)
+        self._m_deadline_flushes = _DEADLINE_FLUSHES.labels(stream=name)
         self._coalescer = (
-            WriteCoalescer(self._push_run, coalesce_bytes) if coalesce_bytes > 0 else None
+            _RunBatcher(self._push_runs, coalesce_bytes) if coalesce_bytes > 0 else None
         )
+        self._flush_after = (
+            _default_flush_deadline() if flush_after is None else max(0.0, flush_after)
+        )
+        self._pending_since: Optional[float] = None
+        self._deadline_thread: Optional[threading.Thread] = None
+        if self._coalescer is not None and self._flush_after > 0:
+            self._deadline_thread = threading.Thread(
+                target=self._deadline_loop, name=f"gb-flush:{name}", daemon=True
+            )
+            self._deadline_thread.start()
 
-    def _push_run(self, offset: int, data: bytes) -> None:
-        self._client.write(self.name, offset, data, timeout=self._timeout)
+    def _push_runs(self, runs: List[Tuple[int, bytes]]) -> None:
+        self._client.write_multi(self.name, runs, timeout=self._timeout)
         self._m_write_rpcs.inc()
+
+    def _deadline_loop(self) -> None:
+        with self._flush_cv:
+            while not self._closed_writer:
+                if self._coalescer is None or self._coalescer.pending_bytes == 0:
+                    self._pending_since = None
+                    self._flush_cv.wait()
+                    continue
+                assert self._pending_since is not None
+                age = time.monotonic() - self._pending_since
+                if age >= self._flush_after:
+                    self._coalescer.flush()
+                    self._pending_since = None
+                    self._m_deadline_flushes.inc()
+                else:
+                    self._flush_cv.wait(self._flush_after - age)
 
     @property
     def rpc_writes(self) -> int:
@@ -261,7 +657,13 @@ class BufferWriter(io.RawIOBase):
                 raise ValueError("write to closed BufferWriter")
             if data:
                 if self._coalescer is not None:
+                    had_pending = self._coalescer.pending_bytes > 0
                     self._coalescer.write(self._pos, data)
+                    if self._coalescer.pending_bytes == 0:
+                        self._pending_since = None
+                    elif not had_pending or self._pending_since is None:
+                        self._pending_since = time.monotonic()
+                        self._flush_cv.notify_all()
                 else:
                     self._client.write(self.name, self._pos, data, timeout=self._timeout)
                     self._raw_writes += 1
@@ -271,8 +673,8 @@ class BufferWriter(io.RawIOBase):
 
     def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
         with self._lock:
-            if self._coalescer is not None:
-                self._coalescer.flush()
+            # Seeks no longer force a flush: a scattered write simply
+            # opens a new run in the same vectored batch.
             if whence == os.SEEK_SET:
                 self._pos = offset
             elif whence == os.SEEK_CUR:
@@ -293,121 +695,246 @@ class BufferWriter(io.RawIOBase):
         with self._lock:
             if self._coalescer is not None and not self._closed_writer:
                 self._coalescer.flush()
+                self._pending_since = None
         super().flush()
 
     def close(self) -> None:
+        join_me = None
         with self._lock:
             if not self._closed_writer:
                 self._closed_writer = True
+                join_me = self._deadline_thread
+                self._deadline_thread = None
                 try:
                     if self._coalescer is not None:
                         self._coalescer.flush()
                 finally:
+                    self._flush_cv.notify_all()
                     self._client.close_writer(self.name)
+        if join_me is not None:
+            join_me.join(timeout=2.0)
         super().close()
 
 
-class _ReadAheadWorker:
-    """One in-flight read-ahead request on a dedicated connection.
+# ---------------------------------------------------------------------------
+# Reader side
+# ---------------------------------------------------------------------------
 
-    The worker owns its RPC; a request that blocks server-side (data
-    not yet written) therefore never head-of-line blocks the demand
-    connection.  At most one request is outstanding — double buffering,
-    exactly: the block being consumed plus the block in flight.
+
+class _ReadAheadWindow:
+    """Up to N windowed reads in flight on a pooled connection set.
+
+    Generalises the PR 1 double buffer (exactly one request in flight)
+    into an adaptive window: worker threads keep ``depth`` chunk-grid
+    requests outstanding ahead of the consumer.  Depth starts at 1,
+    doubles every time the pipeline actually serves a read (up to
+    ``max_depth``), and collapses on a seek; when the owning client
+    carries measured link estimates, the bandwidth-delay product picks
+    the target depth directly — the paper's latency-crossover argument
+    applied to the window size.
+
+    The window owns one pooled :class:`RpcClient` whose width equals
+    ``max_depth``, so its blocked requests can never head-of-line
+    block the reader's demand connection.
     """
 
-    def __init__(self, client: GridBufferClient, name: str, reader_id: str,
-                 rpc: RpcClient, timeout: Optional[float]):
+    def __init__(
+        self,
+        client: GridBufferClient,
+        name: str,
+        reader_id: str,
+        timeout: Optional[float],
+        chunk_bytes: int,
+        max_depth: int,
+        shared: Optional[_SharedStreamCache] = None,
+    ):
         self._client = client
         self._name = name
         self._reader_id = reader_id
-        self._rpc = rpc
         self._timeout = timeout
+        self._chunk = max(1, chunk_bytes)
+        self._max_depth = max(1, max_depth)
+        self._shared = shared
+        self._rpc = client._fresh_connection(max_connections=self._max_depth)
         self._cv = threading.Condition()
-        self._want: Optional[Tuple[int, int]] = None    # queued (offset, length)
-        self._busy_offset: Optional[int] = None         # offset of in-flight RPC
-        self._result: Optional[Tuple[int, bytes]] = None
-        self._error: Optional[Tuple[int, BaseException]] = None
+        self._queue: List[int] = []                  # wanted offsets, ascending
+        self._inflight: set = set()
+        self._results: Dict[int, bytes] = {}
+        self._errors: Dict[int, BaseException] = {}
+        self._eof_at: Optional[int] = None
+        self._depth = 1
         self._stopped = False
-        self._thread = threading.Thread(
-            target=self._run, name=f"gb-readahead:{name}", daemon=True
-        )
-        self._thread.start()
+        self._threads = [
+            threading.Thread(target=self._run, name=f"gb-window:{name}#{i}", daemon=True)
+            for i in range(self._max_depth)
+        ]
+        for t in self._threads:
+            t.start()
 
-    def request(self, offset: int, length: int) -> None:
-        """Ask for ``[offset, offset+length)`` unless one is outstanding."""
+    # -- owner-side API ----------------------------------------------------
+    def _target_depth(self) -> int:
+        monitor = self._client.monitor
+        if monitor is not None:
+            latency = monitor.latency(self._client.peer)
+            bandwidth = monitor.bandwidth(self._client.peer)
+            if latency and bandwidth:
+                # Keep one round trip's worth of bytes in flight.
+                bdp = 2.0 * latency * bandwidth
+                return max(1, min(self._max_depth, round(bdp / self._chunk + 0.5)))
+        return self._depth
+
+    def note_hit(self) -> None:
         with self._cv:
-            if self._stopped or self._want is not None or self._busy_offset is not None:
-                return
-            if self._result is not None and self._result[0] == offset:
-                return  # already buffered
-            self._want = (offset, length)
-            self._cv.notify_all()
+            self._depth = min(self._depth * 2, self._max_depth)
 
-    def take(self, offset: int) -> Optional[bytes]:
-        """Data at ``offset`` from the pipeline, waiting if it is queued
-        or in flight there; None means the caller must read directly.
-        A read-ahead that errored *at this offset* re-raises here; stale
-        errors for other offsets are dropped (the demand path will hit
-        any persistent stream failure itself)."""
+    def _result_covering(self, pos: int) -> Optional[int]:
+        for off, data in self._results.items():
+            if off <= pos < off + len(data):
+                return off
+        return None
+
+    def schedule(self, frontier: int) -> None:
+        """Keep the window full of requests at/after ``frontier``."""
+        with self._cv:
+            if self._stopped:
+                return
+            # Drop state the consumer has moved past.  A result is
+            # stale only when *fully* below the frontier: its bytes are
+            # consumed server-side, so dropping an undelivered tail
+            # would make them unreachable on a cache-less stream.
+            for off in [
+                o for o, d in self._results.items() if o + len(d) <= frontier
+            ]:
+                del self._results[off]
+            for off in [o for o in self._errors if o < frontier]:
+                del self._errors[off]
+            self._queue = [o for o in self._queue if o >= frontier]
+            target = self._target_depth()
+            tracked = set(self._queue) | self._inflight | set(self._results) | set(self._errors)
+            outstanding = len([o for o in tracked if o >= frontier])
+            candidate = frontier
+            while outstanding < target:
+                if self._eof_at is not None and candidate >= self._eof_at:
+                    break
+                if (
+                    candidate not in tracked
+                    and self._result_covering(candidate) is None
+                    and not (self._shared is not None and self._shared.covers(candidate))
+                ):
+                    insort(self._queue, candidate)
+                    tracked.add(candidate)
+                    outstanding += 1
+                candidate += self._chunk
+            if self._queue:
+                self._cv.notify_all()
+
+    def take(self, pos: int) -> Optional[bytes]:
+        """Pipelined data covering ``pos``, waiting while in flight.
+
+        ``b""`` means EOF at/after ``pos``; None means the caller must
+        demand-read.  A request *covering* ``pos`` (its span may start
+        earlier when a shared-cache hit advanced the consumer mid-run)
+        is served from ``pos`` onward.  An error recorded at exactly
+        ``pos`` re-raises here; other errors are dropped during
+        scheduling (the demand path surfaces persistent failures).
+        """
         with self._cv:
             while True:
-                if self._error is not None:
-                    eoff, exc = self._error
-                    self._error = None
-                    if eoff == offset:
-                        raise exc
-                if self._result is not None:
-                    roff, data = self._result
-                    self._result = None
-                    if roff == offset:
-                        return data
-                    return None  # stale (seek happened): discard
-                pending = self._want[0] if self._want is not None else self._busy_offset
-                if pending == offset:
+                if pos in self._errors:
+                    raise self._errors.pop(pos)
+                off = self._result_covering(pos)
+                if off is not None:
+                    data = self._results.pop(off)
+                    return data[pos - off :] if off != pos else data
+                if self._eof_at is not None and pos >= self._eof_at:
+                    return b""
+                # A queued/in-flight request whose span may reach pos:
+                # wait for it rather than racing a demand read against
+                # bytes it is about to consume.
+                if any(
+                    off <= pos < off + self._chunk
+                    for off in self._inflight | set(self._queue)
+                ):
                     self._cv.wait(timeout=0.05)
                     continue
                 return None
 
-    def discard(self) -> None:
+    def next_boundary(self, pos: int) -> Optional[int]:
+        """Smallest tracked offset beyond ``pos`` (demand-read clamp)."""
         with self._cv:
-            self._result = None
-            self._want = None
+            tracked = set(self._queue) | self._inflight | set(self._results) | set(self._errors)
+            ahead = [o for o in tracked if o > pos]
+            return min(ahead) if ahead else None
+
+    def discard(self) -> None:
+        """A seek invalidated the window: drop queued work, collapse."""
+        with self._cv:
+            self._queue.clear()
+            self._results.clear()
+            self._errors.clear()
+            self._depth = 1
+
+    def eof_total(self) -> Optional[int]:
+        with self._cv:
+            return self._eof_at
 
     def close(self) -> None:
         with self._cv:
             self._stopped = True
-            self._want = None
+            self._queue.clear()
             self._cv.notify_all()
-        # Closing the socket unblocks a server-side blocking read.
+        # Hard-close the pooled sockets: calls parked in a server-side
+        # blocking read fail immediately instead of waiting out their
+        # timeout, so join() below always completes promptly.
+        self._rpc.close_all()
+        for t in self._threads:
+            t.join(timeout=2.0)
         self._rpc.close()
-        self._thread.join(timeout=1.0)
 
+    # -- workers -----------------------------------------------------------
     def _run(self) -> None:
         while True:
             with self._cv:
-                while self._want is None and not self._stopped:
+                while not self._queue and not self._stopped:
                     self._cv.wait()
                 if self._stopped:
                     return
-                offset, length = self._want
-                self._want = None
-                self._busy_offset = offset
+                offset = self._queue.pop(0)
+                self._inflight.add(offset)
+                self._cv.notify_all()
             try:
-                data = self._client.read(
-                    self._name, self._reader_id, offset, length,
-                    timeout=self._timeout, rpc=self._rpc,
+                data, total = self._client.read_window(
+                    self._name,
+                    self._reader_id,
+                    offset,
+                    self._chunk,
+                    timeout=self._timeout,
+                    rpc=self._rpc,
                 )
-                with self._cv:
-                    self._result = (offset, data)
             except BaseException as exc:  # noqa: BLE001 - surfaced on take()
+                # A shared-cache hit can ack bytes this request was
+                # racing to fetch; the server then rejects the re-read
+                # of consumed bytes.  That is benign — the consumer got
+                # the bytes locally — so drop the error when the cache
+                # covers the offset.
+                benign = self._shared is not None and self._shared.covers(offset)
                 with self._cv:
-                    if not self._stopped:
-                        self._error = (offset, exc)
-            finally:
-                with self._cv:
-                    self._busy_offset = None
+                    self._inflight.discard(offset)
+                    if not self._stopped and not benign:
+                        self._errors[offset] = exc
                     self._cv.notify_all()
+                continue
+            if self._shared is not None and data:
+                self._shared.put(offset, data)
+            with self._cv:
+                self._inflight.discard(offset)
+                if not self._stopped:
+                    self._results[offset] = data
+                    if total is not None:
+                        self._eof_at = total if self._eof_at is None else min(self._eof_at, total)
+                    elif not data:
+                        self._eof_at = offset if self._eof_at is None else min(self._eof_at, offset)
+                self._cv.notify_all()
 
 
 class BufferReader(ReadIntoFromRead, io.RawIOBase):
@@ -415,10 +942,16 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
 
     Sequential reads drain the hash table; re-reads and backwards
     seeks hit the server-side cache file — exactly the DARLAM pattern
-    in Section 5.3.  With a ``read_ahead_rpc`` the next chunk is
-    requested in the background while the current one is consumed
-    (double buffering), overlapping RPC latency with application work.
+    in Section 5.3.  With ``read_ahead=True`` an adaptive
+    :class:`_ReadAheadWindow` keeps up to ``read_ahead_depth`` windowed
+    requests in flight while the current chunk is consumed.  With
+    ``shared_cache=True`` co-located readers of the same stream serve
+    each other's fetches from a per-process cache and acknowledge
+    consumption with batched vectored ``gb.consume`` calls.
     """
+
+    #: Acked-but-unsent shared-cache ranges are flushed past this size.
+    ACK_FLUSH_BYTES = 1 * 1024 * 1024
 
     def __init__(
         self,
@@ -427,8 +960,10 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         reader_id: str,
         read_timeout: Optional[float] = None,
         rpc: Optional[RpcClient] = None,
-        read_ahead_rpc: Optional[RpcClient] = None,
-        read_ahead_bytes: int = DEFAULT_BLOCK_SIZE * 16,
+        read_ahead: bool = False,
+        read_ahead_bytes: int = DEFAULT_READ_BUDGET,
+        read_ahead_depth: int = 4,
+        shared_cache: bool = False,
     ):
         super().__init__()
         self._client = client
@@ -438,17 +973,55 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         self._timeout = read_timeout
         self._rpc = rpc
         self._ra_bytes = max(1, read_ahead_bytes)
-        self._ra: Optional[_ReadAheadWorker] = None
         self._ra_buf = b""          # data already fetched ahead, at _pos
         self._at_eof = False
         self.readahead_hits = 0     # reads served (fully) from the pipeline
+        self.shared_hits = 0        # reads served from the shared cache
         self._m_ra_hits = _READAHEAD_HITS.labels(stream=name)
-        if read_ahead_rpc is not None:
-            self._ra = _ReadAheadWorker(client, name, reader_id, read_ahead_rpc, read_timeout)
+        self._m_shared_hits = _SHARED_HITS.labels(stream=name)
+        self._shared: Optional[_SharedStreamCache] = None
+        self._ack_runs: List[List[int]] = []   # merged [start, end) pending ack
+        self._ack_bytes = 0
+        if shared_cache:
+            self._shared = _shared_cache_acquire(client.address, name)
+        self._ra: Optional[_ReadAheadWindow] = None
+        if read_ahead:
+            self._ra = _ReadAheadWindow(
+                client,
+                name,
+                reader_id,
+                read_timeout,
+                read_ahead_bytes,
+                read_ahead_depth,
+                shared=self._shared,
+            )
 
     def readable(self) -> bool:
         return True
 
+    # -- shared-cache ack batching -----------------------------------------
+    def _ack(self, start: int, end: int) -> None:
+        if end <= start:
+            return
+        if self._ack_runs and self._ack_runs[-1][1] == start:
+            self._ack_runs[-1][1] = end
+        else:
+            self._ack_runs.append([start, end])
+        self._ack_bytes += end - start
+        if self._ack_bytes >= self.ACK_FLUSH_BYTES:
+            self._flush_acks()
+
+    def _flush_acks(self) -> None:
+        if not self._ack_runs:
+            return
+        runs, self._ack_runs, self._ack_bytes = self._ack_runs, [], 0
+        try:
+            self._client.consume(self.name, self.reader_id, [(s, e) for s, e in runs])
+        except (OSError, RpcError):
+            # Best-effort: a lost ack delays GC, never corrupts data.
+            pass
+
+    # -- read path ---------------------------------------------------------
     def _read_direct(self, size: int) -> bytes:
         data = self._client.read(
             self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
@@ -459,7 +1032,7 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         if size is None or size < 0:
             chunks = []
             while True:
-                chunk = self.read(DEFAULT_BLOCK_SIZE * 16)
+                chunk = self.read(DEFAULT_READ_BUDGET)
                 if not chunk:
                     break
                 chunks.append(chunk)
@@ -479,8 +1052,27 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
                 self._m_ra_hits.inc()
                 self._schedule_readahead()
                 return bytes(out)
-        # 2. Collect a completed/in-flight read-ahead landing at _pos.
-        if self._ra is not None and not self._at_eof:
+        # 2. Shared per-process cache: a co-located reader already
+        # fetched this range; serve it locally and ack consumption.
+        if self._shared is not None and not self._at_eof and size > 0:
+            if self._shared.eof_total is not None and self._pos >= self._shared.eof_total:
+                self._at_eof = True
+                self._schedule_readahead()
+                return bytes(out)
+            data = self._shared.get(self._pos)
+            if data is not None:
+                take = min(size, len(data))
+                out += data[:take]
+                self._ra_buf = data[take:]
+                self._ack(self._pos, self._pos + len(data))
+                self._pos += take
+                size -= take
+                self.shared_hits += 1
+                self._m_shared_hits.inc()
+                self._schedule_readahead()
+                return bytes(out)
+        # 3. Collect a completed/in-flight read-ahead landing at _pos.
+        if self._ra is not None and not self._at_eof and size > 0:
             data = self._ra.take(self._pos)
             if data is not None:
                 if not data:
@@ -494,14 +1086,24 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
                 if out:
                     self.readahead_hits += 1
                     self._m_ra_hits.inc()
+                    self._ra.note_hit()
                     self._schedule_readahead()
                     return bytes(out)
-        # 3. Whatever is still missing comes from a demand RPC (a short
+        # 4. Whatever is still missing comes from a demand RPC (a short
         # read is fine — POSIX semantics — but never block past EOF).
+        # Clamp to the next window boundary so an in-flight read-ahead
+        # request is never partially duplicated.
         if size > 0 and not self._at_eof:
-            data = self._read_direct(size)
+            limit = size
+            if self._ra is not None:
+                boundary = self._ra.next_boundary(self._pos)
+                if boundary is not None and boundary > self._pos:
+                    limit = min(limit, boundary - self._pos)
+            data = self._read_direct(limit)
             if not data and not out:
                 self._at_eof = True
+            if data and self._shared is not None:
+                self._shared.put(self._pos, data)
             out += data
             self._pos += len(data)
         self._schedule_readahead()
@@ -510,7 +1112,7 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
     def _schedule_readahead(self) -> None:
         if self._ra is None or self._at_eof:
             return
-        self._ra.request(self._pos + len(self._ra_buf), self._ra_bytes)
+        self._ra.schedule(self._pos + len(self._ra_buf))
 
     def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:  # type: ignore[override]
         if whence == os.SEEK_SET:
@@ -540,10 +1142,16 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         return self._pos
 
     def close(self) -> None:
+        if self.closed:
+            return
         if self._ra is not None:
             self._ra.close()
             self._ra = None
+        self._flush_acks()
+        if self._shared is not None:
+            _shared_cache_release(self._client.address, self.name)
+            self._shared = None
         if self._rpc is not None:
-            self._rpc.close()
+            self._rpc.close_all()
             self._rpc = None
         super().close()

@@ -11,10 +11,14 @@ from __future__ import annotations
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_CAPACITY",
+    "DEFAULT_READ_BUDGET",
     "OP_CREATE",
     "OP_REGISTER_READER",
     "OP_WRITE",
+    "OP_WRITE_MULTI",
     "OP_READ",
+    "OP_READ_MULTI",
+    "OP_CONSUME",
     "OP_CLOSE_WRITER",
     "OP_STATS",
     "OP_DROP",
@@ -30,6 +34,9 @@ DEFAULT_BLOCK_SIZE = 4096
 #: Default per-stream table capacity; bounded so backpressure exists.
 DEFAULT_CAPACITY = 32 * 1024 * 1024
 
+#: Default byte budget for a windowed (vectored) read.
+DEFAULT_READ_BUDGET = DEFAULT_BLOCK_SIZE * 16
+
 OP_CREATE = "gb.create"
 OP_REGISTER_READER = "gb.register_reader"
 OP_WRITE = "gb.write"
@@ -41,3 +48,29 @@ OP_EXISTS = "gb.exists"
 OP_ABORT = "gb.abort"
 OP_RESUME = "gb.resume"
 OP_HIGH_WATER = "gb.high_water"
+
+# -- vectored fast-path ops (PR 3) ---------------------------------------
+# Frames stay JSON-header + binary payload; these ops just move more
+# per round trip.  An old server replies "unknown-op" and clients fall
+# back to the per-block ops above, so both directions stay compatible.
+
+#: Scatter several blocks in one frame.  Header: ``name``, ``offsets``
+#: (list), ``sizes`` (list, same length); payload is the blocks
+#: concatenated in order.  Reply: ``{"written": total}``.
+OP_WRITE_MULTI = "gb.write_multi"
+
+#: Windowed read: return as many contiguous bytes as are available at
+#: ``offset`` up to ``budget`` in one reply (blocking only while
+#: nothing is available, like ``gb.read``).  Header additionally
+#: carries ``min_bytes`` (wait until at least this much is available
+#: or the window/EOF bounds it).  Reply: ``{"eof": bool, "total": int
+#: | null}`` — ``total`` is the stream length once the writer closed,
+#: letting clients stop scheduling read-ahead past EOF.
+OP_READ_MULTI = "gb.read_multi"
+
+#: Mark byte ranges consumed for a reader *without* transferring them
+#: (the reader got the bytes from a co-located reader's fetch).
+#: Header: ``name``, ``reader_id``, ``ranges`` (list of [start, end)).
+#: Keeps delete-on-read GC and per-reader lag gauges exact when a
+#: shared client-side cache dedupes broadcast reads.
+OP_CONSUME = "gb.consume"

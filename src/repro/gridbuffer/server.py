@@ -16,15 +16,18 @@ from .protocol import (
     DEFAULT_CAPACITY,
     OP_ABORT,
     OP_CLOSE_WRITER,
+    OP_CONSUME,
     OP_CREATE,
     OP_DROP,
     OP_EXISTS,
     OP_HIGH_WATER,
     OP_READ,
+    OP_READ_MULTI,
     OP_REGISTER_READER,
     OP_RESUME,
     OP_STATS,
     OP_WRITE,
+    OP_WRITE_MULTI,
 )
 from .service import GridBufferError, GridBufferService
 
@@ -32,7 +35,12 @@ __all__ = ["GridBufferServer"]
 
 
 class GridBufferServer:
-    """Network wrapper: maps RPC ops onto a local GridBufferService."""
+    """Network wrapper: maps RPC ops onto a local GridBufferService.
+
+    ``simulated_latency`` (one-way seconds) is injected per RPC by the
+    underlying :class:`RpcServer`, so benchmarks can A/B the per-block
+    and vectored paths over a slow link without leaving localhost.
+    """
 
     def __init__(
         self,
@@ -40,14 +48,18 @@ class GridBufferServer:
         host: str = "127.0.0.1",
         port: int = 0,
         default_capacity: Optional[int] = DEFAULT_CAPACITY,
+        simulated_latency: float = 0.0,
     ):
         self.service = GridBufferService(default_capacity=default_capacity)
         self.cache_dir = Path(cache_dir) if cache_dir else None
-        self._rpc = RpcServer(host, port)
+        self._rpc = RpcServer(host, port, simulated_latency=simulated_latency)
         self._rpc.register(OP_CREATE, self._op_create)
         self._rpc.register(OP_REGISTER_READER, self._op_register_reader)
         self._rpc.register(OP_WRITE, self._op_write)
+        self._rpc.register(OP_WRITE_MULTI, self._op_write_multi)
         self._rpc.register(OP_READ, self._op_read)
+        self._rpc.register(OP_READ_MULTI, self._op_read_multi)
+        self._rpc.register(OP_CONSUME, self._op_consume)
         self._rpc.register(OP_CLOSE_WRITER, self._op_close_writer)
         self._rpc.register(OP_STATS, self._op_stats)
         self._rpc.register(OP_DROP, self._op_drop)
@@ -113,6 +125,24 @@ class GridBufferServer:
         )
         return {"written": len(payload)}, b""
 
+    def _op_write_multi(self, header: Dict[str, Any], payload: bytes):
+        offsets = [int(o) for o in header["offsets"]]
+        sizes = [int(s) for s in header["sizes"]]
+        if len(offsets) != len(sizes):
+            raise RpcError("bad-request", "offsets/sizes length mismatch")
+        if sum(sizes) != len(payload):
+            raise RpcError("bad-request", "payload length does not match sizes")
+        view = memoryview(payload)
+        runs = []
+        pos = 0
+        for offset, size in zip(offsets, sizes):
+            runs.append((offset, bytes(view[pos : pos + size])))
+            pos += size
+        written = self._wrap(
+            lambda: self.service.write_multi(header["name"], runs, timeout=header.get("timeout"))
+        )
+        return {"written": written}, b""
+
     def _op_read(self, header: Dict[str, Any], _payload: bytes):
         data = self._wrap(
             lambda: self.service.read(
@@ -124,6 +154,28 @@ class GridBufferServer:
             )
         )
         return {"eof": len(data) == 0}, data
+
+    def _op_read_multi(self, header: Dict[str, Any], _payload: bytes):
+        name = header["name"]
+        data = self._wrap(
+            lambda: self.service.read(
+                name,
+                header["reader_id"],
+                int(header["offset"]),
+                int(header.get("budget", header.get("length", 0))),
+                timeout=header.get("timeout"),
+                min_bytes=int(header.get("min_bytes", 1)),
+            )
+        )
+        total = self.service.total_bytes(name)
+        return {"eof": len(data) == 0, "total": total}, data
+
+    def _op_consume(self, header: Dict[str, Any], _payload: bytes):
+        ranges = [(int(s), int(e)) for s, e in header.get("ranges", [])]
+        self._wrap(
+            lambda: self.service.mark_consumed(header["name"], header["reader_id"], ranges)
+        )
+        return {}, b""
 
     def _op_close_writer(self, header: Dict[str, Any], _payload: bytes):
         total = self._wrap(lambda: self.service.close_writer(header["name"]))

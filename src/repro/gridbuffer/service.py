@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import logging
 import threading
+import zlib
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from .cache import BufferCache, IntervalSet
@@ -125,6 +127,11 @@ class _Stream:
         self.capacity = capacity_bytes
         self.cache = cache
         self.blocks: Dict[int, bytes] = {}
+        #: Sorted block offsets + the largest block seen: lets reads
+        #: locate a covering block by bisection instead of scanning the
+        #: whole dict per position.
+        self.block_index: List[int] = []
+        self.max_block_len = 0
         self.in_table = IntervalSet()
         self.written = IntervalSet()
         self.consumed: Dict[str, IntervalSet] = {}
@@ -173,13 +180,60 @@ def _remove_interval(ivs: IntervalSet, start: int, end: int) -> None:
     ivs._ivs = remaining  # noqa: SLF001 - module-private helper
 
 
+class _AssemblyPlan:
+    """Reply-assembly recipe built under the stream lock, executed outside.
+
+    Table parts hold :class:`memoryview` slices of the immutable block
+    ``bytes`` — still valid after delete-on-read GC removes the dict
+    entries — and cache parts name file ranges to load once the lock is
+    released, so cache-file IO never serialises the stream's other
+    readers and the writer behind the condition variable.
+    """
+
+    __slots__ = ("total", "mem_parts", "cache_parts", "cache")
+
+    def __init__(self, total: int, cache: Optional[BufferCache]):
+        self.total = total
+        self.mem_parts: List[Tuple[int, memoryview]] = []
+        self.cache_parts: List[Tuple[int, int, int]] = []  # dest, file_off, length
+        self.cache = cache
+
+    def execute(self) -> bytes:
+        if not self.cache_parts and len(self.mem_parts) == 1:
+            return bytes(self.mem_parts[0][1])  # single-slice fast path
+        buf = bytearray(self.total)
+        for dest, view in self.mem_parts:
+            buf[dest : dest + len(view)] = view
+        for dest, off, length in self.cache_parts:
+            buf[dest : dest + length] = self.cache.load(off, length)  # type: ignore[union-attr]
+        return bytes(buf)
+
+
+#: Registry shards: stream lookup contends only with same-shard
+#: create/drop, never with every other stream's hot path.
+_N_SHARDS = 16
+
+
 class GridBufferService:
     """In-process Grid Buffer holding any number of named streams."""
 
     def __init__(self, default_capacity: Optional[int] = 32 * 1024 * 1024):
         self.default_capacity = default_capacity
-        self._streams: Dict[str, _Stream] = {}
-        self._lock = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in range(_N_SHARDS)]
+        self._shard_maps: List[Dict[str, _Stream]] = [{} for _ in range(_N_SHARDS)]
+
+    def _shard(self, name: str) -> Tuple[threading.Lock, Dict[str, _Stream]]:
+        i = zlib.crc32(name.encode("utf-8", "surrogatepass")) % _N_SHARDS
+        return self._shard_locks[i], self._shard_maps[i]
+
+    @property
+    def _streams(self) -> Dict[str, _Stream]:
+        """Merged snapshot of every shard (tests and introspection)."""
+        out: Dict[str, _Stream] = {}
+        for lock, streams in zip(self._shard_locks, self._shard_maps):
+            with lock:
+                out.update(streams)
+        return out
 
     # -- stream lifecycle ----------------------------------------------------
     def create_stream(
@@ -192,29 +246,32 @@ class GridBufferService:
         """Declare a stream before use.  Idempotent for identical config."""
         if n_readers < 1:
             raise ValueError("n_readers must be >= 1")
-        with self._lock:
-            existing = self._streams.get(name)
+        lock, streams = self._shard(name)
+        with lock:
+            existing = streams.get(name)
             if existing is not None:
                 if existing.n_readers != n_readers:
                     raise GridBufferError(f"stream {name!r} already exists with different config")
                 return
             cap = capacity_bytes if capacity_bytes is not None else self.default_capacity
-            self._streams[name] = _Stream(name, n_readers, cap, cache)
+            streams[name] = _Stream(name, n_readers, cap, cache)
             logger.debug(
                 "stream %s created (readers=%d capacity=%s cache=%s)",
                 name, n_readers, cap, cache is not None,
             )
 
     def _stream(self, name: str) -> _Stream:
-        with self._lock:
+        lock, streams = self._shard(name)
+        with lock:
             try:
-                return self._streams[name]
+                return streams[name]
             except KeyError:
                 raise GridBufferError(f"unknown stream {name!r}") from None
 
     def exists(self, name: str) -> bool:
-        with self._lock:
-            return name in self._streams
+        lock, streams = self._shard(name)
+        with lock:
+            return name in streams
 
     def register_reader(self, name: str, reader_id: str) -> None:
         """Attach a reader; at most ``n_readers`` distinct ids allowed."""
@@ -238,8 +295,9 @@ class GridBufferService:
             return StreamStats(**vars(st.stats))
 
     def drop_stream(self, name: str) -> None:
-        with self._lock:
-            st = self._streams.pop(name, None)
+        lock, streams = self._shard(name)
+        with lock:
+            st = streams.pop(name, None)
         if st is not None and st.cache is not None:
             st.cache.close()
 
@@ -252,33 +310,75 @@ class GridBufferService:
         if not data:
             return
         with st.cond:
-            if st.failed is not None:
-                raise StreamFailed(f"stream {name!r} failed: {st.failed}")
-            if st.eof_total is not None:
-                raise StreamClosed(f"stream {name!r} writer already closed")
-            if st.capacity is not None and len(data) > st.capacity:
-                raise GridBufferError(
-                    f"block of {len(data)} bytes exceeds stream capacity {st.capacity}"
-                )
-            while st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
-                st.stats.writer_stalls += 1
-                st.m_writer_stalls.inc()
-                if not st.cond.wait(timeout=timeout):
-                    raise TimeoutError(f"write stalled on full buffer {name!r}")
-            if st.written.covers(offset, offset + len(data)) and st.cache is None:
-                # Overwrite of in-flight data: replace table contents.
-                self._drop_blocks_overlapping(st, offset, offset + len(data))
-            st.blocks[offset] = bytes(data)
-            st.in_table.add(offset, offset + len(data))
-            st.written.add(offset, offset + len(data))
-            st.mem_bytes += len(data)
-            st.stats.bytes_written += len(data)
-            st.m_bytes_written.inc(len(data))
-            st.m_blocks_stored.inc()
+            self._write_locked(st, offset, data, timeout)
             st.sync_table_gauges()
-            if st.cache is not None:
-                st.cache.store(offset, data)
             st.cond.notify_all()
+
+    def write_multi(
+        self,
+        name: str,
+        runs: Sequence[Tuple[int, bytes]],
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Scatter several blocks under one lock acquisition.
+
+        One vectored call replaces ``len(runs)`` round trips *and*
+        ``len(runs)`` condition-variable cycles; readers are notified
+        once, after all blocks landed.  Returns total bytes stored.
+        """
+        for offset, _ in runs:
+            if offset < 0:
+                raise ValueError("offset must be >= 0")
+        st = self._stream(name)
+        total = 0
+        with st.cond:
+            for offset, data in runs:
+                if not data:
+                    continue
+                self._write_locked(st, offset, data, timeout)
+                total += len(data)
+            st.sync_table_gauges()
+            st.cond.notify_all()
+        return total
+
+    def _write_locked(
+        self, st: _Stream, offset: int, data: bytes, timeout: Optional[float]
+    ) -> None:
+        """One block store; caller holds ``st.cond`` and notifies after."""
+        if st.failed is not None:
+            raise StreamFailed(f"stream {st.name!r} failed: {st.failed}")
+        if st.eof_total is not None:
+            raise StreamClosed(f"stream {st.name!r} writer already closed")
+        if st.capacity is not None and len(data) > st.capacity:
+            raise GridBufferError(
+                f"block of {len(data)} bytes exceeds stream capacity {st.capacity}"
+            )
+        while st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
+            st.stats.writer_stalls += 1
+            st.m_writer_stalls.inc()
+            # A mid-batch stall must publish the blocks already stored,
+            # or the readers this wait depends on could never drain.
+            st.cond.notify_all()
+            if not st.cond.wait(timeout=timeout):
+                raise TimeoutError(f"write stalled on full buffer {st.name!r}")
+        if st.written.covers(offset, offset + len(data)) and st.cache is None:
+            # Overwrite of in-flight data: replace table contents.
+            self._drop_blocks_overlapping(st, offset, offset + len(data))
+        old = st.blocks.get(offset)
+        if old is not None:
+            st.mem_bytes -= len(old)  # same-offset rewrite replaces, not adds
+        else:
+            insort(st.block_index, offset)
+        st.blocks[offset] = bytes(data)
+        st.max_block_len = max(st.max_block_len, len(data))
+        st.in_table.add(offset, offset + len(data))
+        st.written.add(offset, offset + len(data))
+        st.mem_bytes += len(data)
+        st.stats.bytes_written += len(data)
+        st.m_bytes_written.inc(len(data))
+        st.m_blocks_stored.inc()
+        if st.cache is not None:
+            st.cache.store(offset, data)
 
     def close_writer(self, name: str) -> int:
         """Mark EOF; returns the stream's total length.
@@ -350,6 +450,7 @@ class GridBufferService:
         offset: int,
         length: int,
         timeout: Optional[float] = None,
+        min_bytes: int = 1,
     ) -> bytes:
         """Read up to ``length`` bytes at ``offset`` for ``reader_id``.
 
@@ -358,10 +459,23 @@ class GridBufferService:
         fewer than ``length`` bytes).  Returns ``b""`` exactly when
         ``offset`` is at/after EOF.  Blocking for the full range would
         deadlock against a capacity-stalled writer.
+
+        ``min_bytes > 1`` (the windowed-read op) keeps blocking until
+        at least that much is contiguously available — unless EOF or
+        the ``length`` budget bounds the wait first — so a fast reader
+        polling a slow writer costs one reply per window, not one per
+        trickled block.
+
+        Cache-file IO and reply assembly happen *outside* the stream
+        lock: under the lock the service only plans the reply (slices
+        of immutable table blocks + cache ranges), marks consumption
+        and runs GC.
         """
         if offset < 0 or length < 0:
             raise ValueError("offset/length must be >= 0")
+        min_bytes = max(1, min(min_bytes, length)) if length else 0
         st = self._stream(name)
+        plan: Optional[_AssemblyPlan] = None
         with st.cond:
             if reader_id not in st.consumed:
                 raise GridBufferError(
@@ -376,13 +490,13 @@ class GridBufferService:
                         return b""
                     end = min(end, st.eof_total)
                 avail_end = self._available_upto(st, offset, end)
-                if avail_end > offset:
-                    data = self._assemble(st, reader_id, offset, avail_end)
-                    st.stats.bytes_read += len(data)
-                    st.m_bytes_read.inc(len(data))
+                if avail_end > offset and (avail_end - offset >= min_bytes or avail_end >= end):
+                    plan = self._plan_assembly(st, reader_id, offset, avail_end)
+                    st.stats.bytes_read += plan.total
+                    st.m_bytes_read.inc(plan.total)
                     st.sync_reader_lag(reader_id)
                     st.cond.notify_all()
-                    return data
+                    break
                 self._check_recoverable(st, offset, end)
                 st.stats.reader_waits += 1
                 st.m_reader_waits.inc()
@@ -390,6 +504,44 @@ class GridBufferService:
                     raise TimeoutError(
                         f"read of [{offset},{end}) timed out on stream {name!r}"
                     )
+        return plan.execute()
+
+    def total_bytes(self, name: str) -> Optional[int]:
+        """Stream length once the writer closed it, else ``None``."""
+        st = self._stream(name)
+        with st.cond:
+            return st.eof_total
+
+    def mark_consumed(
+        self, name: str, reader_id: str, ranges: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Record ranges as consumed for ``reader_id`` without reading.
+
+        The vectored-broadcast path: when a co-located reader already
+        fetched a range and served it from a shared client-side cache,
+        the other readers acknowledge here so delete-on-read GC and the
+        per-reader lag gauges stay exact without moving the bytes
+        again.  Ranges outside written data are ignored.
+        """
+        st = self._stream(name)
+        with st.cond:
+            if reader_id not in st.consumed:
+                raise GridBufferError(
+                    f"reader {reader_id!r} not registered on stream {name!r}"
+                )
+            touched: List[int] = []
+            for start, end in ranges:
+                start, end = max(0, int(start)), int(end)
+                if end <= start:
+                    continue
+                st.consumed[reader_id].add(start, end)
+                st.stats.bytes_read += end - start
+                st.m_bytes_read.inc(end - start)
+                touched.extend(self._blocks_overlapping(st, start, end))
+            self._gc_blocks(st, touched)
+            st.sync_table_gauges()
+            st.sync_reader_lag(reader_id)
+            st.cond.notify_all()
 
     # -- internals -----------------------------------------------------------
     def _check_recoverable(self, st: _Stream, start: int, end: int) -> None:
@@ -427,8 +579,17 @@ class GridBufferService:
                 break
         return pos
 
-    def _assemble(self, st: _Stream, reader_id: str, start: int, end: int) -> bytes:
-        out = bytearray()
+    def _plan_assembly(
+        self, st: _Stream, reader_id: str, start: int, end: int
+    ) -> _AssemblyPlan:
+        """Plan the reply for [start, end) and account it (holds ``cond``).
+
+        Collects memoryview slices over the table's immutable block
+        bytes plus cache-range descriptors; the caller executes the
+        plan (the actual copying and cache-file IO) after releasing
+        the stream lock.
+        """
+        plan = _AssemblyPlan(end - start, st.cache)
         pos = start
         touched: list[int] = []
         while pos < end:
@@ -437,13 +598,15 @@ class GridBufferService:
                 data = st.blocks[block_off]
                 take_from = pos - block_off
                 take = min(len(data) - take_from, end - pos)
-                out += data[take_from : take_from + take]
+                plan.mem_parts.append(
+                    (pos - start, memoryview(data)[take_from : take_from + take])
+                )
                 touched.append(block_off)
                 pos += take
                 continue
             if st.cache is not None and st.cache.has(pos, 1):
                 upto = min(st.cache.valid_upto(pos), end)
-                out += st.cache.load(pos, upto - pos)
+                plan.cache_parts.append((pos - start, pos, upto - pos))
                 st.stats.cache_hits += 1
                 st.m_cache_hits.inc()
                 pos = upto
@@ -457,17 +620,47 @@ class GridBufferService:
         st.consumed[reader_id].add(start, end)
         self._gc_blocks(st, touched)
         st.sync_table_gauges()
-        return bytes(out)
+        return plan
 
     def _covering_block(self, st: _Stream, pos: int) -> Optional[int]:
-        # Block offsets are sparse; scan candidates via the interval set
-        # first to avoid touching the dict when clearly absent.
+        """Offset of a table block covering ``pos`` (bisect, not scan)."""
         if not st.in_table.covers(pos, pos + 1):
             return None
-        for off, data in st.blocks.items():
-            if off <= pos < off + len(data):
+        idx = st.block_index
+        i = bisect_right(idx, pos) - 1
+        # Walk left over candidate offsets; no block further left than
+        # max_block_len can reach pos, which bounds the walk to the
+        # (rare, cache-stream-only) overlapping-block case.
+        floor = pos - st.max_block_len
+        while i >= 0:
+            off = idx[i]
+            if off < floor:
+                break
+            data = st.blocks.get(off)
+            if data is not None and off <= pos < off + len(data):
                 return off
+            i -= 1
         return None
+
+    def _blocks_overlapping(self, st: _Stream, start: int, end: int) -> List[int]:
+        """Offsets of table blocks intersecting [start, end)."""
+        idx = st.block_index
+        lo = bisect_right(idx, max(0, start - st.max_block_len))
+        lo = max(0, lo - 1)
+        out = []
+        for i in range(lo, len(idx)):
+            off = idx[i]
+            if off >= end:
+                break
+            data = st.blocks.get(off)
+            if data is not None and off + len(data) > start:
+                out.append(off)
+        return out
+
+    def _unindex_block(self, st: _Stream, off: int) -> None:
+        i = bisect_left(st.block_index, off)
+        if i < len(st.block_index) and st.block_index[i] == off:
+            del st.block_index[i]
 
     def _gc_blocks(self, st: _Stream, offsets: list[int]) -> None:
         """Drop table blocks fully consumed by every registered reader.
@@ -484,11 +677,13 @@ class GridBufferService:
             end = off + len(data)
             if all(c.covers(off, end) for c in st.consumed.values()):
                 del st.blocks[off]
+                self._unindex_block(st, off)
                 st.mem_bytes -= len(data)
                 _remove_interval(st.in_table, off, end)
 
     def _drop_blocks_overlapping(self, st: _Stream, start: int, end: int) -> None:
-        for off in [o for o, d in st.blocks.items() if o < end and o + len(d) > start]:
+        for off in self._blocks_overlapping(st, start, end):
             data = st.blocks.pop(off)
+            self._unindex_block(st, off)
             st.mem_bytes -= len(data)
             _remove_interval(st.in_table, off, off + len(data))

@@ -62,6 +62,16 @@ _SERVER_REQUESTS = obs.counter(
 #: peer fails a test in seconds rather than stalling the whole suite.
 DEFAULT_RPC_TIMEOUT = float(os.environ.get("REPRO_RPC_TIMEOUT", "30.0"))
 
+#: Default connection-pool width per RpcClient.  The framing protocol
+#: is strict request/reply, so in-flight depth equals connections; a
+#: small pool lets one client carry concurrent calls (read-ahead
+#: windows, store fan-out) without serialising behind a single lock.
+DEFAULT_POOL_CONNECTIONS = max(1, int(os.environ.get("REPRO_RPC_POOL", "4")))
+
+#: Payloads at or above this size are sent via ``socket.sendmsg``
+#: (gather write) instead of being copied into one contiguous frame.
+_SENDMSG_THRESHOLD = 64 * 1024
+
 
 class FrameError(ConnectionError):
     """Malformed frame or closed connection mid-frame."""
@@ -77,23 +87,43 @@ class RpcError(RuntimeError):
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise FrameError(f"connection closed with {remaining} bytes outstanding")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    """Receive exactly ``n`` bytes into one pre-sized buffer (no joins)."""
+    if n == 0:
+        return b""
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        r = sock.recv_into(view[got:], n - got)
+        if not r:
+            raise FrameError(f"connection closed with {n - got} bytes outstanding")
+        got += r
+    return bytes(buf)
 
 
 def send_frame(sock: socket.socket, header: Dict[str, Any], payload: bytes = b"") -> None:
-    """Send one frame (header dict + binary payload)."""
+    """Send one frame (header dict + binary payload).
+
+    ``payload`` may be any bytes-like object (``bytes``, ``bytearray``,
+    ``memoryview``); large payloads go out via a gather write so the
+    service's pre-assembled reply buffer is never copied again here.
+    """
+    payload = memoryview(payload)
     header = dict(header)
     header["payload_len"] = len(payload)
     raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_LEN.pack(len(raw)) + raw + payload)
+    prefix = _LEN.pack(len(raw)) + raw
+    if len(payload) < _SENDMSG_THRESHOLD or not hasattr(sock, "sendmsg"):
+        sock.sendall(prefix + payload.tobytes())
+        return
+    sent = sock.sendmsg([prefix, payload])
+    total = len(prefix) + len(payload)
+    while sent < total:
+        if sent < len(prefix):
+            sent += sock.sendmsg([memoryview(prefix)[sent:], payload])
+        else:
+            off = sent - len(prefix)
+            sent += sock.send(payload[off:])
 
 
 def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
@@ -166,6 +196,12 @@ class RpcServer:
         class _Server(socketserver.ThreadingTCPServer):
             daemon_threads = True
             allow_reuse_address = True
+            # Pooled clients open several connections in one burst (a
+            # reader's window plus its demand connection, times N
+            # readers).  The socketserver default backlog of 5 drops
+            # SYNs under that burst and the kernel's ~1 s retransmit
+            # timer turns each drop into a visible stall.
+            request_queue_size = 128
 
         self._server = _Server((host, port), _ConnHandler)
         self._thread: Optional[threading.Thread] = None
@@ -202,44 +238,114 @@ class RpcServer:
 
 
 class RpcClient:
-    """Blocking client holding one connection to an :class:`RpcServer`."""
+    """Blocking client carrying a small pool of connections to one server.
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+    The framing protocol is strict request/reply per connection, so the
+    pool is what allows *concurrent in-flight calls* on one client:
+    each :meth:`call` checks a connection out, runs its round trip with
+    no client-wide lock held, and checks it back in.  Up to
+    ``max_connections`` callers proceed in parallel; excess callers
+    wait for a free connection.  Connections are created lazily, so a
+    client used from one thread still holds exactly one socket.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        max_connections: Optional[int] = None,
+    ):
         self._addr = (host, port)
         self._timeout = DEFAULT_RPC_TIMEOUT if timeout is None else timeout
-        self._sock: Optional[socket.socket] = None
-        self._lock = threading.Lock()
+        self._max = max(1, int(max_connections if max_connections is not None
+                               else DEFAULT_POOL_CONNECTIONS))
+        self._cv = threading.Condition()
+        self._idle: list[socket.socket] = []
+        self._inflight: set = set()   # sockets currently checked out
+        self._active = 0
+        self._gen = 0             # bumped by close(): stale checkouts die
 
     def clone(self) -> "RpcClient":
         """A fresh, unconnected client to the same server.
 
         Background pipelines (prefetcher threads, parallel streams) use
-        clones so their in-flight requests never serialise behind the
-        owner's demand traffic on the shared connection lock.
+        clones when they want connections whose blocking calls can
+        never contend with the owner's pool at all.
         """
-        return RpcClient(*self._addr, timeout=self._timeout)
+        return RpcClient(*self._addr, timeout=self._timeout, max_connections=self._max)
 
-    def _connect(self) -> socket.socket:
-        if self._sock is None:
-            sock = socket.create_connection(self._addr, timeout=self._timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sock = sock
-        return self._sock
+    def _new_socket(self) -> socket.socket:
+        sock = socket.create_connection(self._addr, timeout=self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _checkout(self) -> Tuple[socket.socket, int]:
+        deadline = time.monotonic() + self._timeout if self._timeout else None
+        with self._cv:
+            while True:
+                if self._idle:
+                    self._active += 1
+                    sock = self._idle.pop()
+                    self._inflight.add(sock)
+                    return sock, self._gen
+                if self._active < self._max:
+                    self._active += 1
+                    gen = self._gen
+                    break
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"no free RPC connection to {self._addr} within {self._timeout}s"
+                    )
+                self._cv.wait(timeout=remaining)
+        # Connect outside the lock: a slow handshake must not block the pool.
+        try:
+            sock = self._new_socket()
+        except BaseException:
+            with self._cv:
+                self._active -= 1
+                self._cv.notify()
+            raise
+        with self._cv:
+            self._inflight.add(sock)
+        return sock, gen
+
+    def _checkin(self, sock: socket.socket, gen: int) -> None:
+        with self._cv:
+            self._active -= 1
+            self._inflight.discard(sock)
+            if gen == self._gen:
+                self._idle.append(sock)
+                self._cv.notify()
+                return
+            self._cv.notify()
+        sock.close()  # client was close()d while this call was in flight
+
+    def _discard(self, sock: socket.socket, gen: int) -> None:
+        with self._cv:
+            self._active -= 1
+            self._inflight.discard(sock)
+            self._cv.notify()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close never meaningfully fails
+            pass
 
     def call(self, op: str, header: Optional[Dict[str, Any]] = None, payload: bytes = b"") -> Tuple[Dict[str, Any], bytes]:
         """One round trip; raises :class:`RpcError` on remote failure."""
         msg = dict(header or {})
         msg["op"] = op
         _CLIENT_CALLS.labels(op=op).inc()
-        with self._lock:
-            sock = self._connect()
-            try:
-                send_frame(sock, msg, payload)
-                reply, data = recv_frame(sock)
-            except (OSError, FrameError) as exc:
-                self.close()
-                _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
-                raise
+        sock, gen = self._checkout()
+        try:
+            send_frame(sock, msg, payload)
+            reply, data = recv_frame(sock)
+        except (OSError, FrameError) as exc:
+            self._discard(sock, gen)
+            _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
+            raise
+        self._checkin(sock, gen)
         if not reply.get("ok", False):
             kind = reply.get("error", "remote-error")
             _CLIENT_ERRORS.labels(op=op, kind=kind).inc()
@@ -247,11 +353,45 @@ class RpcClient:
         return reply, data
 
     def close(self) -> None:
-        if self._sock is not None:
+        """Close idle connections now; in-flight ones close on check-in.
+
+        Closing also unblocks calls parked in a server-side wait (their
+        socket dies under them), which is what lets reader shutdown
+        join background threads that are mid-RPC.
+        """
+        with self._cv:
+            self._gen += 1
+            idle, self._idle = self._idle, []
+            self._cv.notify_all()
+        for sock in idle:
             try:
-                self._sock.close()
-            finally:
-                self._sock = None
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def close_all(self) -> None:
+        """Hard close: also shut down sockets currently mid-round-trip.
+
+        A plain :meth:`close` leaves checked-out sockets alive until
+        their call returns; this forces those calls to fail *now*,
+        which is how reader teardown unblocks a background thread
+        parked in a server-side blocking read.
+        """
+        with self._cv:
+            self._gen += 1
+            idle, self._idle = self._idle, []
+            inflight = list(self._inflight)
+            self._cv.notify_all()
+        for sock in idle:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        for sock in inflight:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def __enter__(self) -> "RpcClient":
         return self

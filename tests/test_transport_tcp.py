@@ -2,12 +2,14 @@
 
 import socket
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.transport.tcp import (
+    MAX_HEADER,
     FrameError,
     RpcClient,
     RpcError,
@@ -165,3 +167,178 @@ class TestRpc:
             t.join()
         client.close()
         assert errors == []
+
+
+class TestFramingEdgeCases:
+    def test_oversized_header_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_HEADER + 1).to_bytes(4, "big"))
+            with pytest.raises(FrameError, match="exceeds maximum"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_header_without_payload_len_raises(self):
+        a, b = socket.socketpair()
+        try:
+            raw = b'{"op": "x"}'
+            a.sendall(len(raw).to_bytes(4, "big") + raw)
+            with pytest.raises(FrameError, match="payload_len"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_header_raises(self):
+        a, b = socket.socketpair()
+        try:
+            raw = b"[1, 2, 3]"  # valid JSON, wrong shape
+            a.sendall(len(raw).to_bytes(4, "big") + raw)
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_payload_raises(self):
+        a, b = socket.socketpair()
+        raw = b'{"op": "x", "payload_len": 100}'
+        a.sendall(len(raw).to_bytes(4, "big") + raw + b"only ten b")
+        a.close()  # peer disconnects mid-payload
+        with pytest.raises(FrameError, match="outstanding"):
+            recv_frame(b)
+        b.close()
+
+    def test_bytes_like_payloads_accepted(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "x"}, memoryview(bytearray(b"view")))
+            _, payload = recv_frame(b)
+            assert payload == b"view"
+        finally:
+            a.close()
+            b.close()
+
+
+class TestPooledClient:
+    @pytest.fixture()
+    def slow_server(self):
+        server = RpcServer()
+        gate = threading.Event()
+
+        def sleepy(header, payload):
+            time.sleep(float(header.get("s", 0.1)))
+            return {"done": True}, b""
+
+        def blocked(header, payload):
+            gate.wait(10.0)
+            return {"done": True}, b""
+
+        server.register("sleepy", sleepy)
+        server.register("blocked", blocked)
+        server.gate = gate
+        with server:
+            yield server
+
+    def test_calls_overlap_across_pool(self, slow_server):
+        """Four concurrent calls on one client take ~1 nap, not four."""
+        client = RpcClient(*slow_server.address, max_connections=4)
+        results = []
+
+        def one():
+            reply, _ = client.call("sleepy", {"s": 0.2})
+            results.append(reply["done"])
+
+        threads = [threading.Thread(target=one) for _ in range(4)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        client.close()
+        assert results == [True] * 4
+        assert elapsed < 0.6, f"calls serialised: {elapsed:.2f}s for 4x 0.2s naps"
+
+    def test_pool_of_one_serialises(self, slow_server):
+        """max_connections caps in-flight depth (strict request/reply)."""
+        client = RpcClient(*slow_server.address, max_connections=1)
+        threads = [
+            threading.Thread(target=lambda: client.call("sleepy", {"s": 0.15}))
+            for _ in range(2)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        client.close()
+        assert elapsed >= 0.28, f"pool of 1 overlapped calls: {elapsed:.2f}s"
+
+    def test_close_all_unblocks_inflight_call(self, slow_server):
+        client = RpcClient(*slow_server.address, max_connections=2)
+        failures = []
+
+        def blocked_call():
+            try:
+                client.call("blocked")
+            except (OSError, FrameError) as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=blocked_call)
+        t.start()
+        time.sleep(0.1)  # let the call get in flight
+        t0 = time.perf_counter()
+        client.close_all()
+        t.join(timeout=5.0)
+        assert not t.is_alive(), "in-flight call survived close_all()"
+        assert time.perf_counter() - t0 < 2.0
+        assert failures, "blocked call should fail fast, not return"
+        slow_server.gate.set()
+
+    def test_client_recovers_after_peer_disconnect_mid_frame(self):
+        """A mid-reply disconnect poisons one socket, not the client."""
+        ready = threading.Event()
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        addr = listener.getsockname()
+        stop = False
+
+        def serve():
+            first = True
+            ready.set()
+            while not stop:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                try:
+                    header, payload = recv_frame(conn)
+                    if first:
+                        first = False
+                        # Half a frame, then hang up mid-payload.
+                        raw = b'{"ok": true, "payload_len": 50}'
+                        conn.sendall(len(raw).to_bytes(4, "big") + raw + b"short")
+                        conn.close()
+                        continue
+                    send_frame(conn, {"ok": True, "echo": header.get("msg")}, b"")
+                    conn.close()
+                except (FrameError, OSError):
+                    conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        ready.wait(5.0)
+        client = RpcClient(*addr, max_connections=2)
+        with pytest.raises((FrameError, OSError)):
+            client.call("echo", {"msg": "doomed"})
+        # The poisoned connection was discarded; a fresh one works.
+        reply, _ = client.call("echo", {"msg": "recovered"})
+        assert reply["echo"] == "recovered"
+        client.close()
+        stop = True
+        listener.close()
