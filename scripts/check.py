@@ -12,6 +12,14 @@ third-party dependency:
   ``__all__``);
 * no file may contain tab indentation or trailing whitespace.
 
+One repo-specific rule runs in BOTH paths (ruff cannot express it): in
+``src/repro/transport/`` and ``src/repro/gridbuffer/`` an ``except``
+handler for the OSError family must never swallow silently — its body
+must raise, call something (log, count, clean up), or the except line
+must carry a ``# fault-ok: <why>`` annotation.  Those layers are where
+the fault-injection harness aims; a silent swallow there hides exactly
+the failures the recovery machinery must see.
+
 Exit status is non-zero on any finding, so ``python scripts/check.py``
 works as a pre-commit / CI step independent of pytest.
 """
@@ -26,6 +34,17 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 CHECKED_DIRS = ("src", "tests", "benchmarks", "scripts")
+
+#: Directories where an OSError-family except handler must not swallow.
+SWALLOW_SCOPES = ("src/repro/transport", "src/repro/gridbuffer")
+#: Exception names treated as the OSError family (incl. repro's own
+#: ConnectionError subclasses, which flow through the same paths).
+OSERROR_NAMES = {
+    "OSError", "IOError", "EnvironmentError", "ConnectionError",
+    "ConnectionResetError", "ConnectionRefusedError", "ConnectionAbortedError",
+    "BrokenPipeError", "TimeoutError", "InterruptedError",
+    "FrameError", "InjectedFault", "timeout",
+}
 
 
 def python_files() -> list[Path]:
@@ -109,6 +128,73 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+def _exception_names(node: ast.expr | None) -> set[str]:
+    if node is None:
+        return set(OSERROR_NAMES)  # bare except catches everything
+    names: set[str] = set()
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ast.Tuple):
+            stack.extend(item.elts)
+        elif isinstance(item, ast.Name):
+            names.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.add(item.attr)
+    return names
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body neither raises nor calls anything."""
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return False
+    return True
+
+
+def check_swallowed_oserrors(path: Path, text: str, tree: ast.Module) -> list[str]:
+    rel = path.relative_to(REPO)
+    if not str(rel).replace("\\", "/").startswith(SWALLOW_SCOPES):
+        return []
+    lines = text.splitlines()
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not (_exception_names(node.type) & OSERROR_NAMES):
+            continue
+        if not _swallows_silently(node):
+            continue
+        # Escape hatch: annotate the except clause (or its first body
+        # line) with ``# fault-ok: <why>``.
+        first_body = node.body[0].lineno if node.body else node.lineno
+        annotated = any(
+            "fault-ok" in lines[ln - 1]
+            for ln in range(node.lineno, min(first_body, len(lines)) + 1)
+        )
+        if annotated:
+            continue
+        problems.append(
+            f"{rel}:{node.lineno}: OSError-family handler swallows silently; "
+            "raise, log/count, or annotate with '# fault-ok: <why>'"
+        )
+    return problems
+
+
+def run_swallow_lint() -> int:
+    problems: list[str] = []
+    for path in python_files():
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError:
+            continue  # both lint paths already report syntax errors
+        problems.extend(check_swallowed_oserrors(path, text, tree))
+    for problem in problems:
+        print(problem)
+    return 1 if problems else 0
+
+
 def run_fallback() -> int:
     problems: list[str] = []
     for path in python_files():
@@ -124,9 +210,11 @@ def run_fallback() -> int:
 
 def main() -> int:
     if shutil.which("ruff"):
-        return run_ruff()
-    print("ruff not installed; running built-in fallback checks", file=sys.stderr)
-    return run_fallback()
+        rc = run_ruff()
+    else:
+        print("ruff not installed; running built-in fallback checks", file=sys.stderr)
+        rc = run_fallback()
+    return rc or run_swallow_lint()
 
 
 if __name__ == "__main__":

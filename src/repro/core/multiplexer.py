@@ -38,13 +38,14 @@ from ..gns.client import GnsClient, LocalGnsClient
 from ..gns.records import BufferEndpoint, GnsRecord, IOMode
 from ..grid.replica_catalog import Replica
 from ..ioutil import ReadIntoFromRead
-from ..transport.gridftp import GridFtpClient
+from ..transport.gridftp import GridFtpClient, TransferError
 from ..transport.inmem import HostRegistry
+from ..transport.tcp import RpcError
 from .buffer_client import GridBufferClientPool
 from .local_client import LocalFileClient
 from .policy import AccessEstimate, AccessPolicy, observed_estimate
 from .remote_client import RemoteFileClient
-from .replica import ReplicaSelector
+from .replica import NoReplicaError, ReplicaSelector
 
 __all__ = ["FMError", "OpenStats", "GridContext", "FMFile", "FileMultiplexer"]
 
@@ -62,6 +63,16 @@ _FM_BYTES = obs.counter(
 )
 _FM_REMAPS = obs.counter(
     "fm_remaps_total", "Mid-read replica re-mappings performed by FM handles"
+)
+_FM_FAILOVERS = obs.counter(
+    "replica_failovers_total",
+    "Replica sources abandoned after an IO failure, by logical name",
+    labelnames=("logical_name",),
+)
+_FM_DEGRADED = obs.counter(
+    "fm_mode_degraded_total",
+    "Opens degraded to a fallback IO mode (unreachable primary)",
+    labelnames=("from_mode", "to_mode"),
 )
 
 Address = Tuple[str, int]
@@ -102,6 +113,7 @@ class OpenStats:
     write_ops: int = 0
     seeks: int = 0
     remaps: int = 0
+    failovers: int = 0
 
 
 @dataclass
@@ -162,6 +174,9 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
         stats: OpenStats,
         remap_hook: Optional[Callable[["FMFile"], Optional[io.RawIOBase]]] = None,
         remap_every: int = 64,
+        failover_hook: Optional[
+            Callable[["FMFile", BaseException], Optional[io.RawIOBase]]
+        ] = None,
     ):
         super().__init__()
         self._inner = inner
@@ -169,6 +184,7 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
         self.stats = stats
         self._remap_hook = remap_hook
         self._remap_every = max(1, remap_every)
+        self._failover_hook = failover_hook
         # Children bound once per open: the per-op cost is a lock + add.
         mode = record.mode.value
         self._m_reads = _FM_OPS.labels(op="read", mode=mode)
@@ -195,12 +211,38 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
     # -- IO with accounting ---------------------------------------------------
     def read(self, size: int = -1) -> bytes:  # type: ignore[override]
         self._maybe_remap()
-        data = self._inner.read(size)
+        data = self._read_failsafe(size)
         self.stats.read_ops += 1
         self.stats.bytes_read += len(data or b"")
         self._m_reads.inc()
         self._m_bytes_read.inc(len(data or b""))
         return data
+
+    def _read_failsafe(self, size: int) -> bytes:
+        """One logical read; fails over to a replacement source if wired.
+
+        The position is captured *before* the attempt: a failed read may
+        already have advanced the inner handle's bookkeeping for bytes
+        that were never returned, so the replacement must resume from
+        the pre-read offset, not the post-failure one.
+        """
+        while True:
+            pos = self._inner.tell()
+            try:
+                return self._inner.read(size)
+            except (OSError, RpcError) as exc:
+                if self._failover_hook is None:
+                    raise
+                replacement = self._failover_hook(self, exc)
+                if replacement is None:
+                    raise
+                try:
+                    self._inner.close()
+                except (OSError, RpcError):
+                    pass  # the old source is already dead
+                replacement.seek(pos)
+                self._inner = replacement
+                self.stats.failovers += 1
 
     def write(self, data) -> int:  # type: ignore[override]
         n = self._inner.write(bytes(data)) or 0
@@ -229,6 +271,24 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
                 self._inner.close()
             finally:
                 super().close()
+
+    def abort(self) -> None:
+        """Abandon the handle after a stage crash.
+
+        Buffered writers propagate the abort so blocked readers fail
+        fast (StreamFailed) instead of hanging to their timeout; other
+        clients just close.
+        """
+        if self.closed:
+            return
+        inner_abort = getattr(self._inner, "abort", None)
+        try:
+            if callable(inner_abort):
+                inner_abort()
+            else:
+                self._inner.close()
+        finally:
+            super().close()
 
     # -- dynamic re-mapping -------------------------------------------------
     def _maybe_remap(self) -> None:
@@ -345,12 +405,14 @@ class FileMultiplexer:
         inner = remote.open_proxy(record.remote_path, mode)  # type: ignore[arg-type]
         return FMFile(inner, record, stats)
 
-    def _choose_replica(self, record: GnsRecord) -> Replica:
+    def _choose_replica(self, record: GnsRecord, exclude=()) -> Replica:
         if self.ctx.selector is None:
             raise FMError(
                 f"replicated file {record.logical_name!r} needs a ReplicaSelector"
             )
-        choice = self.ctx.selector.best(record.logical_name, self.ctx.machine)  # type: ignore[arg-type]
+        choice = self.ctx.selector.best(
+            record.logical_name, self.ctx.machine, exclude=exclude  # type: ignore[arg-type]
+        )
         return choice.replica
 
     def _open_remote_replica(
@@ -359,20 +421,53 @@ class FileMultiplexer:
         core = mode.replace("b", "").replace("t", "")
         if core != "r":
             raise FMError("replicated files are read-only")
+        failed: set = set()  # (host, path) of sources that died mid-read
         replica = self._choose_replica(record)
         current = {"replica": replica}
         inner = self._open_replica_source(replica)
 
         def remap_hook(_fmfile: FMFile) -> Optional[io.RawIOBase]:
             choice = self.ctx.selector.maybe_remap(  # type: ignore[union-attr]
-                record.logical_name, self.ctx.machine, current["replica"]  # type: ignore[arg-type]
+                record.logical_name, self.ctx.machine, current["replica"],  # type: ignore[arg-type]
+                exclude=failed,
             )
             if choice is None:
                 return None
             current["replica"] = choice.replica
             return self._open_replica_source(choice.replica)
 
-        return FMFile(inner, record, stats, remap_hook=remap_hook, remap_every=self.ctx.remap_every)
+        def failover_hook(_fmfile: FMFile, exc: BaseException) -> Optional[io.RawIOBase]:
+            dead = current["replica"]
+            failed.add((dead.host, dead.path))
+            try:
+                choice = self.ctx.selector.best(  # type: ignore[union-attr]
+                    record.logical_name, self.ctx.machine, exclude=failed  # type: ignore[arg-type]
+                )
+            except NoReplicaError:
+                return None  # exhausted: let the original failure surface
+            current["replica"] = choice.replica
+            _FM_FAILOVERS.labels(logical_name=record.logical_name).inc()
+            obs.event(
+                "fm.replica_failover",
+                logical_name=record.logical_name,
+                from_host=dead.host,
+                to_host=choice.replica.host,
+                error=str(exc),
+            )
+            logger.warning(
+                "replica %s on %s failed (%s); failing over to %s",
+                record.logical_name, dead.host, exc, choice.replica.host,
+            )
+            return self._open_replica_source(choice.replica)
+
+        return FMFile(
+            inner,
+            record,
+            stats,
+            remap_hook=remap_hook,
+            remap_every=self.ctx.remap_every,
+            failover_hook=failover_hook,
+        )
 
     def _open_replica_source(self, replica: Replica) -> io.RawIOBase:
         if replica.host == self.ctx.machine:
@@ -385,13 +480,46 @@ class FileMultiplexer:
         core = mode.replace("b", "").replace("t", "")
         if core != "r":
             raise FMError("replicated files are read-only")
-        replica = self._choose_replica(record)
+        failed: set = set()
+        resume = 0  # contiguous bytes already copied by failed attempts
+        last_exc: Optional[Exception] = None
         local_copy = record.local_path or f"/fm-replica-cache{path}"
-        if replica.host == self.ctx.machine:
-            return FMFile(self._local.open(replica.path, "r"), record, stats)
-        target = self._local.resolve(local_copy)
-        self._ftp(replica.host).fetch_file(replica.path, target)
-        return FMFile(self._local.open(local_copy, "r"), record, stats)
+        while True:
+            try:
+                replica = self._choose_replica(record, exclude=failed)
+            except NoReplicaError:
+                if last_exc is not None:
+                    raise last_exc
+                raise
+            if replica.host == self.ctx.machine:
+                return FMFile(self._local.open(replica.path, "r"), record, stats)
+            target = self._local.resolve(local_copy)
+            try:
+                # Replicas are byte-identical, so a copy interrupted at
+                # offset N resumes at N from the *next* source.
+                self._ftp(replica.host).fetch_file(
+                    replica.path, target, resume_from=resume
+                )
+            except (TransferError, OSError, RpcError) as exc:
+                failed.add((replica.host, replica.path))
+                if isinstance(exc, TransferError):
+                    resume = exc.copied
+                last_exc = exc
+                stats.failovers += 1
+                _FM_FAILOVERS.labels(logical_name=record.logical_name).inc()
+                obs.event(
+                    "fm.replica_failover",
+                    logical_name=record.logical_name,
+                    from_host=replica.host,
+                    resume_from=resume,
+                    error=str(exc),
+                )
+                logger.warning(
+                    "copy-in of %s from %s died at byte %d (%s); trying next replica",
+                    record.logical_name, replica.host, resume, exc,
+                )
+                continue
+            return FMFile(self._local.open(local_copy, "r"), record, stats)
 
     def _open_buffer(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
         endpoint = record.buffer
@@ -400,25 +528,78 @@ class FileMultiplexer:
         role = "reader" if core == "r" else "writer"
         if core in ("r+", "w+", "a+"):
             raise FMError("buffered streams are unidirectional (read xor write)")
-        server = self._locate_buffer(endpoint, role)
-        if role == "writer":
-            inner = self._buffer_pool.open_writer(
-                endpoint,
-                server,
-                write_timeout=self.ctx.io_timeout,
-                coalesce_bytes=self.ctx.buffer_coalesce_bytes,
-                flush_after=self.ctx.buffer_flush_deadline,
-            )
-        else:
-            inner = self._buffer_pool.open_reader(
-                endpoint,
-                server,
-                read_timeout=self.ctx.io_timeout,
-                read_ahead=self.ctx.buffer_readahead,
-                read_ahead_depth=self.ctx.buffer_readahead_depth,
-                shared_cache=self.ctx.buffer_shared_cache,
-            )
+        try:
+            server = self._locate_buffer(endpoint, role)
+            if role == "writer":
+                inner = self._buffer_pool.open_writer(
+                    endpoint,
+                    server,
+                    write_timeout=self.ctx.io_timeout,
+                    coalesce_bytes=self.ctx.buffer_coalesce_bytes,
+                    flush_after=self.ctx.buffer_flush_deadline,
+                )
+            else:
+                inner = self._buffer_pool.open_reader(
+                    endpoint,
+                    server,
+                    read_timeout=self.ctx.io_timeout,
+                    read_ahead=self.ctx.buffer_readahead,
+                    read_ahead_depth=self.ctx.buffer_readahead_depth,
+                    shared_cache=self.ctx.buffer_shared_cache,
+                )
+        except (OSError, RpcError) as exc:
+            if record.fallback is None:
+                raise
+            return self._degrade(record, path, mode, stats, exc)
         return FMFile(inner, record, stats)
+
+    def _degrade(
+        self,
+        record: GnsRecord,
+        path: str,
+        mode: str,
+        stats: OpenStats,
+        exc: BaseException,
+    ) -> FMFile:
+        """Walk the record's fallback chain after an unreachable OPEN."""
+        fallback = record.fallback
+        while fallback is not None:
+            _FM_DEGRADED.labels(
+                from_mode=record.mode.value, to_mode=fallback.mode.value
+            ).inc()
+            _FM_REMAPS.inc()
+            stats.remaps += 1
+            stats.io_mode = fallback.mode.value
+            obs.event(
+                "fm.mode_degraded",
+                path=path,
+                from_mode=record.mode.value,
+                to_mode=fallback.mode.value,
+                error=str(exc),
+            )
+            logger.warning(
+                "open %s: %s unreachable (%s); degrading to %s",
+                path, record.mode.value, exc, fallback.mode.value,
+            )
+            try:
+                return self._open_with(fallback, path, mode, stats)
+            except (OSError, RpcError) as next_exc:
+                exc = next_exc
+                record, fallback = fallback, fallback.fallback
+        raise exc
+
+    def _open_with(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
+        # Dispatch for fallback records; open() keeps its own inline
+        # table (the conformance suite checks the mode names there).
+        openers = {
+            IOMode.LOCAL: self._open_local,
+            IOMode.COPY: self._open_copy,
+            IOMode.REMOTE: self._open_remote,
+            IOMode.REMOTE_REPLICA: self._open_remote_replica,
+            IOMode.LOCAL_REPLICA: self._open_local_replica,
+            IOMode.BUFFER: self._open_buffer,
+        }
+        return openers[record.mode](record, path, mode, stats)
 
     def _locate_buffer(self, endpoint: BufferEndpoint, role: str) -> Address:
         if endpoint.host and endpoint.port:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..grid.nws import NetworkWeatherService
 from ..grid.replica_catalog import Replica, ReplicaCatalog
@@ -76,18 +76,32 @@ class ReplicaSelector:
             return self.static_cost(replica.host, dst), "static"
         return math.inf, "unknown"
 
-    def rank(self, logical_name: str, dst: str, nbytes: Optional[int] = None) -> List[ReplicaChoice]:
+    def rank(
+        self,
+        logical_name: str,
+        dst: str,
+        nbytes: Optional[int] = None,
+        exclude: Iterable[Tuple[str, str]] = (),
+    ) -> List[ReplicaChoice]:
         """All replicas of ``logical_name``, cheapest first.
 
         Local replicas (same host as ``dst``) always rank first; ties
         and unknown paths keep registration order for determinism.
+        ``exclude`` is a set of ``(host, path)`` keys to skip — failover
+        uses it to never re-select a source that just died.
         """
         replicas = self.catalog.lookup(logical_name)
         if not replicas:
             raise NoReplicaError(logical_name)
-        size = nbytes if nbytes is not None else (replicas[0].size or 0)
+        excluded = set(exclude)
+        pool = [r for r in replicas if (r.host, r.path) not in excluded]
+        if not pool:
+            raise NoReplicaError(
+                f"{logical_name}: all {len(replicas)} replicas excluded/failed"
+            )
+        size = nbytes if nbytes is not None else (pool[0].size or 0)
         choices = []
-        for r in replicas:
+        for r in pool:
             if r.host == dst:
                 choices.append(ReplicaChoice(r, 0.0, "local"))
             else:
@@ -98,8 +112,14 @@ class ReplicaSelector:
             key=lambda c: (c.predicted_seconds, replicas.index(c.replica)),
         )
 
-    def best(self, logical_name: str, dst: str, nbytes: Optional[int] = None) -> ReplicaChoice:
-        return self.rank(logical_name, dst, nbytes)[0]
+    def best(
+        self,
+        logical_name: str,
+        dst: str,
+        nbytes: Optional[int] = None,
+        exclude: Iterable[Tuple[str, str]] = (),
+    ) -> ReplicaChoice:
+        return self.rank(logical_name, dst, nbytes, exclude=exclude)[0]
 
     # -- dynamic re-mapping -------------------------------------------------
     def maybe_remap(
@@ -108,6 +128,7 @@ class ReplicaSelector:
         dst: str,
         current: Replica,
         nbytes: Optional[int] = None,
+        exclude: Iterable[Tuple[str, str]] = (),
     ) -> Optional[ReplicaChoice]:
         """Suggest a better replica, or None to stay put.
 
@@ -115,7 +136,7 @@ class ReplicaSelector:
         ``hysteresis`` times cheaper than the current source's forecast,
         so transient NWS jitter does not thrash the mapping.
         """
-        ranked = self.rank(logical_name, dst, nbytes)
+        ranked = self.rank(logical_name, dst, nbytes, exclude=exclude)
         best = ranked[0]
         if best.replica.host == current.host and best.replica.path == current.path:
             return None

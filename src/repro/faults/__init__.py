@@ -1,0 +1,259 @@
+"""repro.faults — deterministic, seedable failure injection.
+
+The transport, Grid Buffer, and GridFTP layers carry *hook points*: one
+attribute load plus a ``None`` check on the hot path, so an unarmed
+process pays nothing.  Arming installs a :class:`FaultInjector` whose
+rules fire on the Nth call matching a ``(layer, op, peer)`` key and
+perform one of four actions:
+
+``error``
+    raise :class:`InjectedFault` (a ``ConnectionError``) at the hook;
+``close``
+    the hook site tears its connection down so the *real* IO path fails
+    organically (send/recv raises ``OSError``);
+``drop``
+    the hook site discards the unit of work without replying (server
+    side: read the request, never answer);
+``delay``
+    sleep ``delay`` seconds at the hook, then continue normally.
+
+Rules are configured through the API (:func:`arm`, :class:`FaultRule`)
+or the ``REPRO_FAULTS`` environment variable, which holds
+semicolon-separated rules of comma-separated ``key=value`` pairs::
+
+    REPRO_FAULTS='layer=rpc.client,op=gb.read*,action=close,nth=3;
+                  layer=gridftp,peer=store2,action=error,nth=1,times=0'
+
+``layer``/``op``/``peer`` are shell-style globs (default ``*``); ``nth``
+is the 1-based index of the first matching call that fires (counted per
+concrete ``(rule, layer, op, peer)`` key, so "the 3rd gb.read to
+store1" means exactly that); ``times`` is how many consecutive matches
+fire from there (``0`` = forever).  ``probability`` makes a rule fire
+randomly instead — draws come from a ``random.Random`` seeded via
+:func:`arm` or ``REPRO_FAULTS_SEED``, so a seeded chaos run is
+reproducible.
+
+Every fired rule increments the ``fault_injected_total`` counter
+(labels: layer, action) and emits a span event, so a chaos run's
+recovery cost is visible in ``repro.obs`` snapshots.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import logging
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+
+__all__ = [
+    "ACTIVE",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "arm",
+    "disarm",
+    "injected",
+    "parse_rules",
+]
+
+logger = logging.getLogger(__name__)
+
+_FAULTS_INJECTED = obs.counter(
+    "fault_injected_total",
+    "Faults fired by the repro.faults injector",
+    labelnames=("layer", "action"),
+)
+
+_ACTIONS = ("error", "close", "drop", "delay")
+
+
+class InjectedFault(ConnectionError):
+    """Raised at a hook point by an ``action=error`` rule.
+
+    Subclasses ``ConnectionError`` so it flows through the same
+    discard/retry paths as a genuine connection failure.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule; see the module docstring for semantics."""
+
+    layer: str = "*"
+    op: str = "*"
+    peer: str = "*"
+    action: str = "error"
+    nth: int = 1
+    times: int = 1
+    delay: float = 0.0
+    probability: Optional[float] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r} (want one of {_ACTIONS})")
+        if self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if self.times < 0:
+            raise ValueError("times must be >= 0 (0 = fire forever)")
+
+    def matches(self, layer: str, op: str, peer: str) -> bool:
+        return (
+            fnmatch.fnmatchcase(layer, self.layer)
+            and fnmatch.fnmatchcase(op, self.op)
+            and fnmatch.fnmatchcase(peer, self.peer)
+        )
+
+
+def parse_rules(spec: str) -> List[FaultRule]:
+    """Parse the ``REPRO_FAULTS`` rule syntax into :class:`FaultRule`."""
+    rules: List[FaultRule] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        kwargs: Dict[str, object] = {}
+        for pair in chunk.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise ValueError(f"bad fault rule field {pair!r} (want key=value)")
+            key, value = pair.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            if key in ("nth", "times"):
+                kwargs[key] = int(value)
+            elif key in ("delay", "probability"):
+                kwargs[key] = float(value)
+            elif key in ("layer", "op", "peer", "action", "message"):
+                kwargs[key] = value
+            else:
+                raise ValueError(f"unknown fault rule key {key!r}")
+        rules.append(FaultRule(**kwargs))  # type: ignore[arg-type]
+    return rules
+
+
+class FaultInjector:
+    """Matches hook calls against rules and fires actions deterministically."""
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: Optional[int] = None):
+        self._rules: List[FaultRule] = list(rules)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        # per (rule index, layer, op, peer) match counts — "Nth matching op"
+        self._counts: Dict[Tuple[int, str, str, str], int] = {}
+        self._fired: List[Tuple[str, str, str, str]] = []
+
+    def add(self, rule: FaultRule) -> None:
+        with self._lock:
+            self._rules.append(rule)
+
+    @property
+    def fired(self) -> List[Tuple[str, str, str, str]]:
+        """(layer, op, peer, action) tuples for every fault fired so far."""
+        with self._lock:
+            return list(self._fired)
+
+    def fire(self, layer: str, op: str, peer: str) -> Optional[str]:
+        """Evaluate rules for one hook call.
+
+        Raises :class:`InjectedFault` for ``error`` rules, sleeps for
+        ``delay`` rules, and returns ``"close"``/``"drop"`` for the hook
+        site to act on (``None`` when nothing fires).
+        """
+        verdict: Optional[str] = None
+        delay = 0.0
+        error: Optional[FaultRule] = None
+        with self._lock:
+            for idx, rule in enumerate(self._rules):
+                if not rule.matches(layer, op, peer):
+                    continue
+                if rule.probability is not None:
+                    if self._rng.random() >= rule.probability:
+                        continue
+                else:
+                    key = (idx, layer, op, peer)
+                    count = self._counts.get(key, 0) + 1
+                    self._counts[key] = count
+                    if count < rule.nth:
+                        continue
+                    if rule.times and count >= rule.nth + rule.times:
+                        continue
+                self._fired.append((layer, op, peer, rule.action))
+                _FAULTS_INJECTED.labels(layer=layer, action=rule.action).inc()
+                if rule.action == "delay":
+                    delay = max(delay, rule.delay)
+                elif rule.action == "error":
+                    error = rule
+                elif verdict is None:
+                    verdict = rule.action
+        if delay:
+            obs.event("fault.delay", layer=layer, op=op, peer=peer, seconds=delay)
+            time.sleep(delay)
+        if error is not None:
+            obs.event("fault.error", layer=layer, op=op, peer=peer)
+            raise InjectedFault(
+                error.message or f"injected fault: layer={layer} op={op} peer={peer}"
+            )
+        if verdict is not None:
+            obs.event(f"fault.{verdict}", layer=layer, op=op, peer=peer)
+        return verdict
+
+
+#: The armed injector, or None.  Hook sites read this attribute directly —
+#: the disarmed cost is one module-attribute load and a None check.
+ACTIVE: Optional[FaultInjector] = None
+
+
+def arm(
+    rules: Sequence[FaultRule] | FaultInjector = (),
+    seed: Optional[int] = None,
+) -> FaultInjector:
+    """Install an injector process-wide and return it."""
+    global ACTIVE
+    injector = rules if isinstance(rules, FaultInjector) else FaultInjector(rules, seed=seed)
+    ACTIVE = injector
+    logger.info("fault injector armed (%d rules)", len(injector._rules))
+    return injector
+
+
+def disarm() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+class injected:
+    """Context manager: arm rules for a ``with`` block, then disarm.
+
+    >>> with faults.injected(FaultRule(layer="rpc.client", action="close")):
+    ...     client.call("gb.read", ...)
+    """
+
+    def __init__(self, *rules: FaultRule, seed: Optional[int] = None):
+        self._injector = FaultInjector(rules, seed=seed)
+
+    def __enter__(self) -> FaultInjector:
+        arm(self._injector)
+        return self._injector
+
+    def __exit__(self, *exc: object) -> None:
+        disarm()
+
+
+def _arm_from_env() -> None:
+    spec = os.environ.get("REPRO_FAULTS", "")
+    if not spec.strip():
+        return
+    seed_raw = os.environ.get("REPRO_FAULTS_SEED")
+    seed = int(seed_raw) if seed_raw else None
+    arm(parse_rules(spec), seed=seed)
+
+
+_arm_from_env()

@@ -84,6 +84,10 @@ class GnsRecord:
     logical_name: Optional[str] = None
     # BUFFER: stream identity/placement.
     buffer: Optional[BufferEndpoint] = None
+    # Degradation chain: consulted in order when this record's mode is
+    # unreachable at OPEN time (e.g. BUFFER server down → fall back to
+    # COPY).  Each link is a full record, so the chain can nest.
+    fallback: Optional["GnsRecord"] = None
 
     def __post_init__(self) -> None:
         self._validate()
@@ -118,6 +122,8 @@ class GnsRecord:
     def to_dict(self) -> Dict[str, Any]:
         d = asdict(self)
         d["mode"] = self.mode.value
+        if self.fallback is not None:
+            d["fallback"] = self.fallback.to_dict()
         return d
 
     @classmethod
@@ -126,5 +132,8 @@ class GnsRecord:
         buf = d.get("buffer")
         if isinstance(buf, dict):
             d["buffer"] = BufferEndpoint(**buf)
+        fb = d.get("fallback")
+        if isinstance(fb, dict):
+            d["fallback"] = cls.from_dict(fb)
         d["mode"] = IOMode.parse(d["mode"])
         return cls(**d)

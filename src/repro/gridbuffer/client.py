@@ -103,6 +103,16 @@ _VECTOR_FALLBACKS = obs.counter(
     "Vectored ops refused by an old server (per-block fallback taken)",
     labelnames=("op",),
 )
+_READER_RESUMES = obs.counter(
+    "buffer_reader_resumes_total",
+    "Reader connections re-established (redial + re-register + resume)",
+    labelnames=("stream",),
+)
+_WRITER_ABORTS = obs.counter(
+    "buffer_writer_aborts_total",
+    "Streams marked failed by a writer-side abort",
+    labelnames=("stream",),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -245,6 +255,13 @@ class GridBufferClient:
         # None = unknown, probed on first vectored use; False pins the
         # per-block fallback after one "unknown-op" from an old server.
         self._vectored: Optional[bool] = None
+        # Dedupe identity for write replay: every write batch carries
+        # (token, seq); the service skips a (token, seq) it has already
+        # applied, which is what makes gb.write/gb.write_multi safe to
+        # retry after a lost *reply*.
+        self._writer_token = uuid.uuid4().hex[:12]
+        self._seq_lock = threading.Lock()
+        self._next_seq = 0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -256,6 +273,11 @@ class GridBufferClient:
     def _record(self, op: str, nbytes: int, seconds: float) -> None:
         if self.monitor is not None:
             self.monitor.record(self.peer, op, nbytes, seconds)
+
+    def _next_write_seq(self) -> int:
+        with self._seq_lock:
+            self._next_seq += 1
+            return self._next_seq
 
     # -- capability probe ---------------------------------------------------
     def supports_vectored(self) -> bool:
@@ -295,41 +317,70 @@ class GridBufferClient:
     def register_reader(self, name: str, reader_id: str) -> None:
         self._rpc.call(OP_REGISTER_READER, {"name": name, "reader_id": reader_id})
 
-    def write(self, name: str, offset: int, data: bytes, timeout: Optional[float] = None) -> None:
+    def write(
+        self, name: str, offset: int, data: bytes, timeout: Optional[float] = None
+    ) -> Optional[str]:
+        """Store one block; returns the server's stall reason, if any.
+
+        The call carries a (token, seq) pair and is retried on
+        connection failure — the service dedupes a replayed block.
+        """
         t0 = time.perf_counter()
-        self._rpc.call(OP_WRITE, {"name": name, "offset": offset, "timeout": timeout}, payload=data)
+        reply, _ = self._rpc.call(
+            OP_WRITE,
+            {
+                "name": name,
+                "offset": offset,
+                "timeout": timeout,
+                "token": self._writer_token,
+                "seq": self._next_write_seq(),
+            },
+            payload=data,
+            retryable=True,
+        )
         self._record("write", len(data), time.perf_counter() - t0)
+        return reply.get("stall")
 
     def write_multi(
         self,
         name: str,
         runs: Sequence[Tuple[int, bytes]],
         timeout: Optional[float] = None,
-    ) -> None:
-        """Scatter several blocks in one frame; falls back per block."""
+    ) -> Optional[str]:
+        """Scatter several blocks in one frame; falls back per block.
+
+        Returns the backpressure verdict from the reply header —
+        ``"buffer_full"``/``"slow_reader"`` when the server had to stall
+        this batch, ``None`` when it landed cleanly — so the caller's
+        coalescer can adapt its batch limit.
+        """
         runs = [(offset, data) for offset, data in runs if data]
         if not runs:
-            return
+            return None
         if len(runs) > 1 and self._vectored is not False:
             header = {
                 "name": name,
                 "offsets": [offset for offset, _ in runs],
                 "sizes": [len(data) for _, data in runs],
                 "timeout": timeout,
+                "token": self._writer_token,
+                "seq": self._next_write_seq(),
             }
             payload = b"".join(data for _, data in runs)
             try:
                 t0 = time.perf_counter()
-                self._rpc.call(OP_WRITE_MULTI, header, payload)
+                reply, _ = self._rpc.call(OP_WRITE_MULTI, header, payload, retryable=True)
                 self._record("write_multi", len(payload), time.perf_counter() - t0)
                 self._vectored = True
-                return
+                return reply.get("stall")
             except RpcError as exc:
                 if exc.kind != "unknown-op":
                     raise
                 self._vectored_refused(OP_WRITE_MULTI)
+        stall: Optional[str] = None
         for offset, data in runs:
-            self.write(name, offset, data, timeout=timeout)
+            stall = self.write(name, offset, data, timeout=timeout) or stall
+        return stall
 
     def read(
         self,
@@ -538,11 +589,15 @@ class _RunBatcher:
     writer's deadline thread.
     """
 
+    #: Floor for backpressure-driven limit shrinking.
+    MIN_LIMIT = 4096
+
     def __init__(self, flush_fn, limit: int):
         if limit < 1:
             raise ValueError("limit must be >= 1")
         self._flush_fn = flush_fn  # callable(list[(offset, bytes)])
         self._limit = limit
+        self._configured = limit
         self._runs: List[List[Any]] = []  # [start, bytearray]
         self._bytes = 0
         self.flushes = 0           # batch RPCs issued
@@ -551,6 +606,29 @@ class _RunBatcher:
     @property
     def pending_bytes(self) -> int:
         return self._bytes
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    def adapt(self, stall: Optional[str]) -> None:
+        """Tune the batch limit from the server's backpressure verdict.
+
+        ``buffer_full`` halves the limit — a smaller batch fits the free
+        headroom instead of stalling (and eventually timing out) against
+        capacity.  A clean flush doubles it back toward the configured
+        size.  ``slow_reader`` holds steady: the reader is the
+        bottleneck, so batch size is neither the problem nor the fix.
+        """
+        if stall == "buffer_full":
+            self._limit = max(self.MIN_LIMIT, self._limit // 2)
+        elif stall is None and self._limit < self._configured:
+            self._limit = min(self._configured, self._limit * 2)
+
+    def discard(self) -> None:
+        """Drop pending runs without flushing (writer abort path)."""
+        self._runs = []
+        self._bytes = 0
 
     def write(self, offset: int, data: bytes) -> None:
         if not data:
@@ -621,8 +699,10 @@ class BufferWriter(io.RawIOBase):
             self._deadline_thread.start()
 
     def _push_runs(self, runs: List[Tuple[int, bytes]]) -> None:
-        self._client.write_multi(self.name, runs, timeout=self._timeout)
+        stall = self._client.write_multi(self.name, runs, timeout=self._timeout)
         self._m_write_rpcs.inc()
+        if self._coalescer is not None:
+            self._coalescer.adapt(stall)
 
     def _deadline_loop(self) -> None:
         with self._flush_cv:
@@ -697,6 +777,37 @@ class BufferWriter(io.RawIOBase):
                 self._coalescer.flush()
                 self._pending_since = None
         super().flush()
+
+    def abort(self, reason: str = "writer aborted") -> None:
+        """Fail the stream instead of finalising it.
+
+        Unlike :meth:`close` no EOF is written: pending coalesced bytes
+        are dropped and the stream is marked failed server-side, so
+        blocking readers raise ``StreamFailed`` instead of hanging
+        forever — or, worse, seeing a truncated stream that looks
+        complete.  Idempotent; a later :meth:`close` is a no-op.
+        """
+        join_me = None
+        with self._lock:
+            if self._closed_writer:
+                return
+            self._closed_writer = True
+            join_me = self._deadline_thread
+            self._deadline_thread = None
+            if self._coalescer is not None:
+                self._coalescer.discard()
+            self._flush_cv.notify_all()
+        _WRITER_ABORTS.labels(stream=self.name).inc()
+        try:
+            self._client.abort_writer(self.name, reason)
+        except (OSError, RpcError) as exc:
+            # The abort signal is best-effort — the server may be the
+            # very thing that died; readers then surface their own
+            # connection errors instead of a clean StreamFailed.
+            obs.event("gb.abort_failed", stream=self.name, error=str(exc))
+        if join_me is not None:
+            join_me.join(timeout=2.0)
+        super().close()
 
     def close(self) -> None:
         join_me = None
@@ -1017,16 +1128,52 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         runs, self._ack_runs, self._ack_bytes = self._ack_runs, [], 0
         try:
             self._client.consume(self.name, self.reader_id, [(s, e) for s, e in runs])
-        except (OSError, RpcError):
-            # Best-effort: a lost ack delays GC, never corrupts data.
+        except (OSError, RpcError):  # fault-ok: a lost ack delays GC, never corrupts
             pass
 
     # -- read path ---------------------------------------------------------
     def _read_direct(self, size: int) -> bytes:
-        data = self._client.read(
-            self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+        try:
+            return self._client.read(
+                self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+            )
+        except (OSError, RpcError) as exc:
+            self._recover_connection(exc)
+            return self._client.read(
+                self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+            )
+
+    def _recover_connection(self, exc: BaseException) -> None:
+        """Rebuild the demand connection and re-register after a failure.
+
+        Fires when the transport's own retries are exhausted (e.g. the
+        Grid Buffer front end restarted) or the service forgot this
+        reader.  Registration is idempotent server-side and the resume
+        position is ``self._pos`` — exact, because the ``gb.consume``
+        ack bookkeeping tracks consumption per byte range, not per call.
+        Non-recoverable errors (stream failed, stalled, EOF races)
+        re-raise unchanged.
+        """
+        recoverable = isinstance(exc, OSError) and not isinstance(exc, TimeoutError)
+        if isinstance(exc, RpcError):
+            recoverable = exc.kind == "grid-buffer" and "not registered" in exc.message
+        if not recoverable:
+            raise exc
+        _READER_RESUMES.labels(stream=self.name).inc()
+        obs.event(
+            "gb.reader_resume",
+            stream=self.name,
+            reader=self.reader_id,
+            pos=self._pos,
+            error=str(exc),
         )
-        return data
+        if self._rpc is not None:
+            try:
+                self._rpc.close_all()
+            except OSError:  # fault-ok: old connection already dead
+                pass
+            self._rpc = self._client._fresh_connection()
+        self._client.register_reader(self.name, self.reader_id)
 
     def read(self, size: int = -1) -> bytes:  # type: ignore[override]
         if size is None or size < 0:

@@ -52,21 +52,25 @@ class GridBufferServer:
     ):
         self.service = GridBufferService(default_capacity=default_capacity)
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._simulated_latency = simulated_latency
         self._rpc = RpcServer(host, port, simulated_latency=simulated_latency)
-        self._rpc.register(OP_CREATE, self._op_create)
-        self._rpc.register(OP_REGISTER_READER, self._op_register_reader)
-        self._rpc.register(OP_WRITE, self._op_write)
-        self._rpc.register(OP_WRITE_MULTI, self._op_write_multi)
-        self._rpc.register(OP_READ, self._op_read)
-        self._rpc.register(OP_READ_MULTI, self._op_read_multi)
-        self._rpc.register(OP_CONSUME, self._op_consume)
-        self._rpc.register(OP_CLOSE_WRITER, self._op_close_writer)
-        self._rpc.register(OP_STATS, self._op_stats)
-        self._rpc.register(OP_DROP, self._op_drop)
-        self._rpc.register(OP_EXISTS, self._op_exists)
-        self._rpc.register(OP_ABORT, self._op_abort)
-        self._rpc.register(OP_RESUME, self._op_resume)
-        self._rpc.register(OP_HIGH_WATER, self._op_high_water)
+        self._register_ops(self._rpc)
+
+    def _register_ops(self, rpc: RpcServer) -> None:
+        rpc.register(OP_CREATE, self._op_create)
+        rpc.register(OP_REGISTER_READER, self._op_register_reader)
+        rpc.register(OP_WRITE, self._op_write)
+        rpc.register(OP_WRITE_MULTI, self._op_write_multi)
+        rpc.register(OP_READ, self._op_read)
+        rpc.register(OP_READ_MULTI, self._op_read_multi)
+        rpc.register(OP_CONSUME, self._op_consume)
+        rpc.register(OP_CLOSE_WRITER, self._op_close_writer)
+        rpc.register(OP_STATS, self._op_stats)
+        rpc.register(OP_DROP, self._op_drop)
+        rpc.register(OP_EXISTS, self._op_exists)
+        rpc.register(OP_ABORT, self._op_abort)
+        rpc.register(OP_RESUME, self._op_resume)
+        rpc.register(OP_HIGH_WATER, self._op_high_water)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -78,6 +82,22 @@ class GridBufferServer:
 
     def stop(self) -> None:
         self._rpc.stop()
+
+    def restart(self) -> None:
+        """Bounce the TCP front end on the same port; stream state survives.
+
+        Every live connection dies (in-flight calls fail with a
+        connection error) but the :class:`GridBufferService` and all its
+        streams persist — this models a service blip, the scenario the
+        client recovery layer (redial + re-register + dedupe tokens) is
+        built for, and is what the chaos suite exercises.
+        """
+        host, port = self.address
+        self._rpc.stop()
+        self._rpc.disconnect_all()
+        self._rpc = RpcServer(host, port, simulated_latency=self._simulated_latency)
+        self._register_ops(self._rpc)
+        self._rpc.start()
 
     def __enter__(self) -> "GridBufferServer":
         return self.start()
@@ -118,12 +138,20 @@ class GridBufferServer:
         return {}, b""
 
     def _op_write(self, header: Dict[str, Any], payload: bytes):
-        self._wrap(
+        stall = self._wrap(
             lambda: self.service.write(
-                header["name"], int(header["offset"]), payload, timeout=header.get("timeout")
+                header["name"],
+                int(header["offset"]),
+                payload,
+                timeout=header.get("timeout"),
+                token=header.get("token"),
+                seq=header.get("seq"),
             )
         )
-        return {"written": len(payload)}, b""
+        reply: Dict[str, Any] = {"written": len(payload)}
+        if stall is not None:
+            reply["stall"] = stall
+        return reply, b""
 
     def _op_write_multi(self, header: Dict[str, Any], payload: bytes):
         offsets = [int(o) for o in header["offsets"]]
@@ -138,10 +166,19 @@ class GridBufferServer:
         for offset, size in zip(offsets, sizes):
             runs.append((offset, bytes(view[pos : pos + size])))
             pos += size
-        written = self._wrap(
-            lambda: self.service.write_multi(header["name"], runs, timeout=header.get("timeout"))
+        written, stall = self._wrap(
+            lambda: self.service.write_multi(
+                header["name"],
+                runs,
+                timeout=header.get("timeout"),
+                token=header.get("token"),
+                seq=header.get("seq"),
+            )
         )
-        return {"written": written}, b""
+        reply: Dict[str, Any] = {"written": written}
+        if stall is not None:
+            reply["stall"] = stall
+        return reply, b""
 
     def _op_read(self, header: Dict[str, Any], _payload: bytes):
         data = self._wrap(

@@ -31,7 +31,7 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import faults, obs
 from .cache import BufferCache, IntervalSet
 
 __all__ = [
@@ -135,6 +135,9 @@ class _Stream:
         self.in_table = IntervalSet()
         self.written = IntervalSet()
         self.consumed: Dict[str, IntervalSet] = {}
+        #: Highest write-batch sequence applied per writer token; replayed
+        #: batches (client retried after a lost reply) are deduped here.
+        self.applied_seq: Dict[str, int] = {}
         self.eof_total: Optional[int] = None
         self.failed: Optional[str] = None
         self.mem_bytes = 0
@@ -302,49 +305,106 @@ class GridBufferService:
             st.cache.close()
 
     # -- writer side ----------------------------------------------------------
-    def write(self, name: str, offset: int, data: bytes, timeout: Optional[float] = None) -> None:
-        """Store a block at ``offset``; blocks while capacity is exhausted."""
+    def write(
+        self,
+        name: str,
+        offset: int,
+        data: bytes,
+        timeout: Optional[float] = None,
+        token: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> Optional[str]:
+        """Store a block at ``offset``; blocks while capacity is exhausted.
+
+        Returns the stall reason (``"buffer_full"``/``"slow_reader"``) if
+        the writer had to wait, else ``None``.  ``token``/``seq`` enable
+        replay dedupe exactly as in :meth:`write_multi`.
+        """
         if offset < 0:
             raise ValueError("offset must be >= 0")
+        injector = faults.ACTIVE
+        if injector is not None:
+            injector.fire("gb.service", "write", name)
         st = self._stream(name)
         if not data:
-            return
+            return None
         with st.cond:
-            self._write_locked(st, offset, data, timeout)
+            if self._replayed(st, token, seq):
+                return None
+            stall = self._write_locked(st, offset, data, timeout)
+            self._record_seq(st, token, seq)
             st.sync_table_gauges()
             st.cond.notify_all()
+        return stall
 
     def write_multi(
         self,
         name: str,
         runs: Sequence[Tuple[int, bytes]],
         timeout: Optional[float] = None,
-    ) -> int:
+        token: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> Tuple[int, Optional[str]]:
         """Scatter several blocks under one lock acquisition.
 
         One vectored call replaces ``len(runs)`` round trips *and*
         ``len(runs)`` condition-variable cycles; readers are notified
-        once, after all blocks landed.  Returns total bytes stored.
+        once, after all blocks landed.  Returns ``(total bytes stored,
+        stall reason)`` where the stall reason is ``None`` when the
+        batch landed without waiting for capacity (else
+        ``"buffer_full"``/``"slow_reader"`` — see :meth:`_write_locked`).
+
+        ``token`` identifies the writer and ``seq`` must increase per
+        batch: a batch whose ``seq`` was already applied for ``token``
+        is a transport-level replay (the client retried after losing the
+        reply, not the request) and is skipped, making ``gb.write_multi``
+        safe to retry.
         """
         for offset, _ in runs:
             if offset < 0:
                 raise ValueError("offset must be >= 0")
+        injector = faults.ACTIVE
+        if injector is not None:
+            injector.fire("gb.service", "write_multi", name)
         st = self._stream(name)
         total = 0
+        stall: Optional[str] = None
         with st.cond:
+            if self._replayed(st, token, seq):
+                return 0, None
             for offset, data in runs:
                 if not data:
                     continue
-                self._write_locked(st, offset, data, timeout)
+                stall = self._write_locked(st, offset, data, timeout) or stall
                 total += len(data)
+            self._record_seq(st, token, seq)
             st.sync_table_gauges()
             st.cond.notify_all()
-        return total
+        return total, stall
+
+    @staticmethod
+    def _replayed(st: _Stream, token: Optional[str], seq: Optional[int]) -> bool:
+        """True when this (token, seq) batch already landed (holds ``cond``)."""
+        if token is None or seq is None:
+            return False
+        return st.applied_seq.get(token, -1) >= seq
+
+    @staticmethod
+    def _record_seq(st: _Stream, token: Optional[str], seq: Optional[int]) -> None:
+        if token is not None and seq is not None:
+            st.applied_seq[token] = seq
 
     def _write_locked(
         self, st: _Stream, offset: int, data: bytes, timeout: Optional[float]
-    ) -> None:
-        """One block store; caller holds ``st.cond`` and notifies after."""
+    ) -> Optional[str]:
+        """One block store; caller holds ``st.cond`` and notifies after.
+
+        Returns why the writer stalled, if it did: ``"slow_reader"``
+        when every reader is registered but lagging (the buffer drains
+        as slowly as its slowest consumer), ``"buffer_full"`` when
+        capacity is exhausted with readers still missing (nothing can be
+        GC'd yet, so batching harder cannot help).
+        """
         if st.failed is not None:
             raise StreamFailed(f"stream {st.name!r} failed: {st.failed}")
         if st.eof_total is not None:
@@ -353,7 +413,9 @@ class GridBufferService:
             raise GridBufferError(
                 f"block of {len(data)} bytes exceeds stream capacity {st.capacity}"
             )
+        stall: Optional[str] = None
         while st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
+            stall = "slow_reader" if len(st.consumed) >= st.n_readers else "buffer_full"
             st.stats.writer_stalls += 1
             st.m_writer_stalls.inc()
             # A mid-batch stall must publish the blocks already stored,
@@ -379,6 +441,7 @@ class GridBufferService:
         st.m_blocks_stored.inc()
         if st.cache is not None:
             st.cache.store(offset, data)
+        return stall
 
     def close_writer(self, name: str) -> int:
         """Mark EOF; returns the stream's total length.
@@ -473,6 +536,9 @@ class GridBufferService:
         """
         if offset < 0 or length < 0:
             raise ValueError("offset/length must be >= 0")
+        injector = faults.ACTIVE
+        if injector is not None:
+            injector.fire("gb.service", "read", name)
         min_bytes = max(1, min(min_bytes, length)) if length else 0
         st = self._stream(name)
         plan: Optional[_AssemblyPlan] = None

@@ -21,12 +21,26 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-from .. import obs
-from .tcp import RpcClient, RpcError, RpcServer
+from .. import faults, obs
+from .tcp import DEFAULT_POOL_CONNECTIONS, RpcClient, RpcError, RpcServer
 
-__all__ = ["GridFtpServer", "GridFtpClient", "DEFAULT_BLOCK"]
+__all__ = ["GridFtpServer", "GridFtpClient", "TransferError", "DEFAULT_BLOCK"]
 
 DEFAULT_BLOCK = 256 * 1024
+
+
+class TransferError(IOError):
+    """A bulk copy died or came up short.
+
+    ``copied`` is the byte offset up to which the *destination* is known
+    good and contiguous — pass it back as ``fetch_file(resume_from=...)``
+    to continue instead of re-copying.  Parallel transfers interleave
+    ranges, so a mid-copy failure there reports ``copied=0`` (restart).
+    """
+
+    def __init__(self, message: str, copied: int = 0):
+        super().__init__(message)
+        self.copied = copied
 
 _RPC_SECONDS = obs.histogram(
     "gridftp_rpc_seconds",
@@ -78,6 +92,14 @@ class GridFtpServer:
 
     def stop(self) -> None:
         self._rpc.stop()
+
+    def disconnect_all(self) -> None:
+        """Sever every live connection (chaos: model a host death).
+
+        ``stop()`` alone only closes the listener; established
+        connections keep being served until the client hangs up.
+        """
+        self._rpc.disconnect_all()
 
     def __enter__(self) -> "GridFtpServer":
         return self.start()
@@ -200,11 +222,25 @@ class GridFtpClient:
         self.block_size = block_size
         self.monitor = monitor
         self.peer = peer or f"{host}:{port}"
-        self._rpc = RpcClient(host, port)
+        # One pooled client carries both the demand path and the data
+        # channels: the pool is sized so every parallel stream plus the
+        # demand connection can be in flight at once, and every transfer
+        # inherits the client's redial/retry/backoff recovery.
+        self._rpc = RpcClient(
+            host,
+            port,
+            max_connections=max(DEFAULT_POOL_CONNECTIONS, parallel_streams + 1),
+        )
 
     # -- observability -------------------------------------------------------
     def _timed(self, op: str, rpc: RpcClient, header: Dict[str, Any], payload: bytes = b""):
         """One RPC round trip, always metered, monitor-recorded if present."""
+        injector = faults.ACTIVE
+        if injector is not None and injector.fire("gridftp", op, self.peer) is not None:
+            # There is no single socket to act on at this layer, so
+            # close/drop verdicts degrade to a connection error; the
+            # bulk-copy resume path is what recovers from it.
+            raise faults.InjectedFault(f"injected fault: gridftp {op} to {self.peer}")
         t0 = time.perf_counter()
         reply, data = rpc.call(op, header, payload=payload)
         elapsed = time.perf_counter() - t0
@@ -290,34 +326,58 @@ class GridFtpClient:
         return int(reply["written"])
 
     # -- bulk copy -----------------------------------------------------------
-    def fetch_file(self, remote_path: str, local_path: Path) -> int:
+    def fetch_file(self, remote_path: str, local_path: Path, resume_from: int = 0) -> int:
         """Copy remote → local, using parallel streams for large files.
 
-        Returns the actual number of bytes copied and raises ``IOError``
-        if it differs from the remote size at transfer start (e.g. the
-        file shrank mid-copy) — a short copy must never pass silently.
+        ``resume_from`` continues an interrupted copy: the first
+        ``resume_from`` bytes of ``local_path`` are assumed good (use
+        :attr:`TransferError.copied` from the failed attempt) and the
+        transfer restarts there, single-stream.  Returns the bytes moved
+        *this call*.  Raises :class:`TransferError` on a mid-copy
+        connection failure or a short copy (e.g. the file shrank) — a
+        short copy must never pass silently.
         """
         total = self.size(remote_path)
         local_path = Path(local_path)
         local_path.parent.mkdir(parents=True, exist_ok=True)
+        if resume_from < 0 or resume_from > total:
+            raise ValueError(f"resume_from {resume_from} outside [0, {total}]")
         if total == 0:
             local_path.write_bytes(b"")
             return 0
+        if resume_from == total:
+            return 0
         t0 = time.perf_counter()
-        if self.parallel_streams == 1 or total <= self.block_size:
+        single = bool(resume_from) or self.parallel_streams == 1 or total <= self.block_size
+        if single:
             copied = 0
-            with open(local_path, "wb") as out:
-                while copied < total:
-                    data = self.read_block(remote_path, copied, self.block_size)
-                    if not data:
-                        break
-                    out.write(data)
-                    copied += len(data)
+            mode = "r+b" if resume_from and local_path.exists() else "wb"
+            with open(local_path, mode) as out:
+                out.seek(resume_from)
+                out.truncate()
+                try:
+                    while resume_from + copied < total:
+                        data = self.read_block(
+                            remote_path, resume_from + copied, self.block_size
+                        )
+                        if not data:
+                            break
+                        out.write(data)
+                        copied += len(data)
+                except (OSError, RpcError) as exc:
+                    out.flush()
+                    raise TransferError(
+                        f"fetch of {remote_path!r} died at byte "
+                        f"{resume_from + copied} of {total}: {exc}",
+                        copied=resume_from + copied,
+                    ) from exc
         else:
             copied = self._parallel_fetch(remote_path, local_path, total)
-        if copied != total:
-            raise IOError(
-                f"short fetch of {remote_path!r}: copied {copied} of {total} bytes"
+        if resume_from + copied != total:
+            raise TransferError(
+                f"short fetch of {remote_path!r}: have {resume_from + copied} "
+                f"of {total} bytes",
+                copied=resume_from + copied if single else 0,
             )
         if self.monitor is not None:
             self.monitor.record(self.peer, "fetch", copied, time.perf_counter() - t0)
@@ -330,15 +390,16 @@ class GridFtpClient:
         copied = [0] * self.parallel_streams
 
         def worker(stream_idx: int) -> None:
-            client = self._rpc.clone()
+            # All streams draw from the shared pool: the pool is sized
+            # for them (see __init__), and a pooled socket that dies is
+            # discarded and redialed by the RPC retry layer instead of
+            # killing the whole transfer.
             try:
                 with open(local_path, "r+b") as out:
                     offset = stream_idx * self.block_size
                     stride = self.parallel_streams * self.block_size
                     while offset < total:
-                        data = self.read_block_via(
-                            client, remote_path, offset, self.block_size
-                        )
+                        data = self.read_block(remote_path, offset, self.block_size)
                         if not data:
                             break
                         out.seek(offset)
@@ -347,8 +408,6 @@ class GridFtpClient:
                         offset += stride
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
                 errors.append(exc)
-            finally:
-                client.close()
 
         threads = [
             threading.Thread(target=worker, args=(i,), daemon=True)
@@ -359,7 +418,12 @@ class GridFtpClient:
         for t in threads:
             t.join()
         if errors:
-            raise errors[0]
+            exc = errors[0]
+            if isinstance(exc, (OSError, RpcError)):
+                raise TransferError(
+                    f"parallel fetch of {remote_path!r} failed: {exc}", copied=0
+                ) from exc
+            raise exc
         return sum(copied)
 
     def store_file(self, local_path: Path, remote_path: str) -> int:
@@ -385,8 +449,9 @@ class GridFtpClient:
         else:
             stored = self._parallel_store(local_path, remote_path, total)
         if stored != total:
-            raise IOError(
-                f"short store of {remote_path!r}: sent {stored} of {total} bytes"
+            raise TransferError(
+                f"short store of {remote_path!r}: sent {stored} of {total} bytes",
+                copied=0,
             )
         if self.monitor is not None:
             self.monitor.record(self.peer, "store", stored, time.perf_counter() - t0)
@@ -400,7 +465,7 @@ class GridFtpClient:
         sent = [0] * self.parallel_streams
 
         def worker(stream_idx: int) -> None:
-            client = self._rpc.clone()
+            # Streams share the pooled client; see _parallel_fetch.
             try:
                 with open(local_path, "rb") as src:
                     offset = stream_idx * self.block_size
@@ -412,7 +477,7 @@ class GridFtpClient:
                             break
                         self._timed(
                             "put_block",
-                            client,
+                            self._rpc,
                             {"path": remote_path, "offset": offset, "truncate": False},
                             payload=chunk,
                         )
@@ -420,8 +485,6 @@ class GridFtpClient:
                         offset += stride
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
                 errors.append(exc)
-            finally:
-                client.close()
 
         threads = [
             threading.Thread(target=worker, args=(i,), daemon=True)
@@ -432,11 +495,18 @@ class GridFtpClient:
         for t in threads:
             t.join()
         if errors:
-            raise errors[0]
+            exc = errors[0]
+            if isinstance(exc, (OSError, RpcError)):
+                raise TransferError(
+                    f"parallel store of {remote_path!r} failed: {exc}", copied=0
+                ) from exc
+            raise exc
         return sum(sent)
 
     def close(self) -> None:
-        self._rpc.close()
+        # Hard close: also kills any data-channel socket still mid-RPC,
+        # so teardown never leaks a parked worker.
+        self._rpc.close_all()
 
     def __enter__(self) -> "GridFtpClient":
         return self

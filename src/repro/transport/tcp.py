@@ -23,14 +23,16 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import socketserver
 import struct
 import threading
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
-from .. import obs
+from .. import faults, obs
 
 __all__ = [
     "send_frame",
@@ -39,6 +41,10 @@ __all__ = [
     "RpcServer",
     "RpcClient",
     "RpcError",
+    "RetryPolicy",
+    "PoolTimeout",
+    "ClientClosedError",
+    "IDEMPOTENT_OPS",
 ]
 
 _LEN = struct.Struct(">I")
@@ -57,6 +63,11 @@ _SERVER_REQUESTS = obs.counter(
     "Requests dispatched by servers, by op and outcome",
     labelnames=("op", "status"),
 )
+_CLIENT_RETRIES = obs.counter(
+    "rpc_retries_total",
+    "Connection-level RPC failures recovered by redial + retry",
+    labelnames=("op",),
+)
 
 #: Default RPC timeout; tests shrink it via REPRO_RPC_TIMEOUT so a hung
 #: peer fails a test in seconds rather than stalling the whole suite.
@@ -71,6 +82,76 @@ DEFAULT_POOL_CONNECTIONS = max(1, int(os.environ.get("REPRO_RPC_POOL", "4")))
 #: Payloads at or above this size are sent via ``socket.sendmsg``
 #: (gather write) instead of being copied into one contiguous frame.
 _SENDMSG_THRESHOLD = 64 * 1024
+
+#: Connection-level retries after the first attempt (idempotent ops only).
+DEFAULT_RPC_RETRIES = max(0, int(os.environ.get("REPRO_RPC_RETRIES", "3")))
+
+#: Ops that are safe to replay after a connection-level failure because
+#: re-running them cannot corrupt state: reads, probes, registrations
+#: that early-return when already applied, and interval-set writes where
+#: the same (offset, bytes) lands in the same place.  ``gb.write`` /
+#: ``gb.write_multi`` are deliberately absent — they only become
+#: retryable when the caller attaches a dedupe token and passes
+#: ``retryable=True`` (see GridBufferClient).
+IDEMPOTENT_OPS: FrozenSet[str] = frozenset(
+    {
+        # GridFTP-like file server
+        "size",
+        "exists",
+        "get_block",
+        "put_block",
+        "checksum",
+        "mkdirs",
+        "pull_from",
+        # Grid Buffer
+        "gb.create",
+        "gb.register_reader",
+        "gb.read",
+        "gb.read_multi",
+        "gb.consume",
+        "gb.close_writer",
+        "gb.stats",
+        "gb.exists",
+        "gb.abort",
+        "gb.resume",
+        "gb.high_water",
+        # GNS
+        "gns.resolve",
+        "gns.list",
+        "gns.remove",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for connection-level RPC retries.
+
+    ``retries`` is the number of *re*-attempts after the first try.
+    Delay before the Nth retry is ``base * multiplier**(N-1)`` capped at
+    ``max_delay``, stretched by up to ``jitter`` fraction (drawn from
+    the client's RNG, so a seeded client backs off deterministically).
+    """
+
+    retries: int = DEFAULT_RPC_RETRIES
+    base: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        delay = min(self.max_delay, self.base * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+class PoolTimeout(TimeoutError):
+    """Checkout timed out waiting for a free pooled connection."""
+
+
+class ClientClosedError(ConnectionError):
+    """The client was close()d while this call was connecting."""
 
 
 class FrameError(ConnectionError):
@@ -161,19 +242,50 @@ class RpcServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, simulated_latency: float = 0.0):
         self._handlers: Dict[str, Handler] = {}
         self.simulated_latency = max(0.0, simulated_latency)
+        self._conns: set = set()
+        self._conns_lock = threading.Lock()
         outer = self
 
         class _ConnHandler(socketserver.BaseRequestHandler):
+            def setup(self) -> None:
+                with outer._conns_lock:
+                    outer._conns.add(self.request)
+
+            def finish(self) -> None:
+                with outer._conns_lock:
+                    outer._conns.discard(self.request)
+
             def handle(self) -> None:
                 sock = self.request
                 while True:
                     try:
                         header, payload = recv_frame(sock)
-                    except (FrameError, OSError):
+                    except (FrameError, OSError):  # fault-ok: peer hung up; normal teardown
                         return
                     if outer.simulated_latency:
                         time.sleep(2.0 * outer.simulated_latency)
                     op = header.get("op", "")
+                    injector = faults.ACTIVE
+                    if injector is not None:
+                        try:
+                            verdict = injector.fire("rpc.server", op, outer.peer_name)
+                        except faults.InjectedFault as exc:
+                            reply = {"ok": False, "error": "injected-fault", "message": str(exc)}
+                            try:
+                                send_frame(sock, reply, b"")
+                            except OSError:  # fault-ok: peer already gone
+                                return
+                            continue
+                        if verdict is not None:
+                            # "drop": swallow the request, no reply, kill the
+                            # connection; "close": also reset both directions so
+                            # the client's pending recv fails immediately.
+                            if verdict == "close":
+                                try:
+                                    sock.shutdown(socket.SHUT_RDWR)
+                                except OSError:  # fault-ok: already dead
+                                    pass
+                            return
                     handler = outer._handlers.get(op)
                     try:
                         if handler is None:
@@ -190,7 +302,7 @@ class RpcServer:
                         _SERVER_REQUESTS.labels(op=op, status="error").inc()
                     try:
                         send_frame(sock, reply, data)
-                    except OSError:
+                    except OSError:  # fault-ok: peer hung up mid-reply; teardown
                         return
 
         class _Server(socketserver.ThreadingTCPServer):
@@ -205,6 +317,9 @@ class RpcServer:
 
         self._server = _Server((host, port), _ConnHandler)
         self._thread: Optional[threading.Thread] = None
+        #: Label used by the fault injector to match ``peer=`` globs.
+        addr = self._server.server_address
+        self.peer_name = f"{addr[0]}:{addr[1]}"
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -229,6 +344,23 @@ class RpcServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+
+    def disconnect_all(self) -> None:
+        """Forcibly drop every established connection.
+
+        :meth:`stop` only closes the listening socket — handler threads
+        keep serving connections they already hold.  A restart that is
+        supposed to *look* like a crash (the chaos suite's Grid Buffer
+        bounce) calls this so clients actually observe their
+        connections dying and exercise redial + resume.
+        """
+        with self._conns_lock:
+            conns = list(self._conns)
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:  # fault-ok: connection already gone
+                pass
 
     def __enter__(self) -> "RpcServer":
         return self.start()
@@ -255,11 +387,15 @@ class RpcClient:
         port: int,
         timeout: Optional[float] = None,
         max_connections: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self._addr = (host, port)
+        self._peer = f"{host}:{port}"
         self._timeout = DEFAULT_RPC_TIMEOUT if timeout is None else timeout
         self._max = max(1, int(max_connections if max_connections is not None
                                else DEFAULT_POOL_CONNECTIONS))
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random()
         self._cv = threading.Condition()
         self._idle: list[socket.socket] = []
         self._inflight: set = set()   # sockets currently checked out
@@ -273,7 +409,12 @@ class RpcClient:
         clones when they want connections whose blocking calls can
         never contend with the owner's pool at all.
         """
-        return RpcClient(*self._addr, timeout=self._timeout, max_connections=self._max)
+        return RpcClient(
+            *self._addr,
+            timeout=self._timeout,
+            max_connections=self._max,
+            retry=self._retry,
+        )
 
     def _new_socket(self) -> socket.socket:
         sock = socket.create_connection(self._addr, timeout=self._timeout)
@@ -295,8 +436,10 @@ class RpcClient:
                     break
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
-                    raise TimeoutError(
-                        f"no free RPC connection to {self._addr} within {self._timeout}s"
+                    raise PoolTimeout(
+                        f"no free RPC connection to {self._peer} within "
+                        f"{self._timeout}s (pool={self._max}, in_flight={self._active}, "
+                        f"idle={len(self._idle)}, gen={self._gen})"
                     )
                 self._cv.wait(timeout=remaining)
         # Connect outside the lock: a slow handshake must not block the pool.
@@ -308,6 +451,21 @@ class RpcClient:
                 self._cv.notify()
             raise
         with self._cv:
+            if gen != self._gen:
+                # close()/close_all() raced our connect: honour it.  Without
+                # this re-check the fresh socket joins _inflight *after* the
+                # close snapshot and survives a shutdown that promised to
+                # kill every in-flight call.
+                self._active -= 1
+                self._cv.notify()
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover  # fault-ok: best-effort close
+                    pass
+                raise ClientClosedError(
+                    f"RPC client to {self._peer} closed during connect "
+                    f"(gen {gen} -> {self._gen})"
+                )
             self._inflight.add(sock)
         return sock, gen
 
@@ -329,22 +487,68 @@ class RpcClient:
             self._cv.notify()
         try:
             sock.close()
-        except OSError:  # pragma: no cover - close never meaningfully fails
+        except OSError:  # pragma: no cover  # fault-ok: close never meaningfully fails
             pass
 
-    def call(self, op: str, header: Optional[Dict[str, Any]] = None, payload: bytes = b"") -> Tuple[Dict[str, Any], bytes]:
-        """One round trip; raises :class:`RpcError` on remote failure."""
+    def call(
+        self,
+        op: str,
+        header: Optional[Dict[str, Any]] = None,
+        payload: bytes = b"",
+        retryable: Optional[bool] = None,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """One round trip; raises :class:`RpcError` on remote failure.
+
+        Connection-level failures (``OSError``/``FrameError``) discard
+        the pooled socket and, for idempotent ops, redial and replay the
+        call with exponential backoff.  ``retryable`` overrides the
+        :data:`IDEMPOTENT_OPS` table — callers that attach their own
+        dedupe token (e.g. ``gb.write_multi``) pass ``True``.  An
+        :class:`RpcError` reply is never retried: the request was
+        delivered and the server answered.
+        """
         msg = dict(header or {})
         msg["op"] = op
         _CLIENT_CALLS.labels(op=op).inc()
-        sock, gen = self._checkout()
-        try:
-            send_frame(sock, msg, payload)
-            reply, data = recv_frame(sock)
-        except (OSError, FrameError) as exc:
-            self._discard(sock, gen)
-            _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
-            raise
+        if retryable is None:
+            retryable = op in IDEMPOTENT_OPS
+        attempts = 1 + (self._retry.retries if retryable else 0)
+        attempt = 0
+        while True:
+            attempt += 1
+            sock = None
+            gen = -1
+            try:
+                sock, gen = self._checkout()
+                injector = faults.ACTIVE
+                if injector is not None:
+                    verdict = injector.fire("rpc.client", op, self._peer)
+                    if verdict is not None:
+                        # "close"/"drop": kill the connection under the call so
+                        # the real send/recv path fails organically.
+                        try:
+                            sock.shutdown(socket.SHUT_RDWR)
+                        except OSError:  # fault-ok: socket already dead
+                            pass
+                send_frame(sock, msg, payload)
+                reply, data = recv_frame(sock)
+            except (PoolTimeout, ClientClosedError):
+                raise  # pool exhaustion / shutdown: retrying cannot help
+            except (OSError, FrameError) as exc:
+                if sock is not None:
+                    self._discard(sock, gen)
+                _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
+                with self._cv:
+                    # A generation bump means *our own* close()/close_all()
+                    # killed this socket: the owner wants shutdown, so
+                    # redialing would undo it.  Only external failures retry.
+                    closed_locally = gen != -1 and gen != self._gen
+                if closed_locally or attempt >= attempts:
+                    raise
+                _CLIENT_RETRIES.labels(op=op).inc()
+                time.sleep(self._retry.backoff(attempt, self._rng))
+                continue
+            break
         self._checkin(sock, gen)
         if not reply.get("ok", False):
             kind = reply.get("error", "remote-error")
@@ -366,7 +570,7 @@ class RpcClient:
         for sock in idle:
             try:
                 sock.close()
-            except OSError:  # pragma: no cover
+            except OSError:  # pragma: no cover  # fault-ok: best-effort close
                 pass
 
     def close_all(self) -> None:
@@ -385,12 +589,12 @@ class RpcClient:
         for sock in idle:
             try:
                 sock.close()
-            except OSError:  # pragma: no cover
+            except OSError:  # pragma: no cover  # fault-ok: best-effort close
                 pass
         for sock in inflight:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
+            except OSError:  # fault-ok: socket already dead
                 pass
 
     def __enter__(self) -> "RpcClient":

@@ -117,15 +117,32 @@ class StageIO:
         self._fm = fm
         self._prefix = prefix
         self._params = params
+        self._opened: List = []  # raw FMFile handles, for crash cleanup
 
     def path_of(self, name: str) -> str:
         return f"{self._prefix}/{name}"
+
+    def abort(self) -> None:
+        """Abandon every handle the stage left open after a crash.
+
+        Buffered writers are aborted (not closed): the abort marks the
+        stream failed server-side, so downstream readers fail fast
+        instead of blocking until their timeout.
+        """
+        for raw in self._opened:
+            if raw.closed:
+                continue
+            try:
+                raw.abort()
+            except Exception:  # noqa: BLE001 - cleanup must visit every handle
+                logger.debug("abort of a stage handle failed", exc_info=True)
 
     def open(self, name: str, mode: str = "r"):
         """Open a workflow file; text modes wrap in a TextIOWrapper."""
         import io as _io
 
         raw = self._fm.open(self.path_of(name), mode)
+        self._opened.append(raw)
         if "b" in mode:
             if raw.readable() and not raw.writable():
                 return _io.BufferedReader(raw)
@@ -278,6 +295,11 @@ class RealRunner:
                             io_adapter = StageIO(fm, self._prefix, self.params)
                             try:
                                 stage.func(io_adapter)
+                            except BaseException:
+                                # Kill half-written streams so blocked
+                                # readers see StreamFailed, not a hang.
+                                io_adapter.abort()
+                                raise
                             finally:
                                 self._account_stage_io(stage.name, fm)
                     _TASK_SECONDS.observe(time.monotonic() - body_t0)

@@ -1,0 +1,484 @@
+"""End-to-end failure recovery under seeded fault injection.
+
+The chaos run drives all six IO modes while the injector kills
+connections at every layer, one replica host dies outright, and the
+Grid Buffer front end restarts mid-stream — outputs must still be
+byte-identical and the recovery work must be visible in ``repro.obs``.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import faults, obs
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.core.replica import NoReplicaError, ReplicaSelector
+from repro.faults import FaultRule
+from repro.gns.client import LocalGnsClient
+from repro.gns.records import BufferEndpoint, GnsRecord, IOMode
+from repro.gns.server import NameService
+from repro.grid.replica_catalog import Replica, ReplicaCatalog
+from repro.gridbuffer.client import GridBufferClient
+from repro.gridbuffer.server import GridBufferServer
+from repro.gridbuffer.service import GridBufferService
+from repro.transport.gridftp import GridFtpClient, GridFtpServer, TransferError
+from repro.transport.tcp import IDEMPOTENT_OPS, RetryPolicy
+from repro.transport.inmem import HostRegistry
+
+pytestmark = pytest.mark.faults
+
+SEED = 20260806
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no injector armed."""
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def _counter(name, labels=None):
+    if labels is not None:
+        return obs.value(name, labels) or 0.0
+    # No labels: total the family across all label series.
+    family = obs.snapshot().get(name)
+    if not family:
+        return 0.0
+    total = 0.0
+    for series in family["series"]:
+        value = series["value"]
+        total += value["count"] if isinstance(value, dict) else value
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Unit: retry backoff timing
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(retries=5, base=0.05, multiplier=2.0, max_delay=0.3, jitter=0.0)
+        rng = random.Random(SEED)
+        delays = [policy.backoff(attempt, rng) for attempt in range(1, 6)]
+        assert delays[:3] == [0.05, 0.1, 0.2]
+        assert delays[3] == delays[4] == 0.3  # capped
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base=0.1, multiplier=2.0, max_delay=10.0, jitter=0.25)
+        rng = random.Random(SEED)
+        for attempt in range(1, 5):
+            base = min(10.0, 0.1 * 2.0 ** (attempt - 1))
+            for _ in range(20):
+                d = policy.backoff(attempt, rng)
+                assert base <= d <= base * 1.25
+
+    def test_idempotency_table_covers_reads_not_writes(self):
+        assert "gb.read" in IDEMPOTENT_OPS
+        assert "get_block" in IDEMPOTENT_OPS
+        # bare gb.write is not blanket-retryable; it retries only when
+        # the caller attaches a dedupe token (retryable=True per call).
+        assert "gb.write" not in IDEMPOTENT_OPS
+        assert "gb.write_multi" not in IDEMPOTENT_OPS
+
+
+# ---------------------------------------------------------------------------
+# Unit: write replay dedupe (the token/seq idempotency table)
+# ---------------------------------------------------------------------------
+class TestWriteDedupe:
+    def test_replayed_write_is_skipped(self):
+        svc = GridBufferService()
+        svc.create_stream("s", n_readers=1)
+        svc.register_reader("s", "r")
+        svc.write("s", 0, b"abc", token="tok", seq=0)
+        svc.write("s", 0, b"abc", token="tok", seq=0)  # retry replay
+        svc.write("s", 3, b"def", token="tok", seq=1)
+        svc.close_writer("s")
+        assert svc.read("s", "r", 0, 64, timeout=1.0) == b"abcdef"
+        assert svc.stats("s").bytes_written == 6  # replay not double-counted
+
+    def test_replayed_write_multi_is_skipped(self):
+        svc = GridBufferService()
+        svc.create_stream("s", n_readers=1)
+        svc.register_reader("s", "r")
+        runs = [(0, b"ab"), (2, b"cd")]
+        written, _ = svc.write_multi("s", runs, token="tok", seq=0)
+        assert written == 4
+        replay_written, _ = svc.write_multi("s", runs, token="tok", seq=0)
+        svc.close_writer("s")
+        assert svc.read("s", "r", 0, 64, timeout=1.0) == b"abcd"
+        assert svc.stats("s").bytes_written == 4
+        assert replay_written == 0 or replay_written == 4  # reply, not re-apply
+
+    def test_retried_write_through_injected_close_lands_once(self, buffer_server):
+        host, port = buffer_server.address
+        client = GridBufferClient(host, port)
+        client.create_stream("dedupe", n_readers=1)
+        client.register_reader("dedupe", "r")
+        # Kill the connection on the first write attempt; the retry must
+        # not double-apply the block.
+        with faults.injected(
+            FaultRule(layer="rpc.client", op="gb.write", action="close", nth=1),
+            seed=SEED,
+        ):
+            client.write("dedupe", 0, b"exactly-once")
+        client.close_writer("dedupe")
+        assert client.read("dedupe", "r", 0, 64, timeout=2.0) == b"exactly-once"
+        assert client.stats("dedupe")["bytes_written"] == len(b"exactly-once")
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# Unit: reader connection recovery + resume offset
+# ---------------------------------------------------------------------------
+class TestReaderResume:
+    def test_reader_resumes_at_offset_after_connection_death(self, buffer_server):
+        host, port = buffer_server.address
+        writer_client = GridBufferClient(host, port)
+        payload = bytes(random.Random(SEED).randbytes(64 * 1024))
+        with writer_client.open_writer("resume-stream", n_readers=1) as w:
+            w.write(payload)
+        resumes_before = _counter(
+            "buffer_reader_resumes_total", {"stream": "resume-stream"}
+        )
+        reader_client = GridBufferClient(host, port)
+        reader = reader_client.open_reader(
+            "resume-stream", reader_id="r1", read_ahead=False
+        )
+        got = reader.read(16 * 1024)
+        # Exhaust every retry attempt (1 original + 3 retries) so the
+        # failure reaches the reader's own recovery layer.
+        with faults.injected(
+            FaultRule(layer="rpc.client", op="gb.read", action="close", nth=1, times=4),
+            seed=SEED,
+        ):
+            while len(got) < len(payload):
+                chunk = reader.read(16 * 1024)
+                if not chunk:
+                    break
+                got += chunk
+        reader.close()
+        assert got == payload  # resumed exactly at the pre-failure offset
+        resumes_after = _counter(
+            "buffer_reader_resumes_total", {"stream": "resume-stream"}
+        )
+        assert resumes_after > resumes_before
+        writer_client.close()
+        reader_client.close()
+
+
+# ---------------------------------------------------------------------------
+# Unit: gridftp transfer resume
+# ---------------------------------------------------------------------------
+class TestTransferResume:
+    def test_fetch_resumes_from_reported_offset(self, tmp_path):
+        root = tmp_path / "export"
+        root.mkdir()
+        payload = bytes(random.Random(SEED + 1).randbytes(300_000))
+        (root / "big.bin").write_bytes(payload)
+        with GridFtpServer(root) as server:
+            client = GridFtpClient(*server.address, block_size=32 * 1024)
+            dst = tmp_path / "out.bin"
+            with faults.injected(
+                FaultRule(layer="gridftp", op="get_block", action="error", nth=4),
+                seed=SEED,
+            ):
+                with pytest.raises(TransferError) as excinfo:
+                    client.fetch_file("big.bin", dst)
+                copied = excinfo.value.copied
+                assert 0 < copied < len(payload)
+                moved = client.fetch_file("big.bin", dst, resume_from=copied)
+            assert moved == len(payload) - copied
+            assert dst.read_bytes() == payload
+            client.close()
+
+
+# ---------------------------------------------------------------------------
+# Integration: stage crash aborts its streams; readers fail fast
+# ---------------------------------------------------------------------------
+class TestStageCrashAbort:
+    @pytest.mark.timeout(60)
+    def test_writer_crash_fails_reader_fast(self):
+        from repro.workflow.runner import RealRunner
+        from repro.workflow.scheduler import plan_workflow
+        from repro.workflow.spec import FileUse, Stage, Workflow
+
+        def producer(io):
+            fh = io.open("feed.bin", "wb")
+            fh.write(b"x" * 4096)
+            fh.flush()
+            raise RuntimeError("simulated stage crash")
+
+        def consumer(io):
+            with io.open("feed.bin", "rb") as fh:
+                while fh.read(1024):
+                    pass
+
+        wf = Workflow(
+            "chaos-abort",
+            [
+                Stage("produce", writes=(FileUse("feed.bin"),), func=producer),
+                Stage("consume", reads=(FileUse("feed.bin"),), func=consumer),
+            ],
+        )
+        plan = plan_workflow(
+            wf, {"produce": "m1", "consume": "m2"}, coupling={"feed.bin": "buffer"}
+        )
+        runner = RealRunner(plan, stage_timeout=30.0)
+        t0 = time.monotonic()
+        result = runner.run()
+        elapsed = time.monotonic() - t0
+        runner.deployment.stop()
+        assert "produce" in result.errors
+        assert "consume" in result.errors  # saw StreamFailed, did not hang
+        assert elapsed < 25.0, "reader must fail fast, not ride out its timeout"
+
+
+# ---------------------------------------------------------------------------
+# The chaos six-modes run
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def chaos_world(tmp_path):
+    hosts = HostRegistry(tmp_path / "hosts")
+    for name in ("compute", "store1", "store2"):
+        hosts.add_host(name)
+
+    rng = random.Random(SEED)
+    source = bytes(rng.randbytes(96 * 1024))
+    replica_payload = bytes(rng.randbytes(640 * 1024))
+    stream_payload = bytes(rng.randbytes(192 * 1024))
+
+    # Non-replicated inputs live on store2: store1 is the host the
+    # chaos run kills, so only failover-capable paths may depend on it.
+    src = hosts.host("store2").resolve("/in/source.dat")
+    src.parent.mkdir(parents=True, exist_ok=True)
+    src.write_bytes(source)
+    for host in ("store1", "store2"):  # replicas are byte-identical
+        p = hosts.host(host).resolve("/replicas/big.dat")
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_bytes(replica_payload)
+
+    servers = {
+        name: GridFtpServer(hosts.host(name).root).start()
+        for name in ("compute", "store1", "store2")
+    }
+    buffer_server = GridBufferServer(cache_dir=tmp_path / "cache").start()
+
+    catalog = ReplicaCatalog()
+    catalog.register("lfn://big", Replica("store1", "/replicas/big.dat", size=len(replica_payload)))
+    catalog.register("lfn://big", Replica("store2", "/replicas/big.dat", size=len(replica_payload)))
+    # Static costs prefer store1 — the host the chaos run kills.
+    selector = ReplicaSelector(
+        catalog, static_cost=lambda s, d: 1.0 if s == "store1" else 2.0
+    )
+
+    ns = NameService(locate_buffer_server=lambda m: buffer_server.address)
+    ns.add_all(
+        [
+            GnsRecord(
+                machine="compute", path="/job/remote-in.dat", mode=IOMode.REMOTE,
+                remote_host="store2", remote_path="/in/source.dat",
+            ),
+            GnsRecord(
+                machine="compute", path="/job/copied-in.dat", mode=IOMode.COPY,
+                remote_host="store2", remote_path="/in/source.dat",
+            ),
+            GnsRecord(
+                machine="compute", path="/job/replica-remote.dat",
+                mode=IOMode.REMOTE_REPLICA, logical_name="lfn://big",
+            ),
+            GnsRecord(
+                machine="compute", path="/job/replica-local.dat",
+                mode=IOMode.LOCAL_REPLICA, logical_name="lfn://big",
+                local_path="/cache/big.dat",
+            ),
+            GnsRecord(
+                machine="*", path="/job/stream.dat", mode=IOMode.BUFFER,
+                buffer=BufferEndpoint(stream="chaos-stream", cache=True),
+            ),
+            # A stream whose buffer endpoint is dead on arrival: the
+            # fallback chain degrades it to COPY via store2.
+            GnsRecord(
+                machine="*", path="/job/degraded.dat", mode=IOMode.BUFFER,
+                buffer=BufferEndpoint(stream="dead-stream", host="127.0.0.1", port=1),
+                fallback=GnsRecord(
+                    machine="*", path="/job/degraded.dat", mode=IOMode.COPY,
+                    remote_host="store2", remote_path="/handoff/degraded.dat",
+                ),
+            ),
+        ]
+    )
+    gns = LocalGnsClient(ns)
+
+    def ctx(machine):
+        return GridContext(
+            machine=machine,
+            gns=gns,
+            hosts=hosts,
+            gridftp={name: s.address for name, s in servers.items()},
+            buffer_locator=lambda m: buffer_server.address,
+            selector=selector,
+            scratch_dir=tmp_path / "scratch",
+            io_timeout=30.0,
+            prefetch=False,  # deterministic per-op fault counting
+        )
+
+    fms = {name: FileMultiplexer(ctx(name)) for name in ("compute", "store2")}
+    world = {
+        "fms": fms,
+        "hosts": hosts,
+        "servers": servers,
+        "buffer_server": buffer_server,
+        "payloads": {
+            "source": source,
+            "replica": replica_payload,
+            "stream": stream_payload,
+        },
+    }
+    yield world
+    for fm in fms.values():
+        fm.close()
+    for s in servers.values():
+        s.stop()
+    buffer_server.stop()
+
+
+class TestChaosSixModes:
+    @pytest.mark.timeout(120)
+    def test_all_modes_survive_seeded_faults(self, chaos_world):
+        fm = chaos_world["fms"]["compute"]
+        fm_store2 = chaos_world["fms"]["store2"]
+        payloads = chaos_world["payloads"]
+        before = {
+            "injected": _counter("fault_injected_total"),
+            "retries": _counter("rpc_retries_total"),
+            "failovers": _counter("replica_failovers_total"),
+            "degraded": _counter("fm_mode_degraded_total"),
+        }
+
+        # Deterministic chaos across every layer: connection closes on
+        # the client transport, an injected failure at the GridFTP layer
+        # (lands in mode 4, whose handle fails over), and a service-side
+        # delay in the Grid Buffer.  On top of the rules, store1 dies
+        # outright after mode 4 and the GB front end restarts mid-stream.
+        rules = [
+            FaultRule(layer="rpc.client", op="get_block", action="close", nth=3),
+            FaultRule(layer="rpc.client", op="gb.write*", action="close", nth=2),
+            FaultRule(layer="rpc.client", op="gb.read*", action="close", nth=4),
+            FaultRule(layer="gb.service", op="read", action="delay", nth=2, delay=0.02),
+            FaultRule(layer="gridftp", op="get_block", peer="store1", action="error", nth=2),
+        ]
+        modes_used = []
+        with faults.injected(*rules, seed=SEED) as injector:
+            # 1. LOCAL
+            f = fm.open("/job/local.dat", "w")
+            modes_used.append(f.io_mode)
+            f.write(payloads["source"][:1024])
+            f.close()
+            f = fm.open("/job/local.dat", "r")
+            assert f.read() == payloads["source"][:1024]
+            f.close()
+
+            # 2. COPY (store2 -> compute) through dropped connections.
+            f = fm.open("/job/copied-in.dat", "r")
+            modes_used.append(f.io_mode)
+            assert f.read() == payloads["source"]
+            f.close()
+
+            # 3. REMOTE proxy reads through dropped connections.
+            f = fm.open("/job/remote-in.dat", "r")
+            modes_used.append(f.io_mode)
+            assert f.read() == payloads["source"]
+            f.close()
+
+            # 4. REMOTE_REPLICA: store1 (the preferred source) dies
+            # mid-read; the handle must fail over and keep its offset.
+            f = fm.open("/job/replica-remote.dat", "r")
+            modes_used.append(f.io_mode)
+            got = f.read(64 * 1024)
+            chaos_world["servers"]["store1"].stop()
+            chaos_world["servers"]["store1"].disconnect_all()
+            while True:
+                chunk = f.read(64 * 1024)
+                if not chunk:
+                    break
+                got += chunk
+            f.close()
+            assert got == payloads["replica"]
+            assert f.stats.failovers >= 1
+
+            # 5. LOCAL_REPLICA: store1 is already dead, so the copy-in
+            # must come from store2 (selection skips the dead source
+            # after the first failed attempt).
+            f = fm.open("/job/replica-local.dat", "r")
+            modes_used.append(f.io_mode)
+            assert f.read() == payloads["replica"]
+            f.close()
+
+            # 6. BUFFER: restart the Grid Buffer front end mid-stream.
+            stream = payloads["stream"]
+            wrote = threading.Event()
+
+            def produce():
+                w = fm_store2.open("/job/stream.dat", "w")
+                half = len(stream) // 2
+                w.write(stream[:half])
+                w.flush()
+                wrote.set()
+                w.write(stream[half:])
+                w.close()
+
+            t = threading.Thread(target=produce, daemon=True)
+            t.start()
+            r = fm.open("/job/stream.dat", "r")
+            modes_used.append(r.io_mode)
+            got = r.read(32 * 1024)
+            wrote.wait(timeout=10)
+            chaos_world["buffer_server"].restart()
+            while len(got) < len(stream):
+                chunk = r.read(32 * 1024)
+                if not chunk:
+                    break
+                got += chunk
+            r.close()
+            t.join(timeout=15)
+            assert not t.is_alive(), "producer must survive the restart"
+            assert got == stream
+
+            # Degraded stream: BUFFER endpoint dead -> COPY fallback.
+            w = fm_store2.open("/job/degraded.dat", "w")
+            w.write(b"degraded-payload")
+            w.close()
+            f = fm.open("/job/degraded.dat", "r")
+            assert f.read() == b"degraded-payload"
+            assert f.stats.io_mode == IOMode.COPY.value
+            assert f.stats.remaps >= 1
+            f.close()
+
+            fired_layers = {layer for layer, _, _, _ in injector.fired}
+            assert {"rpc.client", "gb.service", "gridftp"} <= fired_layers
+
+        assert set(modes_used) == set(IOMode), "all six IO modes must run"
+
+        # Recovery work is visible in one obs snapshot.
+        assert _counter("fault_injected_total") > before["injected"]
+        assert _counter("rpc_retries_total") > before["retries"]
+        assert _counter("replica_failovers_total") > before["failovers"]
+        assert _counter("fm_mode_degraded_total") > before["degraded"]
+        assert (
+            obs.value("fm_mode_degraded_total", {"from_mode": "buffer", "to_mode": "copy"})
+            or 0
+        ) > 0
+
+
+class TestExcludeSelection:
+    def test_rank_skips_excluded_and_raises_when_exhausted(self):
+        catalog = ReplicaCatalog()
+        catalog.register("lfn://x", Replica("h1", "/a", size=10))
+        catalog.register("lfn://x", Replica("h2", "/b", size=10))
+        selector = ReplicaSelector(catalog, static_cost=lambda s, d: 1.0)
+        ranked = selector.rank("lfn://x", "dst", exclude={("h1", "/a")})
+        assert [c.replica.host for c in ranked] == ["h2"]
+        with pytest.raises(NoReplicaError):
+            selector.best("lfn://x", "dst", exclude={("h1", "/a"), ("h2", "/b")})
