@@ -48,6 +48,7 @@ from .protocol import (
     OP_ABORT,
     OP_CLOSE_WRITER,
     OP_CONSUME,
+    OP_CONSUME_MULTI,
     OP_CREATE,
     OP_DROP,
     OP_EXISTS,
@@ -142,6 +143,43 @@ class _SharedStreamCache:
         self.refs = 0
         self.hits = 0
         self.inserts = 0
+        # Pending consume acknowledgements from *all* co-located
+        # readers, merged here so one ``gb.consume_multi`` frame (and
+        # one server-side GC pass) covers the whole group per flush.
+        self._acks: Dict[str, List[List[int]]] = {}
+        self._ack_bytes = 0
+        self.ack_flushes = 0
+
+    def ack(
+        self, reader_id: str, start: int, end: int, flush_bytes: int
+    ) -> Optional[List[Tuple[str, List[List[int]]]]]:
+        """Queue a consumed range; returns the batch to send once the
+        aggregate (across all readers) crosses ``flush_bytes``."""
+        if end <= start:
+            return None
+        with self._lock:
+            runs = self._acks.setdefault(reader_id, [])
+            if runs and runs[-1][1] == start:
+                runs[-1][1] = end
+            else:
+                runs.append([start, end])
+            self._ack_bytes += end - start
+            if self._ack_bytes < flush_bytes:
+                return None
+            return self._drain_acks_locked()
+
+    def drain_acks(self) -> Optional[List[Tuple[str, List[List[int]]]]]:
+        with self._lock:
+            return self._drain_acks_locked()
+
+    def _drain_acks_locked(self) -> Optional[List[Tuple[str, List[List[int]]]]]:
+        if not self._acks:
+            return None
+        entries = [(rid, runs) for rid, runs in self._acks.items()]
+        self._acks = {}
+        self._ack_bytes = 0
+        self.ack_flushes += 1
+        return entries
 
     def note_eof(self, total: Optional[int]) -> None:
         if total is None:
@@ -255,6 +293,10 @@ class GridBufferClient:
         # None = unknown, probed on first vectored use; False pins the
         # per-block fallback after one "unknown-op" from an old server.
         self._vectored: Optional[bool] = None
+        # gb.consume_multi is newer than the other vectored ops, so it
+        # carries its own capability flag: a server can speak gb.consume
+        # but still refuse the batched form.
+        self._consume_multi: Optional[bool] = None
         # Dedupe identity for write replay: every write batch carries
         # (token, seq); the service skips a (token, seq) it has already
         # applied, which is what makes gb.write/gb.write_multi safe to
@@ -474,6 +516,43 @@ class GridBufferClient:
                 raise
             self._vectored_refused(OP_CONSUME)
             return False
+
+    def consume_multi(
+        self, name: str, entries: Sequence[Tuple[str, Sequence[Sequence[int]]]]
+    ) -> bool:
+        """Batched :meth:`consume` covering several readers in one frame.
+
+        ``entries`` is a list of ``(reader_id, ranges)`` pairs — the
+        shared-cache ack aggregator's flush unit.  Falls back to
+        per-reader ``gb.consume`` against a server that predates the
+        batched op; returns False only when even that is unsupported
+        (the caller must then fetch for real instead of acking).
+        """
+        entries = [
+            (rid, [[int(s), int(e)] for s, e in ranges]) for rid, ranges in entries
+        ]
+        if not entries:
+            return True
+        if self._vectored is False:
+            return False
+        if self._consume_multi is not False:
+            try:
+                self._rpc.call(
+                    OP_CONSUME_MULTI,
+                    {"name": name, "entries": [[rid, ranges] for rid, ranges in entries]},
+                )
+                self._consume_multi = True
+                self._vectored = True
+                return True
+            except RpcError as exc:
+                if exc.kind != "unknown-op":
+                    raise
+                self._consume_multi = False
+                _VECTOR_FALLBACKS.labels(op=OP_CONSUME_MULTI).inc()
+        ok = True
+        for rid, ranges in entries:
+            ok = self.consume(name, rid, [(s, e) for s, e in ranges]) and ok
+        return ok
 
     def close_writer(self, name: str) -> int:
         reply, _ = self._rpc.call(OP_CLOSE_WRITER, {"name": name})
@@ -847,7 +926,23 @@ class _ReadAheadWindow:
     The window owns one pooled :class:`RpcClient` whose width equals
     ``max_depth``, so its blocked requests can never head-of-line
     block the reader's demand connection.
+
+    The chunk size adapts too: with measured link estimates the window
+    re-tiers its request size from observed bandwidth (small requests
+    keep time-to-first-byte low on a slow link; big ones amortise
+    per-frame cost on a fast one).  Re-tiering happens only while
+    nothing is queued or in flight, so an outstanding span is never
+    partially duplicated under a new grid.
     """
+
+    #: (bandwidth ceiling in bytes/s, chunk size) — first match wins.
+    CHUNK_TIERS = (
+        (1 << 20, 16 * 1024),     # < 1 MB/s: keep replies snappy
+        (8 << 20, 64 * 1024),     # < 8 MB/s: the historical default
+        (64 << 20, 256 * 1024),   # < 64 MB/s
+    )
+    #: Chunk size above the top tier.
+    MAX_CHUNK = 1024 * 1024
 
     def __init__(
         self,
@@ -883,6 +978,19 @@ class _ReadAheadWindow:
             t.start()
 
     # -- owner-side API ----------------------------------------------------
+    def _target_chunk(self) -> int:
+        """Chunk size for the link's observed bandwidth tier."""
+        monitor = self._client.monitor
+        if monitor is None:
+            return self._chunk
+        bandwidth = monitor.bandwidth(self._client.peer)
+        if not bandwidth:
+            return self._chunk
+        for ceiling, chunk in self.CHUNK_TIERS:
+            if bandwidth < ceiling:
+                return chunk
+        return self.MAX_CHUNK
+
     def _target_depth(self) -> int:
         monitor = self._client.monitor
         if monitor is not None:
@@ -909,6 +1017,10 @@ class _ReadAheadWindow:
         with self._cv:
             if self._stopped:
                 return
+            if not (self._queue or self._inflight or self._results or self._errors):
+                # Idle gap: safe to re-tier the chunk grid — nothing
+                # outstanding can straddle the old/new boundaries.
+                self._chunk = max(1, self._target_chunk())
             # Drop state the consumer has moved past.  A result is
             # stale only when *fully* below the frontier: its bytes are
             # consumed server-side, so dropping an undelivered tail
@@ -1091,8 +1203,6 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         self._m_ra_hits = _READAHEAD_HITS.labels(stream=name)
         self._m_shared_hits = _SHARED_HITS.labels(stream=name)
         self._shared: Optional[_SharedStreamCache] = None
-        self._ack_runs: List[List[int]] = []   # merged [start, end) pending ack
-        self._ack_bytes = 0
         if shared_cache:
             self._shared = _shared_cache_acquire(client.address, name)
         self._ra: Optional[_ReadAheadWindow] = None
@@ -1112,22 +1222,30 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
 
     # -- shared-cache ack batching -----------------------------------------
     def _ack(self, start: int, end: int) -> None:
-        if end <= start:
+        """Queue a shared-cache-served range for acknowledgement.
+
+        Acks from every co-located reader of this stream pool in the
+        shared cache's aggregator; once the aggregate crosses
+        ``ACK_FLUSH_BYTES`` the whole group's backlog goes out as one
+        ``gb.consume_multi`` frame — one round trip and one server-side
+        GC pass instead of one per reader.
+        """
+        if end <= start or self._shared is None:
             return
-        if self._ack_runs and self._ack_runs[-1][1] == start:
-            self._ack_runs[-1][1] = end
-        else:
-            self._ack_runs.append([start, end])
-        self._ack_bytes += end - start
-        if self._ack_bytes >= self.ACK_FLUSH_BYTES:
-            self._flush_acks()
+        entries = self._shared.ack(self.reader_id, start, end, self.ACK_FLUSH_BYTES)
+        if entries:
+            self._send_acks(entries)
 
     def _flush_acks(self) -> None:
-        if not self._ack_runs:
+        if self._shared is None:
             return
-        runs, self._ack_runs, self._ack_bytes = self._ack_runs, [], 0
+        entries = self._shared.drain_acks()
+        if entries:
+            self._send_acks(entries)
+
+    def _send_acks(self, entries: List[Tuple[str, List[List[int]]]]) -> None:
         try:
-            self._client.consume(self.name, self.reader_id, [(s, e) for s, e in runs])
+            self._client.consume_multi(self.name, entries)
         except (OSError, RpcError):  # fault-ok: a lost ack delays GC, never corrupts
             pass
 

@@ -19,6 +19,7 @@ __all__ = [
     "OP_READ",
     "OP_READ_MULTI",
     "OP_CONSUME",
+    "OP_CONSUME_MULTI",
     "OP_CLOSE_WRITER",
     "OP_STATS",
     "OP_DROP",
@@ -74,3 +75,12 @@ OP_READ_MULTI = "gb.read_multi"
 #: Keeps delete-on-read GC and per-reader lag gauges exact when a
 #: shared client-side cache dedupes broadcast reads.
 OP_CONSUME = "gb.consume"
+
+#: Batched ``gb.consume`` covering several readers in one frame.
+#: Header: ``name``, ``entries`` — a list of ``[reader_id, ranges]``
+#: pairs (ranges as for ``gb.consume``).  Emitted by the shared-cache
+#: ack aggregator so co-located readers pay one round trip and one
+#: server-side GC pass per flush instead of one each.  An old server
+#: replies "unknown-op" and the client falls back to per-reader
+#: ``gb.consume`` (capability probe, like the vectored ops).
+OP_CONSUME_MULTI = "gb.consume_multi"

@@ -1,8 +1,13 @@
 """TCP front end for the Grid Buffer service.
 
 One :class:`GridBufferServer` hosts a :class:`GridBufferService` and
-serves any number of streams; readers' blocking reads occupy one
-handler thread each (the underlying RPC server is threaded).
+serves any number of streams.  With the default async engine the
+blocking ops (reads waiting for unwritten data, writes stalled on
+capacity) are native coroutine handlers — a parked reader costs a
+future on the stream, not a server thread, so one node multiplexes
+thousands of concurrent readers.  ``engine="threaded"`` keeps the
+legacy thread-per-connection JSON server (mixed-version interop tests
+and benchmark baselines).
 """
 
 from __future__ import annotations
@@ -10,13 +15,14 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-from ..transport.tcp import RpcError, RpcServer
+from ..transport.tcp import RpcError, RpcServer, ThreadedRpcServer
 from .cache import BufferCache
 from .protocol import (
     DEFAULT_CAPACITY,
     OP_ABORT,
     OP_CLOSE_WRITER,
     OP_CONSUME,
+    OP_CONSUME_MULTI,
     OP_CREATE,
     OP_DROP,
     OP_EXISTS,
@@ -40,6 +46,10 @@ class GridBufferServer:
     ``simulated_latency`` (one-way seconds) is injected per RPC by the
     underlying :class:`RpcServer`, so benchmarks can A/B the per-block
     and vectored paths over a slow link without leaving localhost.
+
+    ``engine`` selects the RPC server: ``"async"`` (default) hosts the
+    blocking Grid Buffer ops as native coroutines on the shared event
+    loop; ``"threaded"`` is the legacy thread-per-connection server.
     """
 
     def __init__(
@@ -49,14 +59,22 @@ class GridBufferServer:
         port: int = 0,
         default_capacity: Optional[int] = DEFAULT_CAPACITY,
         simulated_latency: float = 0.0,
+        engine: str = "async",
     ):
+        if engine not in ("async", "threaded"):
+            raise ValueError(f"engine must be 'async' or 'threaded', not {engine!r}")
         self.service = GridBufferService(default_capacity=default_capacity)
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self._simulated_latency = simulated_latency
-        self._rpc = RpcServer(host, port, simulated_latency=simulated_latency)
+        self.engine = engine
+        self._rpc = self._new_rpc(host, port)
         self._register_ops(self._rpc)
 
-    def _register_ops(self, rpc: RpcServer) -> None:
+    def _new_rpc(self, host: str, port: int):
+        cls = RpcServer if self.engine == "async" else ThreadedRpcServer
+        return cls(host, port, simulated_latency=self._simulated_latency)
+
+    def _register_ops(self, rpc) -> None:
         rpc.register(OP_CREATE, self._op_create)
         rpc.register(OP_REGISTER_READER, self._op_register_reader)
         rpc.register(OP_WRITE, self._op_write)
@@ -64,6 +82,7 @@ class GridBufferServer:
         rpc.register(OP_READ, self._op_read)
         rpc.register(OP_READ_MULTI, self._op_read_multi)
         rpc.register(OP_CONSUME, self._op_consume)
+        rpc.register(OP_CONSUME_MULTI, self._op_consume_multi)
         rpc.register(OP_CLOSE_WRITER, self._op_close_writer)
         rpc.register(OP_STATS, self._op_stats)
         rpc.register(OP_DROP, self._op_drop)
@@ -71,6 +90,31 @@ class GridBufferServer:
         rpc.register(OP_ABORT, self._op_abort)
         rpc.register(OP_RESUME, self._op_resume)
         rpc.register(OP_HIGH_WATER, self._op_high_water)
+        if hasattr(rpc, "register_async"):
+            # The potentially-blocking ops become coroutines: a reader
+            # waiting for data (or a writer stalled on capacity) parks
+            # a future on the stream instead of holding a thread.
+            rpc.register_async(OP_WRITE, self._op_write_async)
+            rpc.register_async(OP_WRITE_MULTI, self._op_write_multi_async)
+            rpc.register_async(OP_READ, self._op_read_async)
+            rpc.register_async(OP_READ_MULTI, self._op_read_multi_async)
+            # Everything left never blocks (lock-protected dict/interval
+            # work, no waiting, no file IO) — run it inline on the loop
+            # and skip the two thread hops of the executor path.
+            # gb.create and gb.drop stay on a worker: they touch the
+            # cache file on disk.
+            for op, fn in (
+                (OP_REGISTER_READER, self._op_register_reader),
+                (OP_CONSUME, self._op_consume),
+                (OP_CONSUME_MULTI, self._op_consume_multi),
+                (OP_CLOSE_WRITER, self._op_close_writer),
+                (OP_STATS, self._op_stats),
+                (OP_EXISTS, self._op_exists),
+                (OP_ABORT, self._op_abort),
+                (OP_RESUME, self._op_resume),
+                (OP_HIGH_WATER, self._op_high_water),
+            ):
+                rpc.register(op, fn, inline=True)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -95,7 +139,7 @@ class GridBufferServer:
         host, port = self.address
         self._rpc.stop()
         self._rpc.disconnect_all()
-        self._rpc = RpcServer(host, port, simulated_latency=self._simulated_latency)
+        self._rpc = self._new_rpc(host, port)
         self._register_ops(self._rpc)
         self._rpc.start()
 
@@ -110,6 +154,15 @@ class GridBufferServer:
     def _wrap(fn):
         try:
             return fn()
+        except GridBufferError as exc:
+            raise RpcError("grid-buffer", str(exc)) from exc
+        except TimeoutError as exc:
+            raise RpcError("timeout", str(exc)) from exc
+
+    @staticmethod
+    async def _awrap(coro):
+        try:
+            return await coro
         except GridBufferError as exc:
             raise RpcError("grid-buffer", str(exc)) from exc
         except TimeoutError as exc:
@@ -207,11 +260,89 @@ class GridBufferServer:
         total = self.service.total_bytes(name)
         return {"eof": len(data) == 0, "total": total}, data
 
+    async def _op_write_async(self, header: Dict[str, Any], payload: bytes):
+        stall = await self._awrap(
+            self.service.write_async(
+                header["name"],
+                int(header["offset"]),
+                payload,
+                timeout=header.get("timeout"),
+                token=header.get("token"),
+                seq=header.get("seq"),
+            )
+        )
+        reply: Dict[str, Any] = {"written": len(payload)}
+        if stall is not None:
+            reply["stall"] = stall
+        return reply, b""
+
+    async def _op_write_multi_async(self, header: Dict[str, Any], payload: bytes):
+        offsets = [int(o) for o in header["offsets"]]
+        sizes = [int(s) for s in header["sizes"]]
+        if len(offsets) != len(sizes):
+            raise RpcError("bad-request", "offsets/sizes length mismatch")
+        if sum(sizes) != len(payload):
+            raise RpcError("bad-request", "payload length does not match sizes")
+        view = memoryview(payload)
+        runs = []
+        pos = 0
+        for offset, size in zip(offsets, sizes):
+            runs.append((offset, bytes(view[pos : pos + size])))
+            pos += size
+        written, stall = await self._awrap(
+            self.service.write_multi_async(
+                header["name"],
+                runs,
+                timeout=header.get("timeout"),
+                token=header.get("token"),
+                seq=header.get("seq"),
+            )
+        )
+        reply: Dict[str, Any] = {"written": written}
+        if stall is not None:
+            reply["stall"] = stall
+        return reply, b""
+
+    async def _op_read_async(self, header: Dict[str, Any], _payload: bytes):
+        data = await self._awrap(
+            self.service.read_async(
+                header["name"],
+                header["reader_id"],
+                int(header["offset"]),
+                int(header["length"]),
+                timeout=header.get("timeout"),
+            )
+        )
+        return {"eof": len(data) == 0}, data
+
+    async def _op_read_multi_async(self, header: Dict[str, Any], _payload: bytes):
+        name = header["name"]
+        data = await self._awrap(
+            self.service.read_async(
+                name,
+                header["reader_id"],
+                int(header["offset"]),
+                int(header.get("budget", header.get("length", 0))),
+                timeout=header.get("timeout"),
+                min_bytes=int(header.get("min_bytes", 1)),
+            )
+        )
+        total = self.service.total_bytes(name)
+        return {"eof": len(data) == 0, "total": total}, data
+
     def _op_consume(self, header: Dict[str, Any], _payload: bytes):
         ranges = [(int(s), int(e)) for s, e in header.get("ranges", [])]
         self._wrap(
             lambda: self.service.mark_consumed(header["name"], header["reader_id"], ranges)
         )
+        return {}, b""
+
+    def _op_consume_multi(self, header: Dict[str, Any], _payload: bytes):
+        entries = [
+            (reader_id, [(int(s), int(e)) for s, e in ranges])
+            for reader_id, ranges in header.get("entries", [])
+        ]
+        self._wrap(lambda: self.service.mark_consumed_multi(header["name"], entries))
         return {}, b""
 
     def _op_close_writer(self, header: Dict[str, Any], _payload: bytes):

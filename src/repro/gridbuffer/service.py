@@ -24,12 +24,14 @@ The service is thread-safe; the TCP server in
 
 from __future__ import annotations
 
+import asyncio
 import logging
 import threading
 import zlib
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import faults, obs
 from .cache import BufferCache, IntervalSet
@@ -142,6 +144,15 @@ class _Stream:
         self.failed: Optional[str] = None
         self.mem_bytes = 0
         self.cond = threading.Condition()
+        #: (loop, future) pairs parked by async coroutines, split by what
+        #: they wait *for*: readers wait for new data/EOF/failure state,
+        #: writers wait for freed capacity.  Keeping the lists separate
+        #: is load-bearing — a broadcast stream has N readers succeeding
+        #: per published block, and each success frees capacity (delete-
+        #: on-read GC); if that woke the readers already re-parked for
+        #: the *next* block it would be O(N^2) future churn per round.
+        self.async_readers: List[Tuple[Any, Any]] = []
+        self.async_writers: List[Tuple[Any, Any]] = []
         self.stats = StreamStats()
         # Per-stream metric children bound once; hot paths pay a lock + add.
         self.m_bytes_written = _BYTES_WRITTEN.labels(stream=name)
@@ -155,6 +166,55 @@ class _Stream:
         self.m_bytes_cached = _BYTES_CACHED.labels(stream=name)
         self.m_readers = _READERS.labels(stream=name)
 
+    def wake_all(self) -> None:
+        """Wake every waiter — threaded and async (callers hold ``cond``).
+
+        Used for stream-global state changes (failure, resume, drop)
+        where both directions must re-check.  Thread waiters get the
+        condition broadcast; async waiters (coroutines parked on a
+        future) are resolved via their loop's ``call_soon_threadsafe``.
+        """
+        self.cond.notify_all()
+        self._resolve(self.async_readers)
+        self._resolve(self.async_writers)
+        self.async_readers = []
+        self.async_writers = []
+
+    def wake_readers(self) -> None:
+        """Data/EOF became visible: wake waiters blocked on reads.
+
+        The condition broadcast still reaches *all* thread waiters (one
+        ``Condition`` serves both directions there — pre-existing
+        behaviour); only the async side is directional.
+        """
+        self.cond.notify_all()
+        if self.async_readers:
+            self._resolve(self.async_readers)
+            self.async_readers = []
+
+    def wake_writers(self) -> None:
+        """Capacity freed (GC after read/consume): wake stalled writers."""
+        self.cond.notify_all()
+        if self.async_writers:
+            self._resolve(self.async_writers)
+            self.async_writers = []
+
+    @staticmethod
+    def _resolve(waiters: List[Tuple[Any, Any]]) -> None:
+        """Resolve parked futures, one loop hop per event loop.
+
+        All server-side waiters share the engine loop, so batching the
+        futures into a single ``call_soon_threadsafe`` turns N wake-ups
+        into one cross-thread signal.
+        """
+        if not waiters:
+            return
+        by_loop: Dict[Any, List[Any]] = {}
+        for loop, fut in waiters:
+            by_loop.setdefault(loop, []).append(fut)
+        for loop, futs in by_loop.items():
+            loop.call_soon_threadsafe(_resolve_waiters, futs)
+
     def sync_table_gauges(self) -> None:
         """Push table occupancy into the registry (callers hold ``cond``)."""
         self.m_blocks_cached.set(len(self.blocks))
@@ -167,6 +227,12 @@ class _Stream:
         done = self.consumed[reader_id].intervals()
         frontier = done[-1][1] if done else 0
         _READER_LAG.labels(stream=self.name, reader=reader_id).set(max(0, top - frontier))
+
+
+def _resolve_waiters(futs: List["asyncio.Future"]) -> None:
+    for fut in futs:
+        if not fut.done():
+            fut.set_result(None)
 
 
 def _remove_interval(ivs: IntervalSet, start: int, end: int) -> None:
@@ -288,7 +354,7 @@ class GridBufferService:
                 )
             st.consumed[reader_id] = IntervalSet()
             st.m_readers.set(len(st.consumed))
-            st.cond.notify_all()
+            st.wake_writers()  # stall classification depends on reader count
 
     def stats(self, name: str) -> StreamStats:
         st = self._stream(name)
@@ -325,6 +391,17 @@ class GridBufferService:
         injector = faults.ACTIVE
         if injector is not None:
             injector.fire("gb.service", "write", name)
+        return self._write_impl(name, offset, data, timeout, token, seq)
+
+    def _write_impl(
+        self,
+        name: str,
+        offset: int,
+        data: bytes,
+        timeout: Optional[float],
+        token: Optional[str],
+        seq: Optional[int],
+    ) -> Optional[str]:
         st = self._stream(name)
         if not data:
             return None
@@ -334,7 +411,7 @@ class GridBufferService:
             stall = self._write_locked(st, offset, data, timeout)
             self._record_seq(st, token, seq)
             st.sync_table_gauges()
-            st.cond.notify_all()
+            st.wake_readers()
         return stall
 
     def write_multi(
@@ -366,6 +443,16 @@ class GridBufferService:
         injector = faults.ACTIVE
         if injector is not None:
             injector.fire("gb.service", "write_multi", name)
+        return self._write_multi_impl(name, runs, timeout, token, seq)
+
+    def _write_multi_impl(
+        self,
+        name: str,
+        runs: Sequence[Tuple[int, bytes]],
+        timeout: Optional[float],
+        token: Optional[str],
+        seq: Optional[int],
+    ) -> Tuple[int, Optional[str]]:
         st = self._stream(name)
         total = 0
         stall: Optional[str] = None
@@ -379,8 +466,121 @@ class GridBufferService:
                 total += len(data)
             self._record_seq(st, token, seq)
             st.sync_table_gauges()
-            st.cond.notify_all()
+            st.wake_readers()
         return total, stall
+
+    async def write_async(
+        self,
+        name: str,
+        offset: int,
+        data: bytes,
+        timeout: Optional[float] = None,
+        token: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> Optional[str]:
+        """Async-native :meth:`write`: a capacity stall parks a future
+        on the stream instead of blocking a thread."""
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        injector = faults.ACTIVE
+        if injector is not None:
+            injector.fire("gb.service", "write", name)
+        st = self._stream(name)
+        if not data:
+            return None
+        if st.cache is not None:
+            # Cache-file stores are blocking disk IO: keep them off the
+            # event loop by running the sync path on a worker thread.
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, partial(self._write_impl, name, offset, data, timeout, token, seq)
+            )
+        _total, stall = await self._write_runs_async(st, [(offset, data)], timeout, token, seq)
+        return stall
+
+    async def write_multi_async(
+        self,
+        name: str,
+        runs: Sequence[Tuple[int, bytes]],
+        timeout: Optional[float] = None,
+        token: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> Tuple[int, Optional[str]]:
+        """Async-native :meth:`write_multi` (same replay-dedupe contract)."""
+        for offset, _ in runs:
+            if offset < 0:
+                raise ValueError("offset must be >= 0")
+        injector = faults.ACTIVE
+        if injector is not None:
+            injector.fire("gb.service", "write_multi", name)
+        st = self._stream(name)
+        if st.cache is not None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, partial(self._write_multi_impl, name, runs, timeout, token, seq)
+            )
+        return await self._write_runs_async(st, runs, timeout, token, seq)
+
+    async def _write_runs_async(
+        self,
+        st: _Stream,
+        runs: Sequence[Tuple[int, bytes]],
+        timeout: Optional[float],
+        token: Optional[str],
+        seq: Optional[int],
+    ) -> Tuple[int, Optional[str]]:
+        """Store ``runs`` with async capacity stalls (cache-less streams).
+
+        Mirrors the sync path: blocks already stored before a stall are
+        published immediately (mid-batch ``wake_readers``) so the
+        readers this writer is waiting on can drain the table.
+        """
+        runs = [(int(offset), data) for offset, data in runs if data]
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        total = 0
+        stall: Optional[str] = None
+        i = 0
+        first = True
+        while True:
+            fut = None
+            with st.cond:
+                if first and self._replayed(st, token, seq):
+                    return 0, None
+                first = False
+                while i < len(runs):
+                    offset, data = runs[i]
+                    self._check_writable(st, len(data))
+                    if st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
+                        stall = (
+                            "slow_reader" if len(st.consumed) >= st.n_readers else "buffer_full"
+                        )
+                        st.stats.writer_stalls += 1
+                        st.m_writer_stalls.inc()
+                        break
+                    self._store_block(st, offset, data)
+                    total += len(data)
+                    i += 1
+                if i == len(runs):
+                    self._record_seq(st, token, seq)
+                st.sync_table_gauges()
+                # Publish whatever landed (possibly a partial batch) —
+                # and only then park, so the wake cannot consume the
+                # future we are about to wait on.
+                st.wake_readers()
+                if i < len(runs):
+                    fut = loop.create_future()
+                    st.async_writers.append((loop, fut))
+            if fut is None:
+                return total, stall
+            try:
+                if deadline is None:
+                    await fut
+                else:
+                    async with asyncio.timeout_at(deadline):
+                        await fut
+            except TimeoutError:
+                raise TimeoutError(f"write stalled on full buffer {st.name!r}") from None
 
     @staticmethod
     def _replayed(st: _Stream, token: Optional[str], seq: Optional[int]) -> bool:
@@ -405,14 +605,7 @@ class GridBufferService:
         capacity is exhausted with readers still missing (nothing can be
         GC'd yet, so batching harder cannot help).
         """
-        if st.failed is not None:
-            raise StreamFailed(f"stream {st.name!r} failed: {st.failed}")
-        if st.eof_total is not None:
-            raise StreamClosed(f"stream {st.name!r} writer already closed")
-        if st.capacity is not None and len(data) > st.capacity:
-            raise GridBufferError(
-                f"block of {len(data)} bytes exceeds stream capacity {st.capacity}"
-            )
+        self._check_writable(st, len(data))
         stall: Optional[str] = None
         while st.capacity is not None and st.mem_bytes + len(data) > st.capacity:
             stall = "slow_reader" if len(st.consumed) >= st.n_readers else "buffer_full"
@@ -420,9 +613,26 @@ class GridBufferService:
             st.m_writer_stalls.inc()
             # A mid-batch stall must publish the blocks already stored,
             # or the readers this wait depends on could never drain.
-            st.cond.notify_all()
+            st.wake_readers()
             if not st.cond.wait(timeout=timeout):
                 raise TimeoutError(f"write stalled on full buffer {st.name!r}")
+        self._store_block(st, offset, data)
+        return stall
+
+    @staticmethod
+    def _check_writable(st: _Stream, data_len: int) -> None:
+        """Raise unless the stream can (eventually) accept a block."""
+        if st.failed is not None:
+            raise StreamFailed(f"stream {st.name!r} failed: {st.failed}")
+        if st.eof_total is not None:
+            raise StreamClosed(f"stream {st.name!r} writer already closed")
+        if st.capacity is not None and data_len > st.capacity:
+            raise GridBufferError(
+                f"block of {data_len} bytes exceeds stream capacity {st.capacity}"
+            )
+
+    def _store_block(self, st: _Stream, offset: int, data: bytes) -> None:
+        """Land one block in the table (capacity already available)."""
         if st.written.covers(offset, offset + len(data)) and st.cache is None:
             # Overwrite of in-flight data: replace table contents.
             self._drop_blocks_overlapping(st, offset, offset + len(data))
@@ -441,7 +651,6 @@ class GridBufferService:
         st.m_blocks_stored.inc()
         if st.cache is not None:
             st.cache.store(offset, data)
-        return stall
 
     def close_writer(self, name: str) -> int:
         """Mark EOF; returns the stream's total length.
@@ -461,7 +670,7 @@ class GridBufferService:
                     f"stream {name!r} has unwritten gap at {gap}; cannot close"
                 )
             st.eof_total = total
-            st.cond.notify_all()
+            st.wake_readers()
             return total
 
     # -- fault handling ---------------------------------------------------------
@@ -476,7 +685,7 @@ class GridBufferService:
         with st.cond:
             st.failed = reason
             logger.warning("stream %s aborted: %s", name, reason)
-            st.cond.notify_all()
+            st.wake_all()
 
     def resume_writer(self, name: str) -> int:
         """Clear a failure and return the offset to resume writing from.
@@ -490,7 +699,7 @@ class GridBufferService:
             if st.eof_total is not None:
                 raise StreamClosed(f"stream {name!r} already completed")
             st.failed = None
-            st.cond.notify_all()
+            st.wake_all()
             gap = st.written.first_gap(0, 1 << 62)
             ivs = st.written.intervals()
             top = ivs[-1][1] if ivs else 0
@@ -541,36 +750,101 @@ class GridBufferService:
             injector.fire("gb.service", "read", name)
         min_bytes = max(1, min(min_bytes, length)) if length else 0
         st = self._stream(name)
-        plan: Optional[_AssemblyPlan] = None
         with st.cond:
-            if reader_id not in st.consumed:
-                raise GridBufferError(
-                    f"reader {reader_id!r} not registered on stream {name!r}"
-                )
             while True:
-                if st.failed is not None:
-                    raise StreamFailed(f"stream {name!r} failed: {st.failed}")
-                end = offset + length
-                if st.eof_total is not None:
-                    if offset >= st.eof_total:
-                        return b""
-                    end = min(end, st.eof_total)
-                avail_end = self._available_upto(st, offset, end)
-                if avail_end > offset and (avail_end - offset >= min_bytes or avail_end >= end):
-                    plan = self._plan_assembly(st, reader_id, offset, avail_end)
-                    st.stats.bytes_read += plan.total
-                    st.m_bytes_read.inc(plan.total)
-                    st.sync_reader_lag(reader_id)
-                    st.cond.notify_all()
+                res = self._read_attempt(st, reader_id, offset, length, min_bytes)
+                if res is not None:
                     break
-                self._check_recoverable(st, offset, end)
                 st.stats.reader_waits += 1
                 st.m_reader_waits.inc()
                 if not st.cond.wait(timeout=timeout):
                     raise TimeoutError(
-                        f"read of [{offset},{end}) timed out on stream {name!r}"
+                        f"read of [{offset},{offset + length}) timed out on stream {name!r}"
                     )
-        return plan.execute()
+        if isinstance(res, bytes):
+            return res
+        return res.execute()
+
+    async def read_async(
+        self,
+        name: str,
+        reader_id: str,
+        offset: int,
+        length: int,
+        timeout: Optional[float] = None,
+        min_bytes: int = 1,
+    ) -> bytes:
+        """Async-native :meth:`read`: a wait for unwritten data parks a
+        future on the stream instead of a server thread, which is what
+        lets one node hold thousands of concurrently blocked readers.
+        Cache-file IO still runs on a worker thread."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be >= 0")
+        injector = faults.ACTIVE
+        if injector is not None:
+            injector.fire("gb.service", "read", name)
+        min_bytes = max(1, min(min_bytes, length)) if length else 0
+        st = self._stream(name)
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            fut = None
+            with st.cond:
+                res = self._read_attempt(st, reader_id, offset, length, min_bytes)
+                if res is None:
+                    st.stats.reader_waits += 1
+                    st.m_reader_waits.inc()
+                    fut = loop.create_future()
+                    st.async_readers.append((loop, fut))
+            if res is not None:
+                break
+            try:
+                if deadline is None:
+                    await fut
+                else:
+                    async with asyncio.timeout_at(deadline):
+                        await fut
+            except TimeoutError:
+                raise TimeoutError(
+                    f"read of [{offset},{offset + length}) timed out on stream {name!r}"
+                ) from None
+        if isinstance(res, bytes):
+            return res
+        if res.cache_parts:
+            return await loop.run_in_executor(None, res.execute)
+        return res.execute()
+
+    def _read_attempt(
+        self, st: _Stream, reader_id: str, offset: int, length: int, min_bytes: int
+    ):
+        """One readiness check under ``st.cond``.
+
+        Returns an :class:`_AssemblyPlan` when data is servable now,
+        ``b""`` at/after EOF, or ``None`` when the caller must wait.
+        Raises for unregistered readers, failed streams and
+        unrecoverable (consumed, uncached) ranges.
+        """
+        if reader_id not in st.consumed:
+            raise GridBufferError(
+                f"reader {reader_id!r} not registered on stream {st.name!r}"
+            )
+        if st.failed is not None:
+            raise StreamFailed(f"stream {st.name!r} failed: {st.failed}")
+        end = offset + length
+        if st.eof_total is not None:
+            if offset >= st.eof_total:
+                return b""
+            end = min(end, st.eof_total)
+        avail_end = self._available_upto(st, offset, end)
+        if avail_end > offset and (avail_end - offset >= min_bytes or avail_end >= end):
+            plan = self._plan_assembly(st, reader_id, offset, avail_end)
+            st.stats.bytes_read += plan.total
+            st.m_bytes_read.inc(plan.total)
+            st.sync_reader_lag(reader_id)
+            st.wake_writers()  # delete-on-read GC may have freed capacity
+            return plan
+        self._check_recoverable(st, offset, end)
+        return None
 
     def total_bytes(self, name: str) -> Optional[int]:
         """Stream length once the writer closed it, else ``None``."""
@@ -589,25 +863,42 @@ class GridBufferService:
         per-reader lag gauges stay exact without moving the bytes
         again.  Ranges outside written data are ignored.
         """
+        self.mark_consumed_multi(name, [(reader_id, ranges)])
+
+    def mark_consumed_multi(
+        self,
+        name: str,
+        entries: Sequence[Tuple[str, Iterable[Tuple[int, int]]]],
+    ) -> None:
+        """Batched :meth:`mark_consumed` covering several readers at once.
+
+        Backs the ``gb.consume_multi`` wire op: co-located readers
+        sharing a client-side cache acknowledge their consumed ranges
+        in one frame, one lock acquisition and one GC pass, instead of
+        one ``gb.consume`` round trip per reader.  All readers are
+        validated before anything is applied.
+        """
         st = self._stream(name)
         with st.cond:
-            if reader_id not in st.consumed:
-                raise GridBufferError(
-                    f"reader {reader_id!r} not registered on stream {name!r}"
-                )
+            for reader_id, _ranges in entries:
+                if reader_id not in st.consumed:
+                    raise GridBufferError(
+                        f"reader {reader_id!r} not registered on stream {name!r}"
+                    )
             touched: List[int] = []
-            for start, end in ranges:
-                start, end = max(0, int(start)), int(end)
-                if end <= start:
-                    continue
-                st.consumed[reader_id].add(start, end)
-                st.stats.bytes_read += end - start
-                st.m_bytes_read.inc(end - start)
-                touched.extend(self._blocks_overlapping(st, start, end))
+            for reader_id, ranges in entries:
+                for start, end in ranges:
+                    start, end = max(0, int(start)), int(end)
+                    if end <= start:
+                        continue
+                    st.consumed[reader_id].add(start, end)
+                    st.stats.bytes_read += end - start
+                    st.m_bytes_read.inc(end - start)
+                    touched.extend(self._blocks_overlapping(st, start, end))
+                st.sync_reader_lag(reader_id)
             self._gc_blocks(st, touched)
             st.sync_table_gauges()
-            st.sync_reader_lag(reader_id)
-            st.cond.notify_all()
+            st.wake_writers()
 
     # -- internals -----------------------------------------------------------
     def _check_recoverable(self, st: _Stream, start: int, end: int) -> None:

@@ -1,9 +1,18 @@
 """Data-movement substrate: framed TCP RPC, GridFTP-like transfers,
 and the in-process virtual-host registry used by the real FM."""
 
+from .aio import AsyncRpcClient, AsyncRpcServer
 from .gridftp import DEFAULT_BLOCK, GridFtpClient, GridFtpServer
 from .inmem import DelayModel, HostRegistry, VirtualHost
-from .tcp import FrameError, RpcClient, RpcError, RpcServer, recv_frame, send_frame
+from .tcp import (
+    FrameError,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    ThreadedRpcServer,
+    recv_frame,
+    send_frame,
+)
 
 __all__ = [
     "DEFAULT_BLOCK",
@@ -16,6 +25,9 @@ __all__ = [
     "RpcClient",
     "RpcError",
     "RpcServer",
+    "ThreadedRpcServer",
+    "AsyncRpcClient",
+    "AsyncRpcServer",
     "recv_frame",
     "send_frame",
 ]

@@ -1,0 +1,765 @@
+"""Async-native RPC engine behind the sync transport facade.
+
+One process-wide background event loop (:class:`_LoopEngine`) hosts
+every :class:`AsyncRpcServer` in the process.  A connection costs a
+reader/writer pair on the loop instead of a dedicated thread, which is
+what lets a single Grid Buffer node multiplex thousands of concurrent
+readers.  Handlers come in three kinds:
+
+* ``register(op, fn)`` — plain sync handler, dispatched to a shared
+  thread pool so blocking handlers (file IO, condition waits) cannot
+  stall the loop.  This is the drop-in path for existing services.
+* ``register(op, fn, inline=True)`` — sync handler cheap enough to run
+  directly on the loop (no locks, no IO).
+* ``register_async(op, coro_fn)`` — native coroutine handler; blocking
+  waits become awaits and consume no thread at all (the Grid Buffer
+  read/write ops use this).
+
+Framing is negotiated per the scheme in :mod:`repro.transport.wire`:
+the server answers whatever codec each frame arrives in (sniffed off
+the first byte) and advertises binary support by echoing the client's
+``_wire`` probe key, so old JSON-only peers interoperate unchanged.
+
+:class:`AsyncRpcClient` is the asyncio twin of the sync pooled client
+— same negotiation, retry gating and fault hooks, but one coroutine
+per in-flight call instead of one blocked thread (the DIRACX
+sync/aio dual-client pattern).
+
+This module is imported by :mod:`repro.transport.tcp` (which re-binds
+``AsyncRpcServer`` as the public ``RpcServer``); import the package
+via ``repro.transport`` so the two halves initialise in order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import socket
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+from .. import faults
+from .tcp import (
+    _CLIENT_CALLS,
+    _CLIENT_ERRORS,
+    _CLIENT_RETRIES,
+    _SERVER_REQUESTS,
+    DEFAULT_RPC_TIMEOUT,
+    IDEMPOTENT_OPS,
+    MAX_HEADER,
+    FrameError,
+    RetryPolicy,
+    RpcError,
+)
+from .wire import (
+    MAGIC,
+    PREAMBLE,
+    PREAMBLE_SIZE,
+    WIRE_KEY,
+    WIRE_VERSION,
+    WireError,
+    build_binary_frame,
+    build_json_frame,
+    decode_binary_header,
+)
+
+__all__ = ["AsyncRpcServer", "AsyncRpcClient", "get_engine"]
+
+#: Thread-pool width for sync handlers hosted by the async engine.
+#: Threads are created on demand, so an idle server costs none.
+_EXECUTOR_WORKERS = max(8, int(os.environ.get("REPRO_RPC_EXECUTOR", "64")))
+
+#: Per-connection cap on concurrently dispatched (reply-pending)
+#: requests; beyond it the server stops reading that connection.
+_MAX_PIPELINE = 1024
+
+
+#: Hot-path metric children, bound once per label set.  ``labels()``
+#: does a guarded dict build per call, which shows up at small-op rates.
+_CALLS_BY_OP: Dict[str, Any] = {}
+_REQUESTS_BY_KEY: Dict[Tuple[str, str], Any] = {}
+
+
+def _count_call(op: str) -> None:
+    child = _CALLS_BY_OP.get(op)
+    if child is None:
+        child = _CALLS_BY_OP[op] = _CLIENT_CALLS.labels(op=op)
+    child.inc()
+
+
+def _count_request(op: str, status: str) -> None:
+    key = (op, status)
+    child = _REQUESTS_BY_KEY.get(key)
+    if child is None:
+        child = _REQUESTS_BY_KEY[key] = _SERVER_REQUESTS.labels(op=op, status=status)
+    child.inc()
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle on a stream connection (matches the sync transport).
+
+    RPC frames are small and latency-bound; without this each reply can
+    sit behind the peer's delayed ACK for ~40 ms.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # fault-ok: non-TCP or dying socket; Nagle is a perf knob
+            pass
+
+
+class _LoopEngine:
+    """Process-wide event loop on a daemon thread, plus handler executor.
+
+    All async servers and all sync-facade clients share one loop; the
+    loop only ever runs scheduling and memory copies, so sharing it is
+    cheaper than a loop per server and keeps cross-server wakeups on
+    one core.
+    """
+
+    _instance: Optional["_LoopEngine"] = None
+    _lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.executor = ThreadPoolExecutor(
+            max_workers=_EXECUTOR_WORKERS, thread_name_prefix="rpc-handler"
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="rpc-event-loop", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    @classmethod
+    def get(cls) -> "_LoopEngine":
+        with cls._lock:
+            if cls._instance is None or not cls._instance._thread.is_alive():
+                cls._instance = cls()
+            return cls._instance
+
+    def submit(self, coro):
+        """Schedule a coroutine from sync code; returns a concurrent Future."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+
+def get_engine() -> _LoopEngine:
+    return _LoopEngine.get()
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> Tuple[Dict[str, Any], bytes, str]:
+    """Read one frame in either framing; returns (header, payload, codec).
+
+    The codec is sniffed off the first byte: ``0xB1`` marks a binary
+    frame, anything else is the high byte of a legacy JSON header
+    length (always 0x00/0x01 because of ``MAX_HEADER``).
+    """
+    try:
+        b0 = await reader.readexactly(1)
+        if b0[0] == MAGIC:
+            raw = b0 + await reader.readexactly(PREAMBLE_SIZE - 1)
+            _magic, version, _flags, opid, flen, plen = PREAMBLE.unpack(raw)
+            if version != WIRE_VERSION:
+                raise FrameError(f"unsupported wire version {version}")
+            fields = await reader.readexactly(flen) if flen else b""
+            payload = await reader.readexactly(plen) if plen else b""
+            try:
+                header = decode_binary_header(opid, fields, plen)
+            except WireError as exc:
+                raise FrameError(f"bad binary header: {exc}") from exc
+            return header, payload, "binary"
+        raw = b0 + await reader.readexactly(3)
+        hlen = int.from_bytes(raw, "big")
+        if hlen > MAX_HEADER:
+            raise FrameError(f"header length {hlen} exceeds maximum")
+        try:
+            header = json.loads((await reader.readexactly(hlen)).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise FrameError(f"bad header: {exc}") from exc
+        if not isinstance(header, dict) or "payload_len" not in header:
+            raise FrameError("header missing payload_len")
+        payload = await reader.readexactly(int(header["payload_len"]))
+        return header, payload, "json"
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+
+
+class _FrameQueue:
+    """Per-connection frame coalescer: one ``send`` per loop pass.
+
+    ``transport.write`` attempts an immediate ``send(2)`` whenever its
+    buffer is empty, so naively writing each frame costs one syscall
+    per frame.  Pipelined traffic queues many frames within a single
+    event-loop pass; buffering them here and flushing from a
+    ``call_soon`` callback (which the loop runs after the ready tasks)
+    batches them into one write.  Frames stay strictly ordered because
+    every write on the connection goes through the queue.
+    """
+
+    __slots__ = ("writer", "buf", "scheduled")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.buf = bytearray()
+        self.scheduled = False
+
+    def push_frame(
+        self, scratch: bytearray, header: Dict[str, Any], payload: bytes, codec: str
+    ) -> None:
+        if codec == "binary":
+            build_binary_frame(scratch, header, len(payload))
+        else:
+            build_json_frame(scratch, header, len(payload))
+        self.buf += scratch
+        if payload:
+            self.buf += payload
+        if not self.scheduled:
+            self.scheduled = True
+            asyncio.get_running_loop().call_soon(self.flush)
+
+    def flush(self) -> None:
+        self.scheduled = False
+        if not self.buf:
+            return
+        transport = self.writer.transport
+        if transport is None or transport.is_closing():
+            self.buf.clear()  # fault-ok: peer gone; reader side surfaces the error
+            return
+        self.writer.write(bytes(self.buf))
+        self.buf.clear()
+
+
+Handler = Callable[[Dict[str, Any], bytes], Tuple[Dict[str, Any], bytes]]
+
+
+class AsyncRpcServer:
+    """Event-loop RPC server; drop-in replacement for the threaded one.
+
+    Public surface matches the legacy threaded server exactly —
+    ``register``/``start``/``stop``/``disconnect_all``/``address``/
+    ``peer_name``/context manager — plus ``register_async`` for native
+    coroutine handlers.  Semantics preserved from the threaded server:
+
+    * strict request/reply per connection (frames on one connection are
+      served serially, so a pooled client's in-flight depth still equals
+      its connection count);
+    * ``stop`` closes only the listener — established connections keep
+      being served (``disconnect_all`` kills them, as before);
+    * handler exceptions become error replies, never dead connections;
+    * the fault injector's ``rpc.server`` hook fires per request with
+      identical drop/close/error verdict handling.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, simulated_latency: float = 0.0
+    ):
+        self._handlers: Dict[str, Tuple[str, Handler]] = {}
+        self.simulated_latency = max(0.0, simulated_latency)
+        self._engine = get_engine()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._writers_lock = threading.Lock()
+        # Bind in the constructor (not start) so .address works before
+        # start() and bind errors surface where the caller expects them.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+        self._sock = sock
+        addr = sock.getsockname()
+        self._address = (addr[0], addr[1])
+        #: Label used by the fault injector to match ``peer=`` globs.
+        self.peer_name = f"{addr[0]}:{addr[1]}"
+        self._aserver: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._address
+
+    def register(self, op: str, handler: Handler, inline: bool = False) -> None:
+        self._handlers[op] = ("inline" if inline else "thread", handler)
+
+    def register_async(self, op: str, handler: Callable[..., Any]) -> None:
+        self._handlers[op] = ("async", handler)
+
+    def start(self) -> "AsyncRpcServer":
+        async def _bind():
+            return await asyncio.start_server(self._serve_conn, sock=self._sock)
+
+        self._aserver = self._engine.submit(_bind()).result(timeout=10)
+        return self
+
+    def stop(self) -> None:
+        """Close the listener; established connections keep serving.
+
+        Blocks until the listening socket is really closed so a
+        restart can rebind the same port immediately.  (Deliberately
+        not ``wait_closed()`` — on newer Pythons that waits for every
+        connection too, which is ``disconnect_all``'s job, not ours.)
+        """
+        server, self._aserver = self._aserver, None
+        if server is None:
+            self._sock.close()
+            return
+        done = threading.Event()
+
+        def _close() -> None:
+            server.close()
+            done.set()
+
+        self._engine.loop.call_soon_threadsafe(_close)
+        done.wait(timeout=5)
+
+    def disconnect_all(self) -> None:
+        """Forcibly drop every established connection (crash simulation)."""
+        with self._writers_lock:
+            writers = list(self._writers)
+        if not writers:
+            return
+        done = threading.Event()
+
+        def _kill() -> None:
+            for w in writers:
+                transport = w.transport
+                if transport is not None:
+                    transport.abort()
+            done.set()
+
+        self._engine.loop.call_soon_threadsafe(_kill)
+        done.wait(timeout=5)
+
+    def __enter__(self) -> "AsyncRpcServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    async def _run_one(
+        self,
+        op: str,
+        entry: Optional[Tuple[str, Callable]],
+        header: Dict[str, Any],
+        payload: bytes,
+        codec: str,
+        probe: bool,
+    ) -> Tuple[Dict[str, Any], bytes, str]:
+        """Execute one handler and package its reply for the reply pump."""
+        if self.simulated_latency:
+            await asyncio.sleep(2.0 * self.simulated_latency)
+        try:
+            if entry is None:
+                raise RpcError("unknown-op", f"no handler for {op!r}")
+            kind, fn = entry
+            if kind == "async":
+                reply, data = await fn(header, payload)
+            elif kind == "inline":
+                reply, data = fn(header, payload)
+            else:
+                reply, data = await self._engine.loop.run_in_executor(
+                    self._engine.executor, fn, header, payload
+                )
+            reply = dict(reply)
+            reply.setdefault("ok", True)
+            _count_request(op, "ok")
+        except RpcError as exc:
+            reply, data = {"ok": False, "error": exc.kind, "message": exc.message}, b""
+            _count_request(op, "error")
+        except Exception as exc:  # noqa: BLE001 - reply with error
+            reply, data = {"ok": False, "error": type(exc).__name__, "message": str(exc)}, b""
+            _count_request(op, "error")
+        if probe:
+            reply[WIRE_KEY] = WIRE_VERSION
+        return reply, data, codec
+
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        with self._writers_lock:
+            self._writers.add(writer)
+        _set_nodelay(writer)
+        scratch = bytearray(256)
+        outq = _FrameQueue(writer)
+        loop = self._engine.loop
+        # Handlers on one connection run concurrently (a pipelined
+        # client may have a write queued behind a parked read — serial
+        # dispatch would deadlock it, and serial simulated latency would
+        # defeat pipelining entirely).  The framing carries no request
+        # ids, so replies must still leave in request order: ``order``
+        # holds one entry per in-flight request — a handler Task, or a
+        # ready ``(reply, data, codec)`` tuple — and the pump drains it
+        # strictly FIFO.
+        order: Deque[Any] = deque()
+        wake = asyncio.Event()
+        pump: Optional["asyncio.Task"] = None
+
+        async def _pump() -> None:
+            pump_scratch = bytearray(256)
+            while True:
+                while not order:
+                    wake.clear()
+                    await wake.wait()
+                item = order[0]
+                reply, data, codec = item if isinstance(item, tuple) else await item
+                order.popleft()
+                try:
+                    outq.push_frame(pump_scratch, reply, data, codec)
+                    await writer.drain()
+                except (OSError, ConnectionError):  # fault-ok: peer hung up mid-reply
+                    return
+
+        def _enqueue(item: Any) -> None:
+            nonlocal pump
+            order.append(item)
+            if pump is None:
+                pump = loop.create_task(_pump())
+            wake.set()
+
+        try:
+            while True:
+                try:
+                    header, payload, codec = await read_frame_async(reader)
+                except (FrameError, OSError):  # fault-ok: peer hung up; normal teardown
+                    return
+                op = header.get("op", "")
+                # A JSON request carrying the probe key is asking
+                # whether we speak binary; every reply to it (success,
+                # error, injected fault) must echo the advertisement or
+                # the client mis-pins JSON.
+                probe = codec == "json" and WIRE_KEY in header
+                injector = faults.ACTIVE
+                if injector is not None:
+                    try:
+                        verdict = injector.fire("rpc.server", op, self.peer_name)
+                    except faults.InjectedFault as exc:
+                        reply = {"ok": False, "error": "injected-fault", "message": str(exc)}
+                        if probe:
+                            reply[WIRE_KEY] = WIRE_VERSION
+                        if order:
+                            _enqueue((reply, b"", codec))
+                            continue
+                        try:
+                            outq.push_frame(scratch, reply, b"", codec)
+                            await writer.drain()
+                        except (OSError, ConnectionError):  # fault-ok: peer already gone
+                            return
+                        continue
+                    if verdict is not None:
+                        # "drop": swallow the request and close (FIN);
+                        # "close": reset so the client's pending recv
+                        # fails immediately (matches the threaded
+                        # server's SHUT_RDWR).
+                        if verdict == "close" and writer.transport is not None:
+                            writer.transport.abort()
+                        return
+                entry = self._handlers.get(op)
+                if (
+                    not order
+                    and not self.simulated_latency
+                    and entry is not None
+                    and entry[0] == "inline"
+                ):
+                    # Serial fast path: nothing in flight and the handler
+                    # cannot block, so skip the task machinery — this is
+                    # the common case for small-op request/reply traffic.
+                    try:
+                        reply, data = entry[1](header, payload)
+                        reply = dict(reply)
+                        reply.setdefault("ok", True)
+                        _count_request(op, "ok")
+                    except RpcError as exc:
+                        reply, data = {"ok": False, "error": exc.kind, "message": exc.message}, b""
+                        _count_request(op, "error")
+                    except Exception as exc:  # noqa: BLE001 - reply with error
+                        reply, data = (
+                            {"ok": False, "error": type(exc).__name__, "message": str(exc)},
+                            b"",
+                        )
+                        _count_request(op, "error")
+                    if probe:
+                        reply[WIRE_KEY] = WIRE_VERSION
+                    try:
+                        outq.push_frame(scratch, reply, data, codec)
+                        await writer.drain()
+                    except (OSError, ConnectionError):  # fault-ok: peer hung up mid-reply
+                        return
+                    continue
+                if len(order) >= _MAX_PIPELINE:
+                    # Backpressure: stop reading until the oldest handler
+                    # retires instead of buffering replies without bound.
+                    head = order[0]
+                    if isinstance(head, tuple):
+                        await asyncio.sleep(0)  # pump drains it next pass
+                    else:
+                        await asyncio.wait({head})
+                _enqueue(loop.create_task(self._run_one(op, entry, header, payload, codec, probe)))
+        finally:
+            with self._writers_lock:
+                self._writers.discard(writer)
+            if pump is not None:
+                pump.cancel()
+            for item in order:
+                if not isinstance(item, tuple):
+                    item.cancel()
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001  # fault-ok: best-effort close on teardown
+                pass
+
+
+class _Conn:
+    """One client connection generation: stream pair + in-flight queue.
+
+    Bundled so a reconnect swaps the whole generation atomically — the
+    old reader task fails its own pending queue and can never touch the
+    replacement connection's state.
+    """
+
+    __slots__ = ("reader", "writer", "outq", "pending", "task", "watchdog")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.outq = _FrameQueue(writer)
+        self.pending: Deque[Tuple[bool, "asyncio.Future", float]] = deque()
+        self.task: Optional["asyncio.Task"] = None
+        self.watchdog: Optional["asyncio.TimerHandle"] = None
+
+
+class AsyncRpcClient:
+    """Asyncio-native RPC client: one connection, serial request/reply.
+
+    The aio twin of the sync pooled ``RpcClient`` — identical codec
+    negotiation, retry/idempotency gating and ``rpc.client`` fault
+    hook, but callers hold a coroutine instead of a thread while a
+    call is in flight.
+
+    Unlike the sync client (one in-flight call per pooled connection),
+    concurrent callers sharing one instance *pipeline*: the lock covers
+    only the frame write, requests stream back-to-back on a single
+    connection, and a per-connection reader task matches the strictly
+    FIFO replies to caller futures.  That multiplexing — many in-flight
+    ops, one socket, no thread or connection per op — is where the
+    async engine's small-op throughput comes from.
+
+    Must be used from a running event loop (any loop — not tied to the
+    engine's).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        wire: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self._addr = (host, port)
+        self._peer = f"{host}:{port}"
+        self._timeout = DEFAULT_RPC_TIMEOUT if timeout is None else timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random()
+        forced = wire if wire is not None else (os.environ.get("REPRO_WIRE") or None)
+        if forced not in (None, "json", "binary"):
+            raise ValueError(f"wire must be 'json' or 'binary', not {forced!r}")
+        self._forced = forced
+        self._codec: Optional[str] = forced  # None until negotiated
+        self._conn: Optional[_Conn] = None
+        self._scratch = bytearray(256)
+        self._lock = asyncio.Lock()  # connection setup + frame-write order
+        self._closed = False
+
+    async def call(
+        self,
+        op: str,
+        header: Optional[Dict[str, Any]] = None,
+        payload: bytes = b"",
+        retryable: Optional[bool] = None,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        msg = dict(header or {})
+        msg["op"] = op
+        _count_call(op)
+        if retryable is None:
+            retryable = op in IDEMPOTENT_OPS
+        attempts = 1 + (self._retry.retries if retryable else 0)
+        attempt = 0
+        if self._closed:
+            raise ConnectionError(f"client to {self._peer} is closed")
+        while True:
+            attempt += 1
+            try:
+                return await self._dispatch(op, msg, payload)
+            except (OSError, FrameError, asyncio.TimeoutError) as exc:
+                self._teardown()
+                if self._codec == "binary" and self._forced is None:
+                    self._codec = None  # re-probe after a connection loss
+                _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
+                if attempt >= attempts:
+                    if isinstance(exc, asyncio.TimeoutError):
+                        raise TimeoutError(
+                            f"RPC {op} to {self._peer} timed out"
+                        ) from exc
+                    raise
+                _CLIENT_RETRIES.labels(op=op).inc()
+                await asyncio.sleep(self._retry.backoff(attempt, self._rng))
+
+    async def _dispatch(
+        self, op: str, msg: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """Queue one request and await its reply.
+
+        The lock covers connect + frame write only, so concurrent
+        callers pipeline on one connection (replies are FIFO per the
+        framing contract).  A negotiating call additionally holds the
+        lock until its probe reply pins the codec — every frame after
+        it is framed in the negotiated codec.
+        """
+        await self._lock.acquire()
+        probe = False
+        try:
+            if self._closed:
+                raise ConnectionError(f"client to {self._peer} is closed")
+            loop = asyncio.get_running_loop()
+            if self._conn is None:
+                if self._timeout:
+                    async with asyncio.timeout(self._timeout):
+                        await self._connect()
+                else:
+                    await self._connect()
+            conn = self._conn
+            codec = self._codec
+            probe = codec is None
+            send_msg = msg
+            if probe:
+                codec = "json"
+                send_msg = dict(msg)
+                send_msg[WIRE_KEY] = WIRE_VERSION
+            injector = faults.ACTIVE
+            if injector is not None:
+                verdict = injector.fire("rpc.client", op, self._peer)
+                if verdict is not None and conn.writer.transport is not None:
+                    # Kill the connection under the call so the real
+                    # send/recv path fails organically (same as sync client).
+                    conn.writer.transport.abort()
+            fut = loop.create_future()
+            deadline = (loop.time() + self._timeout) if self._timeout else 0.0
+            conn.pending.append((probe, fut, deadline))
+            if self._timeout and conn.watchdog is None:
+                # One timer per connection, not per call: replies are
+                # FIFO, so the earliest un-met deadline is always the
+                # queue head — arming a timer per call would just churn
+                # the loop's timer heap.
+                conn.watchdog = loop.call_later(
+                    self._timeout, self._watchdog_fire, conn
+                )
+            conn.outq.push_frame(self._scratch, send_msg, payload, codec)
+            await conn.writer.drain()
+        finally:
+            if not probe:
+                self._lock.release()
+        try:
+            reply, data = await fut
+        finally:
+            if probe:
+                self._lock.release()
+        if not reply.get("ok", False):
+            kind = reply.get("error", "remote-error")
+            _CLIENT_ERRORS.labels(op=op, kind=kind).inc()
+            raise RpcError(kind, reply.get("message", ""))
+        return reply, data
+
+    async def _connect(self) -> None:
+        reader, writer = await asyncio.open_connection(*self._addr)
+        _set_nodelay(writer)
+        conn = _Conn(reader, writer)
+        conn.task = asyncio.get_running_loop().create_task(self._recv_loop(conn))
+        self._conn = conn
+
+    def _watchdog_fire(self, conn: "_Conn") -> None:
+        """Fail the connection when the oldest in-flight call is overdue.
+
+        FIFO replies mean a stuck head blocks everything behind it, so
+        timing out the whole connection (not just the head call) is the
+        correct granularity — exactly what the sync client's per-socket
+        timeout does.
+        """
+        conn.watchdog = None
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for probe_, fut, deadline in conn.pending:
+            if fut.done():
+                continue  # abandoned by a cancelled caller; recv will skip it
+            if deadline <= now:
+                fut.set_exception(
+                    asyncio.TimeoutError(f"RPC to {self._peer} timed out")
+                )
+                if conn is self._conn:
+                    self._teardown()
+                else:
+                    conn.writer.close()
+            else:
+                conn.watchdog = loop.call_later(
+                    deadline - now, self._watchdog_fire, conn
+                )
+            return
+
+    async def _recv_loop(self, conn: "_Conn") -> None:
+        """Single reader per connection: match FIFO replies to futures.
+
+        On any connection error every in-flight call fails with it; the
+        per-call retry loops decide what to do from there.
+        """
+        exc: Optional[BaseException] = None
+        try:
+            while True:
+                reply, data, _ = await read_frame_async(conn.reader)
+                probe, fut, _deadline = conn.pending.popleft()
+                if probe and self._forced is None:
+                    self._codec = "binary" if reply.get(WIRE_KEY) is not None else "json"
+                reply.pop(WIRE_KEY, None)
+                if not fut.done():  # timed-out callers abandon cancelled futures
+                    fut.set_result((reply, data))
+        except (OSError, FrameError, IndexError) as err:  # fault-ok: conn died; callers retry
+            exc = err
+        except asyncio.CancelledError:  # teardown cancelled us mid-read
+            exc = None
+        finally:
+            failure = exc if exc is not None else ConnectionError(
+                f"connection to {self._peer} closed"
+            )
+            while conn.pending:
+                _, fut, _deadline = conn.pending.popleft()
+                if not fut.done():
+                    fut.set_exception(failure)
+
+    def _teardown(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            if conn.task is not None:
+                conn.task.cancel()
+            if conn.watchdog is not None:
+                conn.watchdog.cancel()
+                conn.watchdog = None
+            try:
+                conn.writer.close()
+            except Exception:  # noqa: BLE001  # fault-ok: best-effort close
+                pass
+
+    async def close(self) -> None:
+        async with self._lock:
+            self._closed = True
+            self._teardown()
+
+    async def __aenter__(self) -> "AsyncRpcClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,22 +1,36 @@
 """Framed request/response messaging over real TCP sockets.
 
 All the real (non-simulated) GriddLeS services — the GNS server, the
-Grid Buffer server and the GridFTP-like file server — speak the same
-tiny protocol: a 4-byte big-endian length, a JSON header, and an
-optional binary payload.  The JSON header plays the role of the
-paper's SOAP envelope (self-describing, firewall-friendly single
-channel); the binary payload carries file blocks without base64
-overhead.
+Grid Buffer server and the GridFTP-like file server — speak framed
+request/reply RPC in one of two interoperable framings:
 
-Frame layout::
+* **legacy JSON**: a 4-byte big-endian length, a JSON header, and an
+  optional binary payload.  The JSON header plays the role of the
+  paper's SOAP envelope (self-describing, firewall-friendly single
+  channel); the binary payload carries file blocks without base64
+  overhead::
 
-    +--------------+------------------+---------------------+
-    | len(header)  |  header (JSON)   |  payload (binary)   |
-    |  uint32 BE   |                  |                     |
-    +--------------+------------------+---------------------+
+      +--------------+------------------+---------------------+
+      | len(header)  |  header (JSON)   |  payload (binary)   |
+      |  uint32 BE   |                  |                     |
+      +--------------+------------------+---------------------+
 
-The header always contains ``"payload_len"`` so the receiver knows how
-many payload bytes follow.
+  The header always contains ``"payload_len"`` so the receiver knows
+  how many payload bytes follow.
+
+* **binary**: a fixed 14-byte preamble plus a varint-packed field
+  table (see :mod:`repro.transport.wire`), negotiated via the
+  ``_wire`` capability probe on a client's first call.  Servers sniff
+  the framing per frame off the first byte, so mixed-version peers
+  interoperate without configuration.
+
+The public ``RpcServer`` is the async-native engine from
+:mod:`repro.transport.aio` (one event loop, no thread per
+connection); :class:`ThreadedRpcServer` is the legacy thread-per-
+connection JSON-only implementation, kept as the mixed-version interop
+peer and the benchmark baseline.  :class:`RpcClient` stays a blocking,
+pooled client — the sync facade — and negotiates the binary codec
+transparently.
 """
 
 from __future__ import annotations
@@ -30,15 +44,27 @@ import struct
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .. import faults, obs
+from .wire import (
+    MAGIC,
+    PREAMBLE,
+    PREAMBLE_SIZE,
+    WIRE_KEY,
+    WIRE_VERSION,
+    WireError,
+    build_binary_frame,
+    build_json_frame,
+    decode_binary_header,
+)
 
 __all__ = [
     "send_frame",
     "recv_frame",
     "FrameError",
     "RpcServer",
+    "ThreadedRpcServer",
     "RpcClient",
     "RpcError",
     "RetryPolicy",
@@ -109,6 +135,7 @@ IDEMPOTENT_OPS: FrozenSet[str] = frozenset(
         "gb.read",
         "gb.read_multi",
         "gb.consume",
+        "gb.consume_multi",
         "gb.close_writer",
         "gb.stats",
         "gb.exists",
@@ -182,29 +209,52 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(buf)
 
 
+#: Per-thread scratch buffer for :func:`send_frame` so the legacy JSON
+#: send path allocates no fresh header bytes per frame.
+_tls = threading.local()
+
+
+def _send_prebuilt(sock: socket.socket, scratch: bytearray, payload: memoryview) -> None:
+    """Send a frame whose header is already encoded into ``scratch``.
+
+    Small payloads are appended to the scratch buffer for one
+    contiguous ``sendall`` (one syscall, no new buffer); large ones go
+    out via a gather write so a pre-assembled reply is never copied.
+    """
+    if len(payload) < _SENDMSG_THRESHOLD or not hasattr(sock, "sendmsg"):
+        scratch += payload
+        sock.sendall(scratch)
+        return
+    hview = memoryview(scratch)
+    try:
+        total = len(hview) + len(payload)
+        sent = sock.sendmsg([hview, payload])
+        while sent < total:
+            if sent < len(hview):
+                sent += sock.sendmsg([hview[sent:], payload])
+            else:
+                off = sent - len(hview)
+                sent += sock.send(payload[off:])
+    finally:
+        # Release before returning: a live export would make the next
+        # frame's buffer reuse (del scratch[:]) raise BufferError.
+        hview.release()
+
+
 def send_frame(sock: socket.socket, header: Dict[str, Any], payload: bytes = b"") -> None:
-    """Send one frame (header dict + binary payload).
+    """Send one legacy JSON frame (header dict + binary payload).
 
     ``payload`` may be any bytes-like object (``bytes``, ``bytearray``,
-    ``memoryview``); large payloads go out via a gather write so the
-    service's pre-assembled reply buffer is never copied again here.
+    ``memoryview``).  The header is encoded into a per-thread reusable
+    scratch buffer.
     """
     payload = memoryview(payload)
-    header = dict(header)
-    header["payload_len"] = len(payload)
-    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    prefix = _LEN.pack(len(raw)) + raw
-    if len(payload) < _SENDMSG_THRESHOLD or not hasattr(sock, "sendmsg"):
-        sock.sendall(prefix + payload.tobytes())
-        return
-    sent = sock.sendmsg([prefix, payload])
-    total = len(prefix) + len(payload)
-    while sent < total:
-        if sent < len(prefix):
-            sent += sock.sendmsg([memoryview(prefix)[sent:], payload])
-        else:
-            off = sent - len(prefix)
-            sent += sock.send(payload[off:])
+    try:
+        scratch = _tls.scratch
+    except AttributeError:
+        scratch = _tls.scratch = bytearray(256)
+    build_json_frame(scratch, header, len(payload))
+    _send_prebuilt(sock, scratch, payload)
 
 
 def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
@@ -225,8 +275,14 @@ def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
 Handler = Callable[[Dict[str, Any], bytes], Tuple[Dict[str, Any], bytes]]
 
 
-class RpcServer:
-    """Threaded request/response server dispatching on header['op'].
+class ThreadedRpcServer:
+    """Legacy thread-per-connection server, JSON framing only.
+
+    This was the ``RpcServer`` before the async engine landed.  It is
+    kept (unchanged) for two jobs: the *old peer* in mixed-version wire
+    compatibility tests — it never advertises the ``_wire`` capability,
+    so negotiating clients correctly stay on JSON against it — and the
+    baseline arm of the framing benchmarks.
 
     Register handlers with :meth:`register`; each handler receives
     ``(header, payload)`` and returns ``(reply_header, reply_payload)``.
@@ -328,7 +384,7 @@ class RpcServer:
     def register(self, op: str, handler: Handler) -> None:
         self._handlers[op] = handler
 
-    def start(self) -> "RpcServer":
+    def start(self) -> "ThreadedRpcServer":
         # The default serve_forever poll interval (0.5 s) makes every
         # stop() wait out the tail of a poll cycle — multiplied by a few
         # hundred server fixtures that dominates the test suite's time.
@@ -362,11 +418,109 @@ class RpcServer:
             except OSError:  # fault-ok: connection already gone
                 pass
 
-    def __enter__(self) -> "RpcServer":
+    def __enter__(self) -> "ThreadedRpcServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+
+class _Conn:
+    """One pooled socket plus its reusable receive/send scratch buffers.
+
+    ``rbuf`` batches the reply preamble + header + small payloads into
+    a single ``recv`` syscall; ``scratch`` is the preallocated send
+    header buffer, so the steady-state call path allocates no per-frame
+    header bytes in either direction.
+    """
+
+    __slots__ = ("sock", "rbuf", "scratch")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.rbuf = bytearray()
+        self.scratch = bytearray(256)
+
+
+def _conn_fill(conn: _Conn, n: int) -> None:
+    """Ensure at least ``n`` bytes are buffered on ``conn``."""
+    buf = conn.rbuf
+    sock = conn.sock
+    while len(buf) < n:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise FrameError(f"connection closed with {n - len(buf)} bytes outstanding")
+        buf += chunk
+
+
+def _conn_take(conn: _Conn, n: int) -> bytes:
+    out = bytes(conn.rbuf[:n])
+    del conn.rbuf[:n]
+    return out
+
+
+def _conn_recv_payload(conn: _Conn, n: int) -> bytes:
+    """Payload receive: drain buffered bytes, then ``recv_into`` the rest."""
+    if n == 0:
+        return b""
+    buf = conn.rbuf
+    if len(buf) >= n:
+        return _conn_take(conn, n)
+    out = bytearray(n)
+    have = len(buf)
+    out[:have] = buf
+    del buf[:]
+    view = memoryview(out)
+    got = have
+    while got < n:
+        r = conn.sock.recv_into(view[got:], n - got)
+        if not r:
+            raise FrameError(f"connection closed with {n - got} bytes outstanding")
+        got += r
+    view.release()
+    return bytes(out)
+
+
+def _conn_send_frame(conn: _Conn, header: Dict[str, Any], payload, codec: str) -> None:
+    payload = memoryview(payload)
+    if codec == "binary":
+        build_binary_frame(conn.scratch, header, len(payload))
+    else:
+        build_json_frame(conn.scratch, header, len(payload))
+    _send_prebuilt(conn.sock, conn.scratch, payload)
+
+
+def _conn_recv_frame(conn: _Conn) -> Tuple[Dict[str, Any], bytes]:
+    """Receive one reply in either framing (sniffed off the first byte)."""
+    _conn_fill(conn, 1)
+    if conn.rbuf[0] == MAGIC:
+        _conn_fill(conn, PREAMBLE_SIZE)
+        _magic, version, _flags, opid, flen, plen = PREAMBLE.unpack_from(conn.rbuf, 0)
+        del conn.rbuf[:PREAMBLE_SIZE]
+        if version != WIRE_VERSION:
+            raise FrameError(f"unsupported wire version {version}")
+        _conn_fill(conn, flen)
+        fields = _conn_take(conn, flen)
+        payload = _conn_recv_payload(conn, plen)
+        try:
+            header = decode_binary_header(opid, fields, plen)
+        except WireError as exc:
+            raise FrameError(f"bad binary header: {exc}") from exc
+        return header, payload
+    _conn_fill(conn, 4)
+    hlen = int.from_bytes(conn.rbuf[:4], "big")
+    del conn.rbuf[:4]
+    if hlen > MAX_HEADER:
+        raise FrameError(f"header length {hlen} exceeds maximum")
+    _conn_fill(conn, hlen)
+    try:
+        header = json.loads(_conn_take(conn, hlen).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"bad header: {exc}") from exc
+    if not isinstance(header, dict) or "payload_len" not in header:
+        raise FrameError("header missing payload_len")
+    payload = _conn_recv_payload(conn, int(header["payload_len"]))
+    return header, payload
 
 
 class RpcClient:
@@ -379,6 +533,16 @@ class RpcClient:
     ``max_connections`` callers proceed in parallel; excess callers
     wait for a free connection.  Connections are created lazily, so a
     client used from one thread still holds exactly one socket.
+
+    ``wire`` pins the frame codec: ``"json"`` (always interoperable),
+    ``"binary"`` (requires a binary-capable server), or ``None`` — the
+    default — to negotiate.  Negotiation costs nothing: the first call
+    goes out as JSON carrying the ``_wire`` probe key; a binary-capable
+    server echoes the key in its reply and the client pins binary for
+    every later frame, while an old server ignores it and the client
+    stays on JSON.  A connection-level failure while pinned to binary
+    un-pins (the peer may have been downgraded mid-flight), so the next
+    attempt re-probes with a frame any server can parse.
     """
 
     def __init__(
@@ -388,6 +552,7 @@ class RpcClient:
         timeout: Optional[float] = None,
         max_connections: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ):
         self._addr = (host, port)
         self._peer = f"{host}:{port}"
@@ -396,9 +561,14 @@ class RpcClient:
                                else DEFAULT_POOL_CONNECTIONS))
         self._retry = retry if retry is not None else RetryPolicy()
         self._rng = random.Random()
+        forced = wire if wire is not None else (os.environ.get("REPRO_WIRE") or None)
+        if forced not in (None, "json", "binary"):
+            raise ValueError(f"wire must be 'json' or 'binary', not {forced!r}")
+        self._forced = forced
+        self._codec: Optional[str] = forced  # None until negotiated
         self._cv = threading.Condition()
-        self._idle: list[socket.socket] = []
-        self._inflight: set = set()   # sockets currently checked out
+        self._idle: List[_Conn] = []
+        self._inflight: Set[_Conn] = set()   # connections currently checked out
         self._active = 0
         self._gen = 0             # bumped by close(): stale checkouts die
 
@@ -414,22 +584,23 @@ class RpcClient:
             timeout=self._timeout,
             max_connections=self._max,
             retry=self._retry,
+            wire=self._forced,
         )
 
-    def _new_socket(self) -> socket.socket:
+    def _new_conn(self) -> _Conn:
         sock = socket.create_connection(self._addr, timeout=self._timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+        return _Conn(sock)
 
-    def _checkout(self) -> Tuple[socket.socket, int]:
+    def _checkout(self) -> Tuple[_Conn, int]:
         deadline = time.monotonic() + self._timeout if self._timeout else None
         with self._cv:
             while True:
                 if self._idle:
                     self._active += 1
-                    sock = self._idle.pop()
-                    self._inflight.add(sock)
-                    return sock, self._gen
+                    conn = self._idle.pop()
+                    self._inflight.add(conn)
+                    return conn, self._gen
                 if self._active < self._max:
                     self._active += 1
                     gen = self._gen
@@ -444,7 +615,7 @@ class RpcClient:
                 self._cv.wait(timeout=remaining)
         # Connect outside the lock: a slow handshake must not block the pool.
         try:
-            sock = self._new_socket()
+            conn = self._new_conn()
         except BaseException:
             with self._cv:
                 self._active -= 1
@@ -459,34 +630,34 @@ class RpcClient:
                 self._active -= 1
                 self._cv.notify()
                 try:
-                    sock.close()
+                    conn.sock.close()
                 except OSError:  # pragma: no cover  # fault-ok: best-effort close
                     pass
                 raise ClientClosedError(
                     f"RPC client to {self._peer} closed during connect "
                     f"(gen {gen} -> {self._gen})"
                 )
-            self._inflight.add(sock)
-        return sock, gen
+            self._inflight.add(conn)
+        return conn, gen
 
-    def _checkin(self, sock: socket.socket, gen: int) -> None:
+    def _checkin(self, conn: _Conn, gen: int) -> None:
         with self._cv:
             self._active -= 1
-            self._inflight.discard(sock)
+            self._inflight.discard(conn)
             if gen == self._gen:
-                self._idle.append(sock)
+                self._idle.append(conn)
                 self._cv.notify()
                 return
             self._cv.notify()
-        sock.close()  # client was close()d while this call was in flight
+        conn.sock.close()  # client was close()d while this call was in flight
 
-    def _discard(self, sock: socket.socket, gen: int) -> None:
+    def _discard(self, conn: _Conn, gen: int) -> None:
         with self._cv:
             self._active -= 1
-            self._inflight.discard(sock)
+            self._inflight.discard(conn)
             self._cv.notify()
         try:
-            sock.close()
+            conn.sock.close()
         except OSError:  # pragma: no cover  # fault-ok: close never meaningfully fails
             pass
 
@@ -516,10 +687,20 @@ class RpcClient:
         attempt = 0
         while True:
             attempt += 1
-            sock = None
+            conn = None
             gen = -1
+            probe = False
             try:
-                sock, gen = self._checkout()
+                conn, gen = self._checkout()
+                codec = self._codec
+                send_msg = msg
+                if codec is None:
+                    # First contact: probe as JSON (any server parses it)
+                    # carrying the binary-capability key.
+                    probe = True
+                    codec = "json"
+                    send_msg = dict(msg)
+                    send_msg[WIRE_KEY] = WIRE_VERSION
                 injector = faults.ACTIVE
                 if injector is not None:
                     verdict = injector.fire("rpc.client", op, self._peer)
@@ -527,16 +708,21 @@ class RpcClient:
                         # "close"/"drop": kill the connection under the call so
                         # the real send/recv path fails organically.
                         try:
-                            sock.shutdown(socket.SHUT_RDWR)
+                            conn.sock.shutdown(socket.SHUT_RDWR)
                         except OSError:  # fault-ok: socket already dead
                             pass
-                send_frame(sock, msg, payload)
-                reply, data = recv_frame(sock)
+                _conn_send_frame(conn, send_msg, payload, codec)
+                reply, data = _conn_recv_frame(conn)
             except (PoolTimeout, ClientClosedError):
                 raise  # pool exhaustion / shutdown: retrying cannot help
             except (OSError, FrameError) as exc:
-                if sock is not None:
-                    self._discard(sock, gen)
+                if conn is not None:
+                    self._discard(conn, gen)
+                if self._codec == "binary" and self._forced is None:
+                    # The peer may have been bounced onto an older build
+                    # that cannot parse binary frames; forget the pinned
+                    # codec so the next attempt re-probes with JSON.
+                    self._codec = None
                 _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
                 with self._cv:
                     # A generation bump means *our own* close()/close_all()
@@ -549,7 +735,10 @@ class RpcClient:
                 time.sleep(self._retry.backoff(attempt, self._rng))
                 continue
             break
-        self._checkin(sock, gen)
+        self._checkin(conn, gen)
+        if probe:
+            self._codec = "binary" if reply.get(WIRE_KEY) is not None else "json"
+        reply.pop(WIRE_KEY, None)
         if not reply.get("ok", False):
             kind = reply.get("error", "remote-error")
             _CLIENT_ERRORS.labels(op=op, kind=kind).inc()
@@ -567,9 +756,9 @@ class RpcClient:
             self._gen += 1
             idle, self._idle = self._idle, []
             self._cv.notify_all()
-        for sock in idle:
+        for conn in idle:
             try:
-                sock.close()
+                conn.sock.close()
             except OSError:  # pragma: no cover  # fault-ok: best-effort close
                 pass
 
@@ -586,14 +775,14 @@ class RpcClient:
             idle, self._idle = self._idle, []
             inflight = list(self._inflight)
             self._cv.notify_all()
-        for sock in idle:
+        for conn in idle:
             try:
-                sock.close()
+                conn.sock.close()
             except OSError:  # pragma: no cover  # fault-ok: best-effort close
                 pass
-        for sock in inflight:
+        for conn in inflight:
             try:
-                sock.shutdown(socket.SHUT_RDWR)
+                conn.sock.shutdown(socket.SHUT_RDWR)
             except OSError:  # fault-ok: socket already dead
                 pass
 
@@ -602,3 +791,15 @@ class RpcClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def __getattr__(name: str):
+    # The public RpcServer is the async-native engine in aio.py, which
+    # itself imports this module's primitives (exceptions, counters,
+    # retry policy).  Resolving the name lazily via PEP 562 breaks the
+    # import cycle regardless of which module is imported first.
+    if name == "RpcServer":
+        from .aio import AsyncRpcServer
+
+        return AsyncRpcServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,365 @@
+"""Binary wire framing for the RPC layer.
+
+The legacy frame is a 4-byte big-endian length followed by a JSON
+header and a raw payload.  That header costs a JSON encode + decode on
+*every* frame, which is what dominates the PR 3 bench once link latency
+is removed.  This module defines the binary replacement:
+
+Preamble (14 bytes, fixed)::
+
+    +-------+---------+-------+--------+------------+-------------+
+    | magic | version | flags | op id  | fields_len | payload_len |
+    |  0xB1 |  uint8  | uint8 | u16 BE |   u32 BE   |   u32 BE    |
+    +-------+---------+-------+--------+------------+-------------+
+
+followed by ``fields_len`` bytes of a compact varint-packed field
+table (the op arguments that used to live in the JSON header) and
+``payload_len`` bytes of raw payload.
+
+*Interop by construction*: a legacy JSON frame starts with its header
+length, and ``MAX_HEADER`` (16 MiB) keeps that first byte at 0x00 or
+0x01 — never 0xB1.  A receiver therefore sniffs the first byte of each
+frame and accepts both framings on one connection, which is what lets
+mixed-version peers talk without a handshake round trip.  The client
+side still needs to learn whether its *server* is binary-capable
+before sending a binary frame (an old server would read the magic as a
+giant length and drop the connection); that is negotiated by the
+``_wire`` probe key in :mod:`repro.transport.tcp`.
+
+Field table
+-----------
+
+``varint count`` then per field: a key id (varint; well-known keys from
+:data:`KEYS` encode as one byte, anything else as id 0 + literal
+string) and a type-tagged value:
+
+====  =======================================================
+tag   encoding
+====  =======================================================
+0/1/2 None / True / False (no body)
+3     int — zigzag varint
+4     float — 8-byte IEEE big-endian
+5     str — varint length + UTF-8
+6     bytes — varint length + raw
+7     list — varint count + values
+8     dict — varint count + (str key, value) pairs
+====  =======================================================
+
+Known op names from :data:`OPS` ride in the preamble's op id; unknown
+ops set id 0 and carry the name in the field table, so arbitrary
+test/bench handlers work unchanged.
+
+Scratch buffers
+---------------
+
+Both frame builders encode into a caller-owned ``bytearray`` that is
+cleared and reused across frames, so the steady-state send path
+performs no per-frame header allocations (the JSON builder here also
+replaces the old ``pack + concat`` in :func:`repro.transport.tcp.send_frame`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "PREAMBLE",
+    "PREAMBLE_SIZE",
+    "WIRE_KEY",
+    "OPS",
+    "op_id",
+    "op_name",
+    "encode_fields",
+    "decode_fields",
+    "build_binary_frame",
+    "build_json_frame",
+    "decode_binary_header",
+    "WireError",
+]
+
+#: First byte of every binary frame.  A legacy JSON frame starts with
+#: the high byte of a <=16 MiB header length (0x00/0x01), so sniffing
+#: one byte disambiguates the two framings.
+MAGIC = 0xB1
+
+#: Bumped only for incompatible preamble changes.
+WIRE_VERSION = 1
+
+#: magic, version, flags, op id, fields_len, payload_len.
+PREAMBLE = struct.Struct(">BBBHII")
+PREAMBLE_SIZE = PREAMBLE.size
+
+#: Header key used by the client's capability probe: a JSON request
+#: carrying it asks "do you speak binary framing?"; a binary-capable
+#: server echoes it in the reply header.
+WIRE_KEY = "_wire"
+
+_FLOAT = struct.Struct(">d")
+
+
+class WireError(ValueError):
+    """Malformed binary field table."""
+
+
+# ---------------------------------------------------------------------------
+# Op and key tables (append-only: ids are part of the wire contract)
+# ---------------------------------------------------------------------------
+
+OPS: Tuple[str, ...] = (
+    # Grid Buffer
+    "gb.create", "gb.register_reader", "gb.write", "gb.write_multi",
+    "gb.read", "gb.read_multi", "gb.consume", "gb.consume_multi",
+    "gb.close_writer", "gb.stats", "gb.drop", "gb.exists",
+    "gb.abort", "gb.resume", "gb.high_water",
+    # GridFTP-like file server
+    "size", "exists", "get_block", "put_block", "checksum",
+    "mkdirs", "delete", "pull_from",
+    # GNS
+    "gns.resolve", "gns.add", "gns.remove", "gns.list",
+    "gns.announce", "gns.pin",
+)
+
+_OP_TO_ID: Dict[str, int] = {name: i + 1 for i, name in enumerate(OPS)}
+_ID_TO_OP: Dict[int, str] = {i + 1: name for i, name in enumerate(OPS)}
+
+KEYS: Tuple[str, ...] = (
+    "op", "ok", "error", "message", "name", "reader_id", "offset",
+    "length", "timeout", "budget", "min_bytes", "ranges", "token",
+    "seq", "offsets", "sizes", "n_readers", "capacity_bytes", "cache",
+    "eof", "total", "written", "stall", "stats", "exists", "path",
+    "truncate", "src_host", "src_port", "src_path", "dst_path",
+    "streams", "block_size", "entries", "reason", "deleted", "sha256",
+    "size", "bytes", "machine", "record", "records", "payload_len",
+    WIRE_KEY,
+)
+
+_KEY_TO_ID: Dict[str, int] = {name: i + 1 for i, name in enumerate(KEYS)}
+_ID_TO_KEY: Dict[int, str] = {i + 1: name for i, name in enumerate(KEYS)}
+
+
+def op_id(op: str) -> int:
+    """Wire id for a known op, or 0 (op name travels in the fields)."""
+    return _OP_TO_ID.get(op, 0)
+
+
+def op_name(opid: int) -> str:
+    return _ID_TO_OP.get(opid, "")
+
+
+# ---------------------------------------------------------------------------
+# Varint field codec
+# ---------------------------------------------------------------------------
+
+
+def _put_uvarint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _put_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(0)
+    elif value is True:
+        out.append(1)
+    elif value is False:
+        out.append(2)
+    elif type(value) is int:
+        out.append(3)
+        _put_uvarint(out, (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1)
+    elif type(value) is float:
+        out.append(4)
+        out += _FLOAT.pack(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(5)
+        _put_uvarint(out, len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        out.append(6)
+        _put_uvarint(out, len(value))
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(7)
+        _put_uvarint(out, len(value))
+        for item in value:
+            _put_value(out, item)
+    elif isinstance(value, dict):
+        out.append(8)
+        _put_uvarint(out, len(value))
+        for key, item in value.items():
+            raw = str(key).encode("utf-8")
+            _put_uvarint(out, len(raw))
+            out += raw
+            _put_value(out, item)
+    elif isinstance(value, int):  # bool handled above; int subclasses
+        out.append(3)
+        _put_uvarint(out, (value << 1) if value >= 0 else ((-value) << 1) - 1)
+    elif isinstance(value, float):
+        out.append(4)
+        out += _FLOAT.pack(value)
+    else:
+        raise WireError(f"unencodable header value type {type(value).__name__}")
+
+
+def encode_fields(header: Mapping[str, Any], out: bytearray) -> None:
+    """Append the varint field table for ``header`` to ``out``.
+
+    ``payload_len`` is skipped — it lives in the preamble.
+    """
+    count_pos = len(out)
+    count = 0
+    out.append(0)  # patched below (field counts stay < 128 in practice)
+    key_ids = _KEY_TO_ID
+    for key, value in header.items():
+        if key == "payload_len":
+            continue
+        kid = key_ids.get(key, 0)
+        if kid:
+            out.append(kid)
+        else:
+            out.append(0)
+            raw = key.encode("utf-8")
+            _put_uvarint(out, len(raw))
+            out += raw
+        _put_value(out, value)
+        count += 1
+    if count > 0x7F:
+        raise WireError(f"too many header fields ({count})")
+    out[count_pos] = count
+
+
+def _get_uvarint(buf, pos: int) -> Tuple[int, int]:
+    shift = 0
+    result = 0
+    while True:
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise WireError("varint overflow")
+
+
+def _get_value(buf, pos: int) -> Tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == 0:
+        return None, pos
+    if tag == 1:
+        return True, pos
+    if tag == 2:
+        return False, pos
+    if tag == 3:
+        raw, pos = _get_uvarint(buf, pos)
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1), pos
+    if tag == 4:
+        return _FLOAT.unpack_from(buf, pos)[0], pos + 8
+    if tag == 5:
+        n, pos = _get_uvarint(buf, pos)
+        return bytes(buf[pos : pos + n]).decode("utf-8"), pos + n
+    if tag == 6:
+        n, pos = _get_uvarint(buf, pos)
+        return bytes(buf[pos : pos + n]), pos + n
+    if tag == 7:
+        n, pos = _get_uvarint(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _get_value(buf, pos)
+            items.append(item)
+        return items, pos
+    if tag == 8:
+        n, pos = _get_uvarint(buf, pos)
+        out: Dict[str, Any] = {}
+        for _ in range(n):
+            klen, pos = _get_uvarint(buf, pos)
+            key = bytes(buf[pos : pos + klen]).decode("utf-8")
+            pos += klen
+            out[key], pos = _get_value(buf, pos)
+        return out, pos
+    raise WireError(f"unknown value tag {tag}")
+
+
+def decode_fields(buf) -> Dict[str, Any]:
+    """Decode a field table (bytes/memoryview) back into a dict."""
+    try:
+        count = buf[0]
+        pos = 1
+        out: Dict[str, Any] = {}
+        keys = _ID_TO_KEY
+        for _ in range(count):
+            kid = buf[pos]
+            pos += 1
+            if kid:
+                key = keys.get(kid)
+                if key is None:
+                    raise WireError(f"unknown key id {kid}")
+            else:
+                klen, pos = _get_uvarint(buf, pos)
+                key = bytes(buf[pos : pos + klen]).decode("utf-8")
+                pos += klen
+            out[key], pos = _get_value(buf, pos)
+        if pos != len(buf):
+            raise WireError(f"{len(buf) - pos} trailing bytes after field table")
+        return out
+    except (IndexError, struct.error) as exc:
+        raise WireError(f"truncated field table: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Frame builders (scratch-buffer based: no per-frame header allocations)
+# ---------------------------------------------------------------------------
+
+
+def build_binary_frame(
+    scratch: bytearray, header: Mapping[str, Any], payload_len: int
+) -> None:
+    """Encode preamble + field table into ``scratch`` (cleared first).
+
+    The payload itself is *not* appended — the caller either appends it
+    (small frames: one ``sendall``) or gathers it (``sendmsg`` /
+    separate ``write``), so large payloads are never copied here.
+    """
+    del scratch[:]
+    scratch += b"\x00" * PREAMBLE_SIZE
+    opid = _OP_TO_ID.get(header.get("op", ""), 0)
+    if opid:
+        count_pos = len(scratch)
+        encode_fields({k: v for k, v in header.items() if k != "op"}, scratch)
+        del count_pos
+    else:
+        encode_fields(header, scratch)
+    fields_len = len(scratch) - PREAMBLE_SIZE
+    PREAMBLE.pack_into(scratch, 0, MAGIC, WIRE_VERSION, 0, opid, fields_len, payload_len)
+
+
+def build_json_frame(
+    scratch: bytearray, header: Mapping[str, Any], payload_len: int
+) -> None:
+    """Legacy framing into a reused scratch buffer (header part only)."""
+    msg = dict(header)
+    msg["payload_len"] = payload_len
+    raw = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+    del scratch[:]
+    scratch += b"\x00\x00\x00\x00"
+    scratch += raw
+    struct.pack_into(">I", scratch, 0, len(raw))
+
+
+def decode_binary_header(opid: int, fields, payload_len: int) -> Dict[str, Any]:
+    """Field table + preamble -> the header dict handlers expect."""
+    header = decode_fields(fields)
+    if opid:
+        name = _ID_TO_OP.get(opid)
+        if name is None:
+            raise WireError(f"unknown op id {opid}")
+        header["op"] = name
+    header["payload_len"] = payload_len
+    return header

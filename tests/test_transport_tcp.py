@@ -1,5 +1,18 @@
-"""Unit + property tests for the framed TCP RPC layer."""
+"""Unit + property tests for the framed TCP RPC layer.
 
+The RPC suite is parametrized over the three supported peer skews so
+every behaviour is exercised on both wire framings *and* across a
+version boundary:
+
+* ``binary-binary`` — negotiating client against the async server
+  (both speak the binary framing; the probe pins it);
+* ``binary-json``  — negotiating client against the legacy threaded
+  JSON-only server (the probe degrades to JSON);
+* ``json-binary``  — a client forced to the legacy JSON framing (an
+  old peer) against the binary-capable async server.
+"""
+
+import asyncio
 import socket
 import threading
 import time
@@ -8,20 +21,40 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import faults
+from repro.faults import FaultRule
+from repro.transport.aio import AsyncRpcClient
 from repro.transport.tcp import (
     MAX_HEADER,
     FrameError,
     RpcClient,
     RpcError,
     RpcServer,
+    ThreadedRpcServer,
     recv_frame,
     send_frame,
 )
+from repro.transport.wire import (
+    MAGIC,
+    PREAMBLE,
+    PREAMBLE_SIZE,
+    WIRE_VERSION,
+    WireError,
+    build_binary_frame,
+    decode_binary_header,
+    decode_fields,
+)
+
+# (server engine, forced client wire) per skew; None = negotiate.
+SKEWS = [
+    pytest.param(("async", None), id="binary-binary"),
+    pytest.param(("threaded", None), id="binary-json"),
+    pytest.param(("async", "json"), id="json-binary"),
+]
 
 
-@pytest.fixture()
-def echo_server():
-    server = RpcServer()
+def _make_server(engine: str = "async", host: str = "127.0.0.1", port: int = 0):
+    server = (RpcServer if engine == "async" else ThreadedRpcServer)(host, port)
     server.register("echo", lambda header, payload: ({"echo": header.get("msg")}, payload))
 
     def boom(header, payload):
@@ -33,8 +66,25 @@ def echo_server():
         raise RpcError("custom-kind", "custom message")
 
     server.register("typed", typed_error)
-    with server:
+    return server
+
+
+@pytest.fixture(params=SKEWS)
+def skew(request):
+    return request.param
+
+
+@pytest.fixture()
+def echo_server(skew):
+    with _make_server(skew[0]) as server:
         yield server
+
+
+@pytest.fixture()
+def echo_client(echo_server, skew):
+    client = RpcClient(*echo_server.address, wire=skew[1])
+    yield client
+    client.close()
 
 
 class TestFraming:
@@ -98,37 +148,33 @@ class TestFraming:
 
 
 class TestRpc:
-    def test_echo(self, echo_server):
-        with RpcClient(*echo_server.address) as client:
-            reply, payload = client.call("echo", {"msg": "hi"}, b"data")
-            assert reply["echo"] == "hi"
-            assert payload == b"data"
+    def test_echo(self, echo_client):
+        reply, payload = echo_client.call("echo", {"msg": "hi"}, b"data")
+        assert reply["echo"] == "hi"
+        assert payload == b"data"
 
-    def test_unknown_op_is_rpc_error(self, echo_server):
-        with RpcClient(*echo_server.address) as client:
-            with pytest.raises(RpcError, match="no handler"):
-                client.call("nope")
+    def test_unknown_op_is_rpc_error(self, echo_client):
+        with pytest.raises(RpcError, match="no handler"):
+            echo_client.call("nope")
 
-    def test_handler_exception_becomes_error_reply(self, echo_server):
-        with RpcClient(*echo_server.address) as client:
-            with pytest.raises(RpcError, match="deliberate"):
-                client.call("boom")
-            # Connection survives the error.
-            reply, _ = client.call("echo", {"msg": "still-alive"})
-            assert reply["echo"] == "still-alive"
+    def test_handler_exception_becomes_error_reply(self, echo_client):
+        with pytest.raises(RpcError, match="deliberate"):
+            echo_client.call("boom")
+        # Connection survives the error.
+        reply, _ = echo_client.call("echo", {"msg": "still-alive"})
+        assert reply["echo"] == "still-alive"
 
-    def test_typed_rpc_error_kind_preserved(self, echo_server):
-        with RpcClient(*echo_server.address) as client:
-            with pytest.raises(RpcError) as exc_info:
-                client.call("typed")
-            assert exc_info.value.kind == "custom-kind"
+    def test_typed_rpc_error_kind_preserved(self, echo_client):
+        with pytest.raises(RpcError) as exc_info:
+            echo_client.call("typed")
+        assert exc_info.value.kind == "custom-kind"
 
-    def test_concurrent_clients(self, echo_server):
+    def test_concurrent_clients(self, echo_server, skew):
         errors = []
 
         def worker(n):
             try:
-                with RpcClient(*echo_server.address) as client:
+                with RpcClient(*echo_server.address, wire=skew[1]) as client:
                     for i in range(20):
                         reply, _ = client.call("echo", {"msg": f"{n}:{i}"})
                         assert reply["echo"] == f"{n}:{i}"
@@ -142,20 +188,18 @@ class TestRpc:
             t.join()
         assert errors == []
 
-    def test_large_payload(self, echo_server):
+    def test_large_payload(self, echo_client):
         blob = bytes(range(256)) * 4096  # 1 MiB
-        with RpcClient(*echo_server.address) as client:
-            _, got = client.call("echo", {"msg": "big"}, blob)
-            assert got == blob
+        _, got = echo_client.call("echo", {"msg": "big"}, blob)
+        assert got == blob
 
-    def test_client_is_thread_safe(self, echo_server):
-        client = RpcClient(*echo_server.address)
+    def test_client_is_thread_safe(self, echo_client):
         errors = []
 
         def worker(n):
             try:
                 for i in range(10):
-                    reply, _ = client.call("echo", {"msg": f"{n}.{i}"})
+                    reply, _ = echo_client.call("echo", {"msg": f"{n}.{i}"})
                     assert reply["echo"] == f"{n}.{i}"
             except Exception as exc:  # noqa: BLE001
                 errors.append(exc)
@@ -165,7 +209,6 @@ class TestRpc:
             t.start()
         for t in threads:
             t.join()
-        client.close()
         assert errors == []
 
 
@@ -342,3 +385,304 @@ class TestPooledClient:
         client.close()
         stop = True
         listener.close()
+
+
+# ---------------------------------------------------------------------------
+# Binary wire codec
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**48), max_value=2**48),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+)
+_values = st.one_of(
+    _scalars,
+    st.lists(_scalars, max_size=4),
+    st.dictionaries(st.text(max_size=10), _scalars, max_size=4),
+)
+
+
+def _binary_roundtrip(header, payload_len):
+    scratch = bytearray()
+    build_binary_frame(scratch, header, payload_len)
+    magic, version, _flags, opid, fields_len, plen = PREAMBLE.unpack_from(scratch, 0)
+    assert magic == MAGIC and version == WIRE_VERSION
+    assert len(scratch) == PREAMBLE_SIZE + fields_len
+    fields = memoryview(scratch)[PREAMBLE_SIZE:]
+    return decode_binary_header(opid, fields, plen)
+
+
+class TestBinaryCodec:
+    @given(
+        header=st.dictionaries(st.text(min_size=1, max_size=16), _values, max_size=12),
+        payload_len=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_header_roundtrips(self, header, payload_len):
+        header.pop("payload_len", None)
+        header.pop("op", None)
+        got = _binary_roundtrip(dict(header, op="gb.write"), payload_len)
+        assert got.pop("op") == "gb.write"
+        assert got.pop("payload_len") == payload_len
+        assert got == header
+
+    def test_unknown_op_travels_as_literal(self):
+        got = _binary_roundtrip({"op": "custom.op", "x": 1}, 0)
+        assert got["op"] == "custom.op"
+        assert got["x"] == 1
+
+    def test_known_op_compresses_to_preamble_id(self):
+        scratch = bytearray()
+        build_binary_frame(scratch, {"op": "gb.read", "offset": 0}, 0)
+        _, _, _, opid, _, _ = PREAMBLE.unpack_from(scratch, 0)
+        assert opid != 0
+        assert b"gb.read" not in bytes(scratch)
+
+    def test_binary_header_beats_json_for_known_ops(self):
+        header = {"op": "gb.read", "name": "s", "reader_id": "r1", "offset": 0, "length": 65536}
+        bin_scratch, json_scratch = bytearray(), bytearray()
+        build_binary_frame(bin_scratch, header, 65536)
+        from repro.transport.wire import build_json_frame
+
+        build_json_frame(json_scratch, header, 65536)
+        assert len(bin_scratch) < len(json_scratch)
+
+    def test_trailing_garbage_rejected(self):
+        scratch = bytearray()
+        build_binary_frame(scratch, {"op": "gb.read", "offset": 1}, 0)
+        with pytest.raises(WireError, match="trailing"):
+            decode_fields(bytes(scratch[PREAMBLE_SIZE:]) + b"\x00")
+
+    def test_unknown_op_id_rejected(self):
+        with pytest.raises(WireError, match="unknown op id"):
+            decode_binary_header(60000, b"\x00", 0)
+
+
+# ---------------------------------------------------------------------------
+# Codec negotiation across peer versions
+# ---------------------------------------------------------------------------
+
+
+class TestWireNegotiation:
+    def test_pins_binary_against_async_server(self):
+        with _make_server("async") as server, RpcClient(*server.address) as client:
+            assert client._codec is None
+            reply, _ = client.call("echo", {"msg": "hi"})
+            assert reply["echo"] == "hi"
+            assert client._codec == "binary"
+            blob = b"x" * 100_000
+            _, got = client.call("echo", {}, blob)
+            assert got == blob
+
+    def test_pins_json_against_threaded_server(self):
+        with _make_server("threaded") as server, RpcClient(*server.address) as client:
+            reply, _ = client.call("echo", {"msg": "old"})
+            assert reply["echo"] == "old"
+            assert client._codec == "json"
+            # Stays pinned — no repeated probing.
+            client.call("echo", {"msg": "again"})
+            assert client._codec == "json"
+
+    def test_forced_wire_skips_negotiation(self):
+        with _make_server("async") as server:
+            with RpcClient(*server.address, wire="json") as client:
+                assert client._codec == "json"
+                reply, _ = client.call("echo", {"msg": "j"})
+                assert reply["echo"] == "j"
+                assert client._codec == "json"
+            with RpcClient(*server.address, wire="binary") as client:
+                reply, _ = client.call("echo", {"msg": "b"})
+                assert reply["echo"] == "b"
+                assert client._codec == "binary"
+
+    def test_env_var_forces_wire(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "json")
+        with _make_server("async") as server, RpcClient(*server.address) as client:
+            client.call("echo", {"msg": "e"})
+            assert client._codec == "json"
+
+    def test_bad_wire_value_rejected(self):
+        with pytest.raises(ValueError, match="wire"):
+            RpcClient("127.0.0.1", 1, wire="msgpack")
+
+    def test_probe_header_is_not_leaked_to_handlers(self):
+        seen = {}
+        server = RpcServer()
+
+        def spy(header, payload):
+            seen.update(header)
+            return {}, b""
+
+        server.register("spy", spy)
+        with server, RpcClient(*server.address) as client:
+            reply, _ = client.call("spy", {"msg": "x"})
+            assert "_wire" not in reply
+        assert seen.get("msg") == "x"
+
+    def test_demotes_after_peer_downgrade(self):
+        """A binary-pinned client recovers against a JSON-only rebind."""
+        server = _make_server("async").start()
+        host, port = server.address
+        client = RpcClient(host, port)
+        try:
+            client.call("echo", {"msg": "1"})
+            assert client._codec == "binary"
+            server.stop()
+            server.disconnect_all()
+            with _make_server("threaded", host, port) as old:
+                assert old.address == (host, port)
+                reply, _ = client.call("echo", {"msg": "2"}, retryable=True)
+                assert reply["echo"] == "2"
+                assert client._codec == "json"
+        finally:
+            client.close()
+
+
+@pytest.mark.faults
+class TestNegotiationFaults:
+    """Fault injection mid-negotiation: the probe must never mis-pin."""
+
+    @pytest.fixture(autouse=True)
+    def _disarmed(self):
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_probe_survives_connection_reset(self):
+        with _make_server("async") as server, RpcClient(*server.address) as client:
+            with faults.injected(
+                FaultRule(layer="rpc.server", op="echo", action="close", nth=1, times=1)
+            ):
+                reply, _ = client.call("echo", {"msg": "hi"}, retryable=True)
+            assert reply["echo"] == "hi"
+            assert client._codec == "binary"
+
+    def test_probe_survives_dropped_request(self):
+        with _make_server("async") as server, RpcClient(*server.address) as client:
+            with faults.injected(
+                FaultRule(layer="rpc.server", op="echo", action="drop", nth=1, times=1)
+            ):
+                reply, _ = client.call("echo", {"msg": "hi"}, retryable=True)
+            assert reply["echo"] == "hi"
+            assert client._codec == "binary"
+
+    def test_injected_error_reply_still_pins_binary(self):
+        """An injected-fault *reply* to the probe still advertises binary."""
+        with _make_server("async") as server, RpcClient(*server.address) as client:
+            with faults.injected(
+                FaultRule(layer="rpc.server", op="echo", action="error", nth=1, times=1)
+            ):
+                with pytest.raises(RpcError) as exc_info:
+                    client.call("echo", {"msg": "hi"})
+            assert exc_info.value.kind == "injected-fault"
+            assert client._codec == "binary"
+            reply, _ = client.call("echo", {"msg": "again"})
+            assert reply["echo"] == "again"
+
+    def test_pinned_binary_rechecks_after_connection_loss(self):
+        with _make_server("async") as server, RpcClient(*server.address) as client:
+            client.call("echo", {"msg": "pin"})
+            assert client._codec == "binary"
+            with faults.injected(
+                FaultRule(layer="rpc.server", op="echo", action="close", nth=1, times=1)
+            ):
+                reply, _ = client.call("echo", {"msg": "after"}, retryable=True)
+            assert reply["echo"] == "after"
+            assert client._codec == "binary"
+
+
+# ---------------------------------------------------------------------------
+# Async server handler kinds + async client
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncServerHandlers:
+    def test_inline_and_native_async_handlers(self):
+        server = RpcServer()
+        server.register("double", lambda h, p: ({"v": h["x"] * 2}, b""), inline=True)
+
+        async def plus_one(header, payload):
+            await asyncio.sleep(0)
+            return {"v": header["x"] + 1}, payload
+
+        server.register_async("plus1", plus_one)
+        with server, RpcClient(*server.address) as client:
+            assert client.call("double", {"x": 3})[0]["v"] == 6
+            reply, data = client.call("plus1", {"x": 3}, b"p")
+            assert reply["v"] == 4
+            assert data == b"p"
+
+    def test_restart_rebinds_same_port(self):
+        server = _make_server("async").start()
+        host, port = server.address
+        try:
+            server.stop()
+            again = _make_server("async", host, port)
+            with again, RpcClient(host, port) as client:
+                assert client.call("echo", {"msg": "back"})[0]["echo"] == "back"
+        finally:
+            server.stop()
+
+
+class TestAsyncRpcClient:
+    def test_echo_and_negotiation(self):
+        async def go(addr):
+            client = AsyncRpcClient(*addr)
+            try:
+                reply, data = await client.call("echo", {"msg": "hi"}, b"abc")
+                assert reply["echo"] == "hi"
+                assert data == b"abc"
+                assert client._codec == "binary"
+            finally:
+                await client.close()
+
+        with _make_server("async") as server:
+            asyncio.run(go(server.address))
+
+    def test_negotiates_json_against_threaded_server(self):
+        async def go(addr):
+            client = AsyncRpcClient(*addr)
+            try:
+                reply, _ = await client.call("echo", {"msg": "old"})
+                assert reply["echo"] == "old"
+                assert client._codec == "json"
+            finally:
+                await client.close()
+
+        with _make_server("threaded") as server:
+            asyncio.run(go(server.address))
+
+    def test_error_reply_raises(self):
+        async def go(addr):
+            client = AsyncRpcClient(*addr)
+            try:
+                with pytest.raises(RpcError) as exc_info:
+                    await client.call("typed")
+                assert exc_info.value.kind == "custom-kind"
+            finally:
+                await client.close()
+
+        with _make_server("async") as server:
+            asyncio.run(go(server.address))
+
+    def test_many_concurrent_clients_one_loop(self):
+        """64 clients multiplex on one caller loop, no thread each."""
+
+        async def one(addr, i):
+            client = AsyncRpcClient(*addr)
+            try:
+                reply, _ = await client.call("echo", {"msg": f"m{i}"})
+                return reply["echo"]
+            finally:
+                await client.close()
+
+        async def go(addr):
+            return await asyncio.gather(*(one(addr, i) for i in range(64)))
+
+        with _make_server("async") as server:
+            results = asyncio.run(go(server.address))
+        assert results == [f"m{i}" for i in range(64)]
