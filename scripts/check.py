@@ -12,13 +12,21 @@ third-party dependency:
   ``__all__``);
 * no file may contain tab indentation or trailing whitespace.
 
-One repo-specific rule runs in BOTH paths (ruff cannot express it): in
-``src/repro/transport/`` and ``src/repro/gridbuffer/`` an ``except``
-handler for the OSError family must never swallow silently — its body
-must raise, call something (log, count, clean up), or the except line
-must carry a ``# fault-ok: <why>`` annotation.  Those layers are where
-the fault-injection harness aims; a silent swallow there hides exactly
-the failures the recovery machinery must see.
+Two repo-specific rules run in BOTH paths (ruff cannot express them):
+
+* in ``src/repro/transport/`` and ``src/repro/gridbuffer/`` an
+  ``except`` handler for the OSError family must never swallow
+  silently — its body must raise, call something (log, count, clean
+  up), or the except line must carry a ``# fault-ok: <why>``
+  annotation.  Those layers are where the fault-injection harness
+  aims; a silent swallow there hides exactly the failures the recovery
+  machinery must see.
+* nothing under ``src/`` may call ``time.time()`` — duration math on
+  the wall clock breaks under NTP steps, and the distributed-trace
+  clock alignment assumes every timestamp is monotonic.  Use
+  ``time.monotonic()`` (or ``time.perf_counter()``); code that
+  genuinely needs wall-clock time must annotate the line with
+  ``# wall-clock-ok: <why>``.
 
 Exit status is non-zero on any finding, so ``python scripts/check.py``
 works as a pre-commit / CI step independent of pytest.
@@ -181,6 +189,40 @@ def check_swallowed_oserrors(path: Path, text: str, tree: ast.Module) -> list[st
     return problems
 
 
+def check_wall_clock(path: Path, text: str, tree: ast.Module) -> list[str]:
+    """Forbid ``time.time()`` in src/ (monotonic clocks only).
+
+    Duration math against the wall clock breaks under NTP adjustments,
+    and the trace merge's clock alignment presumes monotonic stamps.
+    ``# wall-clock-ok: <why>`` on the offending line is the escape
+    hatch for genuine wall-clock needs (log timestamps, file mtimes).
+    """
+    rel = path.relative_to(REPO)
+    if not str(rel).replace("\\", "/").startswith("src/"):
+        return []
+    lines = text.splitlines()
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        is_time_time = (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "time"
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "time"
+        )
+        if not is_time_time:
+            continue
+        if "wall-clock-ok" in lines[node.lineno - 1]:
+            continue
+        problems.append(
+            f"{rel}:{node.lineno}: time.time() in src/ — use time.monotonic() "
+            "for durations, or annotate with '# wall-clock-ok: <why>'"
+        )
+    return problems
+
+
 def run_swallow_lint() -> int:
     problems: list[str] = []
     for path in python_files():
@@ -190,6 +232,7 @@ def run_swallow_lint() -> int:
         except SyntaxError:
             continue  # both lint paths already report syntax errors
         problems.extend(check_swallowed_oserrors(path, text, tree))
+        problems.extend(check_wall_clock(path, text, tree))
     for problem in problems:
         print(problem)
     return 1 if problems else 0

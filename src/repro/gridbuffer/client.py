@@ -771,6 +771,10 @@ class BufferWriter(io.RawIOBase):
         )
         self._pending_since: Optional[float] = None
         self._deadline_thread: Optional[threading.Thread] = None
+        # Deadline flushes issue write RPCs from a background thread;
+        # adopt the opener's span context so those rpc.client spans
+        # still join the workflow trace.
+        self._trace_ctx = obs.current_context()
         if self._coalescer is not None and self._flush_after > 0:
             self._deadline_thread = threading.Thread(
                 target=self._deadline_loop, name=f"gb-flush:{name}", daemon=True
@@ -784,6 +788,10 @@ class BufferWriter(io.RawIOBase):
             self._coalescer.adapt(stall)
 
     def _deadline_loop(self) -> None:
+        with obs.attach(self._trace_ctx):
+            self._deadline_loop_attached()
+
+    def _deadline_loop_attached(self) -> None:
         with self._flush_cv:
             while not self._closed_writer:
                 if self._coalescer is None or self._coalescer.pending_bytes == 0:
@@ -970,6 +978,10 @@ class _ReadAheadWindow:
         self._eof_at: Optional[int] = None
         self._depth = 1
         self._stopped = False
+        # Read-ahead RPCs issued by worker threads should parent under
+        # whatever span opened the reader (the task, usually) — capture
+        # the constructing thread's context for re-attachment.
+        self._trace_ctx = obs.current_context()
         self._threads = [
             threading.Thread(target=self._run, name=f"gb-window:{name}#{i}", daemon=True)
             for i in range(self._max_depth)
@@ -1116,6 +1128,12 @@ class _ReadAheadWindow:
 
     # -- workers -----------------------------------------------------------
     def _run(self) -> None:
+        # Worker threads adopt the owner's span context so the rpc.client
+        # spans of read-ahead fetches join the workflow trace.
+        with obs.attach(self._trace_ctx):
+            self._run_attached()
+
+    def _run_attached(self) -> None:
         while True:
             with self._cv:
                 while not self._queue and not self._stopped:

@@ -75,6 +75,8 @@ class GridBufferServer:
         return cls(host, port, simulated_latency=self._simulated_latency)
 
     def _register_ops(self, rpc) -> None:
+        # Service-level detail for the ops plane's _obs.health op.
+        rpc.health_info = self.health_info
         rpc.register(OP_CREATE, self._op_create)
         rpc.register(OP_REGISTER_READER, self._op_register_reader)
         rpc.register(OP_WRITE, self._op_write)
@@ -119,6 +121,16 @@ class GridBufferServer:
     @property
     def address(self) -> Tuple[str, int]:
         return self._rpc.address
+
+    def health_info(self) -> Dict[str, Any]:
+        """Buffer-service summary served by ``_obs.health``."""
+        names = self.service.stream_names()
+        return {
+            "kind": "gridbuffer",
+            "engine": self.engine,
+            "streams": len(names),
+            "stream_names": names[:32],
+        }
 
     def start(self) -> "GridBufferServer":
         self._rpc.start()

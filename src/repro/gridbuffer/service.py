@@ -88,6 +88,16 @@ _READER_LAG = obs.gauge(
     "Bytes between the writer's high-water mark and a reader's read frontier",
     labelnames=("stream", "reader"),
 )
+_ASYNC_PARKED = obs.gauge(
+    "buffer_async_parked",
+    "Coroutine handlers currently parked on a stream future",
+    labelnames=("direction",),
+)
+_PARK_SECONDS = obs.histogram(
+    "buffer_park_seconds",
+    "Time a coroutine handler spent parked waiting for data/capacity",
+    labelnames=("direction",),
+)
 
 
 class GridBufferError(RuntimeError):
@@ -342,6 +352,14 @@ class GridBufferService:
         with lock:
             return name in streams
 
+    def stream_names(self) -> List[str]:
+        """Sorted names of every live stream (ops plane / introspection)."""
+        names: List[str] = []
+        for lock, streams in zip(self._shard_locks, self._shard_maps):
+            with lock:
+                names.extend(streams)
+        return sorted(names)
+
     def register_reader(self, name: str, reader_id: str) -> None:
         """Attach a reader; at most ``n_readers`` distinct ids allowed."""
         st = self._stream(name)
@@ -573,6 +591,8 @@ class GridBufferService:
                     st.async_writers.append((loop, fut))
             if fut is None:
                 return total, stall
+            parked_at = loop.time()
+            _ASYNC_PARKED.labels(direction="write").inc()
             try:
                 if deadline is None:
                     await fut
@@ -581,6 +601,9 @@ class GridBufferService:
                         await fut
             except TimeoutError:
                 raise TimeoutError(f"write stalled on full buffer {st.name!r}") from None
+            finally:
+                _ASYNC_PARKED.labels(direction="write").dec()
+                _PARK_SECONDS.labels(direction="write").observe(loop.time() - parked_at)
 
     @staticmethod
     def _replayed(st: _Stream, token: Optional[str], seq: Optional[int]) -> bool:
@@ -798,6 +821,8 @@ class GridBufferService:
                     st.async_readers.append((loop, fut))
             if res is not None:
                 break
+            parked_at = loop.time()
+            _ASYNC_PARKED.labels(direction="read").inc()
             try:
                 if deadline is None:
                     await fut
@@ -808,6 +833,9 @@ class GridBufferService:
                 raise TimeoutError(
                     f"read of [{offset},{offset + length}) timed out on stream {name!r}"
                 ) from None
+            finally:
+                _ASYNC_PARKED.labels(direction="read").dec()
+                _PARK_SECONDS.labels(direction="read").observe(loop.time() - parked_at)
         if isinstance(res, bytes):
             return res
         if res.cache_parts:

@@ -43,7 +43,15 @@ from .metrics import (
     disabled,
     get_registry,
 )
-from .spans import JsonLinesSink, MemorySink, Span, SpanContext, Tracer, get_tracer
+from .spans import (
+    JsonLinesSink,
+    MemorySink,
+    Span,
+    SpanContext,
+    Tracer,
+    context_from_wire,
+    get_tracer,
+)
 
 __all__ = [
     "MetricsError",
@@ -68,6 +76,7 @@ __all__ = [
     "JsonLinesSink",
     "MemorySink",
     "get_tracer",
+    "context_from_wire",
     "span",
     "event",
     "configure",

@@ -41,6 +41,8 @@ __all__ = [
     "get_registry",
     "disabled",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_CHILDREN",
+    "OVERFLOW_LABEL",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -54,6 +56,16 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 LabelValues = Tuple[str, ...]
+
+#: Per-family cap on distinct label combinations.  At fleet scale a
+#: peer-labelled family would otherwise grow one series per remote
+#: address forever; past the cap all new combinations collapse into a
+#: single ``"_overflow"`` series and ``obs_label_overflow_total`` counts
+#: how many resolutions were absorbed.
+DEFAULT_MAX_CHILDREN = 1024
+
+#: Label value used for every component of the shared overflow series.
+OVERFLOW_LABEL = "_overflow"
 
 
 class MetricsError(ValueError):
@@ -202,6 +214,7 @@ class MetricFamily:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_children: int = DEFAULT_MAX_CHILDREN,
     ):
         if not _NAME_RE.match(name):
             raise MetricsError(f"invalid metric name {name!r}")
@@ -214,21 +227,39 @@ class MetricFamily:
         self.help = help
         self.labelnames = tuple(labelnames)
         self.buckets = tuple(sorted(float(b) for b in buckets))
+        self.max_children = max_children
         self._lock = threading.Lock()
         self._children: Dict[LabelValues, Any] = {}
+        self._overflow_key: LabelValues = tuple(OVERFLOW_LABEL for _ in self.labelnames)
 
     def labels(self, **labelvalues: str) -> Any:
-        """The child series for exactly this label combination."""
+        """The child series for exactly this label combination.
+
+        Past :attr:`max_children` distinct combinations, new ones
+        collapse into a shared ``"_overflow"`` series so a fleet of
+        unique peer labels cannot grow the registry without bound.
+        """
         if set(labelvalues) != set(self.labelnames):
             raise MetricsError(
                 f"{self.name}: expected labels {self.labelnames}, got {tuple(labelvalues)}"
             )
         key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        overflowed = False
         with self._lock:
             child = self._children.get(key)
             if child is None:
-                child = self._children[key] = _CHILD_TYPES[self.kind](self)
-            return child
+                if self.labelnames and len(self._children) >= self.max_children:
+                    overflowed = True
+                    key = self._overflow_key
+                    child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = _CHILD_TYPES[self.kind](self)
+        if overflowed:
+            # Counted outside our own lock: the overflow counter is
+            # another family whose lock must nest under the registry
+            # lock only (snapshot takes registry -> family).
+            self.registry._note_label_overflow(self.name)
+        return child
 
     def _default_child(self) -> Any:
         if self.labelnames:
@@ -305,6 +336,20 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
         """Declare (or fetch) a counter family."""
         return self._register(name, "counter", help, labelnames)
+
+    def _note_label_overflow(self, family_name: str) -> None:
+        """Count one label-cardinality overflow for ``family_name``.
+
+        Never called while holding any family lock.  Guarded against
+        the overflow counter itself overflowing (which would recurse).
+        """
+        if family_name == "obs_label_overflow_total":
+            return
+        self.counter(
+            "obs_label_overflow_total",
+            "Label combinations collapsed into the _overflow series",
+            labelnames=("metric",),
+        ).labels(metric=family_name).inc()
 
     def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
         """Declare (or fetch) a gauge family."""

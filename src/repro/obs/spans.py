@@ -25,11 +25,14 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
+import socket
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, NamedTuple, Optional, TextIO, Union
+from typing import Any, Deque, Dict, Iterator, List, NamedTuple, Optional, TextIO, Union
 
 __all__ = [
     "SpanContext",
@@ -38,15 +41,39 @@ __all__ = [
     "JsonLinesSink",
     "MemorySink",
     "get_tracer",
+    "context_from_wire",
 ]
 
 _ids = itertools.count(1)
 _id_lock = threading.Lock()
 
+#: Distinguishes this process's span ids from every other process in a
+#: merged multi-process trace.  A per-process counter alone would
+#: collide the moment two trace files are merged, which would corrupt
+#: the parent links the distributed report is built on.
+_PROC_NONCE = os.urandom(4).hex()
+
 
 def _new_id() -> str:
     with _id_lock:
-        return format(next(_ids), "x")
+        return f"{_PROC_NONCE}-{next(_ids):x}"
+
+
+def _default_proc() -> str:
+    """This process's clock-domain label in merged traces.
+
+    ``REPRO_OBS_PROC`` overrides for readable labels ("gridftp-1");
+    the default is unique per (host, pid) so records from different
+    processes never share a monotonic-clock domain by accident.
+    """
+    label = os.environ.get("REPRO_OBS_PROC")
+    if label:
+        return label
+    try:
+        host = socket.gethostname()
+    except OSError:  # pragma: no cover - hostname lookup failure
+        host = "localhost"
+    return f"{host}:{os.getpid()}"
 
 
 class SpanContext(NamedTuple):
@@ -54,6 +81,25 @@ class SpanContext(NamedTuple):
 
     trace_id: str
     span_id: str
+
+    def to_wire(self) -> List[str]:
+        """Encoding carried in the RPC ``_trace`` header field."""
+        return [self.trace_id, self.span_id]
+
+
+def context_from_wire(value: Any) -> Optional["SpanContext"]:
+    """Parse a ``_trace`` header field; None for absent/malformed.
+
+    Malformed values are dropped rather than raised: a trace header
+    must never be able to fail an otherwise-valid RPC.
+    """
+    if (
+        isinstance(value, (list, tuple))
+        and len(value) == 2
+        and all(isinstance(part, str) and part for part in value)
+    ):
+        return SpanContext(value[0], value[1])
+    return None
 
 
 class Span:
@@ -159,10 +205,19 @@ class _Frame(NamedTuple):
 class Tracer:
     """Produces nested spans and point events; writes them to a sink."""
 
+    #: Finished-span records retained for the ``_obs.spans_tail`` op.
+    TAIL_SPANS = 256
+
     def __init__(self, sink: Optional[Any] = None, clock=time.perf_counter):
         self.sink = sink
         self._clock = clock
         self._tls = threading.local()
+        #: Clock-domain label stamped onto every record (multi-process merge).
+        self.proc = _default_proc()
+        #: Ring of the most recent finished-span records, kept whenever a
+        #: sink is configured so a live peer can answer ``_obs.spans_tail``
+        #: without touching the trace file.
+        self.tail: Deque[Dict[str, Any]] = deque(maxlen=self.TAIL_SPANS)
 
     # -- configuration -------------------------------------------------------
     def configure(self, sink: Optional[Any]) -> Optional[Any]:
@@ -233,7 +288,42 @@ class Tracer:
             span.end = self._clock()
             stack.pop()
             if self.sink is not None:
-                self.sink.write(span.to_record())
+                self._emit(span)
+
+    # -- stack-free spans ------------------------------------------------------
+    def start_span(
+        self, name: str, parent: Optional[SpanContext] = None, **attrs: Any
+    ) -> Span:
+        """Open a span WITHOUT touching the thread-local stack.
+
+        The async engine needs this: a native-coroutine handler's span
+        brackets awaits, and other coroutines interleave on the same
+        loop thread between them — a stack push there would be popped
+        by the wrong coroutine.  Pair with :meth:`finish_span`.
+        """
+        trace_id = parent.trace_id if parent is not None else _new_id()
+        return Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=_new_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+            start=self._clock(),
+        )
+
+    def finish_span(self, span: Span, error: Optional[str] = None) -> None:
+        """Close and emit a span opened with :meth:`start_span`."""
+        span.end = self._clock()
+        if error is not None:
+            span.attrs.setdefault("error", error)
+        if self.sink is not None:
+            self._emit(span)
+
+    def _emit(self, span: Span) -> None:
+        record = span.to_record()
+        record["proc"] = self.proc
+        self.sink.write(record)
+        self.tail.append(record)
 
     def event(self, name: str, **attrs: Any) -> None:
         """A zero-duration point record under the current span.
@@ -253,6 +343,7 @@ class Tracer:
                 "parent": ctx.span_id if ctx else None,
                 "time": now,
                 "thread": threading.current_thread().name,
+                "proc": self.proc,
                 "attrs": attrs,
             }
         )
@@ -262,7 +353,12 @@ class Tracer:
         if self.sink is None:
             return
         self.sink.write(
-            {"type": "metrics", "time": self._clock(), "snapshot": registry.snapshot()}
+            {
+                "type": "metrics",
+                "time": self._clock(),
+                "proc": self.proc,
+                "snapshot": registry.snapshot(),
+            }
         )
 
 

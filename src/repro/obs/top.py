@@ -1,0 +1,140 @@
+"""``python -m repro.obs.top`` — live fleet table over the ops plane.
+
+Polls each named peer's ``_obs.health`` and ``_obs.metrics`` ops and
+renders one row per peer: identity, uptime, request totals and rate,
+event-loop lag and stall count.  The moral equivalent of ``top`` for a
+GriddLeS fleet; no agent, no scrape config — any process that opened
+an RPC server answers.
+
+Usage::
+
+    python -m repro.obs.top HOST:PORT [HOST:PORT ...] \
+        [--interval 2.0] [--iterations N] [--once]
+
+``--once`` (or ``--iterations``) makes output scriptable/testable;
+without either it refreshes forever with an ANSI clear between frames.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["poll_peer", "render_table", "main"]
+
+
+def _series_sum(snapshot: Dict[str, Any], name: str) -> Optional[float]:
+    fam = snapshot.get(name)
+    if not fam:
+        return None
+    total = 0.0
+    for entry in fam.get("series", ()):
+        value = entry.get("value")
+        if isinstance(value, dict):  # histogram: count observations
+            total += value.get("count", 0)
+        else:
+            total += float(value)
+    return total
+
+
+def poll_peer(addr: str, timeout: float = 2.0) -> Dict[str, Any]:
+    """One health + metrics round trip; never raises (errors in-band)."""
+    from ..transport.tcp import RpcClient
+
+    host, _, port = addr.rpartition(":")
+    row: Dict[str, Any] = {"peer": addr}
+    try:
+        client = RpcClient(host or "127.0.0.1", int(port), timeout=timeout)
+        try:
+            health, _ = client.call("_obs.health")
+            _, body = client.call("_obs.metrics")
+        finally:
+            client.close()
+        snapshot = json.loads(body) if body else {}
+        row.update(
+            status=health.get("status", "?"),
+            proc=health.get("proc", "?"),
+            pid=health.get("pid"),
+            uptime=float(health.get("uptime_s", 0.0)),
+            requests=_series_sum(snapshot, "rpc_server_requests_total") or 0.0,
+            loop_lag=_series_sum(snapshot, "rpc_loop_lag_seconds"),
+            stalls=_series_sum(snapshot, "loop_stall_total") or 0.0,
+            parked=_series_sum(snapshot, "buffer_async_parked"),
+        )
+    except Exception as exc:  # noqa: BLE001 - a dead peer is a table row, not a crash
+        row.update(status="down", error=f"{type(exc).__name__}: {exc}")
+    return row
+
+
+_COLUMNS = ("PEER", "PROC", "STATUS", "UP(s)", "REQS", "REQ/S", "LAG(ms)", "STALL", "PARK")
+
+
+def render_table(rows: List[Dict[str, Any]], rates: Dict[str, float]) -> str:
+    table: List[Tuple[str, ...]] = [_COLUMNS]
+    for row in rows:
+        if row.get("status") == "down":
+            table.append((row["peer"], "-", "down", "-", "-", "-", "-", "-", "-"))
+            continue
+        lag = row.get("loop_lag")
+        parked = row.get("parked")
+        table.append((
+            row["peer"],
+            str(row.get("proc", "?")),
+            str(row.get("status", "?")),
+            f"{row.get('uptime', 0.0):.0f}",
+            f"{row.get('requests', 0.0):.0f}",
+            f"{rates.get(row['peer'], 0.0):.1f}",
+            "-" if lag is None else f"{lag * 1000:.1f}",
+            f"{row.get('stalls', 0.0):.0f}",
+            "-" if parked is None else f"{parked:.0f}",
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(_COLUMNS))]
+    lines = []
+    for r in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top", description="live ops-plane fleet table"
+    )
+    parser.add_argument("peers", nargs="+", metavar="HOST:PORT")
+    parser.add_argument("--interval", type=float, default=2.0)
+    parser.add_argument("--timeout", type=float, default=2.0)
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N frames (0 = run forever)")
+    parser.add_argument("--once", action="store_true", help="single frame, no clear")
+    args = parser.parse_args(argv)
+
+    iterations = 1 if args.once else args.iterations
+    prev: Dict[str, Tuple[float, float]] = {}  # peer -> (requests, monotonic)
+    frame = 0
+    while True:
+        frame += 1
+        rows = [poll_peer(p, timeout=args.timeout) for p in args.peers]
+        now = time.monotonic()
+        rates: Dict[str, float] = {}
+        for row in rows:
+            if "requests" not in row:
+                continue
+            last = prev.get(row["peer"])
+            if last is not None and now > last[1]:
+                rates[row["peer"]] = max(0.0, row["requests"] - last[0]) / (now - last[1])
+            prev[row["peer"]] = (row["requests"], now)
+        if not args.once and frame > 1:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        up = sum(1 for r in rows if r.get("status") == "ok")
+        print(f"repro.obs.top — {up}/{len(rows)} peers up (frame {frame})")
+        print(render_table(rows, rates))
+        sys.stdout.flush()
+        if iterations and frame >= iterations:
+            return 0 if up == len(rows) else 1
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,8 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
-from .. import faults
+from .. import faults, obs
+from ..obs import ops as obs_ops
 from .tcp import (
     _CLIENT_CALLS,
     _CLIENT_ERRORS,
@@ -59,6 +60,7 @@ from .wire import (
     MAGIC,
     PREAMBLE,
     PREAMBLE_SIZE,
+    TRACE_KEY,
     WIRE_KEY,
     WIRE_VERSION,
     WireError,
@@ -76,6 +78,37 @@ _EXECUTOR_WORKERS = max(8, int(os.environ.get("REPRO_RPC_EXECUTOR", "64")))
 #: Per-connection cap on concurrently dispatched (reply-pending)
 #: requests; beyond it the server stops reading that connection.
 _MAX_PIPELINE = 1024
+
+#: Loop-lag watchdog sampling interval (seconds); <= 0 disables it.
+_WATCHDOG_INTERVAL = float(os.environ.get("REPRO_LOOP_WATCHDOG_S", "0.1"))
+
+#: Lag past which a sample counts as a stall (the loop was unable to
+#: run a due timer for this long — some callback blocked it).
+_STALL_THRESHOLD = float(os.environ.get("REPRO_LOOP_STALL_S", "0.25"))
+
+_PIPELINE_DEPTH = obs.histogram(
+    "rpc_server_pipeline_depth",
+    "In-flight requests on a connection when another is dispatched",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+_PUMP_QUEUE = obs.gauge(
+    "rpc_reply_pump_queue",
+    "Replies (ready or pending) queued behind a connection's reply pump",
+)
+_COALESCE_BATCH = obs.histogram(
+    "rpc_frame_coalesce_batch",
+    "Frames merged into one socket write by the per-connection coalescer",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
+_LOOP_LAG = obs.gauge(
+    "rpc_loop_lag_seconds",
+    "Sampled callback-scheduling latency of the shared engine loop",
+)
+_LOOP_STALLS = obs.counter(
+    "loop_stall_total",
+    "Watchdog-detected event-loop stalls, labelled with the suspected op",
+    labelnames=("op",),
+)
 
 
 #: Hot-path metric children, bound once per label set.  ``labels()``
@@ -130,14 +163,50 @@ class _LoopEngine:
         self.executor = ThreadPoolExecutor(
             max_workers=_EXECUTOR_WORKERS, thread_name_prefix="rpc-handler"
         )
+        # Watchdog state (touched only on the loop thread): when the
+        # sampled tick arrives later than scheduled, some callback held
+        # the loop — the longest on-loop sync handler since the last
+        # tick is the prime suspect and gets the blame label.
+        self._tick_due = 0.0
+        self._blame_op: Optional[str] = None
+        self._blame_dur = 0.0
         self._thread = threading.Thread(
             target=self._run, name="rpc-event-loop", daemon=True
         )
         self._thread.start()
+        if _WATCHDOG_INTERVAL > 0:
+            self.loop.call_soon_threadsafe(self._arm_watchdog)
 
     def _run(self) -> None:
         asyncio.set_event_loop(self.loop)
         self.loop.run_forever()
+
+    # -- loop-lag watchdog ----------------------------------------------------
+    def _arm_watchdog(self) -> None:
+        self._tick_due = self.loop.time() + _WATCHDOG_INTERVAL
+        self.loop.call_later(_WATCHDOG_INTERVAL, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        lag = max(0.0, self.loop.time() - self._tick_due)
+        _LOOP_LAG.set(lag)
+        if lag >= _STALL_THRESHOLD:
+            _LOOP_STALLS.labels(op=self._blame_op or "unknown").inc()
+        self._blame_op = None
+        self._blame_dur = 0.0
+        self._arm_watchdog()
+
+    def note_sync(self, op: str, duration: float) -> None:
+        """Record an on-loop sync handler execution (loop thread only).
+
+        Inline handlers are the only user code that can block the loop
+        directly; the longest one since the last watchdog tick is
+        blamed if that tick arrives late.  Runs before any overdue tick
+        because the coroutine step that ran the handler completes
+        (including this call) before the loop services timers.
+        """
+        if duration > self._blame_dur:
+            self._blame_dur = duration
+            self._blame_op = op
 
     @classmethod
     def get(cls) -> "_LoopEngine":
@@ -206,12 +275,13 @@ class _FrameQueue:
     every write on the connection goes through the queue.
     """
 
-    __slots__ = ("writer", "buf", "scheduled")
+    __slots__ = ("writer", "buf", "scheduled", "frames")
 
     def __init__(self, writer: asyncio.StreamWriter):
         self.writer = writer
         self.buf = bytearray()
         self.scheduled = False
+        self.frames = 0
 
     def push_frame(
         self, scratch: bytearray, header: Dict[str, Any], payload: bytes, codec: str
@@ -223,6 +293,7 @@ class _FrameQueue:
         self.buf += scratch
         if payload:
             self.buf += payload
+        self.frames += 1
         if not self.scheduled:
             self.scheduled = True
             asyncio.get_running_loop().call_soon(self.flush)
@@ -231,6 +302,8 @@ class _FrameQueue:
         self.scheduled = False
         if not self.buf:
             return
+        _COALESCE_BATCH.observe(self.frames)
+        self.frames = 0
         transport = self.writer.transport
         if transport is None or transport.is_closing():
             self.buf.clear()  # fault-ok: peer gone; reader side surfaces the error
@@ -266,6 +339,7 @@ class AsyncRpcServer:
         self._handlers: Dict[str, Tuple[str, Handler]] = {}
         self.simulated_latency = max(0.0, simulated_latency)
         self._engine = get_engine()
+        obs_ops.install(self)
         self._writers: Set[asyncio.StreamWriter] = set()
         self._writers_lock = threading.Lock()
         # Bind in the constructor (not start) so .address works before
@@ -351,22 +425,51 @@ class AsyncRpcServer:
         payload: bytes,
         codec: str,
         probe: bool,
+        rctx: Optional[obs.SpanContext] = None,
     ) -> Tuple[Dict[str, Any], bytes, str]:
         """Execute one handler and package its reply for the reply pump."""
         if self.simulated_latency:
             await asyncio.sleep(2.0 * self.simulated_latency)
+        tracer = obs.get_tracer()
+        # Stack-free span: this coroutine interleaves with others on the
+        # loop thread, so the TLS span stack cannot carry it.  Sync
+        # handlers get the context re-attached on *their* thread below,
+        # so spans they open still parent under the remote caller.
+        span = (
+            tracer.start_span("rpc.server", parent=rctx, op=op, peer=self.peer_name)
+            if tracer.sink is not None
+            else None
+        )
+        ctx = span.context if span is not None else None
         try:
             if entry is None:
                 raise RpcError("unknown-op", f"no handler for {op!r}")
             kind, fn = entry
+            if span is not None:
+                span.set(kind=kind)
             if kind == "async":
                 reply, data = await fn(header, payload)
             elif kind == "inline":
-                reply, data = fn(header, payload)
+                t0 = self._engine.loop.time()
+                if ctx is not None:
+                    with tracer.attach(ctx):
+                        reply, data = fn(header, payload)
+                else:
+                    reply, data = fn(header, payload)
+                self._engine.note_sync(op, self._engine.loop.time() - t0)
             else:
-                reply, data = await self._engine.loop.run_in_executor(
-                    self._engine.executor, fn, header, payload
-                )
+                if ctx is not None:
+                    def _traced(fn=fn, header=header, payload=payload, ctx=ctx):
+                        with tracer.attach(ctx):
+                            return fn(header, payload)
+
+                    reply, data = await self._engine.loop.run_in_executor(
+                        self._engine.executor, _traced
+                    )
+                else:
+                    reply, data = await self._engine.loop.run_in_executor(
+                        self._engine.executor, fn, header, payload
+                    )
             reply = dict(reply)
             reply.setdefault("ok", True)
             _count_request(op, "ok")
@@ -376,6 +479,10 @@ class AsyncRpcServer:
         except Exception as exc:  # noqa: BLE001 - reply with error
             reply, data = {"ok": False, "error": type(exc).__name__, "message": str(exc)}, b""
             _count_request(op, "error")
+        if span is not None:
+            tracer.finish_span(
+                span, error=None if reply.get("ok") else str(reply.get("error"))
+            )
         if probe:
             reply[WIRE_KEY] = WIRE_VERSION
         return reply, data, codec
@@ -405,8 +512,10 @@ class AsyncRpcServer:
             pump_scratch = bytearray(256)
             while True:
                 while not order:
+                    _PUMP_QUEUE.set(0)
                     wake.clear()
                     await wake.wait()
+                _PUMP_QUEUE.set(len(order))
                 item = order[0]
                 reply, data, codec = item if isinstance(item, tuple) else await item
                 order.popleft()
@@ -430,6 +539,10 @@ class AsyncRpcServer:
                 except (FrameError, OSError):  # fault-ok: peer hung up; normal teardown
                     return
                 op = header.get("op", "")
+                # The trace header never reaches handlers: popped here
+                # whether or not tracing is active, so handler code sees
+                # the same header dict either way.
+                rctx = obs.context_from_wire(header.pop(TRACE_KEY, None))
                 # A JSON request carrying the probe key is asking
                 # whether we speak binary; every reply to it (success,
                 # error, injected fault) must echo the advertisement or
@@ -470,8 +583,22 @@ class AsyncRpcServer:
                     # Serial fast path: nothing in flight and the handler
                     # cannot block, so skip the task machinery — this is
                     # the common case for small-op request/reply traffic.
+                    tracer = obs.get_tracer()
+                    span = (
+                        tracer.start_span(
+                            "rpc.server", parent=rctx, op=op,
+                            peer=self.peer_name, kind="inline",
+                        )
+                        if tracer.sink is not None
+                        else None
+                    )
+                    t0 = loop.time()
                     try:
-                        reply, data = entry[1](header, payload)
+                        if span is not None:
+                            with tracer.attach(span.context):
+                                reply, data = entry[1](header, payload)
+                        else:
+                            reply, data = entry[1](header, payload)
                         reply = dict(reply)
                         reply.setdefault("ok", True)
                         _count_request(op, "ok")
@@ -484,6 +611,11 @@ class AsyncRpcServer:
                             b"",
                         )
                         _count_request(op, "error")
+                    self._engine.note_sync(op, loop.time() - t0)
+                    if span is not None:
+                        tracer.finish_span(
+                            span, error=None if reply.get("ok") else str(reply.get("error"))
+                        )
                     if probe:
                         reply[WIRE_KEY] = WIRE_VERSION
                     try:
@@ -500,7 +632,12 @@ class AsyncRpcServer:
                         await asyncio.sleep(0)  # pump drains it next pass
                     else:
                         await asyncio.wait({head})
-                _enqueue(loop.create_task(self._run_one(op, entry, header, payload, codec, probe)))
+                _PIPELINE_DEPTH.observe(len(order) + 1)
+                _enqueue(
+                    loop.create_task(
+                        self._run_one(op, entry, header, payload, codec, probe, rctx)
+                    )
+                )
         finally:
             with self._writers_lock:
                 self._writers.discard(writer)
@@ -587,6 +724,32 @@ class AsyncRpcClient:
         msg = dict(header or {})
         msg["op"] = op
         _count_call(op)
+        tracer = obs.get_tracer()
+        span = None
+        if tracer.sink is not None:
+            # Stack-free: concurrent callers pipeline on one loop
+            # thread, so the TLS stack cannot hold per-call spans.
+            span = tracer.start_span(
+                "rpc.client", parent=tracer.current_context(), op=op, peer=self._peer
+            )
+            msg[TRACE_KEY] = span.context.to_wire()
+        try:
+            reply, data = await self._call_with_retry(op, msg, payload, retryable)
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish_span(span, error=f"{type(exc).__name__}: {exc}")
+            raise
+        if span is not None:
+            tracer.finish_span(span)
+        return reply, data
+
+    async def _call_with_retry(
+        self,
+        op: str,
+        msg: Dict[str, Any],
+        payload: bytes,
+        retryable: Optional[bool],
+    ) -> Tuple[Dict[str, Any], bytes]:
         if retryable is None:
             retryable = op in IDEMPOTENT_OPS
         attempts = 1 + (self._retry.retries if retryable else 0)

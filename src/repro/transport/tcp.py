@@ -47,10 +47,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .. import faults, obs
+from ..obs import ops as obs_ops
 from .wire import (
     MAGIC,
     PREAMBLE,
     PREAMBLE_SIZE,
+    TRACE_KEY,
     WIRE_KEY,
     WIRE_VERSION,
     WireError,
@@ -121,6 +123,10 @@ DEFAULT_RPC_RETRIES = max(0, int(os.environ.get("REPRO_RPC_RETRIES", "3")))
 #: ``retryable=True`` (see GridBufferClient).
 IDEMPOTENT_OPS: FrozenSet[str] = frozenset(
     {
+        # Ops plane (read-only probes)
+        "_obs.health",
+        "_obs.metrics",
+        "_obs.spans_tail",
         # GridFTP-like file server
         "size",
         "exists",
@@ -297,6 +303,7 @@ class ThreadedRpcServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, simulated_latency: float = 0.0):
         self._handlers: Dict[str, Handler] = {}
+        obs_ops.install(self)
         self.simulated_latency = max(0.0, simulated_latency)
         self._conns: set = set()
         self._conns_lock = threading.Lock()
@@ -681,6 +688,34 @@ class RpcClient:
         msg = dict(header or {})
         msg["op"] = op
         _CLIENT_CALLS.labels(op=op).inc()
+        tracer = obs.get_tracer()
+        span = None
+        if tracer.sink is not None:
+            # One span per logical call (retries included): its duration
+            # is the caller-observed latency, and the handler span on the
+            # remote side parents under it via the _trace header.  Stack-
+            # free because no local child spans open under it.
+            span = tracer.start_span(
+                "rpc.client", parent=tracer.current_context(), op=op, peer=self._peer
+            )
+            msg[TRACE_KEY] = span.context.to_wire()
+        try:
+            reply, data = self._roundtrip(msg, op, payload, retryable)
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish_span(span, error=f"{type(exc).__name__}: {exc}")
+            raise
+        if span is not None:
+            tracer.finish_span(span)
+        return reply, data
+
+    def _roundtrip(
+        self,
+        msg: Dict[str, Any],
+        op: str,
+        payload: bytes,
+        retryable: Optional[bool],
+    ) -> Tuple[Dict[str, Any], bytes]:
         if retryable is None:
             retryable = op in IDEMPOTENT_OPS
         attempts = 1 + (self._retry.retries if retryable else 0)

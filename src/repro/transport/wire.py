@@ -70,6 +70,7 @@ __all__ = [
     "PREAMBLE",
     "PREAMBLE_SIZE",
     "WIRE_KEY",
+    "TRACE_KEY",
     "OPS",
     "op_id",
     "op_name",
@@ -97,6 +98,12 @@ PREAMBLE_SIZE = PREAMBLE.size
 #: carrying it asks "do you speak binary framing?"; a binary-capable
 #: server echoes it in the reply header.
 WIRE_KEY = "_wire"
+
+#: Header key carrying the caller's trace context (``[trace_id,
+#: span_id]``).  Travels as a plain key in legacy JSON — old peers
+#: ignore it — and as a one-byte known-key id in the binary field
+#: table; no renegotiation is needed in either codec.
+TRACE_KEY = "_trace"
 
 _FLOAT = struct.Struct(">d")
 
@@ -134,7 +141,7 @@ KEYS: Tuple[str, ...] = (
     "truncate", "src_host", "src_port", "src_path", "dst_path",
     "streams", "block_size", "entries", "reason", "deleted", "sha256",
     "size", "bytes", "machine", "record", "records", "payload_len",
-    WIRE_KEY,
+    WIRE_KEY, TRACE_KEY,
 )
 
 _KEY_TO_ID: Dict[str, int] = {name: i + 1 for i, name in enumerate(KEYS)}

@@ -280,11 +280,15 @@ class RealRunner:
                 _TASKS.labels(state="started").inc()
                 wait_t0 = time.monotonic()
                 try:
-                    for producer in waits[stage.name]:
-                        if not done[producer].wait(timeout=self.stage_timeout):
-                            raise TimeoutError(f"timed out waiting for {producer!r}")
-                        if producer in result.errors:
-                            raise RuntimeError(f"upstream stage {producer!r} failed")
+                    # The producer wait gets its own span so the report's
+                    # critical-path sweep can attribute it as queue-wait
+                    # rather than leaving a makespan hole before the task.
+                    with obs.span("task.wait", task=stage.name):
+                        for producer in waits[stage.name]:
+                            if not done[producer].wait(timeout=self.stage_timeout):
+                                raise TimeoutError(f"timed out waiting for {producer!r}")
+                            if producer in result.errors:
+                                raise RuntimeError(f"upstream stage {producer!r} failed")
                     _QUEUE_WAIT.observe(time.monotonic() - wait_t0)
                     machine = self.plan.machine_of(stage.name)
                     logger.info("stage %s starting on %s", stage.name, machine)
@@ -329,6 +333,10 @@ class RealRunner:
             for t in threads:
                 t.join(timeout=self.stage_timeout)
             result.elapsed = time.monotonic() - start_time
+        if tracer.sink is not None:
+            # Embed the final registry snapshot so a single trace file
+            # carries both the timeline and the run's metrics.
+            tracer.write_metrics(obs.get_registry())
         return result
 
     @staticmethod

@@ -1,0 +1,37 @@
+"""Subprocess helper for the distributed-tracing test.
+
+Hosts ONE server — ``ftp ROOT`` or ``buffer CACHE_DIR`` — in its own
+OS process with its own proc label (``REPRO_OBS_PROC``, set by the
+parent before launch) and its own JSON-lines trace sink.  Prints
+``PORT <n>`` once listening, then serves until stdin reaches EOF.
+"""
+
+import sys
+
+
+def main() -> int:
+    kind, data_dir, trace_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    from repro import obs
+
+    sink = obs.JsonLinesSink(trace_path)
+    obs.configure(sink)
+    if kind == "ftp":
+        from repro.transport.gridftp import GridFtpServer
+
+        server = GridFtpServer(data_dir).start()
+    elif kind == "buffer":
+        from repro.gridbuffer.server import GridBufferServer
+
+        server = GridBufferServer(cache_dir=data_dir).start()
+    else:
+        raise SystemExit(f"unknown server kind {kind!r}")
+    print(f"PORT {server.address[1]}", flush=True)
+    sys.stdin.read()  # parent closes our stdin to shut us down
+    server.stop()
+    obs.configure(None)
+    sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -176,3 +176,71 @@ class TestDefaultRegistry:
             "transport_transfer_bytes_total",
         ):
             assert obs.get_registry().get(name) is not None, name
+
+
+class TestLabelCardinalityCap:
+    def test_excess_combinations_collapse_into_overflow(self, reg):
+        from repro.obs.metrics import OVERFLOW_LABEL
+
+        c = reg.counter("peers_total", labelnames=("peer",))
+        c.max_children = 4
+        for i in range(10):
+            c.labels(peer=f"10.0.0.{i}:500{i}").inc()
+        snap = reg.snapshot()["peers_total"]["series"]
+        assert len(snap) == 5  # 4 real children + the shared overflow child
+        overflow = [s for s in snap if s["labels"] == {"peer": OVERFLOW_LABEL}]
+        assert overflow and overflow[0]["value"] == 6.0
+
+    def test_overflow_counter_names_the_offender(self, reg):
+        c = reg.counter("noisy_total", labelnames=("k",))
+        c.max_children = 2
+        for i in range(5):
+            c.labels(k=str(i)).inc()
+        assert reg.value("obs_label_overflow_total", {"metric": "noisy_total"}) == 3
+
+    def test_existing_children_unaffected_past_the_cap(self, reg):
+        c = reg.counter("stable_total", labelnames=("k",))
+        c.max_children = 2
+        c.labels(k="a").inc()
+        c.labels(k="b").inc()
+        c.labels(k="c").inc()  # overflows
+        c.labels(k="a").inc()  # still the real child, not overflow
+        assert reg.value("stable_total", {"k": "a"}) == 2
+        assert reg.value("obs_label_overflow_total", {"metric": "stable_total"}) == 1
+
+    def test_default_cap_is_1024(self, reg):
+        from repro.obs.metrics import DEFAULT_MAX_CHILDREN
+
+        assert DEFAULT_MAX_CHILDREN == 1024
+        assert reg.counter("anything_total", labelnames=("x",)).max_children == 1024
+
+    def test_unlabelled_families_never_overflow(self, reg):
+        c = reg.counter("plain2_total")
+        c.max_children = 0  # pathological: must not break the single child
+        c.inc()
+        c.inc()
+        assert reg.value("plain2_total") == 2
+        assert reg.value("obs_label_overflow_total", {"metric": "plain2_total"}) is None
+
+    def test_overflow_is_thread_safe(self, reg):
+        c = reg.counter("race_total", labelnames=("k",))
+        c.max_children = 8
+        errors = []
+
+        def hammer(base):
+            try:
+                for i in range(200):
+                    c.labels(k=f"{base}-{i}").inc()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = sum(
+            s["value"] for s in reg.snapshot()["race_total"]["series"]
+        )
+        assert total == 800  # every inc landed somewhere, none double-counted

@@ -1,0 +1,247 @@
+"""One merged trace from a six-mode workflow spanning three OS
+processes (the EXPERIMENTS.md distributed-tracing recipe, automated).
+
+The driver (this process) runs all six IO modes against a GridFTP
+server and a Grid Buffer server living in their own interpreters,
+each writing its own JSONL trace in its own monotonic clock domain.
+The merge must align the clocks from RPC span pairs, parent every
+remote ``rpc.server`` span under its caller, and attribute >=95% of
+the workflow makespan via the critical-path sweep.
+"""
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.core.replica import ReplicaSelector
+from repro.gns.client import LocalGnsClient
+from repro.gns.records import BufferEndpoint, GnsRecord, IOMode
+from repro.gns.server import NameService
+from repro.grid.nws import Measurement, NetworkWeatherService
+from repro.grid.replica_catalog import Replica, ReplicaCatalog
+from repro.obs.report import critical_path, load_trace, merge_traces
+from repro.transport.inmem import HostRegistry
+
+REPO = Path(__file__).resolve().parents[1]
+HELPER = Path(__file__).resolve().parent / "_trace_server.py"
+
+
+def _launch(kind: str, data_dir: Path, trace: Path, proc_label: str, env):
+    child_env = dict(env, REPRO_OBS_PROC=proc_label)
+    child = subprocess.Popen(
+        [sys.executable, str(HELPER), kind, str(data_dir), str(trace)],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=child_env,
+    )
+    line = child.stdout.readline().strip()
+    if not line.startswith("PORT "):
+        child.kill()
+        raise AssertionError(
+            f"{kind} helper failed to start: {line!r}\n{child.stderr.read()}"
+        )
+    return child, int(line.split()[1])
+
+
+@pytest.fixture()
+def fleet(tmp_path, monkeypatch):
+    """Two child server processes + driver-side trace plumbing."""
+    import os
+
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    ftp_root = tmp_path / "ftp-root"
+    (ftp_root / "in").mkdir(parents=True)
+    (ftp_root / "in" / "source.dat").write_bytes(b"S" * 4096)
+    (ftp_root / "replicas").mkdir()
+    (ftp_root / "replicas" / "big.dat").write_bytes(b"1" * 2048)
+
+    children = []
+    try:
+        ftp, ftp_port = _launch(
+            "ftp", ftp_root, tmp_path / "trace-ftp.jsonl", "ftp-1", env
+        )
+        children.append(ftp)
+        buf, buf_port = _launch(
+            "buffer", tmp_path / "buf-cache", tmp_path / "trace-buffer.jsonl",
+            "buffer-1", env,
+        )
+        children.append(buf)
+
+        tracer = obs.get_tracer()
+        monkeypatch.setattr(tracer, "proc", "driver")
+        driver_trace = tmp_path / "trace-driver.jsonl"
+        sink = obs.JsonLinesSink(driver_trace)
+        prior = obs.configure(sink)
+        try:
+            yield {
+                "ftp_addr": ("127.0.0.1", ftp_port),
+                "buffer_addr": ("127.0.0.1", buf_port),
+                "traces": [
+                    driver_trace,
+                    tmp_path / "trace-ftp.jsonl",
+                    tmp_path / "trace-buffer.jsonl",
+                ],
+            }
+        finally:
+            obs.configure(prior)
+            sink.close()
+    finally:
+        for child in children:
+            child.stdin.close()
+            try:
+                child.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                child.kill()
+
+
+def _run_six_modes(fleet, tmp_path):
+    """All six IO modes, each inside a ``task`` span, one workflow root."""
+    hosts = HostRegistry(tmp_path / "hosts")
+    for name in ("compute", "store2"):
+        hosts.add_host(name)
+    catalog = ReplicaCatalog()
+    # Both "replica hosts" resolve to the one out-of-process FTP server;
+    # the selector still has a real choice to make.
+    catalog.register("lfn://big", Replica("store1", "/replicas/big.dat", size=2048))
+    catalog.register("lfn://big", Replica("store2", "/replicas/big.dat", size=2048))
+    nws = NetworkWeatherService()
+    for i in range(4):
+        nws.record("store1", "compute", Measurement(time=i, bandwidth=8e6, latency=0.01))
+        nws.record("store2", "compute", Measurement(time=i, bandwidth=1e6, latency=0.2))
+    ns = NameService(locate_buffer_server=lambda machine: fleet["buffer_addr"])
+    ns.add_all([
+        GnsRecord(machine="compute", path="/job/remote-in.dat", mode=IOMode.REMOTE,
+                  remote_host="store1", remote_path="/in/source.dat"),
+        GnsRecord(machine="compute", path="/job/copied-in.dat", mode=IOMode.COPY,
+                  remote_host="store1", remote_path="/in/source.dat"),
+        GnsRecord(machine="compute", path="/job/replica-remote.dat",
+                  mode=IOMode.REMOTE_REPLICA, logical_name="lfn://big"),
+        GnsRecord(machine="compute", path="/job/replica-local.dat",
+                  mode=IOMode.LOCAL_REPLICA, logical_name="lfn://big",
+                  local_path="/cache/big.dat"),
+        GnsRecord(machine="*", path="/job/stream.dat", mode=IOMode.BUFFER,
+                  buffer=BufferEndpoint(stream="six-dist", cache=True)),
+    ])
+    selector = ReplicaSelector(catalog, nws)
+
+    def ctx(machine):
+        return GridContext(
+            machine=machine, gns=LocalGnsClient(ns), hosts=hosts,
+            gridftp={"store1": fleet["ftp_addr"], "store2": fleet["ftp_addr"]},
+            buffer_locator=lambda m: fleet["buffer_addr"],
+            selector=selector, scratch_dir=tmp_path / "scratch",
+        )
+
+    tracer = obs.get_tracer()
+    modes = []
+    with tracer.span("workflow", workflow="six-dist"):
+        with FileMultiplexer(ctx("compute")) as fm, \
+                FileMultiplexer(ctx("store2")) as fm_remote:
+            with obs.span("task", task="local"):
+                f = fm.open("/job/local-scratch.dat", "w")
+                modes.append(f.io_mode)
+                f.write(b"L" * 100)
+                f.close()
+            with obs.span("task", task="copy"):
+                f = fm.open("/job/copied-in.dat", "r")
+                modes.append(f.io_mode)
+                assert f.read() == b"S" * 4096
+                f.close()
+            with obs.span("task", task="remote"):
+                f = fm.open("/job/remote-in.dat", "r")
+                modes.append(f.io_mode)
+                assert f.read(16) == b"S" * 16
+                f.close()
+            with obs.span("task", task="replica-remote"):
+                f = fm.open("/job/replica-remote.dat", "r")
+                modes.append(f.io_mode)
+                assert f.read(8) == b"1" * 8
+                f.close()
+            with obs.span("task", task="replica-local"):
+                f = fm.open("/job/replica-local.dat", "r")
+                modes.append(f.io_mode)
+                assert f.read(8) == b"1" * 8
+                f.close()
+            with obs.span("task", task="stream"):
+                stream_ctx = obs.current_context()
+
+                def produce():
+                    with obs.attach(stream_ctx):
+                        w = fm_remote.open("/job/stream.dat", "w")
+                        w.write(b"stream-payload")
+                        w.close()
+
+                t = threading.Thread(target=produce)
+                t.start()
+                r = fm.open("/job/stream.dat", "r")
+                modes.append(r.io_mode)
+                assert r.read(14) == b"stream-payload"
+                r.close()
+                t.join(timeout=10)
+    assert set(modes) == set(IOMode), "all six IO modes must be exercised"
+
+
+class TestDistributedTrace:
+    def test_six_modes_across_three_processes(self, fleet, tmp_path):
+        _run_six_modes(fleet, tmp_path)
+        # Safe to read while the children still run: a server span hits
+        # its JSONL sink (line-flushed) before the reply frame leaves.
+        merged, offsets = merge_traces([load_trace(p) for p in fleet["traces"]])
+        spans = [r for r in merged if r.get("type") == "span" and r.get("end")]
+        by_id = {s["span"]: s for s in spans}
+
+        procs = {s["proc"] for s in spans}
+        assert {"driver", "ftp-1", "buffer-1"} <= procs
+
+        workflow = next(s for s in spans if s["name"] == "workflow")
+        servers = [s for s in spans if s["name"] == "rpc.server"]
+        assert servers, "no remote spans reached the children's sinks"
+        # EVERY remote RPC span parents under its (cross-process) caller
+        # and stays inside the one workflow trace.
+        for s in servers:
+            caller = by_id.get(s["parent"])
+            assert caller is not None, f"orphan rpc.server span {s}"
+            assert caller["name"] == "rpc.client"
+            assert caller["proc"] == "driver" and s["proc"] != "driver"
+            assert s["trace"] == caller["trace"] == workflow["trace"]
+        # Both layers answered: GridFTP ops and Grid Buffer (gb.*) ops.
+        server_procs = {s["proc"] for s in servers}
+        assert {"ftp-1", "buffer-1"} <= server_procs
+        assert any(
+            str((s.get("attrs") or {}).get("op", "")).startswith("gb.")
+            for s in servers
+        )
+
+        # Clock alignment really happened and produced a physically
+        # plausible timeline.  Per-pair offsets deviate from the median
+        # by scheduling jitter, so allow a few ms of slop per side.
+        assert offsets["driver"] == 0.0
+        slop = 0.005
+        for s in servers:
+            caller = by_id[s["parent"]]
+            assert caller["start"] - slop <= s["start"], (
+                "clock alignment left a server span before its caller"
+            )
+            assert s["end"] <= caller["end"] + slop, (
+                "clock alignment left a server span after its caller"
+            )
+
+        result = critical_path(merged)
+        assert result["makespan"] > 0
+        assert result["coverage"] >= 0.95, result
+        assert result["categories"]["buffer-wait"] > 0
+
+    def test_merged_report_cli_renders(self, fleet, tmp_path, capsys):
+        from repro.obs.report import main
+
+        _run_six_modes(fleet, tmp_path)
+        args = [str(p) for p in fleet["traces"]] + ["--critical-path"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Clock alignment" in out
+        assert "Critical-path breakdown" in out
+        assert "attributed:" in out
