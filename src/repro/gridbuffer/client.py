@@ -36,6 +36,7 @@ import os
 import threading
 import time
 import uuid
+import zlib
 from bisect import bisect_left, bisect_right, insort
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -53,6 +54,7 @@ from .protocol import (
     OP_DROP,
     OP_EXISTS,
     OP_HIGH_WATER,
+    OP_PEER_READ,
     OP_READ,
     OP_READ_MULTI,
     OP_REGISTER_READER,
@@ -114,6 +116,44 @@ _WRITER_ABORTS = obs.counter(
     "Streams marked failed by a writer-side abort",
     labelnames=("stream",),
 )
+_PEER_HITS = obs.counter(
+    "peer_cache_hits_total",
+    "Read-ahead fetches served by a cooperative-cache peer",
+    labelnames=("stream",),
+)
+_PEER_FETCH_BYTES = obs.counter(
+    "peer_fetch_bytes_total",
+    "Bytes fetched from cooperative-cache peers instead of the origin",
+    labelnames=("stream",),
+)
+_PEER_DEMOTIONS = obs.counter(
+    "peer_demotions_total",
+    "Peers demoted by a fetcher (error/timeout/checksum/miss)",
+    labelnames=("reason",),
+)
+
+#: Pending holder advertisements flush once newly cached bytes cross
+#: this threshold (evictions flush on the next piggyback regardless).
+_ADV_FLUSH_BYTES = 256 * 1024
+
+#: Peers answer from RAM or error immediately, so peer fetches run on a
+#: short timeout — a dead peer should demote fast, not stall the window.
+_PEER_TIMEOUT = 5.0
+
+#: Hint fan-out requested from the origin per read.
+_HINT_K = 3
+
+#: Misses (peer lacked a hinted range) tolerated before demotion;
+#: errors, timeouts and checksum mismatches demote immediately.
+_MISS_STRIKES = 3
+
+#: Peer fetches span this many window chunks per request.  Peers serve
+#: from RAM, so the per-request cost (framing, crc, loop dispatch) —
+#: not bandwidth — bounds a popular holder; bigger spans amortise it.
+_PEER_SPAN_CHUNKS = 4
+
+#: "Drop everything" range end used to withdraw a holder registration.
+_DROP_ALL_END = 1 << 62
 
 
 # ---------------------------------------------------------------------------
@@ -132,7 +172,7 @@ class _SharedStreamCache:
     by the stream's cache file server-side).
     """
 
-    def __init__(self, capacity_bytes: int = 8 * 1024 * 1024):
+    def __init__(self, capacity_bytes: int = 8 * 1024 * 1024, gen: int = 0):
         self._capacity = max(1, capacity_bytes)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[int, bytes]" = OrderedDict()
@@ -143,12 +183,26 @@ class _SharedStreamCache:
         self.refs = 0
         self.hits = 0
         self.inserts = 0
+        #: Stream generation this cache mirrors (part of the registry
+        #: key): a re-created stream gets a fresh cache, never stale
+        #: bytes from the previous incarnation.
+        self.gen = gen
+        #: "host:port" of this process's peer server once a peer-enabled
+        #: reader attached; None while the cache is private.
+        self.peer_addr: Optional[str] = None
         # Pending consume acknowledgements from *all* co-located
         # readers, merged here so one ``gb.consume_multi`` frame (and
         # one server-side GC pass) covers the whole group per flush.
         self._acks: Dict[str, List[List[int]]] = {}
         self._ack_bytes = 0
         self.ack_flushes = 0
+        # Pending holder advertisement: ranges newly cached / LRU-evicted
+        # since the last flush, piggybacked onto consume acks so the
+        # origin's holder map tracks what this process can actually
+        # serve to peers.
+        self._pending_holds: List[List[int]] = []
+        self._pending_drops: List[List[int]] = []
+        self._pending_hold_bytes = 0
 
     def ack(
         self, reader_id: str, start: int, end: int, flush_bytes: int
@@ -187,7 +241,16 @@ class _SharedStreamCache:
         with self._lock:
             self.eof_total = total if self.eof_total is None else min(self.eof_total, total)
 
-    def put(self, offset: int, data: bytes) -> None:
+    def put(self, offset: int, data: bytes, advertise: bool = True) -> None:
+        """Cache a run; ``advertise=False`` keeps it out of the holder map.
+
+        Peer-fetched runs are cached (local siblings benefit) but never
+        advertised: only origin-fetched bytes make a process a holder.
+        Otherwise holders beget holders and fetches relay through
+        chains of peers — each hop re-pays serve+verify cost — instead
+        of going one hop to a process that actually read from the
+        origin.
+        """
         if not data:
             return
         with self._lock:
@@ -199,12 +262,93 @@ class _SharedStreamCache:
             self._max_len = max(self._max_len, len(data))
             self._bytes += len(data)
             self.inserts += 1
+            if advertise:
+                self._note_range_locked(self._pending_holds, offset, offset + len(data))
+                self._pending_hold_bytes += len(data)
             while self._bytes > self._capacity and len(self._entries) > 1:
                 old_off, old = self._entries.popitem(last=False)
                 self._bytes -= len(old)
                 i = bisect_left(self._index, old_off)
                 if i < len(self._index) and self._index[i] == old_off:
                     del self._index[i]
+                # Report the eviction on the next advertisement flush so
+                # the origin stops hinting peers at bytes we dropped.
+                self._note_range_locked(self._pending_drops, old_off, old_off + len(old))
+
+    @staticmethod
+    def _note_range_locked(runs: List[List[int]], start: int, end: int) -> None:
+        if runs and runs[-1][1] == start:
+            runs[-1][1] = end
+        else:
+            runs.append([start, end])
+
+    def take_adv(
+        self, force: bool = False, threshold: int = _ADV_FLUSH_BYTES
+    ) -> Optional[Tuple[List[List[int]], List[List[int]]]]:
+        """Drain the pending (holds, drops) advertisement, or None.
+
+        Without ``force``, holds accumulate until ``threshold`` bytes —
+        advertisement is lazy — but any pending *drop* flushes eagerly:
+        a stale "peer holds X" hint costs every hinted reader a miss.
+        """
+        with self._lock:
+            if not self._pending_holds and not self._pending_drops:
+                return None
+            if (
+                not force
+                and not self._pending_drops
+                and self._pending_hold_bytes < threshold
+            ):
+                return None
+            holds, drops = self._pending_holds, self._pending_drops
+            self._pending_holds, self._pending_drops = [], []
+            self._pending_hold_bytes = 0
+            return holds, drops
+
+    def peek_range(self, pos: int, length: int) -> Optional[bytes]:
+        """Cached bytes at ``pos`` (at most ``length``) for a peer read.
+
+        Unlike :meth:`get` this does not promote the run in LRU order or
+        count a local hit — remote demand should not be able to pin a
+        run that local readers have moved past.  Contiguous runs are
+        stitched up to ``length``: serving one big peer read instead of
+        N small ones is what keeps a popular holder's event loop from
+        saturating on per-request overhead.
+        """
+        if length <= 0:
+            return None
+        with self._lock:
+            i = bisect_right(self._index, pos) - 1
+            floor = pos - self._max_len
+            start = None
+            while i >= 0:
+                off = self._index[i]
+                if off < floor:
+                    break
+                data = self._entries.get(off)
+                if data is not None and off <= pos < off + len(data):
+                    start = i
+                    break
+                i -= 1
+            if start is None:
+                return None
+            off = self._index[start]
+            data = self._entries[off]
+            parts = [data[pos - off : pos - off + length]]
+            got = len(parts[0])
+            end = off + len(data)
+            for j in range(start + 1, len(self._index)):
+                if got >= length:
+                    break
+                noff = self._index[j]
+                if noff != end:
+                    break
+                ndata = self._entries[noff]
+                take = min(length - got, len(ndata))
+                parts.append(ndata[:take])
+                got += take
+                end = noff + len(ndata)
+            return parts[0] if len(parts) == 1 else b"".join(parts)
 
     def get(self, pos: int) -> Optional[bytes]:
         """Bytes from ``pos`` to the end of a covering run, or None."""
@@ -238,28 +382,91 @@ class _SharedStreamCache:
             return False
 
 
-_SHARED_CACHES: Dict[Tuple[str, int, str], _SharedStreamCache] = {}
+# Keyed (host, port, stream, generation): the generation makes a
+# re-created stream (writer crash, drop + recreate) land in a *fresh*
+# cache instead of being served the previous incarnation's bytes.
+# Against an old server that does not report generations the key pins
+# generation 0 — shared, but no worse than before.
+_SHARED_CACHES: Dict[Tuple[str, int, str, int], _SharedStreamCache] = {}
 _SHARED_CACHES_LOCK = threading.Lock()
 
 
-def _shared_cache_acquire(addr: Tuple[str, int], stream: str) -> _SharedStreamCache:
-    key = (addr[0], addr[1], stream)
+def _shared_cache_acquire(
+    addr: Tuple[str, int], stream: str, gen: int = 0
+) -> _SharedStreamCache:
+    key = (addr[0], addr[1], stream, int(gen))
     with _SHARED_CACHES_LOCK:
         cache = _SHARED_CACHES.get(key)
         if cache is None:
-            cache = _SHARED_CACHES[key] = _SharedStreamCache()
+            cache = _SHARED_CACHES[key] = _SharedStreamCache(gen=int(gen))
         cache.refs += 1
         return cache
 
 
-def _shared_cache_release(addr: Tuple[str, int], stream: str) -> None:
-    key = (addr[0], addr[1], stream)
+def _shared_cache_release(addr: Tuple[str, int], stream: str, gen: int = 0) -> bool:
+    """Drop one reference; True when the cache was the last and removed."""
+    key = (addr[0], addr[1], stream, int(gen))
     with _SHARED_CACHES_LOCK:
         cache = _SHARED_CACHES.get(key)
         if cache is not None:
             cache.refs -= 1
             if cache.refs <= 0:
                 del _SHARED_CACHES[key]
+                return True
+        return False
+
+
+class _PeerCacheServer:
+    """Process-wide ``gb.peer_read`` endpoint over the shared caches.
+
+    Started lazily by the first peer-enabled reader and never stopped
+    (an idle server is one parked accept socket on the process-wide
+    event loop — no threads).  The handler is registered ``inline``: a
+    peer read is a lock + bisect + slice, never blocking, so it runs on
+    the loop directly.  The async engine's ``rpc.server`` fault hook
+    fires for it like any other op, which is what lets chaos rules
+    target ``op=gb.peer_read`` with drop/close/delay.
+    """
+
+    _instance: Optional["_PeerCacheServer"] = None
+    _instance_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        from ..transport.aio import AsyncRpcServer
+
+        self._rpc = AsyncRpcServer("127.0.0.1", 0)
+        self._rpc.register(OP_PEER_READ, self._op_peer_read, inline=True)
+        self._rpc.start()
+        host, port = self._rpc.address
+        self.addr = f"{host}:{port}"
+
+    @classmethod
+    def get(cls) -> "_PeerCacheServer":
+        with cls._instance_lock:
+            if cls._instance is None:
+                cls._instance = cls()
+            return cls._instance
+
+    @staticmethod
+    def _op_peer_read(header: Dict[str, Any], _payload: bytes):
+        origin = str(header.get("origin", ""))
+        name = str(header.get("name", ""))
+        gen = int(header.get("gen") or 0)
+        offset = int(header.get("offset", 0))
+        length = int(header.get("length", 0))
+        host, _, port_s = origin.rpartition(":")
+        try:
+            key = (host, int(port_s), name, gen)
+        except ValueError:
+            raise RpcError("bad-request", f"malformed origin {origin!r}") from None
+        with _SHARED_CACHES_LOCK:
+            cache = _SHARED_CACHES.get(key)
+        data = cache.peek_range(offset, length) if cache is not None else None
+        if not data:
+            # Not an error worth retrying elsewhere in the transport:
+            # the fetcher treats a miss as a hint gone stale.
+            raise RpcError("peer-miss", f"{name}@{offset} not cached here")
+        return {"crc": zlib.crc32(data) & 0xFFFFFFFF}, data
 
 
 # ---------------------------------------------------------------------------
@@ -304,6 +511,10 @@ class GridBufferClient:
         self._writer_token = uuid.uuid4().hex[:12]
         self._seq_lock = threading.Lock()
         self._next_seq = 0
+        # Small per-peer RpcClient cache for cooperative-cache fetches;
+        # peers answer from RAM, so these run on a short timeout.
+        self._peer_rpcs: Dict[str, RpcClient] = {}
+        self._peer_rpcs_lock = threading.Lock()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -356,8 +567,37 @@ class GridBufferClient:
             },
         )
 
-    def register_reader(self, name: str, reader_id: str) -> None:
-        self._rpc.call(OP_REGISTER_READER, {"name": name, "reader_id": reader_id})
+    def register_reader(self, name: str, reader_id: str) -> int:
+        """Attach a reader; returns the stream generation (0 = unknown).
+
+        An old server's reply has no ``gen`` field — generation 0 then
+        keys the shared cache exactly as the pre-generation code did.
+        """
+        return self.register_reader_ex(name, reader_id)[0]
+
+    def register_reader_ex(
+        self,
+        name: str,
+        reader_id: str,
+        peer_hints: Optional[Tuple[str, int]] = None,
+    ) -> Tuple[int, Optional[Dict[str, Any]]]:
+        """:meth:`register_reader` plus an initial ``cached_at`` hint.
+
+        With ``peer_hints=(own_peer_addr, k)`` the origin also returns
+        holders of the stream's opening range, so a reader joining a
+        warm broadcast never touches the origin data path at all.
+        """
+        header: Dict[str, Any] = {"name": name, "reader_id": reader_id}
+        if peer_hints is not None:
+            header["peer"] = peer_hints[0]
+            header["peer_hints"] = int(peer_hints[1])
+        reply, _ = self._rpc.call(OP_REGISTER_READER, header)
+        gen = reply.get("gen")
+        hint = reply.get("cached_at")
+        return (
+            int(gen) if gen is not None else 0,
+            hint if isinstance(hint, dict) else None,
+        )
 
     def write(
         self, name: str, offset: int, data: bytes, timeout: Optional[float] = None
@@ -463,24 +703,55 @@ class GridBufferClient:
         available at ``offset`` up to ``budget``; against an old server
         this degrades to a plain ``gb.read`` (no total reported).
         """
+        data, total, _ = self.read_window_ex(
+            name, reader_id, offset, budget, min_bytes=min_bytes, timeout=timeout, rpc=rpc
+        )
+        return data, total
+
+    def read_window_ex(
+        self,
+        name: str,
+        reader_id: str,
+        offset: int,
+        budget: int,
+        min_bytes: int = 1,
+        timeout: Optional[float] = None,
+        rpc: Optional[RpcClient] = None,
+        peer_hints: Optional[Tuple[str, int]] = None,
+    ) -> Tuple[bytes, Optional[int], Optional[Dict[str, Any]]]:
+        """:meth:`read_window` plus the server's ``cached_at`` hint.
+
+        ``peer_hints=(own_peer_addr, k)`` asks the origin for up to
+        ``k`` peers holding the requested-next ranges (excluding
+        ourselves).  The returned hint is ``{"peers": [...], "start":
+        int, "end": int}`` or None — always None when either side
+        predates the cooperative cache, since old clients never send
+        the request field and old servers never attach the reply field.
+        """
         if self._vectored is not False:
+            header: Dict[str, Any] = {
+                "name": name,
+                "reader_id": reader_id,
+                "offset": offset,
+                "budget": budget,
+                "min_bytes": min_bytes,
+                "timeout": timeout,
+            }
+            if peer_hints is not None:
+                header["peer"] = peer_hints[0]
+                header["peer_hints"] = int(peer_hints[1])
             try:
                 t0 = time.perf_counter()
-                reply, data = (rpc or self._rpc).call(
-                    OP_READ_MULTI,
-                    {
-                        "name": name,
-                        "reader_id": reader_id,
-                        "offset": offset,
-                        "budget": budget,
-                        "min_bytes": min_bytes,
-                        "timeout": timeout,
-                    },
-                )
+                reply, data = (rpc or self._rpc).call(OP_READ_MULTI, header)
                 self._record("read_multi", len(data), time.perf_counter() - t0)
                 self._vectored = True
                 total = reply.get("total")
-                return data, (int(total) if total is not None else None)
+                hint = reply.get("cached_at")
+                return (
+                    data,
+                    (int(total) if total is not None else None),
+                    hint if isinstance(hint, dict) else None,
+                )
             except RpcError as exc:
                 if exc.kind != "unknown-op":
                     raise
@@ -488,7 +759,62 @@ class GridBufferClient:
         return (
             self.read(name, reader_id, offset, budget, timeout=timeout, rpc=rpc),
             None,
+            None,
         )
+
+    def peer_read(
+        self,
+        peer: str,
+        name: str,
+        gen: int,
+        offset: int,
+        length: int,
+    ) -> bytes:
+        """Fetch a cached run from a peer's shared block cache.
+
+        Verifies the reply's crc32 and length before trusting it; any
+        mismatch raises so the caller demotes the peer and re-requests
+        from the origin — peers accelerate, they never gate correctness.
+        Round trips are recorded against the *peer's* address in the
+        TransferMonitor, which is what lets the window rank peers by
+        observed bandwidth.
+        """
+        rpc = self._peer_rpc(peer)
+        t0 = time.perf_counter()
+        reply, data = rpc.call(
+            OP_PEER_READ,
+            {
+                "origin": f"{self._addr[0]}:{self._addr[1]}",
+                "name": name,
+                "gen": int(gen),
+                "offset": int(offset),
+                "length": int(length),
+            },
+        )
+        elapsed = time.perf_counter() - t0
+        if not data or len(data) > length:
+            raise RpcError(
+                "peer-bad-length", f"peer {peer} sent {len(data)} bytes for {length}"
+            )
+        if (zlib.crc32(data) & 0xFFFFFFFF) != int(reply.get("crc", -1)):
+            raise RpcError("peer-bad-crc", f"checksum mismatch from peer {peer}")
+        if self.monitor is not None:
+            self.monitor.record(peer, "peer_read", len(data), elapsed)
+        return data
+
+    def _peer_rpc(self, peer: str) -> RpcClient:
+        with self._peer_rpcs_lock:
+            rpc = self._peer_rpcs.get(peer)
+            if rpc is None:
+                host, _, port_s = peer.rpartition(":")
+                rpc = RpcClient(
+                    host,
+                    int(port_s),
+                    timeout=min(self._timeout, _PEER_TIMEOUT),
+                    max_connections=2,
+                )
+                self._peer_rpcs[peer] = rpc
+            return rpc
 
     def consume(
         self, name: str, reader_id: str, ranges: Iterable[Tuple[int, int]]
@@ -518,32 +844,71 @@ class GridBufferClient:
             return False
 
     def consume_multi(
-        self, name: str, entries: Sequence[Tuple[str, Sequence[Sequence[int]]]]
+        self,
+        name: str,
+        entries: Sequence[Tuple[str, Sequence[Sequence[int]]]],
+        adv: Optional[Dict[str, Any]] = None,
     ) -> bool:
         """Batched :meth:`consume` covering several readers in one frame.
 
         ``entries`` is a list of ``(reader_id, ranges)`` pairs — the
-        shared-cache ack aggregator's flush unit.  Falls back to
-        per-reader ``gb.consume`` against a server that predates the
-        batched op; returns False only when even that is unsupported
-        (the caller must then fetch for real instead of acking).
+        shared-cache ack aggregator's flush unit.  ``adv`` piggybacks a
+        cooperative-cache holder advertisement (``peer``/``gen``/
+        ``holds``/``drops`` keys) on the same frame; an old server
+        simply ignores the extra keys, and the per-reader fallback path
+        drops the advertisement entirely (old servers keep no holder
+        map).  Falls back to per-reader ``gb.consume`` against a server
+        that predates the batched op; returns False only when even that
+        is unsupported (the caller must then fetch for real instead of
+        acking).
+        """
+        ok, _ = self.consume_multi_ex(name, entries, adv=adv)
+        return ok
+
+    def consume_multi_ex(
+        self,
+        name: str,
+        entries: Sequence[Tuple[str, Sequence[Sequence[int]]]],
+        adv: Optional[Dict[str, Any]] = None,
+        peer_hints: Optional[Tuple[str, int]] = None,
+        hint_from: Optional[int] = None,
+    ) -> Tuple[bool, Optional[Dict[str, Any]]]:
+        """:meth:`consume_multi` plus the server's ``cached_at`` hint.
+
+        A fully peer-served reader never issues an origin read, so the
+        ack channel is the only round trip on which its holder map can
+        refresh — ``peer_hints=(own_peer_addr, k)`` asks for an updated
+        hint on the reply, with the same both-ways-silent codec-skew
+        behaviour as :meth:`read_window_ex`.  ``hint_from`` carries the
+        reader's true read frontier: acked ranges trail it, and a hint
+        computed at the acked frontier points at peers that may not
+        hold the leading edge yet.
         """
         entries = [
             (rid, [[int(s), int(e)] for s, e in ranges]) for rid, ranges in entries
         ]
-        if not entries:
-            return True
+        if not entries and not adv:
+            return True, None
         if self._vectored is False:
-            return False
+            return False, None
         if self._consume_multi is not False:
+            header: Dict[str, Any] = {
+                "name": name,
+                "entries": [[rid, ranges] for rid, ranges in entries],
+            }
+            if adv:
+                header.update(adv)
+            if peer_hints is not None:
+                header["peer"] = peer_hints[0]
+                header["peer_hints"] = int(peer_hints[1])
+                if hint_from is not None:
+                    header["hint_from"] = int(hint_from)
             try:
-                self._rpc.call(
-                    OP_CONSUME_MULTI,
-                    {"name": name, "entries": [[rid, ranges] for rid, ranges in entries]},
-                )
+                reply, _ = self._rpc.call(OP_CONSUME_MULTI, header)
                 self._consume_multi = True
                 self._vectored = True
-                return True
+                hint = reply.get("cached_at")
+                return True, (hint if isinstance(hint, dict) else None)
             except RpcError as exc:
                 if exc.kind != "unknown-op":
                     raise
@@ -552,7 +917,7 @@ class GridBufferClient:
         ok = True
         for rid, ranges in entries:
             ok = self.consume(name, rid, [(s, e) for s, e in ranges]) and ok
-        return ok
+        return ok, None
 
     def close_writer(self, name: str) -> int:
         reply, _ = self._rpc.call(OP_CLOSE_WRITER, {"name": name})
@@ -613,12 +978,21 @@ class GridBufferClient:
         read_ahead_bytes: int = DEFAULT_READ_BUDGET,
         read_ahead_depth: int = 4,
         shared_cache: bool = False,
+        peer_cache: bool = False,
     ) -> "BufferReader":
         """Attach a reader, waiting for the stream to exist.
 
         A reader may open before the writer has created the stream (the
         paper's FM blocks the legacy OPEN until matched); poll until the
         stream appears or ``open_timeout`` elapses.
+
+        ``peer_cache=True`` joins the cluster-wide cooperative cache:
+        the reader advertises its shared block cache to the origin,
+        serves ``gb.peer_read`` for other readers, and redirects its
+        own fetches to hinted peers when the origin says one holds the
+        bytes.  Implies ``shared_cache`` (the shared cache *is* the
+        peer-served store) and ``read_ahead`` (the window owns the peer
+        fetch machinery); silently disabled against an old server.
         """
         rid = reader_id or f"reader-{uuid.uuid4().hex[:8]}"
         interval = _open_poll_interval() if poll_interval is None else poll_interval
@@ -627,9 +1001,19 @@ class GridBufferClient:
             if time.monotonic() > deadline:
                 raise TimeoutError(f"stream {name!r} never appeared")
             time.sleep(interval)
-        self.register_reader(name, rid)
+        if peer_cache and not self.supports_vectored():
+            peer_cache = False  # old server: no holder map, no hints
+        if peer_cache:
+            shared_cache = True
+            read_ahead = True
         if shared_cache and not self.supports_vectored():
             shared_cache = False  # old server: acks impossible, fetch for real
+        peer_addr = _PeerCacheServer.get().addr if peer_cache else None
+        gen, hint = self.register_reader_ex(
+            name,
+            rid,
+            peer_hints=(peer_addr, _HINT_K) if peer_addr is not None else None,
+        )
         rpc = self._fresh_connection() if dedicated_connection or read_ahead else None
         return BufferReader(
             self,
@@ -641,10 +1025,18 @@ class GridBufferClient:
             read_ahead_bytes=read_ahead_bytes,
             read_ahead_depth=read_ahead_depth,
             shared_cache=shared_cache,
+            peer_cache=peer_cache,
+            gen=gen,
+            initial_hint=hint,
         )
 
     def close(self) -> None:
         self._rpc.close()
+        with self._peer_rpcs_lock:
+            peer_rpcs = list(self._peer_rpcs.values())
+            self._peer_rpcs.clear()
+        for rpc in peer_rpcs:
+            rpc.close()
 
     def __enter__(self) -> "GridBufferClient":
         return self
@@ -961,6 +1353,9 @@ class _ReadAheadWindow:
         chunk_bytes: int,
         max_depth: int,
         shared: Optional[_SharedStreamCache] = None,
+        peer_addr: Optional[str] = None,
+        gen: int = 0,
+        initial_hint: Optional[Dict[str, Any]] = None,
     ):
         self._client = client
         self._name = name
@@ -969,10 +1364,30 @@ class _ReadAheadWindow:
         self._chunk = max(1, chunk_bytes)
         self._max_depth = max(1, max_depth)
         self._shared = shared
+        # Cooperative cache state: our own peer address (None = peer
+        # fetch disabled), the stream generation peer reads are keyed
+        # by, and the origin's latest ``cached_at`` hint.  Demotions are
+        # per-window permanent — a peer that lied once is not retried.
+        self._peer_addr = peer_addr
+        self._gen = int(gen)
+        self._hint_peers: List[str] = []
+        self._hint_start = 0
+        self._hint_end = 0
+        self._demoted: set = set()
+        self._misses: Dict[str, int] = {}
+        self._peer_rr = 0
+        self._frontier = 0
+        self.peer_hits = 0
+        self._m_peer_hits = _PEER_HITS.labels(stream=name)
+        self._m_peer_bytes = _PEER_FETCH_BYTES.labels(stream=name)
         self._rpc = client._fresh_connection(max_connections=self._max_depth)
         self._cv = threading.Condition()
         self._queue: List[int] = []                  # wanted offsets, ascending
-        self._inflight: set = set()
+        # In-flight requests: offset -> expected span.  Origin fetches
+        # span one chunk; peer fetches may span several, and tracking
+        # the width keeps schedule() from double-requesting bytes a
+        # wide peer fetch is already carrying.
+        self._inflight: Dict[int, int] = {}
         self._results: Dict[int, bytes] = {}
         self._errors: Dict[int, BaseException] = {}
         self._eof_at: Optional[int] = None
@@ -982,6 +1397,8 @@ class _ReadAheadWindow:
         # whatever span opened the reader (the task, usually) — capture
         # the constructing thread's context for re-attachment.
         self._trace_ctx = obs.current_context()
+        if initial_hint is not None:
+            self._store_hint(initial_hint)
         self._threads = [
             threading.Thread(target=self._run, name=f"gb-window:{name}#{i}", daemon=True)
             for i in range(self._max_depth)
@@ -1024,11 +1441,15 @@ class _ReadAheadWindow:
                 return off
         return None
 
+    def _inflight_covering(self, pos: int) -> bool:
+        return any(off <= pos < off + span for off, span in self._inflight.items())
+
     def schedule(self, frontier: int) -> None:
         """Keep the window full of requests at/after ``frontier``."""
         with self._cv:
             if self._stopped:
                 return
+            self._frontier = frontier
             if not (self._queue or self._inflight or self._results or self._errors):
                 # Idle gap: safe to re-tier the chunk grid — nothing
                 # outstanding can straddle the old/new boundaries.
@@ -1045,7 +1466,7 @@ class _ReadAheadWindow:
                 del self._errors[off]
             self._queue = [o for o in self._queue if o >= frontier]
             target = self._target_depth()
-            tracked = set(self._queue) | self._inflight | set(self._results) | set(self._errors)
+            tracked = set(self._queue) | set(self._inflight) | set(self._results) | set(self._errors)
             outstanding = len([o for o in tracked if o >= frontier])
             candidate = frontier
             while outstanding < target:
@@ -1054,6 +1475,7 @@ class _ReadAheadWindow:
                 if (
                     candidate not in tracked
                     and self._result_covering(candidate) is None
+                    and not self._inflight_covering(candidate)
                     and not (self._shared is not None and self._shared.covers(candidate))
                 ):
                     insort(self._queue, candidate)
@@ -1086,9 +1508,8 @@ class _ReadAheadWindow:
                 # A queued/in-flight request whose span may reach pos:
                 # wait for it rather than racing a demand read against
                 # bytes it is about to consume.
-                if any(
-                    off <= pos < off + self._chunk
-                    for off in self._inflight | set(self._queue)
+                if self._inflight_covering(pos) or any(
+                    off <= pos < off + self._chunk for off in self._queue
                 ):
                     self._cv.wait(timeout=0.05)
                     continue
@@ -1097,7 +1518,7 @@ class _ReadAheadWindow:
     def next_boundary(self, pos: int) -> Optional[int]:
         """Smallest tracked offset beyond ``pos`` (demand-read clamp)."""
         with self._cv:
-            tracked = set(self._queue) | self._inflight | set(self._results) | set(self._errors)
+            tracked = set(self._queue) | set(self._inflight) | set(self._results) | set(self._errors)
             ahead = [o for o in tracked if o > pos]
             return min(ahead) if ahead else None
 
@@ -1112,6 +1533,18 @@ class _ReadAheadWindow:
     def eof_total(self) -> Optional[int]:
         with self._cv:
             return self._eof_at
+
+    def rebind(self, shared: Optional[_SharedStreamCache], gen: int) -> None:
+        """Reconnect found a new stream incarnation: swap cache and
+        generation, drop window state and hints from the dead one."""
+        with self._cv:
+            self._shared = shared
+            self._gen = int(gen)
+            self._hint_peers = []
+            self._hint_start = self._hint_end = 0
+            self._queue.clear()
+            self._results.clear()
+            self._errors.clear()
 
     def close(self) -> None:
         with self._cv:
@@ -1141,41 +1574,224 @@ class _ReadAheadWindow:
                 if self._stopped:
                     return
                 offset = self._queue.pop(0)
-                self._inflight.add(offset)
-                self._cv.notify_all()
-            try:
-                data, total = self._client.read_window(
-                    self._name,
-                    self._reader_id,
-                    offset,
-                    self._chunk,
-                    timeout=self._timeout,
-                    rpc=self._rpc,
-                )
-            except BaseException as exc:  # noqa: BLE001 - surfaced on take()
-                # A shared-cache hit can ack bytes this request was
-                # racing to fetch; the server then rejects the re-read
-                # of consumed bytes.  That is benign — the consumer got
-                # the bytes locally — so drop the error when the cache
-                # covers the offset.
-                benign = self._shared is not None and self._shared.covers(offset)
-                with self._cv:
-                    self._inflight.discard(offset)
-                    if not self._stopped and not benign:
-                        self._errors[offset] = exc
+                # A wide peer fetch registered after this offset was
+                # queued may already carry it — skip; the consumer
+                # waits on that in-flight span, not this queue entry.
+                if self._inflight_covering(offset) or self._result_covering(offset) is not None:
                     self._cv.notify_all()
-                continue
+                    continue
+                span = self._chunk
+                if self._peer_addr and self._hint_start <= offset < self._hint_end:
+                    # Peer fetches batch several chunks: peers serve
+                    # from RAM, so per-request overhead — not link
+                    # bandwidth — is what bounds a popular holder.
+                    # Registering the wide span under the lock is what
+                    # keeps sibling workers off the covered bytes.
+                    span = min(self._chunk * _PEER_SPAN_CHUNKS, self._hint_end - offset)
+                self._inflight[offset] = span
+                self._cv.notify_all()
+            total: Optional[int] = None
+            data = self._fetch_from_peer(offset, span) if self._peer_addr else None
+            from_peer = data is not None
+            if data is not None:
+                # Peer-served bytes never touched the origin, so ack
+                # them explicitly — delete-on-read GC and per-reader
+                # lag gauges must stay exact either way.
+                self.peer_hits += 1
+                self._m_peer_hits.inc()
+                self._m_peer_bytes.inc(len(data))
+                if self._shared is not None:
+                    entries = self._shared.ack(
+                        self._reader_id,
+                        offset,
+                        offset + len(data),
+                        BufferReader.ACK_FLUSH_BYTES,
+                    )
+                    if entries:
+                        try:
+                            _, hint = self._client.consume_multi_ex(
+                                self._name,
+                                entries,
+                                peer_hints=(self._peer_addr, _HINT_K),
+                                hint_from=offset + len(data),
+                            )
+                        except (OSError, RpcError):  # fault-ok: ack retried on flush
+                            pass
+                        else:
+                            if hint is not None:
+                                self._store_hint(hint)
+            else:
+                try:
+                    # Budget the whole registered span: sibling queue
+                    # entries it covers were skipped at dequeue, so the
+                    # origin fallback must deliver those bytes too.
+                    data, total, hint = self._client.read_window_ex(
+                        self._name,
+                        self._reader_id,
+                        offset,
+                        span,
+                        timeout=self._timeout,
+                        rpc=self._rpc,
+                        peer_hints=(
+                            (self._peer_addr, _HINT_K) if self._peer_addr else None
+                        ),
+                    )
+                except BaseException as exc:  # noqa: BLE001 - surfaced on take()
+                    # A shared-cache hit can ack bytes this request was
+                    # racing to fetch; the server then rejects the re-read
+                    # of consumed bytes.  That is benign — the consumer got
+                    # the bytes locally — so drop the error when the cache
+                    # covers the offset.
+                    benign = self._shared is not None and self._shared.covers(offset)
+                    with self._cv:
+                        self._inflight.pop(offset, None)
+                        if not self._stopped and not benign:
+                            self._errors[offset] = exc
+                        self._cv.notify_all()
+                    continue
+                if hint is not None:
+                    self._store_hint(hint)
             if self._shared is not None and data:
-                self._shared.put(offset, data)
+                self._shared.put(offset, data, advertise=not from_peer)
+                self._flush_adv()
             with self._cv:
-                self._inflight.discard(offset)
+                self._inflight.pop(offset, None)
                 if not self._stopped:
                     self._results[offset] = data
+                    if data:
+                        # A wide peer fetch may cover offsets queued
+                        # before it landed — drop them, they're served.
+                        end = offset + len(data)
+                        self._queue = [o for o in self._queue if not (offset <= o < end)]
                     if total is not None:
                         self._eof_at = total if self._eof_at is None else min(self._eof_at, total)
                     elif not data:
                         self._eof_at = offset if self._eof_at is None else min(self._eof_at, offset)
                 self._cv.notify_all()
+
+    # -- cooperative-cache peer fetch --------------------------------------
+    def _fetch_from_peer(self, offset: int, length: Optional[int] = None) -> Optional[bytes]:
+        """Try hinted peers for ``offset``; None sends us to the origin.
+
+        Every failure mode folds into "skip this peer and fall back":
+        a miss (stale hint) is a strike, demoting after
+        ``_MISS_STRIKES``; errors, timeouts and checksum/length
+        mismatches demote immediately.  Correctness never depends on a
+        peer answering — the origin always can.
+        """
+        for peer in self._peer_candidates(offset):
+            try:
+                data = self._client.peer_read(
+                    peer, self._name, self._gen, offset, length or self._chunk
+                )
+            except RpcError as exc:
+                if exc.kind == "peer-miss":
+                    self._strike(peer)
+                elif exc.kind in ("peer-bad-crc", "peer-bad-length"):
+                    self._demote(peer, "checksum")
+                else:
+                    self._demote(peer, "error")
+            except TimeoutError:
+                self._demote(peer, "timeout")
+            except OSError:
+                self._demote(peer, "error")
+            else:
+                if data:
+                    return data
+                self._strike(peer)
+        return None
+
+    def _peer_candidates(self, offset: int) -> List[str]:
+        """Hinted peers expected to hold ``offset``, best first.
+
+        Range-gated by the hint's span, demotion-filtered, then sorted
+        by observed bandwidth with *unknown* peers first — an untried
+        peer gets explored before we settle on a known-good one.  The
+        start position rotates fetch to fetch: on a broadcast every
+        hinted holder has the bytes, and rotating spreads concurrent
+        fetchers across holders instead of herding them all at the
+        single best-measured peer.  Failures still walk the remaining
+        candidates in score order.
+        """
+        with self._cv:
+            if not (self._hint_start <= offset < self._hint_end):
+                return []
+            peers = [
+                p
+                for p in self._hint_peers
+                if p not in self._demoted and p != self._peer_addr
+            ]
+            self._peer_rr += 1
+            rot = self._peer_rr
+        monitor = self._client.monitor
+        if monitor is not None and len(peers) > 1:
+            peers.sort(key=lambda p: -(monitor.bandwidth(p) or float("inf")))
+        if len(peers) > 1:
+            rot %= len(peers)
+            peers = peers[rot:] + peers[:rot]
+        return peers
+
+    def _store_hint(self, hint: Dict[str, Any]) -> None:
+        peers = hint.get("peers")
+        if not isinstance(peers, (list, tuple)):
+            return
+        total = hint.get("total")
+        with self._cv:
+            self._hint_peers = [str(p) for p in peers]
+            self._hint_start = int(hint.get("start", 0))
+            self._hint_end = int(hint.get("end", 0))
+            if total is not None:
+                # The origin told us the stream total along with the
+                # hint — a fully peer-served reader learns EOF without
+                # ever probing the origin for an empty read.
+                t = int(total)
+                self._eof_at = t if self._eof_at is None else min(self._eof_at, t)
+        if total is not None and self._shared is not None:
+            self._shared.note_eof(int(total))
+
+    def _demote(self, peer: str, reason: str) -> None:
+        with self._cv:
+            if peer in self._demoted:
+                return
+            self._demoted.add(peer)
+            self._misses.pop(peer, None)
+        _PEER_DEMOTIONS.labels(reason=reason).inc()
+        obs.event("gb.peer_demoted", stream=self._name, peer=peer, reason=reason)
+
+    def _strike(self, peer: str) -> None:
+        with self._cv:
+            strikes = self._misses.get(peer, 0) + 1
+            self._misses[peer] = strikes
+            if strikes < _MISS_STRIKES:
+                return
+        self._demote(peer, "miss")
+
+    def _flush_adv(self) -> None:
+        """Piggyback any due holder advertisement on an empty consume."""
+        shared = self._shared
+        if shared is None or self._peer_addr is None:
+            return
+        pending = shared.take_adv()
+        if pending is None:
+            return
+        try:
+            _, hint = self._client.consume_multi_ex(
+                self._name,
+                [],
+                adv={
+                    "peer": self._peer_addr,
+                    "gen": self._gen,
+                    "holds": pending[0],
+                    "drops": pending[1],
+                },
+                peer_hints=(self._peer_addr, _HINT_K),
+                hint_from=self._frontier,
+            )
+        except (OSError, RpcError):  # fault-ok: a lost advertisement only costs hints
+            pass
+        else:
+            if hint is not None:
+                self._store_hint(hint)
 
 
 class BufferReader(ReadIntoFromRead, io.RawIOBase):
@@ -1205,6 +1821,9 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         read_ahead_bytes: int = DEFAULT_READ_BUDGET,
         read_ahead_depth: int = 4,
         shared_cache: bool = False,
+        peer_cache: bool = False,
+        gen: int = 0,
+        initial_hint: Optional[Dict[str, Any]] = None,
     ):
         super().__init__()
         self._client = client
@@ -1220,9 +1839,16 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
         self.shared_hits = 0        # reads served from the shared cache
         self._m_ra_hits = _READAHEAD_HITS.labels(stream=name)
         self._m_shared_hits = _SHARED_HITS.labels(stream=name)
+        self._gen = int(gen)
+        self._peer_addr: Optional[str] = None
         self._shared: Optional[_SharedStreamCache] = None
         if shared_cache:
-            self._shared = _shared_cache_acquire(client.address, name)
+            self._shared = _shared_cache_acquire(client.address, name, self._gen)
+        if peer_cache and self._shared is not None:
+            # Joining the cooperative cache: start (or reuse) this
+            # process's peer endpoint and expose the shared cache on it.
+            self._peer_addr = _PeerCacheServer.get().addr
+            self._shared.peer_addr = self._peer_addr
         self._ra: Optional[_ReadAheadWindow] = None
         if read_ahead:
             self._ra = _ReadAheadWindow(
@@ -1233,10 +1859,18 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
                 read_ahead_bytes,
                 read_ahead_depth,
                 shared=self._shared,
+                peer_addr=self._peer_addr,
+                gen=self._gen,
+                initial_hint=initial_hint if self._peer_addr is not None else None,
             )
 
     def readable(self) -> bool:
         return True
+
+    @property
+    def peer_hits(self) -> int:
+        """Read-ahead fetches served by cooperative-cache peers."""
+        return self._ra.peer_hits if self._ra is not None else 0
 
     # -- shared-cache ack batching -----------------------------------------
     def _ack(self, start: int, end: int) -> None:
@@ -1262,22 +1896,107 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
             self._send_acks(entries)
 
     def _send_acks(self, entries: List[Tuple[str, List[List[int]]]]) -> None:
+        adv = None
+        if self._peer_addr is not None and self._shared is not None:
+            # The frame is going out anyway — piggyback whatever holder
+            # advertisement has accumulated, due or not.
+            pending = self._shared.take_adv(force=True)
+            if pending is not None:
+                adv = {
+                    "peer": self._peer_addr,
+                    "gen": self._gen,
+                    "holds": pending[0],
+                    "drops": pending[1],
+                }
         try:
-            self._client.consume_multi(self.name, entries)
+            _, hint = self._client.consume_multi_ex(
+                self.name,
+                entries,
+                adv=adv,
+                peer_hints=(
+                    (self._peer_addr, _HINT_K) if self._peer_addr is not None else None
+                ),
+                hint_from=self._pos,
+            )
         except (OSError, RpcError):  # fault-ok: a lost ack delays GC, never corrupts
+            pass
+        else:
+            if hint is not None and self._ra is not None:
+                self._ra._store_hint(hint)
+
+    def _maybe_advertise(self) -> None:
+        """Flush a due holder advertisement after a demand-path fetch."""
+        self.flush_advertisements(force=False)
+
+    def flush_advertisements(self, force: bool = True) -> None:
+        """Send pending holder advertisements to the origin now.
+
+        Normally advertisements ride lazily on consume traffic; a
+        holder that has finished reading (and so stops generating
+        traffic) calls this to make its final cached ranges visible to
+        peers immediately.
+        """
+        if self._peer_addr is None or self._shared is None:
+            return
+        pending = self._shared.take_adv(force=force)
+        if pending is None:
+            return
+        try:
+            self._client.consume_multi(
+                self.name,
+                [],
+                adv={
+                    "peer": self._peer_addr,
+                    "gen": self._gen,
+                    "holds": pending[0],
+                    "drops": pending[1],
+                },
+            )
+        except (OSError, RpcError):  # fault-ok: a lost advertisement only costs hints
             pass
 
     # -- read path ---------------------------------------------------------
     def _read_direct(self, size: int) -> bytes:
+        # A peer-enabled reader tries the cooperative cache even on the
+        # demand path: hinted, range-gated, ack-on-success, and falling
+        # through to the origin on any trouble — same rules as the
+        # window, so a reader that outruns its prefetch still relieves
+        # the origin.
+        if self._ra is not None and self._ra._peer_addr is not None:
+            data = self._ra._fetch_from_peer(self._pos, size)
+            if data is not None:
+                self._ra.peer_hits += 1
+                self._ra._m_peer_hits.inc()
+                self._ra._m_peer_bytes.inc(len(data))
+                self._ack(self._pos, self._pos + len(data))
+                return data
         try:
-            return self._client.read(
-                self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
-            )
+            return self._origin_direct(size)
         except (OSError, RpcError) as exc:
             self._recover_connection(exc)
-            return self._client.read(
-                self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+            return self._origin_direct(size)
+
+    def _origin_direct(self, size: int) -> bytes:
+        if self._ra is not None and self._ra._peer_addr is not None:
+            # Ask for hints on demand reads too: the reply both serves
+            # these bytes and points the window at peers for the next.
+            data, total, hint = self._client.read_window_ex(
+                self.name,
+                self.reader_id,
+                self._pos,
+                size,
+                timeout=self._timeout,
+                rpc=self._rpc,
+                peer_hints=(self._ra._peer_addr, _HINT_K),
             )
+            if hint is not None:
+                self._ra._store_hint(hint)
+            if total is not None and self._shared is not None:
+                self._shared.note_eof(total)
+            return data
+        return self._client.read(
+            self.name, self.reader_id, self._pos, size, timeout=self._timeout, rpc=self._rpc
+        )
 
     def _recover_connection(self, exc: BaseException) -> None:
         """Rebuild the demand connection and re-register after a failure.
@@ -1309,7 +2028,22 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
             except OSError:  # fault-ok: old connection already dead
                 pass
             self._rpc = self._client._fresh_connection()
-        self._client.register_reader(self.name, self.reader_id)
+        gen = self._client.register_reader(self.name, self.reader_id)
+        if gen and gen != self._gen:
+            # The stream was re-created while we were away: everything
+            # buffered or cached belongs to a dead incarnation.  Swap to
+            # the new generation's shared cache so neither we nor any
+            # peer ever serves the old bytes.
+            self._ra_buf = b""
+            self._at_eof = False
+            if self._shared is not None:
+                _shared_cache_release(self._client.address, self.name, self._gen)
+                self._shared = _shared_cache_acquire(self._client.address, self.name, gen)
+                if self._peer_addr is not None:
+                    self._shared.peer_addr = self._peer_addr
+            if self._ra is not None:
+                self._ra.rebind(self._shared, gen)
+            self._gen = gen
 
     def read(self, size: int = -1) -> bytes:  # type: ignore[override]
         if size is None or size < 0:
@@ -1387,6 +2121,7 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
                 self._at_eof = True
             if data and self._shared is not None:
                 self._shared.put(self._pos, data)
+                self._maybe_advertise()
             out += data
             self._pos += len(data)
         self._schedule_readahead()
@@ -1432,7 +2167,23 @@ class BufferReader(ReadIntoFromRead, io.RawIOBase):
             self._ra = None
         self._flush_acks()
         if self._shared is not None:
-            _shared_cache_release(self._client.address, self.name)
+            last = _shared_cache_release(self._client.address, self.name, self._gen)
+            if last and self._peer_addr is not None:
+                # Last co-located reader gone: the cache is dropped, so
+                # withdraw the holder registration before peers chase it.
+                try:
+                    self._client.consume_multi(
+                        self.name,
+                        [],
+                        adv={
+                            "peer": self._peer_addr,
+                            "gen": self._gen,
+                            "holds": [],
+                            "drops": [[0, _DROP_ALL_END]],
+                        },
+                    )
+                except (OSError, RpcError):  # fault-ok: stale-gen hints miss harmlessly
+                    pass
             self._shared = None
         if self._rpc is not None:
             self._rpc.close_all()

@@ -27,6 +27,7 @@ __all__ = [
     "OP_ABORT",
     "OP_RESUME",
     "OP_HIGH_WATER",
+    "OP_PEER_READ",
 ]
 
 #: Typical legacy-application write granularity (paper Section 5.3).
@@ -84,3 +85,18 @@ OP_CONSUME = "gb.consume"
 #: replies "unknown-op" and the client falls back to per-reader
 #: ``gb.consume`` (capability probe, like the vectored ops).
 OP_CONSUME_MULTI = "gb.consume_multi"
+
+# -- cooperative block cache (PR 8) ---------------------------------------
+
+#: Serve a cached run from a *reader process's* shared block cache —
+#: the only Grid Buffer op answered by peers instead of the origin.
+#: Header: ``origin`` ("host:port" of the origin server the cache
+#: mirrors), ``name``, ``gen`` (stream generation), ``offset``,
+#: ``length``.  Reply payload is the available prefix of the requested
+#: range (never blocks, never waits for the writer) plus ``crc``
+#: (zlib.crc32 of the payload) so the fetcher can verify integrity
+#: before trusting a peer; a range the cache does not cover is a
+#: ``peer-miss`` error.  Correctness never depends on this op: any
+#: error, timeout or checksum/length mismatch demotes the peer and the
+#: fetcher re-requests from the origin.
+OP_PEER_READ = "gb.peer_read"

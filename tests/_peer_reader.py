@@ -1,0 +1,81 @@
+"""Subprocess peer-cache reader for the cooperative-cache tests.
+
+True peer fetch needs separate OS processes: the shared block cache and
+the ``gb.peer_read`` endpoint are process-wide singletons, so a second
+reader inside the test process would be served locally and never touch
+the wire.  This helper is that second process.
+
+Usage::
+
+    python _peer_reader.py MODE HOST PORT STREAM READER_ID CHUNK
+
+Modes:
+
+``hold``
+    Read the whole stream through a peer-enabled reader, print the
+    result line, then park on stdin.  The process keeps its reader —
+    and therefore its shared cache and ``gb.peer_read`` endpoint —
+    alive until the parent writes a line or closes the pipe, so the
+    parent can fetch bytes from (or kill) a live holder.
+
+``read``
+    Same read loop, but report and exit immediately; used when the
+    parent only wants the digest and counters back.
+
+One ``DONE {json}`` line goes to stdout: bytes read, sha256 of the
+stream, peer-cache hits and peer demotions observed by this process.
+"""
+
+import hashlib
+import json
+import sys
+
+
+def _demotions_total() -> float:
+    from repro import obs
+
+    fam = obs.snapshot().get("peer_demotions_total")
+    if not fam:
+        return 0.0
+    return sum(s["value"] for s in fam["series"])
+
+
+def main() -> int:
+    mode = sys.argv[1]
+    host, port = sys.argv[2], int(sys.argv[3])
+    stream, reader_id, chunk = sys.argv[4], sys.argv[5], int(sys.argv[6])
+
+    from repro.gridbuffer.client import GridBufferClient
+
+    client = GridBufferClient(host, port)
+    reader = client.open_reader(
+        stream,
+        reader_id=reader_id,
+        peer_cache=True,
+        read_ahead_bytes=chunk,
+        read_ahead_depth=2,
+    )
+    digest = hashlib.sha256()
+    nbytes = 0
+    while True:
+        data = reader.read(chunk)
+        if not data:
+            break
+        digest.update(data)
+        nbytes += len(data)
+    result = {
+        "bytes": nbytes,
+        "sha": digest.hexdigest(),
+        "peer_hits": reader.peer_hits,
+        "demotions": _demotions_total(),
+    }
+    print("DONE " + json.dumps(result), flush=True)
+    if mode == "hold":
+        sys.stdin.readline()  # parent signals teardown (or died)
+    reader.close()
+    client.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -185,7 +185,7 @@ class TestAdaptiveChunk:
         window = _ReadAheadWindow(client, "busy", "r", None, 64 * 1024, 1)
         try:
             with window._cv:
-                window._inflight.add(0)  # simulate an outstanding request
+                window._inflight[0] = 64 * 1024  # simulate an outstanding request
             window.schedule(0)
             assert window._chunk == 64 * 1024  # unchanged while busy
             with window._cv:
