@@ -1,0 +1,167 @@
+"""Per-frame CRC overhead A/B: Grid Buffer streaming, trailer on vs off.
+
+The negotiated payload-CRC trailer (PR 9) must be cheap enough to stay
+on by default.  This bench streams one pre-written Grid Buffer stream
+through a read-ahead reader against an origin with
+``simulated_latency=5ms`` — the WAN-ish regime the repo's other
+benches model, where framing overhead has to hide behind the link
+latency — once with the trailer negotiated (``REPRO_WIRE_CRC=1``, the
+default) and once opted out (``REPRO_WIRE_CRC=0``, which pins plain
+binary frames).
+
+Acceptance (full mode): best-of-N wall time with CRC on is within
+``MAX_OVERHEAD`` (5%) of CRC off.  ``--smoke`` (the CI mode) streams a
+small file once per arm and only asserts correctness plus that the CRC
+arm really negotiated ``binary+crc``.
+
+Emits ``BENCH_integrity.json`` at the repo root.  Also runnable via
+pytest (``pytest benchmarks/bench_integrity.py``).
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.gridbuffer.client import GridBufferClient
+from repro.gridbuffer.server import GridBufferServer
+
+LATENCY_S = 0.005
+FULL_BYTES = 8 * 1024 * 1024
+FULL_CHUNK = 128 * 1024
+SMOKE_BYTES = 1 * 1024 * 1024
+SMOKE_CHUNK = 64 * 1024
+FULL_REPS = 3
+MAX_OVERHEAD = 0.05
+SEED = 20260809
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _payload(n_bytes: int) -> bytes:
+    return random.Random(SEED).randbytes(n_bytes)
+
+
+def _stream_once(server, stream: str, data: bytes, chunk: int) -> float:
+    """Write the stream, read it back with read-ahead; returns read wall."""
+    sha = hashlib.sha256(data).hexdigest()
+    ctl = GridBufferClient(*server.address, timeout=60.0)
+    try:
+        writer = ctl.open_writer(
+            stream, n_readers=1, capacity_bytes=2 * len(data), coalesce_bytes=256 * 1024
+        )
+        writer.write(data)
+        writer.close()
+
+        t0 = time.perf_counter()
+        reader = ctl.open_reader(
+            stream, read_ahead=True, read_ahead_bytes=chunk, read_ahead_depth=4
+        )
+        hasher = hashlib.sha256()
+        got = 0
+        while True:
+            block = reader.read(chunk)
+            if not block:
+                break
+            hasher.update(block)
+            got += len(block)
+        wall = time.perf_counter() - t0
+        reader.close()
+        assert got == len(data), f"short read: {got} of {len(data)}"
+        assert hasher.hexdigest() == sha, "stream bytes corrupted"
+        assert ctl._rpc._codec == ("binary+crc" if _crc_wanted() else "binary"), (
+            f"arm negotiated {ctl._rpc._codec!r}, REPRO_WIRE_CRC="
+            f"{os.environ.get('REPRO_WIRE_CRC')!r}"
+        )
+        ctl.drop_stream(stream)
+        return wall
+    finally:
+        ctl.close()
+
+
+def _crc_wanted() -> bool:
+    return os.environ.get("REPRO_WIRE_CRC", "1") != "0"
+
+
+def run_arm(crc_on: bool, n_bytes: int, chunk: int, reps: int) -> dict:
+    data = _payload(n_bytes)
+    prev = os.environ.get("REPRO_WIRE_CRC")
+    os.environ["REPRO_WIRE_CRC"] = "1" if crc_on else "0"
+    walls = []
+    try:
+        with GridBufferServer(simulated_latency=LATENCY_S) as server:
+            for rep in range(reps):
+                stream = f"crc-{'on' if crc_on else 'off'}-{rep}"
+                walls.append(_stream_once(server, stream, data, chunk))
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_WIRE_CRC", None)
+        else:
+            os.environ["REPRO_WIRE_CRC"] = prev
+    best = min(walls)
+    return {
+        "arm": "crc" if crc_on else "plain",
+        "bytes": n_bytes,
+        "walls_s": [round(w, 5) for w in walls],
+        "best_wall_s": round(best, 5),
+        "mb_s": round(n_bytes / best / 1e6, 2),
+    }
+
+
+def run(smoke: bool = False, write_json: bool = True) -> dict:
+    n_bytes = SMOKE_BYTES if smoke else FULL_BYTES
+    chunk = SMOKE_CHUNK if smoke else FULL_CHUNK
+    reps = 1 if smoke else FULL_REPS
+
+    plain = run_arm(False, n_bytes, chunk, reps)
+    crc = run_arm(True, n_bytes, chunk, reps)
+    overhead = crc["best_wall_s"] / plain["best_wall_s"] - 1.0
+
+    for arm in (plain, crc):
+        print(f"{arm['arm']:>5}: best {arm['best_wall_s']*1e3:8.1f} ms, {arm['mb_s']:7.2f} MB/s")
+    print(f"crc overhead: {overhead*100:+.2f}% (budget {MAX_OVERHEAD*100:.0f}%)")
+
+    out = {
+        "bench": "integrity_crc_overhead",
+        "smoke": smoke,
+        "origin_latency_ms": LATENCY_S * 1e3,
+        "chunk": chunk,
+        "arms": [plain, crc],
+        "overhead_pct": round(overhead * 100, 2),
+        "budget_pct": MAX_OVERHEAD * 100,
+    }
+
+    if not smoke:
+        assert overhead <= MAX_OVERHEAD, (
+            f"CRC trailer costs {overhead*100:.2f}% on the 5 ms streaming bench "
+            f"(budget {MAX_OVERHEAD*100:.0f}%)"
+        )
+
+    if write_json:
+        path = _REPO_ROOT / "BENCH_integrity.json"
+        path.write_text(json.dumps(out, indent=2) + "\n")
+        print(f"wrote {path}")
+    return out
+
+
+def test_integrity_overhead():
+    run(smoke=False)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI mode: small file, correctness only"
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing BENCH_integrity.json"
+    )
+    args = parser.parse_args()
+    run(smoke=args.smoke, write_json=not args.no_json)
+
+
+if __name__ == "__main__":
+    main()

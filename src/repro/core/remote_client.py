@@ -21,6 +21,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from .. import ioutil, obs
 from ..ioutil import ReadIntoFromRead
 from ..transport.gridftp import DEFAULT_BLOCK, GridFtpClient
 from .remote_io import BlockCache, BlockPrefetcher, WriteCoalescer
@@ -321,24 +322,51 @@ class CopyInOutFile(ReadIntoFromRead, io.RawIOBase):
             else:
                 client.fetch_file(remote_path, self._local_path)
                 if verify:
-                    self._verify_against_remote()
+                    self._verified_fetch()
         self._fh = open(self._local_path, self._local_mode(core))
         if core.startswith("a"):
             self._fh.seek(0, os.SEEK_END)
 
-    def _verify_against_remote(self) -> None:
-        import hashlib
+    #: Whole-file re-fetches attempted when a verified copy-in mismatches.
+    _VERIFY_REFETCHES = 2
 
-        digest = hashlib.sha256()
-        with open(self._local_path, "rb") as fh:
-            for chunk in iter(lambda: fh.read(1 << 20), b""):
-                digest.update(chunk)
+    def _verified_fetch(self) -> None:
+        """Check the copy-in against the server; re-fetch on mismatch.
+
+        The whole-file ``checksum`` op is the end of the integrity
+        chain: it catches corruption the per-frame wire CRC cannot see
+        (bit rot on disk, a bad block spliced in by a resumed
+        transfer).  A mismatch discards the local copy and re-fetches
+        from scratch — transient corruption heals; persistent mismatch
+        (the remote file really changed under us, or the link corrupts
+        every pass) raises after ``_VERIFY_REFETCHES`` re-fetches.
+        """
+        last_error: Optional[IOError] = None
+        for attempt in range(1 + self._VERIFY_REFETCHES):
+            try:
+                self._verify_against_remote()
+                return
+            except IOError as exc:
+                last_error = exc
+                ioutil.count_integrity_error("copyin", "refetch")
+                obs.event(
+                    "copyin.refetch",
+                    path=self._remote_path,
+                    attempt=attempt + 1,
+                )
+                if attempt < self._VERIFY_REFETCHES:
+                    self._client.fetch_file(self._remote_path, self._local_path)
+        self._local_path.unlink(missing_ok=True)
+        assert last_error is not None
+        raise last_error
+
+    def _verify_against_remote(self) -> None:
+        local = ioutil.sha256_file(self._local_path)
         remote = self._client.checksum(self._remote_path)
-        if digest.hexdigest() != remote:
-            self._local_path.unlink(missing_ok=True)
+        if local != remote:
             raise IOError(
                 f"copy-in of {self._remote_path!r} failed checksum verification "
-                f"(local {digest.hexdigest()[:12]}…, remote {remote[:12]}…)"
+                f"(local {local[:12]}…, remote {remote[:12]}…)"
             )
 
     @staticmethod

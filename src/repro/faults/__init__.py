@@ -4,7 +4,7 @@ The transport, Grid Buffer, and GridFTP layers carry *hook points*: one
 attribute load plus a ``None`` check on the hot path, so an unarmed
 process pays nothing.  Arming installs a :class:`FaultInjector` whose
 rules fire on the Nth call matching a ``(layer, op, peer)`` key and
-perform one of four actions:
+perform one of five actions:
 
 ``error``
     raise :class:`InjectedFault` (a ``ConnectionError``) at the hook;
@@ -15,7 +15,12 @@ perform one of four actions:
     the hook site discards the unit of work without replying (server
     side: read the request, never answer);
 ``delay``
-    sleep ``delay`` seconds at the hook, then continue normally.
+    sleep ``delay`` seconds at the hook, then continue normally;
+``corrupt``
+    the hook site flips seeded bits in the payload it was about to
+    send/store (:meth:`FaultInjector.corrupt_bytes`), exercising the
+    end-to-end integrity machinery: wire-CRC verification, poisoned
+    shared-cache blocks, and whole-file checksum re-verification.
 
 Rules are configured through the API (:func:`arm`, :class:`FaultRule`)
 or the ``REPRO_FAULTS`` environment variable, which holds
@@ -31,15 +36,23 @@ store1" means exactly that); ``times`` is how many consecutive matches
 fire from there (``0`` = forever).  ``probability`` makes a rule fire
 randomly instead — draws come from a ``random.Random`` seeded via
 :func:`arm` or ``REPRO_FAULTS_SEED``, so a seeded chaos run is
-reproducible.
+reproducible.  Malformed specs raise :class:`ValueError` naming the
+offending rule text at arm time — a chaos run with a typo'd rule must
+not silently run fault-free.
 
 Every fired rule increments the ``fault_injected_total`` counter
 (labels: layer, action) and emits a span event, so a chaos run's
 recovery cost is visible in ``repro.obs`` snapshots.
+
+Async hook sites (inline handlers on the shared event loop) must call
+:meth:`FaultInjector.fire_async`, which awaits ``delay`` rules instead
+of sleeping — a blocking ``time.sleep`` there stalls every connection
+on the loop (the PR 7 stall watchdog flags exactly this).
 """
 
 from __future__ import annotations
 
+import asyncio
 import fnmatch
 import logging
 import os
@@ -70,7 +83,7 @@ _FAULTS_INJECTED = obs.counter(
     labelnames=("layer", "action"),
 )
 
-_ACTIONS = ("error", "close", "drop", "delay")
+_ACTIONS = ("error", "close", "drop", "delay", "corrupt")
 
 
 class InjectedFault(ConnectionError):
@@ -112,31 +125,56 @@ class FaultRule:
 
 
 def parse_rules(spec: str) -> List[FaultRule]:
-    """Parse the ``REPRO_FAULTS`` rule syntax into :class:`FaultRule`."""
+    """Parse the ``REPRO_FAULTS`` rule syntax into :class:`FaultRule`.
+
+    A blank/whitespace spec yields no rules (unset env var), but within
+    a non-empty spec every chunk must parse: empty rules, unknown keys
+    or actions, and non-numeric ``nth``/``times``/``delay``/
+    ``probability`` values raise :class:`ValueError` carrying the
+    offending rule text, so a typo fails the run at arm time instead of
+    silently disabling the fault.
+    """
+    chunks = [c.strip() for c in spec.split(";")]
+    if not any(chunks):
+        return []
     rules: List[FaultRule] = []
-    for chunk in spec.split(";"):
-        chunk = chunk.strip()
+    for chunk in chunks:
         if not chunk:
-            continue
+            raise ValueError(f"empty fault rule in spec {spec!r}")
         kwargs: Dict[str, object] = {}
         for pair in chunk.split(","):
             pair = pair.strip()
             if not pair:
-                continue
+                raise ValueError(f"empty field in fault rule {chunk!r}")
             if "=" not in pair:
-                raise ValueError(f"bad fault rule field {pair!r} (want key=value)")
+                raise ValueError(f"bad fault rule field {pair!r} (want key=value) in rule {chunk!r}")
             key, value = pair.split("=", 1)
             key = key.strip()
             value = value.strip()
             if key in ("nth", "times"):
-                kwargs[key] = int(value)
+                try:
+                    kwargs[key] = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"non-integer {key}={value!r} in fault rule {chunk!r}"
+                    ) from None
             elif key in ("delay", "probability"):
-                kwargs[key] = float(value)
+                try:
+                    kwargs[key] = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"non-numeric {key}={value!r} in fault rule {chunk!r}"
+                    ) from None
             elif key in ("layer", "op", "peer", "action", "message"):
                 kwargs[key] = value
             else:
-                raise ValueError(f"unknown fault rule key {key!r}")
-        rules.append(FaultRule(**kwargs))  # type: ignore[arg-type]
+                raise ValueError(f"unknown fault rule key {key!r} in rule {chunk!r}")
+        if not kwargs:
+            raise ValueError(f"empty fault rule in spec {spec!r}")
+        try:
+            rules.append(FaultRule(**kwargs))  # type: ignore[arg-type]
+        except ValueError as exc:
+            raise ValueError(f"{exc} (rule: {chunk!r})") from None
     return rules
 
 
@@ -161,12 +199,15 @@ class FaultInjector:
         with self._lock:
             return list(self._fired)
 
-    def fire(self, layer: str, op: str, peer: str) -> Optional[str]:
-        """Evaluate rules for one hook call.
+    def _evaluate(
+        self, layer: str, op: str, peer: str
+    ) -> Tuple[float, Optional[FaultRule], Optional[str]]:
+        """Match rules under the lock; the caller performs the actions.
 
-        Raises :class:`InjectedFault` for ``error`` rules, sleeps for
-        ``delay`` rules, and returns ``"close"``/``"drop"`` for the hook
-        site to act on (``None`` when nothing fires).
+        Returns ``(delay_seconds, error_rule, verdict)`` so the sync
+        and async hook fronts (:meth:`fire` / :meth:`fire_async`) share
+        one matching/counting implementation and differ only in how
+        they wait out a ``delay``.
         """
         verdict: Optional[str] = None
         delay = 0.0
@@ -194,9 +235,11 @@ class FaultInjector:
                     error = rule
                 elif verdict is None:
                     verdict = rule.action
-        if delay:
-            obs.event("fault.delay", layer=layer, op=op, peer=peer, seconds=delay)
-            time.sleep(delay)
+        return delay, error, verdict
+
+    def _finish(
+        self, layer: str, op: str, peer: str, error: Optional[FaultRule], verdict: Optional[str]
+    ) -> Optional[str]:
         if error is not None:
             obs.event("fault.error", layer=layer, op=op, peer=peer)
             raise InjectedFault(
@@ -205,6 +248,51 @@ class FaultInjector:
         if verdict is not None:
             obs.event(f"fault.{verdict}", layer=layer, op=op, peer=peer)
         return verdict
+
+    def fire(self, layer: str, op: str, peer: str) -> Optional[str]:
+        """Evaluate rules for one hook call (sync hook sites).
+
+        Raises :class:`InjectedFault` for ``error`` rules, sleeps for
+        ``delay`` rules, and returns ``"close"``/``"drop"``/
+        ``"corrupt"`` for the hook site to act on (``None`` when
+        nothing fires).
+        """
+        delay, error, verdict = self._evaluate(layer, op, peer)
+        if delay:
+            obs.event("fault.delay", layer=layer, op=op, peer=peer, seconds=delay)
+            time.sleep(delay)
+        return self._finish(layer, op, peer, error, verdict)
+
+    async def fire_async(self, layer: str, op: str, peer: str) -> Optional[str]:
+        """:meth:`fire` for hook sites running on the event loop.
+
+        ``delay`` rules are awaited (``asyncio.sleep``) so an injected
+        slowdown delays *this* handler, not every connection sharing
+        the loop.
+        """
+        delay, error, verdict = self._evaluate(layer, op, peer)
+        if delay:
+            obs.event("fault.delay", layer=layer, op=op, peer=peer, seconds=delay)
+            await asyncio.sleep(delay)
+        return self._finish(layer, op, peer, error, verdict)
+
+    def corrupt_bytes(self, data: bytes, flips: int = 1) -> bytes:
+        """Return ``data`` with ``flips`` seeded single-bit flips.
+
+        Draws positions from the injector's RNG, so a seeded chaos run
+        corrupts the same bits every time.  Empty payloads are returned
+        unchanged (there is nothing to flip — and nothing a checksum
+        over zero bytes would miss).
+        """
+        if not data:
+            return data
+        out = bytearray(data)
+        with self._lock:
+            for _ in range(flips):
+                pos = self._rng.randrange(len(out))
+                bit = self._rng.randrange(8)
+                out[pos] ^= 1 << bit
+        return bytes(out)
 
 
 #: The armed injector, or None.  Hook sites read this attribute directly —

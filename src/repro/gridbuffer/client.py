@@ -36,12 +36,11 @@ import os
 import threading
 import time
 import uuid
-import zlib
 from bisect import bisect_left, bisect_right, insort
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import faults, ioutil, obs
 from ..ioutil import ReadIntoFromRead
 from ..transport.tcp import RpcClient, RpcError
 from .protocol import (
@@ -172,10 +171,18 @@ class _SharedStreamCache:
     by the stream's cache file server-side).
     """
 
-    def __init__(self, capacity_bytes: int = 8 * 1024 * 1024, gen: int = 0):
+    def __init__(
+        self, capacity_bytes: int = 8 * 1024 * 1024, gen: int = 0, name: str = ""
+    ):
         self._capacity = max(1, capacity_bytes)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        # crc32 of each run, taken at insert time.  Serving paths
+        # re-verify against it, so a run that rots in memory (or is
+        # poisoned by the chaos injector) is discarded — the reader
+        # falls through to the origin — instead of being handed to a
+        # local sibling or a remote peer.
+        self._crcs: Dict[int, int] = {}
         self._index: List[int] = []
         self._max_len = 0
         self._bytes = 0
@@ -187,6 +194,9 @@ class _SharedStreamCache:
         #: key): a re-created stream gets a fresh cache, never stale
         #: bytes from the previous incarnation.
         self.gen = gen
+        #: Stream name, used only to label fault-injection hooks and
+        #: discard events.
+        self.name = name
         #: "host:port" of this process's peer server once a peer-enabled
         #: reader attached; None while the cache is private.
         self.peer_addr: Optional[str] = None
@@ -253,11 +263,22 @@ class _SharedStreamCache:
         """
         if not data:
             return
+        data = bytes(data)
+        # Checksum *before* the poison hook: a "corrupt" rule on
+        # gb.cache flips a bit in the stored copy while the recorded
+        # crc stays honest — exactly the shape of real memory rot, and
+        # what the serve-time verify in get()/peek_range() must catch.
+        crc = ioutil.crc32(data)
+        injector = faults.ACTIVE
+        if injector is not None:
+            if injector.fire("gb.cache", "put", self.name) == "corrupt":
+                data = injector.corrupt_bytes(data)
         with self._lock:
             if offset in self._entries:
                 self._entries.move_to_end(offset)
                 return
-            self._entries[offset] = bytes(data)
+            self._entries[offset] = data
+            self._crcs[offset] = crc
             insort(self._index, offset)
             self._max_len = max(self._max_len, len(data))
             self._bytes += len(data)
@@ -267,6 +288,7 @@ class _SharedStreamCache:
                 self._pending_hold_bytes += len(data)
             while self._bytes > self._capacity and len(self._entries) > 1:
                 old_off, old = self._entries.popitem(last=False)
+                self._crcs.pop(old_off, None)
                 self._bytes -= len(old)
                 i = bisect_left(self._index, old_off)
                 if i < len(self._index) and self._index[i] == old_off:
@@ -281,6 +303,30 @@ class _SharedStreamCache:
             runs[-1][1] = end
         else:
             runs.append([start, end])
+
+    def _verify_locked(self, off: int, data: bytes) -> bool:
+        """Serve-time integrity check; a corrupt run is discarded.
+
+        The discard is also queued as a holder-map *drop* so the origin
+        stops hinting peers at bytes we can no longer vouch for, and
+        the caller sees a plain miss — readers fall through to the
+        origin, which is always authoritative.
+        """
+        want = self._crcs.get(off)
+        if want is None or ioutil.crc32(data) == want:
+            return True
+        del self._entries[off]
+        self._crcs.pop(off, None)
+        self._bytes -= len(data)
+        i = bisect_left(self._index, off)
+        if i < len(self._index) and self._index[i] == off:
+            del self._index[i]
+        self._note_range_locked(self._pending_drops, off, off + len(data))
+        ioutil.count_integrity_error("gb.cache", "discard")
+        obs.event(
+            "gb.cache_discard", stream=self.name, offset=off, length=len(data)
+        )
+        return False
 
     def take_adv(
         self, force: bool = False, threshold: int = _ADV_FLUSH_BYTES
@@ -334,6 +380,8 @@ class _SharedStreamCache:
                 return None
             off = self._index[start]
             data = self._entries[off]
+            if not self._verify_locked(off, data):
+                return None
             parts = [data[pos - off : pos - off + length]]
             got = len(parts[0])
             end = off + len(data)
@@ -344,6 +392,10 @@ class _SharedStreamCache:
                 if noff != end:
                     break
                 ndata = self._entries[noff]
+                if not self._verify_locked(noff, ndata):
+                    # Serve the verified prefix; the peer re-requests
+                    # the rest (discard shrank _index, so stop here).
+                    break
                 take = min(length - got, len(ndata))
                 parts.append(ndata[:take])
                 got += take
@@ -361,6 +413,8 @@ class _SharedStreamCache:
                     break
                 data = self._entries.get(off)
                 if data is not None and off <= pos < off + len(data):
+                    if not self._verify_locked(off, data):
+                        return None
                     self._entries.move_to_end(off)
                     self.hits += 1
                     return data[pos - off :] if off != pos else data
@@ -398,7 +452,7 @@ def _shared_cache_acquire(
     with _SHARED_CACHES_LOCK:
         cache = _SHARED_CACHES.get(key)
         if cache is None:
-            cache = _SHARED_CACHES[key] = _SharedStreamCache(gen=int(gen))
+            cache = _SHARED_CACHES[key] = _SharedStreamCache(gen=int(gen), name=stream)
         cache.refs += 1
         return cache
 
@@ -466,7 +520,7 @@ class _PeerCacheServer:
             # Not an error worth retrying elsewhere in the transport:
             # the fetcher treats a miss as a hint gone stale.
             raise RpcError("peer-miss", f"{name}@{offset} not cached here")
-        return {"crc": zlib.crc32(data) & 0xFFFFFFFF}, data
+        return {"crc": ioutil.crc32(data)}, data
 
 
 # ---------------------------------------------------------------------------
@@ -796,7 +850,7 @@ class GridBufferClient:
             raise RpcError(
                 "peer-bad-length", f"peer {peer} sent {len(data)} bytes for {length}"
             )
-        if (zlib.crc32(data) & 0xFFFFFFFF) != int(reply.get("crc", -1)):
+        if ioutil.crc32(data) != int(reply.get("crc", -1)):
             raise RpcError("peer-bad-crc", f"checksum mismatch from peer {peer}")
         if self.monitor is not None:
             self.monitor.record(peer, "peer_read", len(data), elapsed)
@@ -1688,6 +1742,7 @@ class _ReadAheadWindow:
                 if exc.kind == "peer-miss":
                     self._strike(peer)
                 elif exc.kind in ("peer-bad-crc", "peer-bad-length"):
+                    ioutil.count_integrity_error("gb.peer", "demote")
                     self._demote(peer, "checksum")
                 else:
                     self._demote(peer, "error")

@@ -94,9 +94,12 @@ OP_CONSUME_MULTI = "gb.consume_multi"
 #: mirrors), ``name``, ``gen`` (stream generation), ``offset``,
 #: ``length``.  Reply payload is the available prefix of the requested
 #: range (never blocks, never waits for the writer) plus ``crc``
-#: (zlib.crc32 of the payload) so the fetcher can verify integrity
-#: before trusting a peer; a range the cache does not cover is a
-#: ``peer-miss`` error.  Correctness never depends on this op: any
-#: error, timeout or checksum/length mismatch demotes the peer and the
-#: fetcher re-requests from the origin.
+#: (masked zlib.crc32 of the payload, :func:`repro.ioutil.crc32`) so
+#: the fetcher can verify integrity before trusting a peer; a range the
+#: cache does not cover is a ``peer-miss`` error.  The serving cache
+#: re-verifies each run against its insert-time checksum before
+#: answering, so a run that rotted in the holder's memory becomes a
+#: miss rather than a poisoned reply (PR 9).  Correctness never depends
+#: on this op: any error, timeout or checksum/length mismatch demotes
+#: the peer and the fetcher re-requests from the origin.
 OP_PEER_READ = "gb.peer_read"

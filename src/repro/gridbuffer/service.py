@@ -569,7 +569,9 @@ class GridBufferService:
             raise ValueError("offset must be >= 0")
         injector = faults.ACTIVE
         if injector is not None:
-            injector.fire("gb.service", "write", name)
+            # On the event loop: await, so a delay rule stalls only this
+            # handler, not every connection sharing the loop.
+            await injector.fire_async("gb.service", "write", name)
         st = self._stream(name)
         if not data:
             return None
@@ -597,7 +599,7 @@ class GridBufferService:
                 raise ValueError("offset must be >= 0")
         injector = faults.ACTIVE
         if injector is not None:
-            injector.fire("gb.service", "write_multi", name)
+            await injector.fire_async("gb.service", "write_multi", name)
         st = self._stream(name)
         if st.cache is not None:
             loop = asyncio.get_running_loop()
@@ -872,7 +874,7 @@ class GridBufferService:
             raise ValueError("offset/length must be >= 0")
         injector = faults.ACTIVE
         if injector is not None:
-            injector.fire("gb.service", "read", name)
+            await injector.fire_async("gb.service", "read", name)
         min_bytes = max(1, min(min_bytes, length)) if length else 0
         st = self._stream(name)
         loop = asyncio.get_running_loop()

@@ -42,7 +42,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Deque, Dict, Iterable, Optional, Set, Tuple
 
-from .. import faults, obs
+from .. import faults, ioutil, obs
 from ..obs import ops as obs_ops
 from .tcp import (
     _CLIENT_CALLS,
@@ -57,16 +57,23 @@ from .tcp import (
     RpcError,
 )
 from .wire import (
+    CRC_TRAILER,
+    CRC_TRAILER_SIZE,
+    FLAG_CRC,
+    KNOWN_FLAGS,
     MAGIC,
     PREAMBLE,
     PREAMBLE_SIZE,
     TRACE_KEY,
     WIRE_KEY,
     WIRE_VERSION,
+    IntegrityError,
     WireError,
+    advert_has_crc,
     build_binary_frame,
     build_json_frame,
     decode_binary_header,
+    wire_advert,
 )
 
 __all__ = ["AsyncRpcServer", "AsyncRpcClient", "get_engine"]
@@ -231,22 +238,38 @@ async def read_frame_async(
 
     The codec is sniffed off the first byte: ``0xB1`` marks a binary
     frame, anything else is the high byte of a legacy JSON header
-    length (always 0x00/0x01 because of ``MAX_HEADER``).
+    length (always 0x00/0x01 because of ``MAX_HEADER``).  A binary
+    frame carrying ``FLAG_CRC`` has its trailer consumed and verified
+    here and reports codec ``"binary+crc"``, so repliers can echo the
+    sender's protection level frame-for-frame.
     """
     try:
         b0 = await reader.readexactly(1)
         if b0[0] == MAGIC:
             raw = b0 + await reader.readexactly(PREAMBLE_SIZE - 1)
-            _magic, version, _flags, opid, flen, plen = PREAMBLE.unpack(raw)
+            _magic, version, flags, opid, flen, plen = PREAMBLE.unpack(raw)
             if version != WIRE_VERSION:
                 raise FrameError(f"unsupported wire version {version}")
+            if flags & ~KNOWN_FLAGS:
+                raise FrameError(f"unsupported wire flags 0x{flags:02x}")
             fields = await reader.readexactly(flen) if flen else b""
             payload = await reader.readexactly(plen) if plen else b""
+            want_crc = -1
+            if flags & FLAG_CRC:
+                want_crc = CRC_TRAILER.unpack(await reader.readexactly(CRC_TRAILER_SIZE))[0]
             try:
                 header = decode_binary_header(opid, fields, plen)
             except WireError as exc:
                 raise FrameError(f"bad binary header: {exc}") from exc
-            return header, payload, "binary"
+            if want_crc < 0:
+                return header, payload, "binary"
+            got = ioutil.crc32(payload)
+            if got != want_crc:
+                raise IntegrityError(
+                    f"payload CRC mismatch on {header.get('op', '?')!r} frame: "
+                    f"got {got:#010x} want {want_crc:#010x} ({plen} bytes)"
+                )
+            return header, payload, "binary+crc"
         raw = b0 + await reader.readexactly(3)
         hlen = int.from_bytes(raw, "big")
         if hlen > MAX_HEADER:
@@ -284,15 +307,29 @@ class _FrameQueue:
         self.frames = 0
 
     def push_frame(
-        self, scratch: bytearray, header: Dict[str, Any], payload: bytes, codec: str
+        self,
+        scratch: bytearray,
+        header: Dict[str, Any],
+        payload: bytes,
+        codec: str,
+        corrupter=None,
     ) -> None:
-        if codec == "binary":
-            build_binary_frame(scratch, header, len(payload))
-        else:
+        """Queue one frame; ``corrupter`` (chaos only) flips payload bits
+        *after* the CRC trailer is computed, modelling wire corruption."""
+        if codec == "json":
             build_json_frame(scratch, header, len(payload))
+            trailer = b""
+        else:
+            crc_on = codec == "binary+crc"
+            build_binary_frame(scratch, header, len(payload), FLAG_CRC if crc_on else 0)
+            trailer = CRC_TRAILER.pack(ioutil.crc32(payload)) if crc_on else b""
+        if corrupter is not None and payload:
+            payload = corrupter.corrupt_bytes(bytes(payload))
         self.buf += scratch
         if payload:
             self.buf += payload
+        if trailer:
+            self.buf += trailer
         self.frames += 1
         if not self.scheduled:
             self.scheduled = True
@@ -441,14 +478,19 @@ class AsyncRpcServer:
         codec: str,
         probe: bool,
         rctx: Optional[obs.SpanContext] = None,
-    ) -> Tuple[Dict[str, Any], bytes, str]:
+        corrupter=None,
+    ) -> Tuple[Dict[str, Any], bytes, str, Any]:
         """Execute one handler and package its reply for the reply pump."""
         if self._sem is not None and (
             self._inflight_ops is None or op in self._inflight_ops
         ):
             async with self._sem:
-                return await self._run_one_admitted(op, entry, header, payload, codec, probe, rctx)
-        return await self._run_one_admitted(op, entry, header, payload, codec, probe, rctx)
+                return await self._run_one_admitted(
+                    op, entry, header, payload, codec, probe, rctx, corrupter
+                )
+        return await self._run_one_admitted(
+            op, entry, header, payload, codec, probe, rctx, corrupter
+        )
 
     async def _run_one_admitted(
         self,
@@ -459,7 +501,8 @@ class AsyncRpcServer:
         codec: str,
         probe: bool,
         rctx: Optional[obs.SpanContext] = None,
-    ) -> Tuple[Dict[str, Any], bytes, str]:
+        corrupter=None,
+    ) -> Tuple[Dict[str, Any], bytes, str, Any]:
         if self.simulated_latency:
             await asyncio.sleep(2.0 * self.simulated_latency)
         tracer = obs.get_tracer()
@@ -516,8 +559,8 @@ class AsyncRpcServer:
                 span, error=None if reply.get("ok") else str(reply.get("error"))
             )
         if probe:
-            reply[WIRE_KEY] = WIRE_VERSION
-        return reply, data, codec
+            reply[WIRE_KEY] = wire_advert()
+        return reply, data, codec, corrupter
 
     async def _serve_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -549,10 +592,10 @@ class AsyncRpcServer:
                     await wake.wait()
                 _PUMP_QUEUE.set(len(order))
                 item = order[0]
-                reply, data, codec = item if isinstance(item, tuple) else await item
+                reply, data, codec, corrupter = item if isinstance(item, tuple) else await item
                 order.popleft()
                 try:
-                    outq.push_frame(pump_scratch, reply, data, codec)
+                    outq.push_frame(pump_scratch, reply, data, codec, corrupter)
                     await writer.drain()
                 except (OSError, ConnectionError):  # fault-ok: peer hung up mid-reply
                     return
@@ -568,6 +611,14 @@ class AsyncRpcServer:
             while True:
                 try:
                     header, payload, codec = await read_frame_async(reader)
+                except IntegrityError:
+                    # Corrupted request frame.  The stream itself is back
+                    # in sync (the full frame was consumed), but the
+                    # request cannot be trusted — count the detection and
+                    # drop the connection so the client redials and
+                    # re-sends under its idempotency gate.
+                    ioutil.count_integrity_error("rpc.server", "close")
+                    return
                 except (FrameError, OSError):  # fault-ok: peer hung up; normal teardown
                     return
                 op = header.get("op", "")
@@ -580,16 +631,20 @@ class AsyncRpcServer:
                 # error, injected fault) must echo the advertisement or
                 # the client mis-pins JSON.
                 probe = codec == "json" and WIRE_KEY in header
+                corrupter = None
                 injector = faults.ACTIVE
                 if injector is not None:
                     try:
-                        verdict = injector.fire("rpc.server", op, self.peer_name)
+                        # fire_async, not fire: a sync sleep for a delay
+                        # rule here would stall every connection on the
+                        # shared loop (the stall watchdog flags it).
+                        verdict = await injector.fire_async("rpc.server", op, self.peer_name)
                     except faults.InjectedFault as exc:
                         reply = {"ok": False, "error": "injected-fault", "message": str(exc)}
                         if probe:
-                            reply[WIRE_KEY] = WIRE_VERSION
+                            reply[WIRE_KEY] = wire_advert()
                         if order:
-                            _enqueue((reply, b"", codec))
+                            _enqueue((reply, b"", codec, None))
                             continue
                         try:
                             outq.push_frame(scratch, reply, b"", codec)
@@ -597,7 +652,12 @@ class AsyncRpcServer:
                         except (OSError, ConnectionError):  # fault-ok: peer already gone
                             return
                         continue
-                    if verdict is not None:
+                    if verdict == "corrupt":
+                        # Serve the request but flip bits in the reply
+                        # payload after checksumming (the pump applies it):
+                        # the connection stays healthy, the data is wrong.
+                        corrupter = injector
+                    elif verdict is not None:
                         # "drop": swallow the request and close (FIN);
                         # "close": reset so the client's pending recv
                         # fails immediately (matches the threaded
@@ -650,9 +710,9 @@ class AsyncRpcServer:
                             span, error=None if reply.get("ok") else str(reply.get("error"))
                         )
                     if probe:
-                        reply[WIRE_KEY] = WIRE_VERSION
+                        reply[WIRE_KEY] = wire_advert()
                     try:
-                        outq.push_frame(scratch, reply, data, codec)
+                        outq.push_frame(scratch, reply, data, codec, corrupter)
                         await writer.drain()
                     except (OSError, ConnectionError):  # fault-ok: peer hung up mid-reply
                         return
@@ -668,7 +728,7 @@ class AsyncRpcServer:
                 _PIPELINE_DEPTH.observe(len(order) + 1)
                 _enqueue(
                     loop.create_task(
-                        self._run_one(op, entry, header, payload, codec, probe, rctx)
+                        self._run_one(op, entry, header, payload, codec, probe, rctx, corrupter)
                     )
                 )
         finally:
@@ -731,6 +791,7 @@ class AsyncRpcClient:
         timeout: Optional[float] = None,
         wire: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
+        crc: Optional[bool] = None,
     ):
         self._addr = (host, port)
         self._peer = f"{host}:{port}"
@@ -741,6 +802,9 @@ class AsyncRpcClient:
         if forced not in (None, "json", "binary"):
             raise ValueError(f"wire must be 'json' or 'binary', not {forced!r}")
         self._forced = forced
+        if crc is None:
+            crc = os.environ.get("REPRO_WIRE_CRC", "1") != "0"
+        self._want_crc = bool(crc)
         self._codec: Optional[str] = forced  # None until negotiated
         self._conn: Optional[_Conn] = None
         self._scratch = bytearray(256)
@@ -795,7 +859,11 @@ class AsyncRpcClient:
                 return await self._dispatch(op, msg, payload)
             except (OSError, FrameError, asyncio.TimeoutError) as exc:
                 self._teardown()
-                if self._codec == "binary" and self._forced is None:
+                if isinstance(exc, IntegrityError):
+                    # Healthy peer, corrupted frame: keep the pinned
+                    # codec, count the detection, re-request.
+                    ioutil.count_integrity_error("rpc.client", "retry")
+                elif self._codec not in (None, "json") and self._forced is None:
                     self._codec = None  # re-probe after a connection loss
                 _CLIENT_ERRORS.labels(op=op, kind=type(exc).__name__).inc()
                 if attempt >= attempts:
@@ -838,10 +906,19 @@ class AsyncRpcClient:
                 codec = "json"
                 send_msg = dict(msg)
                 send_msg[WIRE_KEY] = WIRE_VERSION
+            corrupter = None
             injector = faults.ACTIVE
             if injector is not None:
-                verdict = injector.fire("rpc.client", op, self._peer)
-                if verdict is not None and conn.writer.transport is not None:
+                # fire_async: this coroutine runs on the caller's loop, so
+                # a sync sleep for a delay rule would stall every
+                # pipelined call sharing it.
+                verdict = await injector.fire_async("rpc.client", op, self._peer)
+                if verdict == "corrupt":
+                    # Flip bits in the outgoing request payload after
+                    # checksumming (applied in push_frame): only the
+                    # server's CRC check can notice.
+                    corrupter = injector
+                elif verdict is not None and conn.writer.transport is not None:
                     # Kill the connection under the call so the real
                     # send/recv path fails organically (same as sync client).
                     conn.writer.transport.abort()
@@ -856,7 +933,7 @@ class AsyncRpcClient:
                 conn.watchdog = loop.call_later(
                     self._timeout, self._watchdog_fire, conn
                 )
-            conn.outq.push_frame(self._scratch, send_msg, payload, codec)
+            conn.outq.push_frame(self._scratch, send_msg, payload, codec, corrupter)
             await conn.writer.drain()
         finally:
             if not probe:
@@ -919,7 +996,13 @@ class AsyncRpcClient:
                 reply, data, _ = await read_frame_async(conn.reader)
                 probe, fut, _deadline = conn.pending.popleft()
                 if probe and self._forced is None:
-                    self._codec = "binary" if reply.get(WIRE_KEY) is not None else "json"
+                    advert = reply.get(WIRE_KEY)
+                    if advert is None:
+                        self._codec = "json"
+                    elif self._want_crc and advert_has_crc(advert):
+                        self._codec = "binary+crc"
+                    else:
+                        self._codec = "binary"
                 reply.pop(WIRE_KEY, None)
                 if not fut.done():  # timed-out callers abandon cancelled futures
                     fut.set_result((reply, data))

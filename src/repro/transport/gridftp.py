@@ -235,15 +235,25 @@ class GridFtpClient:
     # -- observability -------------------------------------------------------
     def _timed(self, op: str, rpc: RpcClient, header: Dict[str, Any], payload: bytes = b""):
         """One RPC round trip, always metered, monitor-recorded if present."""
+        corrupter = None
         injector = faults.ACTIVE
-        if injector is not None and injector.fire("gridftp", op, self.peer) is not None:
-            # There is no single socket to act on at this layer, so
-            # close/drop verdicts degrade to a connection error; the
-            # bulk-copy resume path is what recovers from it.
-            raise faults.InjectedFault(f"injected fault: gridftp {op} to {self.peer}")
+        if injector is not None:
+            verdict = injector.fire("gridftp", op, self.peer)
+            if verdict == "corrupt":
+                # Flip bits in the *received* block after the transfer:
+                # corruption past the wire CRC (disk, memory), which only
+                # the whole-file ``checksum`` re-verification can catch.
+                corrupter = injector
+            elif verdict is not None:
+                # There is no single socket to act on at this layer, so
+                # close/drop verdicts degrade to a connection error; the
+                # bulk-copy resume path is what recovers from it.
+                raise faults.InjectedFault(f"injected fault: gridftp {op} to {self.peer}")
         t0 = time.perf_counter()
         reply, data = rpc.call(op, header, payload=payload)
         elapsed = time.perf_counter() - t0
+        if corrupter is not None and data:
+            data = corrupter.corrupt_bytes(data)
         nbytes = max(len(payload), len(data))
         _RPC_SECONDS.labels(peer=self.peer, op=op).observe(elapsed)
         _RPC_BYTES.labels(peer=self.peer, op=op).inc(nbytes)

@@ -46,16 +46,22 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from .. import faults, obs
+from .. import faults, ioutil, obs
 from ..obs import ops as obs_ops
 from .wire import (
+    CRC_TRAILER,
+    CRC_TRAILER_SIZE,
+    FLAG_CRC,
+    KNOWN_FLAGS,
     MAGIC,
     PREAMBLE,
     PREAMBLE_SIZE,
     TRACE_KEY,
     WIRE_KEY,
     WIRE_VERSION,
+    IntegrityError,
     WireError,
+    advert_has_crc,
     build_binary_frame,
     build_json_frame,
     decode_binary_header,
@@ -65,6 +71,7 @@ __all__ = [
     "send_frame",
     "recv_frame",
     "FrameError",
+    "IntegrityError",
     "RpcServer",
     "ThreadedRpcServer",
     "RpcClient",
@@ -222,27 +229,40 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 _tls = threading.local()
 
 
-def _send_prebuilt(sock: socket.socket, scratch: bytearray, payload: memoryview) -> None:
+def _send_prebuilt(
+    sock: socket.socket, scratch: bytearray, payload: memoryview, trailer: bytes = b""
+) -> None:
     """Send a frame whose header is already encoded into ``scratch``.
 
     Small payloads are appended to the scratch buffer for one
     contiguous ``sendall`` (one syscall, no new buffer); large ones go
     out via a gather write so a pre-assembled reply is never copied.
+    ``trailer`` (the CRC bytes of a checksummed frame) rides the same
+    syscall in both regimes.
     """
     if len(payload) < _SENDMSG_THRESHOLD or not hasattr(sock, "sendmsg"):
         scratch += payload
+        if trailer:
+            scratch += trailer
         sock.sendall(scratch)
         return
     hview = memoryview(scratch)
     try:
-        total = len(hview) + len(payload)
-        sent = sock.sendmsg([hview, payload])
+        segments: List[memoryview] = [hview, payload]
+        if trailer:
+            segments.append(memoryview(trailer))
+        total = sum(len(seg) for seg in segments)
+        sent = sock.sendmsg(segments)
         while sent < total:
-            if sent < len(hview):
-                sent += sock.sendmsg([hview[sent:], payload])
-            else:
-                off = sent - len(hview)
-                sent += sock.send(payload[off:])
+            skip = sent
+            pending: List[memoryview] = []
+            for seg in segments:
+                if skip >= len(seg):
+                    skip -= len(seg)
+                    continue
+                pending.append(seg[skip:] if skip else seg)
+                skip = 0
+            sent += sock.sendmsg(pending)
     finally:
         # Release before returning: a live export would make the next
         # frame's buffer reuse (del scratch[:]) raise BufferError.
@@ -330,6 +350,7 @@ class ThreadedRpcServer:
                     if outer.simulated_latency:
                         time.sleep(2.0 * outer.simulated_latency)
                     op = header.get("op", "")
+                    corrupt_reply = False
                     injector = faults.ACTIVE
                     if injector is not None:
                         try:
@@ -341,7 +362,12 @@ class ThreadedRpcServer:
                             except OSError:  # fault-ok: peer already gone
                                 return
                             continue
-                        if verdict is not None:
+                        if verdict == "corrupt":
+                            # Serve the request but flip bits in the reply
+                            # payload: the connection stays healthy, only
+                            # the data is wrong.
+                            corrupt_reply = True
+                        elif verdict is not None:
                             # "drop": swallow the request, no reply, kill the
                             # connection; "close": also reset both directions so
                             # the client's pending recv fails immediately.
@@ -365,6 +391,8 @@ class ThreadedRpcServer:
                     except Exception as exc:  # noqa: BLE001 - reply with error
                         reply, data = {"ok": False, "error": type(exc).__name__, "message": str(exc)}, b""
                         _SERVER_REQUESTS.labels(op=op, status="error").inc()
+                    if corrupt_reply and data and injector is not None:
+                        data = injector.corrupt_bytes(data)
                     try:
                         send_frame(sock, reply, data)
                     except OSError:  # fault-ok: peer hung up mid-reply; teardown
@@ -490,31 +518,65 @@ def _conn_recv_payload(conn: _Conn, n: int) -> bytes:
     return bytes(out)
 
 
-def _conn_send_frame(conn: _Conn, header: Dict[str, Any], payload, codec: str) -> None:
+def _conn_send_frame(
+    conn: _Conn, header: Dict[str, Any], payload, codec: str, corrupter=None
+) -> None:
+    """Send one frame in ``codec`` framing.
+
+    ``corrupter`` (a :class:`repro.faults.FaultInjector`, chaos only)
+    flips payload bits *after* any CRC trailer is computed — modelling
+    corruption on the wire, which is exactly what the trailer exists to
+    catch.
+    """
     payload = memoryview(payload)
-    if codec == "binary":
-        build_binary_frame(conn.scratch, header, len(payload))
-    else:
+    if codec == "json":
         build_json_frame(conn.scratch, header, len(payload))
-    _send_prebuilt(conn.sock, conn.scratch, payload)
+        trailer = b""
+    else:
+        crc_on = codec == "binary+crc"
+        build_binary_frame(conn.scratch, header, len(payload), FLAG_CRC if crc_on else 0)
+        trailer = CRC_TRAILER.pack(ioutil.crc32(payload)) if crc_on else b""
+    if corrupter is not None and len(payload):
+        payload = memoryview(corrupter.corrupt_bytes(bytes(payload)))
+    _send_prebuilt(conn.sock, conn.scratch, payload, trailer)
 
 
 def _conn_recv_frame(conn: _Conn) -> Tuple[Dict[str, Any], bytes]:
-    """Receive one reply in either framing (sniffed off the first byte)."""
+    """Receive one reply in either framing (sniffed off the first byte).
+
+    A checksummed binary frame (``FLAG_CRC``) has its 4-byte trailer
+    consumed and verified here; a mismatch raises
+    :class:`IntegrityError` *after* the stream position is restored
+    past the full frame, so the failure is about the data, not framing.
+    """
     _conn_fill(conn, 1)
     if conn.rbuf[0] == MAGIC:
         _conn_fill(conn, PREAMBLE_SIZE)
-        _magic, version, _flags, opid, flen, plen = PREAMBLE.unpack_from(conn.rbuf, 0)
+        _magic, version, flags, opid, flen, plen = PREAMBLE.unpack_from(conn.rbuf, 0)
         del conn.rbuf[:PREAMBLE_SIZE]
         if version != WIRE_VERSION:
             raise FrameError(f"unsupported wire version {version}")
+        if flags & ~KNOWN_FLAGS:
+            # Unknown flags may imply trailer bytes we cannot account
+            # for — reading on would desynchronise the stream.
+            raise FrameError(f"unsupported wire flags 0x{flags:02x}")
         _conn_fill(conn, flen)
         fields = _conn_take(conn, flen)
         payload = _conn_recv_payload(conn, plen)
+        want_crc = -1
+        if flags & FLAG_CRC:
+            want_crc = CRC_TRAILER.unpack(_conn_recv_payload(conn, CRC_TRAILER_SIZE))[0]
         try:
             header = decode_binary_header(opid, fields, plen)
         except WireError as exc:
             raise FrameError(f"bad binary header: {exc}") from exc
+        if want_crc >= 0:
+            got = ioutil.crc32(payload)
+            if got != want_crc:
+                raise IntegrityError(
+                    f"payload CRC mismatch on {header.get('op', '?')!r} frame: "
+                    f"got {got:#010x} want {want_crc:#010x} ({plen} bytes)"
+                )
         return header, payload
     _conn_fill(conn, 4)
     hlen = int.from_bytes(conn.rbuf[:4], "big")
@@ -552,6 +614,13 @@ class RpcClient:
     stays on JSON.  A connection-level failure while pinned to binary
     un-pins (the peer may have been downgraded mid-flight), so the next
     attempt re-probes with a frame any server can parse.
+
+    The same probe negotiates per-frame CRC: a server that advertises
+    the ``"crc"`` capability in its probe reply gets checksummed binary
+    frames from then on (the ``FLAG_CRC`` trailer, verified both ways),
+    unless ``crc=False`` or ``REPRO_WIRE_CRC=0`` opts out.  Neither
+    side ever sends a trailer to a peer that has not advertised it, so
+    mixed-version fleets interoperate unchecksummed.
     """
 
     def __init__(
@@ -562,6 +631,7 @@ class RpcClient:
         max_connections: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         wire: Optional[str] = None,
+        crc: Optional[bool] = None,
     ):
         self._addr = (host, port)
         self._peer = f"{host}:{port}"
@@ -574,6 +644,9 @@ class RpcClient:
         if forced not in (None, "json", "binary"):
             raise ValueError(f"wire must be 'json' or 'binary', not {forced!r}")
         self._forced = forced
+        if crc is None:
+            crc = os.environ.get("REPRO_WIRE_CRC", "1") != "0"
+        self._want_crc = bool(crc)
         self._codec: Optional[str] = forced  # None until negotiated
         self._cv = threading.Condition()
         self._idle: List[_Conn] = []
@@ -594,6 +667,7 @@ class RpcClient:
             max_connections=self._max,
             retry=self._retry,
             wire=self._forced,
+            crc=self._want_crc,
         )
 
     def _new_conn(self) -> _Conn:
@@ -738,24 +812,35 @@ class RpcClient:
                     codec = "json"
                     send_msg = dict(msg)
                     send_msg[WIRE_KEY] = WIRE_VERSION
+                corrupter = None
                 injector = faults.ACTIVE
                 if injector is not None:
                     verdict = injector.fire("rpc.client", op, self._peer)
-                    if verdict is not None:
+                    if verdict == "corrupt":
+                        # Flip bits in the outgoing request payload (after
+                        # checksumming): the socket stays up; only the
+                        # receiver's CRC check can notice.
+                        corrupter = injector
+                    elif verdict is not None:
                         # "close"/"drop": kill the connection under the call so
                         # the real send/recv path fails organically.
                         try:
                             conn.sock.shutdown(socket.SHUT_RDWR)
                         except OSError:  # fault-ok: socket already dead
                             pass
-                _conn_send_frame(conn, send_msg, payload, codec)
+                _conn_send_frame(conn, send_msg, payload, codec, corrupter)
                 reply, data = _conn_recv_frame(conn)
             except (PoolTimeout, ClientClosedError):
                 raise  # pool exhaustion / shutdown: retrying cannot help
             except (OSError, FrameError) as exc:
                 if conn is not None:
                     self._discard(conn, gen)
-                if self._codec == "binary" and self._forced is None:
+                if isinstance(exc, IntegrityError):
+                    # The peer is healthy and still speaks the pinned
+                    # codec — the data was corrupted.  Keep the codec,
+                    # count the detection, and re-request the frame.
+                    ioutil.count_integrity_error("rpc.client", "retry")
+                elif self._codec not in (None, "json") and self._forced is None:
                     # The peer may have been bounced onto an older build
                     # that cannot parse binary frames; forget the pinned
                     # codec so the next attempt re-probes with JSON.
@@ -774,7 +859,13 @@ class RpcClient:
             break
         self._checkin(conn, gen)
         if probe:
-            self._codec = "binary" if reply.get(WIRE_KEY) is not None else "json"
+            advert = reply.get(WIRE_KEY)
+            if advert is None:
+                self._codec = "json"
+            elif self._want_crc and advert_has_crc(advert):
+                self._codec = "binary+crc"
+            else:
+                self._codec = "binary"
         reply.pop(WIRE_KEY, None)
         if not reply.get("ok", False):
             kind = reply.get("error", "remote-error")

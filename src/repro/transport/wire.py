@@ -71,6 +71,10 @@ __all__ = [
     "PREAMBLE_SIZE",
     "WIRE_KEY",
     "TRACE_KEY",
+    "FLAG_CRC",
+    "KNOWN_FLAGS",
+    "CRC_TRAILER",
+    "CRC_TRAILER_SIZE",
     "OPS",
     "op_id",
     "op_name",
@@ -79,7 +83,10 @@ __all__ = [
     "build_binary_frame",
     "build_json_frame",
     "decode_binary_header",
+    "wire_advert",
+    "advert_has_crc",
     "WireError",
+    "IntegrityError",
 ]
 
 #: First byte of every binary frame.  A legacy JSON frame starts with
@@ -105,11 +112,60 @@ WIRE_KEY = "_wire"
 #: table; no renegotiation is needed in either codec.
 TRACE_KEY = "_trace"
 
+#: Preamble flag bit: the frame's payload is followed by a 4-byte
+#: big-endian crc32 trailer computed over the payload bytes (masked to
+#: unsigned, :func:`repro.ioutil.crc32`).  The trailer covers *only*
+#: the payload — the preamble and field table are length-delimited and
+#: structurally validated, while the payload is the part that flows
+#: through opaque bulk-copy paths where a flipped bit survives parsing.
+FLAG_CRC = 0x01
+
+#: Mask of flag bits this build understands.  A frame carrying any
+#: other bit is refused (we cannot know how many trailer bytes it
+#: implies, so reading on would desynchronise the stream).
+KNOWN_FLAGS = FLAG_CRC
+
+CRC_TRAILER = struct.Struct(">I")
+CRC_TRAILER_SIZE = CRC_TRAILER.size
+
 _FLOAT = struct.Struct(">d")
 
 
 class WireError(ValueError):
     """Malformed binary field table."""
+
+
+class IntegrityError(OSError):
+    """A frame or block failed checksum verification.
+
+    Deliberately *not* a :class:`ConnectionError`: the connection is
+    healthy, the data is wrong.  It still subclasses :class:`OSError`
+    so every recovery path built in PRs 4–8 (idempotency-gated RPC
+    retries, replica failover, copy-in resume, GNS degradation) treats
+    a detected corruption exactly like any other transient IO failure:
+    drop the tainted source, re-request from a clean one.
+    """
+
+
+def wire_advert() -> list:
+    """The server's ``_wire`` probe reply value.
+
+    Old clients only check the key for presence, so the value can carry
+    capability detail: a list ``[WIRE_VERSION, "crc", ...]``.  Old
+    servers still reply with the bare integer ``WIRE_VERSION``; new
+    clients accept both shapes via :func:`advert_has_crc`.
+    """
+    return [WIRE_VERSION, "crc"]
+
+
+def advert_has_crc(advert: Any) -> bool:
+    """True if a probe reply advertises per-frame CRC support.
+
+    A sender must never set :data:`FLAG_CRC` toward a peer that did not
+    advertise it — an old receiver ignores the flags byte and would
+    read the 4 trailer bytes as the next frame's start.
+    """
+    return isinstance(advert, (list, tuple)) and "crc" in advert
 
 
 # ---------------------------------------------------------------------------
@@ -340,13 +396,15 @@ def decode_fields(buf) -> Dict[str, Any]:
 
 
 def build_binary_frame(
-    scratch: bytearray, header: Mapping[str, Any], payload_len: int
+    scratch: bytearray, header: Mapping[str, Any], payload_len: int, flags: int = 0
 ) -> None:
     """Encode preamble + field table into ``scratch`` (cleared first).
 
     The payload itself is *not* appended — the caller either appends it
     (small frames: one ``sendall``) or gathers it (``sendmsg`` /
-    separate ``write``), so large payloads are never copied here.
+    separate ``write``), so large payloads are never copied here.  When
+    ``flags`` includes :data:`FLAG_CRC` the caller is also responsible
+    for appending the 4-byte payload-CRC trailer after the payload.
     """
     del scratch[:]
     scratch += b"\x00" * PREAMBLE_SIZE
@@ -358,7 +416,7 @@ def build_binary_frame(
     else:
         encode_fields(header, scratch)
     fields_len = len(scratch) - PREAMBLE_SIZE
-    PREAMBLE.pack_into(scratch, 0, MAGIC, WIRE_VERSION, 0, opid, fields_len, payload_len)
+    PREAMBLE.pack_into(scratch, 0, MAGIC, WIRE_VERSION, flags, opid, fields_len, payload_len)
 
 
 def build_json_frame(

@@ -473,10 +473,17 @@ class TestWireNegotiation:
             assert client._codec is None
             reply, _ = client.call("echo", {"msg": "hi"})
             assert reply["echo"] == "hi"
-            assert client._codec == "binary"
+            # A new server advertises CRC alongside binary framing, so
+            # the default negotiation pins checksummed binary frames.
+            assert client._codec == "binary+crc"
             blob = b"x" * 100_000
             _, got = client.call("echo", {}, blob)
             assert got == blob
+
+    def test_crc_opt_out_pins_plain_binary(self):
+        with _make_server("async") as server, RpcClient(*server.address, crc=False) as client:
+            client.call("echo", {"msg": "hi"})
+            assert client._codec == "binary"
 
     def test_pins_json_against_threaded_server(self):
         with _make_server("threaded") as server, RpcClient(*server.address) as client:
@@ -530,7 +537,7 @@ class TestWireNegotiation:
         client = RpcClient(host, port)
         try:
             client.call("echo", {"msg": "1"})
-            assert client._codec == "binary"
+            assert client._codec == "binary+crc"
             server.stop()
             server.disconnect_all()
             with _make_server("threaded", host, port) as old:
@@ -559,7 +566,7 @@ class TestNegotiationFaults:
             ):
                 reply, _ = client.call("echo", {"msg": "hi"}, retryable=True)
             assert reply["echo"] == "hi"
-            assert client._codec == "binary"
+            assert client._codec == "binary+crc"
 
     def test_probe_survives_dropped_request(self):
         with _make_server("async") as server, RpcClient(*server.address) as client:
@@ -568,7 +575,7 @@ class TestNegotiationFaults:
             ):
                 reply, _ = client.call("echo", {"msg": "hi"}, retryable=True)
             assert reply["echo"] == "hi"
-            assert client._codec == "binary"
+            assert client._codec == "binary+crc"
 
     def test_injected_error_reply_still_pins_binary(self):
         """An injected-fault *reply* to the probe still advertises binary."""
@@ -579,20 +586,20 @@ class TestNegotiationFaults:
                 with pytest.raises(RpcError) as exc_info:
                     client.call("echo", {"msg": "hi"})
             assert exc_info.value.kind == "injected-fault"
-            assert client._codec == "binary"
+            assert client._codec == "binary+crc"
             reply, _ = client.call("echo", {"msg": "again"})
             assert reply["echo"] == "again"
 
     def test_pinned_binary_rechecks_after_connection_loss(self):
         with _make_server("async") as server, RpcClient(*server.address) as client:
             client.call("echo", {"msg": "pin"})
-            assert client._codec == "binary"
+            assert client._codec == "binary+crc"
             with faults.injected(
                 FaultRule(layer="rpc.server", op="echo", action="close", nth=1, times=1)
             ):
                 reply, _ = client.call("echo", {"msg": "after"}, retryable=True)
             assert reply["echo"] == "after"
-            assert client._codec == "binary"
+            assert client._codec == "binary+crc"
 
 
 # ---------------------------------------------------------------------------
@@ -636,7 +643,7 @@ class TestAsyncRpcClient:
                 reply, data = await client.call("echo", {"msg": "hi"}, b"abc")
                 assert reply["echo"] == "hi"
                 assert data == b"abc"
-                assert client._codec == "binary"
+                assert client._codec == "binary+crc"
             finally:
                 await client.close()
 
