@@ -1,0 +1,364 @@
+"""GNS control-plane benchmark: resolve under watch load, wake latency,
+and the live-migration pause.
+
+Three numbers the control plane has to defend:
+
+* **Resolve throughput under parked watchers.**  A watcher costs the
+  server a parked coroutine, not a thread — so ~1k live watchers
+  (pipelined over a handful of ``AsyncRpcClient`` connections) must not
+  crater the OPEN path.  Full mode asserts resolve throughput with the
+  watcher fleet parked stays within 2x of the unwatched baseline.
+* **Watch wake latency.**  Commit-to-wake p50/p99 for a parked
+  ``gns.watch`` — the push half of watch-driven remapping.  Full mode
+  asserts p50 stays under 50 ms (it is a condition-variable wake plus
+  one RPC round trip; typical is single-digit ms).
+* **Migration pause.**  Wall time of the one ``read()`` that carries a
+  COPY→BUFFER live migration (quiesce, reopen, seek, resume) versus an
+  ordinary block read.  The budget from the issue: the stream stalls
+  for less than the cost of two ordinary blocks — enforced against a
+  floor of 250 ms so a fast local baseline does not make the bar
+  meaninglessly strict.
+
+``--smoke`` (the CI mode) scales everything down and only asserts
+correctness.  Emits ``BENCH_gns.json`` at the repo root.
+"""
+
+import argparse
+import asyncio
+import json
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.buffer_client import GridBufferClientPool
+from repro.core.multiplexer import FileMultiplexer, GridContext
+from repro.gns import (
+    BufferEndpoint,
+    GnsClient,
+    GnsRecord,
+    GnsServer,
+    IOMode,
+    LocalGnsClient,
+    NameService,
+)
+from repro.gridbuffer.server import GridBufferServer
+from repro.transport.aio import AsyncRpcClient
+from repro.transport.gridftp import GridFtpServer
+from repro.transport.inmem import HostRegistry
+
+SEED = 20260809
+FULL_WATCHERS = 1000
+SMOKE_WATCHERS = 50
+PARK_CONNECTIONS = 8          # sockets carrying the pipelined watch fleet
+FULL_RESOLVES = 2000
+SMOKE_RESOLVES = 200
+FULL_WAKES = 100
+SMOKE_WAKES = 10
+FULL_MIGRATIONS = 8
+SMOKE_MIGRATIONS = 2
+FILE_BYTES = 1 * 1024 * 1024
+CHUNK = 64 * 1024
+MAX_THROUGHPUT_DROP = 2.0     # resolve may slow at most 2x under watchers
+MAX_WAKE_P50_MS = 50.0
+PAUSE_FLOOR_MS = 250.0        # migration budget floor (see module docstring)
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+# ---------------------------------------------------------------------------
+# A fleet of parked watchers, pipelined over a few async connections
+# ---------------------------------------------------------------------------
+class WatcherPark:
+    """N long-poll ``gns.watch`` calls parked server-side at once."""
+
+    def __init__(self, address, count, from_revision):
+        self._address = address
+        self._count = count
+        self._from_revision = from_revision
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="bench-gns-park", daemon=True
+        )
+        self._clients = []
+        self._tasks = []
+
+    def park(self):
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self._park(), self._loop).result(timeout=60)
+
+    async def _park(self):
+        self._clients = [
+            AsyncRpcClient(*self._address, timeout=60.0) for _ in range(PARK_CONNECTIONS)
+        ]
+        loop = asyncio.get_running_loop()
+        for i in range(self._count):
+            client = self._clients[i % len(self._clients)]
+            self._tasks.append(loop.create_task(self._watch_forever(client)))
+        # Let the fleet actually reach the server and park.
+        await asyncio.sleep(0.5)
+
+    async def _watch_forever(self, client):
+        while True:
+            try:
+                await client.call(
+                    "gns.watch",
+                    {"from_revision": self._from_revision, "timeout": 20.0},
+                )
+            except (OSError, asyncio.CancelledError, RuntimeError):
+                return
+
+    def stop(self):
+        async def _teardown():
+            for task in self._tasks:
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+            for client in self._clients:
+                await client.close()
+
+        asyncio.run_coroutine_threadsafe(_teardown(), self._loop).result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+
+def _resolve_rate(client, calls):
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        client.resolve("compute", "/bench/file.dat")
+    return calls / (time.perf_counter() - t0)
+
+
+def bench_resolve_under_watchers(smoke):
+    watchers = SMOKE_WATCHERS if smoke else FULL_WATCHERS
+    calls = SMOKE_RESOLVES if smoke else FULL_RESOLVES
+    service = NameService()
+    server = GnsServer(service).start()
+    try:
+        revision = service.txn(
+            [("add", GnsRecord(machine="compute", path="/bench/*", mode=IOMode.LOCAL))]
+        )
+        client = GnsClient(*server.address)
+        baseline = _resolve_rate(client, calls)
+        park = WatcherPark(server.address, watchers, from_revision=revision)
+        park.park()
+        try:
+            under_load = _resolve_rate(client, calls)
+        finally:
+            park.stop()
+        client.close()
+    finally:
+        server.stop()
+    return {
+        "watchers": watchers,
+        "resolve_calls": calls,
+        "baseline_resolves_per_s": round(baseline, 1),
+        "parked_resolves_per_s": round(under_load, 1),
+        "slowdown": round(baseline / under_load, 3) if under_load else None,
+    }
+
+
+def bench_wake_latency(smoke):
+    wakes = SMOKE_WAKES if smoke else FULL_WAKES
+    service = NameService()
+    server = GnsServer(service).start()
+    latencies = []
+    try:
+        watcher = GnsClient(*server.address)
+        writer = GnsClient(*server.address)
+        revision = 0
+        for i in range(wakes):
+            woke = {}
+            parked = threading.Event()
+
+            def wait(start_rev=revision):
+                parked.set()
+                batch = watcher.watch(from_revision=start_rev, timeout=10.0)
+                woke["t"] = time.perf_counter()
+                woke["revision"] = batch.revision
+
+            t = threading.Thread(target=wait)
+            t.start()
+            parked.wait()
+            time.sleep(0.005)  # let the watch RPC reach the server and park
+            t0 = time.perf_counter()
+            revision = writer.txn(
+                [("add", GnsRecord(machine="w", path=f"/wake/{i}", mode=IOMode.LOCAL))],
+                token=f"wake-{i}",
+            )
+            t.join(timeout=10)
+            assert woke.get("revision") == revision, "watcher missed its wake"
+            latencies.append((woke["t"] - t0) * 1e3)
+        watcher.close()
+        writer.close()
+    finally:
+        server.stop()
+    return {
+        "wakes": wakes,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "max_ms": round(max(latencies), 3),
+    }
+
+
+def bench_migration_pause(smoke):
+    """COPY→BUFFER live migration: how long does the stream stall?"""
+    migrations = SMOKE_MIGRATIONS if smoke else FULL_MIGRATIONS
+    payload = random.Random(SEED).randbytes(FILE_BYTES)
+    pauses, blocks = [], []
+    with tempfile.TemporaryDirectory(prefix="bench-gns-") as tmp:
+        tmp_path = Path(tmp)
+        hosts = HostRegistry(tmp_path / "hosts")
+        hosts.add_host("compute")
+        hosts.add_host("store")
+        src = hosts.host("store").resolve("/src/file.bin")
+        src.parent.mkdir(parents=True, exist_ok=True)
+        src.write_bytes(payload)
+        ftp = GridFtpServer(hosts.host("store").root).start()
+        buffer_server = GridBufferServer(cache_dir=tmp_path / "cache").start()
+        pool = GridBufferClientPool("store")
+        service = NameService(locate_buffer_server=lambda m: buffer_server.address)
+        gns = LocalGnsClient(service)
+        ctx = GridContext(
+            machine="compute",
+            gns=gns,
+            hosts=hosts,
+            gridftp={"store": ftp.address},
+            buffer_locator=lambda m: buffer_server.address,
+            scratch_dir=tmp_path / "scratch",
+            prefetch=False,
+            live_remap=True,
+            watch_budget=0.05,
+        )
+        try:
+            for i in range(migrations):
+                stream = f"bench-mig-{i}"
+                endpoint = BufferEndpoint(stream=stream, n_readers=2, cache=True)
+                w = pool.open_writer(endpoint, buffer_server.address)
+                w.write(payload)
+                w.close()
+                path = f"/job/mig-{i}.dat"
+                service.txn(
+                    [("add", GnsRecord(
+                        machine="compute", path=path, mode=IOMode.COPY,
+                        remote_host="store", remote_path="/src/file.bin",
+                    ))]
+                )
+                with FileMultiplexer(ctx) as fm:
+                    handle = fm.open(path, "rb")
+                    got = bytearray()
+                    while len(got) < FILE_BYTES // 2:
+                        got += handle.read(CHUNK)
+                    service.txn(
+                        [
+                            ("remove", "compute", path),
+                            ("add", GnsRecord(
+                                machine="compute", path=path, mode=IOMode.BUFFER,
+                                buffer=BufferEndpoint(
+                                    stream=stream, host=buffer_server.address[0],
+                                    port=buffer_server.address[1], n_readers=2, cache=True,
+                                ),
+                            )),
+                        ]
+                    )
+                    migrated_at = None
+                    while True:
+                        before = handle.stats.remaps
+                        t0 = time.perf_counter()
+                        chunk = handle.read(CHUNK)
+                        elapsed_ms = (time.perf_counter() - t0) * 1e3
+                        if not chunk:
+                            break
+                        got += chunk
+                        if handle.stats.remaps > before:
+                            pauses.append(elapsed_ms)
+                            migrated_at = len(got)
+                        else:
+                            blocks.append(elapsed_ms)
+                        if migrated_at is None:
+                            time.sleep(0.01)  # give the watcher a beat
+                    handle.close()
+                    assert bytes(got) == payload, "live migration corrupted the stream"
+                    assert handle.stats.remaps >= 1, "stream never migrated"
+                    assert handle.record.mode is IOMode.BUFFER
+        finally:
+            pool.close()
+            ftp.stop()
+            buffer_server.stop()
+    return {
+        "migrations": migrations,
+        "file_bytes": FILE_BYTES,
+        "chunk": CHUNK,
+        "block_read_p50_ms": round(_percentile(blocks, 0.50), 3),
+        "pause_p50_ms": round(_percentile(pauses, 0.50), 3),
+        "pause_p99_ms": round(_percentile(pauses, 0.99), 3),
+        "pause_max_ms": round(max(pauses), 3),
+    }
+
+
+def run(smoke=False, write_json=True):
+    resolve = bench_resolve_under_watchers(smoke)
+    print(
+        f"resolve: {resolve['baseline_resolves_per_s']:.0f}/s bare, "
+        f"{resolve['parked_resolves_per_s']:.0f}/s under {resolve['watchers']} "
+        f"parked watchers ({resolve['slowdown']:.2f}x slowdown)"
+    )
+    wake = bench_wake_latency(smoke)
+    print(
+        f"watch wake: p50 {wake['p50_ms']:.2f} ms, p99 {wake['p99_ms']:.2f} ms "
+        f"over {wake['wakes']} commits"
+    )
+    pause = bench_migration_pause(smoke)
+    print(
+        f"migration pause: p50 {pause['pause_p50_ms']:.2f} ms, "
+        f"p99 {pause['pause_p99_ms']:.2f} ms "
+        f"(ordinary block read p50 {pause['block_read_p50_ms']:.3f} ms)"
+    )
+
+    out = {"bench": "gns_control_plane", "smoke": smoke,
+           "resolve": resolve, "wake": wake, "migration": pause}
+
+    if not smoke:
+        assert resolve["slowdown"] <= MAX_THROUGHPUT_DROP, (
+            f"{resolve['watchers']} parked watchers slowed resolve "
+            f"{resolve['slowdown']:.2f}x (budget {MAX_THROUGHPUT_DROP}x)"
+        )
+        assert wake["p50_ms"] <= MAX_WAKE_P50_MS, (
+            f"watch wake p50 {wake['p50_ms']:.2f} ms over budget {MAX_WAKE_P50_MS} ms"
+        )
+        budget_ms = max(PAUSE_FLOOR_MS, 2 * pause["block_read_p50_ms"])
+        out["pause_budget_ms"] = round(budget_ms, 3)
+        assert pause["pause_p99_ms"] <= budget_ms, (
+            f"migration pause p99 {pause['pause_p99_ms']:.2f} ms over "
+            f"budget {budget_ms:.2f} ms"
+        )
+
+    if write_json:
+        path = _REPO_ROOT / "BENCH_gns.json"
+        path.write_text(json.dumps(out, indent=2) + "\n")
+        print(f"wrote {path}")
+    return out
+
+
+def test_gns_bench():
+    run(smoke=False)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small fleet, correctness only")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing BENCH_gns.json")
+    args = parser.parse_args()
+    run(smoke=args.smoke, write_json=not args.no_json)
+
+
+if __name__ == "__main__":
+    main()

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from .. import obs
-from ..gns.client import GnsClient, LocalGnsClient
+from ..gns.client import GnsClient, GnsWatchUnsupported, LocalGnsClient
 from ..gns.records import BufferEndpoint, GnsRecord, IOMode
 from ..grid.replica_catalog import Replica
 from ..ioutil import ReadIntoFromRead
@@ -64,6 +64,11 @@ _FM_BYTES = obs.counter(
 _FM_REMAPS = obs.counter(
     "fm_remaps_total", "Mid-read replica re-mappings performed by FM handles"
 )
+_FM_LIVE_REMAPS = obs.counter(
+    "fm_live_remaps_total",
+    "Open streams migrated between IO modes mid-run by a GNS change",
+    labelnames=("from", "to"),
+)
 _FM_FAILOVERS = obs.counter(
     "replica_failovers_total",
     "Replica sources abandoned after an IO failure, by logical name",
@@ -81,6 +86,12 @@ Locator = Union[Callable[[str], Address], Dict[str, Address]]
 
 class FMError(RuntimeError):
     """Configuration or dispatch failure inside the FM."""
+
+
+#: IO modes a live stream can be migrated between mid-run.  The two
+#: replica modes keep their own selector-driven remap machinery and a
+#: buffered *writer* owns its stream, so neither participates.
+_MIGRATABLE = frozenset({IOMode.LOCAL, IOMode.COPY, IOMode.REMOTE, IOMode.BUFFER})
 
 
 def _as_locator(loc: Optional[Locator], what: str) -> Callable[[str], Address]:
@@ -157,6 +168,14 @@ class GridContext:
     #: Share fetched blocks between co-located readers of one broadcast
     #: stream (None = auto: enabled when the endpoint has >1 readers).
     buffer_shared_cache: Optional[bool] = None
+    #: Subscribe to GNS changes and live-migrate open read streams
+    #: between IO modes mid-run (COPY↔BUFFER and friends) when their
+    #: records are edited.  Off by default: resolve-at-open only.
+    live_remap: bool = False
+    #: Long-poll budget (seconds) for one ``gns.watch`` round of the
+    #: live-remap watcher; also bounds how long FM close can stall on
+    #: a parked watch.
+    watch_budget: float = 1.0
 
 
 class FMFile(ReadIntoFromRead, io.RawIOBase):
@@ -185,8 +204,19 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
         self._remap_hook = remap_hook
         self._remap_every = max(1, remap_every)
         self._failover_hook = failover_hook
-        # Children bound once per open: the per-op cost is a lock + add.
-        mode = record.mode.value
+        # Live-remap plumbing, attached by the FM after a live open:
+        # the watcher parks a pending record here and the reader's own
+        # thread applies it at the next read boundary (the quiesce
+        # point — FMFile is single-reader, so no IO is in flight).
+        self._migrate_opener: Optional[Callable[[GnsRecord], io.RawIOBase]] = None
+        self._on_close: Optional[Callable[[], None]] = None
+        self._pending_record: Optional[GnsRecord] = None
+        self._pending_lock = threading.Lock()
+        self._bind_metrics(record.mode.value)
+
+    def _bind_metrics(self, mode: str) -> None:
+        # Children bound once per open (and re-bound on a live
+        # migration): the per-op cost is a lock + add.
         self._m_reads = _FM_OPS.labels(op="read", mode=mode)
         self._m_writes = _FM_OPS.labels(op="write", mode=mode)
         self._m_seeks = _FM_OPS.labels(op="seek", mode=mode)
@@ -210,6 +240,7 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
 
     # -- IO with accounting ---------------------------------------------------
     def read(self, size: int = -1) -> bytes:  # type: ignore[override]
+        self._maybe_migrate()
         self._maybe_remap()
         data = self._read_failsafe(size)
         self.stats.read_ops += 1
@@ -271,6 +302,8 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
                 self._inner.close()
             finally:
                 super().close()
+                if self._on_close is not None:
+                    self._on_close()
 
     def abort(self) -> None:
         """Abandon the handle after a stage crash.
@@ -289,6 +322,8 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
                 self._inner.close()
         finally:
             super().close()
+            if self._on_close is not None:
+                self._on_close()
 
     # -- dynamic re-mapping -------------------------------------------------
     def _maybe_remap(self) -> None:
@@ -305,6 +340,78 @@ class FMFile(ReadIntoFromRead, io.RawIOBase):
             old.close()
             self.stats.remaps += 1
             _FM_REMAPS.inc()
+
+    # -- live migration (GNS-driven mode change) ----------------------------
+    def request_migration(self, record: GnsRecord) -> bool:
+        """Ask this handle to move to ``record`` at its next read boundary.
+
+        Called by the FM's GNS watcher (any thread).  The actual swap
+        happens on the reader's own thread inside :meth:`read`, which
+        is the safe block boundary: no IO is in flight, the offset is
+        a clean checkpoint, and the stream resumes byte-exact.
+        """
+        if self._migrate_opener is None or self.closed:
+            return False
+        if record.mode not in _MIGRATABLE or self.record.mode not in _MIGRATABLE:
+            return False
+        if record == self.record:
+            return False
+        with self._pending_lock:
+            self._pending_record = record
+        return True
+
+    def _maybe_migrate(self) -> None:
+        with self._pending_lock:
+            record, self._pending_record = self._pending_record, None
+        if record is None or record == self.record or self._migrate_opener is None:
+            return
+        from_mode = self.record.mode.value
+        to_mode = record.mode.value
+        with obs.span(
+            "remap", path=self.stats.path, from_mode=from_mode, to_mode=to_mode
+        ):
+            pos = self._inner.tell()
+            try:
+                replacement = self._migrate_opener(record)
+                replacement.seek(pos)
+            except (OSError, RpcError, FMError) as exc:
+                # New binding unreachable: stay on the current one; a
+                # later GNS change (or the same record, retried by the
+                # watcher on its next batch) can still move us.
+                obs.event(
+                    "fm.live_remap_failed",
+                    path=self.stats.path,
+                    from_mode=from_mode,
+                    to_mode=to_mode,
+                    error=str(exc),
+                )
+                logger.warning(
+                    "live remap of %s %s->%s failed (%s); staying on %s",
+                    self.stats.path, from_mode, to_mode, exc, from_mode,
+                )
+                return
+            old = self._inner
+            self._inner = replacement
+            try:
+                old.close()
+            except (OSError, RpcError):
+                pass  # the old binding may already be dead; we have moved on
+            self.record = record
+            self.stats.io_mode = to_mode
+            self.stats.remaps += 1
+            self._bind_metrics(to_mode)
+            _FM_LIVE_REMAPS.labels(**{"from": from_mode, "to": to_mode}).inc()
+            obs.event(
+                "fm.live_remap",
+                path=self.stats.path,
+                from_mode=from_mode,
+                to_mode=to_mode,
+                offset=pos,
+            )
+            logger.info(
+                "live remap %s: %s -> %s at offset %d",
+                self.stats.path, from_mode, to_mode, pos,
+            )
 
 
 class FileMultiplexer:
@@ -326,6 +433,12 @@ class FileMultiplexer:
 
         self.monitor = TransferMonitor()
         self._buffer_pool = GridBufferClientPool(ctx.machine, monitor=self.monitor)
+        # Live-remap state: open read handles watching the GNS, plus
+        # the background thread driving the gns.watch long-poll.
+        self._watched: Dict[int, Tuple[str, FMFile]] = {}
+        self._watch_lock = threading.Lock()
+        self._watch_stop = threading.Event()
+        self._watch_thread: Optional[threading.Thread] = None
 
     # -- plumbing ----------------------------------------------------------
     def _ftp(self, host: str) -> GridFtpClient:
@@ -386,7 +499,9 @@ class FileMultiplexer:
             opener = dispatch[record.mode]
         except KeyError:  # pragma: no cover - enum is closed
             raise FMError(f"unhandled IO mode {record.mode!r}")
-        return opener(record, path, mode, stats)
+        fmfile = opener(record, path, mode, stats)
+        self._maybe_register_live(path, mode, fmfile)
+        return fmfile
 
     # -- per-mode openers ---------------------------------------------------
     def _open_local(self, record: GnsRecord, path: str, mode: str, stats: OpenStats) -> FMFile:
@@ -601,6 +716,118 @@ class FileMultiplexer:
         }
         return openers[record.mode](record, path, mode, stats)
 
+    # -- live remap (GNS change subscription) -------------------------------
+    def _maybe_register_live(self, path: str, mode: str, fmfile: FMFile) -> None:
+        """Put a freshly opened read handle under GNS watch.
+
+        Writers keep their binding (a buffered writer owns its stream)
+        and replica opens keep their selector-driven remap machinery;
+        everything else migrates when its record changes.
+        """
+        if not self.ctx.live_remap:
+            return
+        core = mode.replace("b", "").replace("t", "")
+        if core != "r" or fmfile.record.mode not in _MIGRATABLE:
+            return
+        key = id(fmfile)
+        fmfile._migrate_opener = lambda record: self._migration_inner(record, path, mode)
+        fmfile._on_close = lambda: self._unregister_live(key)
+        with self._watch_lock:
+            self._watched[key] = (path, fmfile)
+            if self._watch_thread is None and not self._watch_stop.is_set():
+                self._watch_thread = threading.Thread(
+                    target=self._watch_loop,
+                    name=f"fm-gns-watch-{self.ctx.machine}",
+                    daemon=True,
+                )
+                self._watch_thread.start()
+        # Close the open-vs-subscribe race: a txn landing between this
+        # open's resolve and the watcher's baseline would otherwise be
+        # invisible until the next change.
+        try:
+            current = self.ctx.gns.resolve(self.ctx.machine, path)
+        except (OSError, RpcError):
+            return  # control plane briefly unreachable; watcher retries
+        if current != fmfile.record:
+            fmfile.request_migration(current)
+
+    def _unregister_live(self, key: int) -> None:
+        with self._watch_lock:
+            self._watched.pop(key, None)
+
+    def _watch_loop(self) -> None:
+        """Drive the gns.watch long-poll; resume from revision on faults.
+
+        Server death mid-watch surfaces here as OSError/RpcError: the
+        loop backs off and re-issues the watch from the last revision
+        it has applied, so the store replays whatever was missed — no
+        change is lost or seen twice.  An old GNS peer without watch
+        support degrades to resolve-at-open, silently.
+        """
+        gns = self.ctx.gns
+        revision = -1
+        while not self._watch_stop.is_set():
+            try:
+                if revision < 0:
+                    revision = gns.watch(from_revision=-1, timeout=0.0).revision
+                    self._apply_watch()
+                    continue
+                batch = gns.watch(from_revision=revision, timeout=self.ctx.watch_budget)
+            except GnsWatchUnsupported:
+                obs.event("fm.watch_degraded", machine=self.ctx.machine)
+                logger.info(
+                    "GNS peer predates gns.watch; live remap degrades to resolve-at-open"
+                )
+                return
+            except (OSError, RpcError) as exc:
+                obs.event("fm.watch_retry", machine=self.ctx.machine, error=str(exc))
+                if self._watch_stop.wait(0.1):
+                    return
+                continue
+            if batch.events or batch.reset:
+                self._apply_watch()
+            revision = batch.revision
+
+    def _apply_watch(self) -> None:
+        """Re-resolve every watched path; queue migrations for changes."""
+        with self._watch_lock:
+            snapshot = list(self._watched.values())
+        for path, fmfile in snapshot:
+            if fmfile.closed:
+                continue
+            try:
+                record = self.ctx.gns.resolve(self.ctx.machine, path)
+            except (OSError, RpcError):
+                continue  # control plane briefly unreachable; next batch retries
+            if record != fmfile.record:
+                fmfile.request_migration(record)
+
+    def _migration_inner(self, record: GnsRecord, path: str, mode: str) -> io.RawIOBase:
+        """Open the raw source a live migration moves a read handle onto."""
+        if record.mode is IOMode.LOCAL:
+            return self._local.open(record.local_path or path, mode)
+        if record.mode is IOMode.COPY:
+            remote = self._remote(record.remote_host)  # type: ignore[arg-type]
+            return remote.open_copy(
+                record.remote_path, mode, verify=self.ctx.verify_copies  # type: ignore[arg-type]
+            )
+        if record.mode is IOMode.REMOTE:
+            remote = self._remote(record.remote_host)  # type: ignore[arg-type]
+            return remote.open_proxy(record.remote_path, mode)  # type: ignore[arg-type]
+        if record.mode is IOMode.BUFFER:
+            endpoint = record.buffer
+            assert endpoint is not None  # enforced by GnsRecord validation
+            server = self._locate_buffer(endpoint, "reader")
+            return self._buffer_pool.open_reader(
+                endpoint,
+                server,
+                read_timeout=self.ctx.io_timeout,
+                read_ahead=self.ctx.buffer_readahead,
+                read_ahead_depth=self.ctx.buffer_readahead_depth,
+                shared_cache=self.ctx.buffer_shared_cache,
+            )
+        raise FMError(f"live migration to mode {record.mode.value!r} is unsupported")
+
     def _locate_buffer(self, endpoint: BufferEndpoint, role: str) -> Address:
         if endpoint.host and endpoint.port:
             return (endpoint.host, endpoint.port)
@@ -616,6 +843,15 @@ class FileMultiplexer:
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
+        self._watch_stop.set()
+        thread = self._watch_thread
+        if thread is not None:
+            # Best-effort: the watcher is a daemon parked in a bounded
+            # long-poll; it observes the stop flag on its next round.
+            thread.join(timeout=0.2)
+            self._watch_thread = None
+        with self._watch_lock:
+            self._watched.clear()
         self._buffer_pool.close()
         with self._lock:
             for client in self._ftp_clients.values():

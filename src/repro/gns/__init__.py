@@ -1,15 +1,19 @@
-"""GriddLeS Name Service: the configuration database that makes the FM
-re-wirable without touching application code."""
+"""GriddLeS Name Service: the versioned, watchable control plane that
+makes the FM re-wirable — even mid-run — without touching application
+code."""
 
-from .client import GnsClient, LocalGnsClient
+from .client import GnsClient, GnsWatchUnsupported, LocalGnsClient, WatchBatch
 from .matcher import ConnectionMatcher, StreamBinding
 from .persistence import dump_records, load_gns, load_records, save_gns
 from .records import BufferEndpoint, GnsRecord, IOMode
 from .server import GnsServer, NameService
+from .store import DEFAULT_NAMESPACE, GnsAuthError, RecordStore
 
 __all__ = [
     "GnsClient",
+    "GnsWatchUnsupported",
     "LocalGnsClient",
+    "WatchBatch",
     "ConnectionMatcher",
     "StreamBinding",
     "BufferEndpoint",
@@ -17,6 +21,9 @@ __all__ = [
     "IOMode",
     "GnsServer",
     "NameService",
+    "DEFAULT_NAMESPACE",
+    "GnsAuthError",
+    "RecordStore",
     "dump_records",
     "load_gns",
     "load_records",

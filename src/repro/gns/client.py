@@ -3,40 +3,145 @@
 A thin RPC mirror of :class:`~repro.gns.server.NameService`; also
 usable purely in-process via :class:`LocalGnsClient` when the workflow
 runs inside one Python process (tests, examples, the simulator).
+
+Both clients carry an optional ``namespace``/``token`` identity: every
+call is scoped to that namespace and authenticated with its bearer
+token.  The defaults (``"default"``, no token) produce byte-identical
+requests to a pre-control-plane client, so old servers interoperate;
+against a server that predates ``gns.watch`` the control-plane calls
+raise :class:`GnsWatchUnsupported` and callers degrade to
+resolve-at-open only.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Tuple
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..transport.tcp import RpcClient
+from ..transport.tcp import RpcClient, RpcError
 from .records import GnsRecord
 from .server import NameService
+from .store import DEFAULT_NAMESPACE
 
-__all__ = ["GnsClient", "LocalGnsClient"]
+__all__ = ["GnsClient", "GnsWatchUnsupported", "LocalGnsClient", "WatchBatch"]
+
+
+class GnsWatchUnsupported(RuntimeError):
+    """The peer GNS server predates the control-plane ops (version skew)."""
+
+
+@dataclass
+class WatchBatch:
+    """One ``gns.watch`` reply: change events up to ``revision``.
+
+    ``reset`` means the server compacted past the watcher's position:
+    ``events`` is a full snapshot (synthetic adds) and any local view
+    must be replaced, not patched.
+    """
+
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    revision: int = 0
+    reset: bool = False
 
 
 class GnsClient:
     """Remote GNS access over TCP."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        namespace: str = DEFAULT_NAMESPACE,
+        token: Optional[str] = None,
+    ):
         self._rpc = RpcClient(host, port, timeout=timeout)
+        self.namespace = namespace
+        self._token = token
+
+    def _hdr(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        # Only stamp the identity fields when they deviate from the
+        # defaults: a default-namespace, tokenless client sends frames
+        # an old server already understands.
+        if self.namespace != DEFAULT_NAMESPACE:
+            fields["ns"] = self.namespace
+        if self._token is not None:
+            fields["auth"] = self._token
+        return fields
 
     def resolve(self, machine: str, path: str) -> GnsRecord:
-        reply, _ = self._rpc.call("gns.resolve", {"machine": machine, "path": path})
+        reply, _ = self._rpc.call("gns.resolve", self._hdr({"machine": machine, "path": path}))
         return GnsRecord.from_dict(reply["record"])
 
     def add(self, record: GnsRecord) -> None:
-        self._rpc.call("gns.add", {"record": record.to_dict()})
+        self._rpc.call("gns.add", self._hdr({"record": record.to_dict()}))
 
     def remove(self, machine: str, path: str) -> int:
-        reply, _ = self._rpc.call("gns.remove", {"machine": machine, "path": path})
+        reply, _ = self._rpc.call("gns.remove", self._hdr({"machine": machine, "path": path}))
         return int(reply["removed"])
 
     def list_records(self) -> list[GnsRecord]:
-        reply, _ = self._rpc.call("gns.list", {})
+        reply, _ = self._rpc.call("gns.list", self._hdr({}))
         return [GnsRecord.from_dict(d) for d in reply["records"]]
+
+    # -- control plane -----------------------------------------------------
+    def txn(self, ops: List[Any], token: Optional[str] = None) -> int:
+        """Atomically apply add/remove operations; return the new revision.
+
+        Safe to retry: each txn carries a dedupe token (generated here
+        unless supplied), so a redial that replays an already-committed
+        batch gets the original revision back instead of applying it
+        twice — the exactly-once discipline ``gb.write`` established.
+        """
+        wire_ops = []
+        for op in ops:
+            if isinstance(op, dict):
+                wire_ops.append(op)
+            elif len(op) == 2 and op[0] == "add":
+                rec = op[1]
+                wire_ops.append(
+                    {"action": "add", "record": rec.to_dict() if isinstance(rec, GnsRecord) else rec}
+                )
+            elif len(op) == 3 and op[0] == "remove":
+                wire_ops.append({"action": "remove", "machine": op[1], "path": op[2]})
+            else:
+                raise ValueError(f"malformed txn op: {op!r}")
+        hdr = self._hdr({"ops": wire_ops, "token": token or uuid.uuid4().hex})
+        try:
+            reply, _ = self._rpc.call("gns.txn", hdr, retryable=True)
+        except RpcError as exc:
+            if exc.kind == "unknown-op":
+                raise GnsWatchUnsupported("peer GNS server has no gns.txn") from exc
+            raise
+        return int(reply["revision"])
+
+    def watch(self, from_revision: int, timeout: float = 10.0) -> WatchBatch:
+        """Long-poll for changes after ``from_revision``.
+
+        Blocks server-side until changes exist or ``timeout`` lapses
+        (empty batch → poll again).  The op is idempotent, so the
+        pooled client redials and replays it transparently when the
+        server dies mid-watch; resuming from the last seen revision
+        means no event is missed or duplicated across the crash.
+        """
+        hdr = self._hdr({"from_revision": int(from_revision), "timeout": float(timeout)})
+        try:
+            reply, _ = self._rpc.call("gns.watch", hdr)
+        except RpcError as exc:
+            if exc.kind == "unknown-op":
+                raise GnsWatchUnsupported("peer GNS server has no gns.watch") from exc
+            raise
+        return WatchBatch(
+            events=list(reply.get("events") or []),
+            revision=int(reply["revision"]),
+            reset=bool(reply.get("reset", False)),
+        )
+
+    def revision(self) -> int:
+        """Current revision of this client's namespace (a watch probe)."""
+        return self.watch(from_revision=-1, timeout=0.0).revision
 
     def announce(
         self,
@@ -84,20 +189,52 @@ class GnsClient:
 class LocalGnsClient:
     """Same interface, directly over an in-process :class:`NameService`."""
 
-    def __init__(self, service: NameService):
+    def __init__(
+        self,
+        service: NameService,
+        namespace: str = DEFAULT_NAMESPACE,
+        token: Optional[str] = None,
+    ):
         self.service = service
+        self.namespace = namespace
+        self._token = token
+
+    def _check(self) -> None:
+        self.service.check_token(self.namespace, self._token)
 
     def resolve(self, machine: str, path: str) -> GnsRecord:
-        return self.service.resolve(machine, path)
+        self._check()
+        return self.service.resolve(machine, path, ns=self.namespace)
 
     def add(self, record: GnsRecord) -> None:
-        self.service.add(record)
+        self._check()
+        self.service.add(record, ns=self.namespace)
 
     def remove(self, machine: str, path: str) -> int:
-        return self.service.remove(machine, path)
+        self._check()
+        return self.service.remove(machine, path, ns=self.namespace)
 
     def list_records(self) -> list[GnsRecord]:
-        return self.service.records()
+        self._check()
+        return self.service.records(ns=self.namespace)
+
+    # -- control plane -----------------------------------------------------
+    def txn(self, ops: List[Any], token: Optional[str] = None) -> int:
+        self._check()
+        return self.service.txn(ops, ns=self.namespace, token=token)
+
+    def watch(self, from_revision: int, timeout: float = 10.0) -> WatchBatch:
+        self._check()
+        if from_revision < 0:
+            return WatchBatch(revision=self.service.revision(ns=self.namespace))
+        events, revision, reset = self.service.wait_changes(
+            self.namespace, int(from_revision), timeout
+        )
+        return WatchBatch(events=events, revision=revision, reset=reset)
+
+    def revision(self) -> int:
+        self._check()
+        return self.service.revision(ns=self.namespace)
 
     def announce(
         self,

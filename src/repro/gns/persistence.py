@@ -54,15 +54,26 @@ def load_records(text: str) -> List[GnsRecord]:
     return out
 
 
-def save_gns(service: NameService, path: Union[str, Path]) -> None:
-    """Write a NameService's records to ``path``."""
-    Path(path).write_text(dump_records(service.records()), encoding="utf-8")
+def save_gns(
+    service: NameService, path: Union[str, Path], namespace: str = "default"
+) -> None:
+    """Write a NameService namespace's records to ``path``."""
+    Path(path).write_text(dump_records(service.records(ns=namespace)), encoding="utf-8")
 
 
-def load_gns(path: Union[str, Path], service: NameService | None = None) -> NameService:
-    """Load records from ``path`` into ``service`` (or a new one)."""
+def load_gns(
+    path: Union[str, Path],
+    service: NameService | None = None,
+    namespace: str = "default",
+) -> NameService:
+    """Load records from ``path`` into ``service`` (or a new one).
+
+    The whole file lands as **one transaction**: watchers observe the
+    loaded wiring at a single revision jump, never a half-loaded
+    record set.
+    """
     records = load_records(Path(path).read_text(encoding="utf-8"))
     if service is None:
         service = NameService()
-    service.add_all(records)
+    service.txn([("add", r) for r in records], ns=namespace)
     return service

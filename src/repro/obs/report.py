@@ -292,11 +292,16 @@ def render_counters(snapshot: Optional[Dict[str, Any]], limit: int = 40) -> str:
 #: task span) covers the same instant.  ``peer`` (cooperative-cache
 #: peer fetches, op gb.peer_read on either side of the wire) outranks
 #: buffer-wait: those bytes came from a peer's RAM, not the origin.
-_CATEGORY_PRIORITY = ("peer", "buffer-wait", "transport", "queue-wait", "compute")
+#: ``remap`` (a live GNS-driven stream migration pausing a reader
+#: while it reopens on a new binding) outranks everything: the RPCs it
+#: issues are the migration's cost, not ordinary transport.
+_CATEGORY_PRIORITY = ("remap", "peer", "buffer-wait", "transport", "queue-wait", "compute")
 
 
 def _categorise(span: Dict[str, Any]) -> Optional[str]:
     name = span.get("name")
+    if name == "remap":
+        return "remap"
     if name in ("rpc.server", "rpc.client"):
         op = str((span.get("attrs") or {}).get("op", ""))
         if op == "gb.peer_read":

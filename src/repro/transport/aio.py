@@ -76,7 +76,7 @@ from .wire import (
     wire_advert,
 )
 
-__all__ = ["AsyncRpcServer", "AsyncRpcClient", "get_engine"]
+__all__ = ["AsyncRpcServer", "AsyncRpcClient", "LoopSignal", "get_engine"]
 
 #: Thread-pool width for sync handlers hosted by the async engine.
 #: Threads are created on demand, so an idle server costs none.
@@ -284,6 +284,58 @@ async def read_frame_async(
         return header, payload, "json"
     except asyncio.IncompleteReadError as exc:
         raise FrameError("connection closed mid-frame") from exc
+
+
+class LoopSignal:
+    """Thread-safe change broadcast onto the engine loop.
+
+    Mutating threads call :meth:`notify` (cheap, coalesced: one
+    ``call_soon_threadsafe`` per burst); loop coroutines ``await
+    wait(timeout)`` to park until the next notification.  This is the
+    bridge the GNS watch op uses to turn a commit on a worker thread
+    into a wakeup for every long-poll parked on the process-wide loop.
+
+    The underlying ``asyncio.Event`` is level-triggered and shared by
+    all waiters: waiters must ``clear()`` *before* re-checking the
+    state they are watching, so a notification landing between the
+    check and the wait is never lost.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._event = asyncio.Event()
+        self._lock = threading.Lock()
+        self._scheduled = False
+
+    def notify(self) -> None:
+        """Wake all current waiters; callable from any thread."""
+        with self._lock:
+            if self._scheduled:
+                return
+            self._scheduled = True
+        try:
+            self._loop.call_soon_threadsafe(self._fire)
+        except RuntimeError:  # fault-ok: loop shut down; nothing to wake
+            with self._lock:
+                self._scheduled = False
+
+    def _fire(self) -> None:
+        with self._lock:
+            self._scheduled = False
+        self._event.set()
+
+    def clear(self) -> None:
+        self._event.clear()
+
+    async def wait(self, timeout: float) -> bool:
+        """Park until the next notify or ``timeout``; True if notified."""
+        if timeout <= 0:
+            return self._event.is_set()
+        try:
+            await asyncio.wait_for(self._event.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:  # fault-ok: timeout is the False return
+            return False
 
 
 class _FrameQueue:

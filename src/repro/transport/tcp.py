@@ -161,6 +161,13 @@ IDEMPOTENT_OPS: FrozenSet[str] = frozenset(
         "gns.resolve",
         "gns.list",
         "gns.remove",
+        # A watch is a read of the change log at ``from_revision``;
+        # replaying it after a redial returns the same (or a later)
+        # batch, so clients resume mid-watch across server death.
+        # ``gns.txn`` is deliberately absent — it only becomes
+        # retryable when the caller attaches a dedupe token (see
+        # GnsClient.txn).
+        "gns.watch",
     }
 )
 

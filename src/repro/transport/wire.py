@@ -187,6 +187,9 @@ OPS: Tuple[str, ...] = (
     # Cooperative block cache (PR 8): served by reader processes, not
     # the origin service.
     "gb.peer_read",
+    # GNS control plane (PR 10): atomic multi-record transactions and
+    # long-poll change subscriptions.
+    "gns.txn", "gns.watch",
 )
 
 _OP_TO_ID: Dict[str, int] = {name: i + 1 for i, name in enumerate(OPS)}
@@ -212,6 +215,13 @@ KEYS: Tuple[str, ...] = (
     # the acked frontier, which trails it).
     "gen", "peer", "holds", "drops", "peer_hints", "cached_at",
     "origin", "crc", "hint_from",
+    # GNS control plane (PR 10).  ``ns`` scopes an op to a namespace,
+    # ``auth`` carries its bearer token, ``revision``/``from_revision``
+    # frame the change log, ``events`` is a watch reply's change batch,
+    # ``reset`` marks a compaction-forced snapshot, ``ops`` a txn's
+    # operation list, ``removed`` the gns.remove reply count.
+    "ns", "auth", "revision", "from_revision", "events", "reset",
+    "ops", "removed",
 )
 
 _KEY_TO_ID: Dict[str, int] = {name: i + 1 for i, name in enumerate(KEYS)}

@@ -176,9 +176,17 @@ class RunResult:
 class GridDeployment:
     """Virtual hosts + servers + GNS for one in-process grid."""
 
-    def __init__(self, machines: List[str], base_dir: Optional[Path] = None):
+    def __init__(
+        self,
+        machines: List[str],
+        base_dir: Optional[Path] = None,
+        live_remap: bool = False,
+    ):
         if not machines:
             raise WorkflowError("deployment needs at least one machine")
+        #: When set, every FM context watches the GNS and live-migrates
+        #: open read streams whose records are edited mid-run.
+        self.live_remap = live_remap
         self._own_dir = base_dir is None
         self.base_dir = Path(base_dir) if base_dir else Path(tempfile.mkdtemp(prefix="griddles-"))
         self.hosts = HostRegistry(self.base_dir / "hosts")
@@ -225,7 +233,20 @@ class GridDeployment:
             gridftp=self.gridftp_locator(),
             buffer_locator=lambda m: self.buffer_server.address,
             scratch_dir=self.base_dir / "scratch",
+            live_remap=self.live_remap,
         )
+
+    def rewire(self, add: List[GnsRecord] = (), remove: List[Tuple[str, str]] = ()) -> int:
+        """Edit the live wiring in one atomic transaction.
+
+        ``remove`` takes ``(machine, path)`` pattern pairs.  Open
+        streams whose records change migrate at their next read
+        boundary when the deployment runs with ``live_remap=True`` —
+        the paper's "re-wire by editing GNS entries" claim, applied to
+        a workflow that is already running.  Returns the new revision.
+        """
+        ops = [("remove", m, p) for m, p in remove] + [("add", r) for r in add]
+        return self.name_service.txn(ops)
 
 
 class RealRunner:
@@ -255,8 +276,11 @@ class RealRunner:
         """Install the plan's GNS records into the deployment's GNS."""
         scratch = self.deployment.base_dir / "scratch"
         scratch.mkdir(parents=True, exist_ok=True)
-        self.deployment.name_service.add_all(
-            records_for_plan(self.plan, prefix=self._prefix)
+        # One atomic txn: a watcher (or a concurrently starting stage)
+        # sees the whole wiring appear at a single revision, never a
+        # half-installed plan.
+        self.deployment.name_service.txn(
+            [("add", r) for r in records_for_plan(self.plan, prefix=self._prefix)]
         )
 
     # -- execution ----------------------------------------------------------

@@ -1,0 +1,185 @@
+"""Property-based tests of the GNS versioned record store.
+
+Two invariants hypothesis hammers with random interleavings:
+
+* **Convergence** — whatever sequence of transactions and compactions
+  runs, a watcher that starts from *any* historical revision and
+  replays ``changes_since`` (honouring resets) ends with exactly the
+  store's final record list, in order.  This is the contract the FM's
+  live-remap watcher and the resume-after-crash path both build on.
+* **Isolation** — namespaces are airtight: operations in one namespace
+  never appear in another's records, revisions, or change feed, and a
+  wrong bearer token is always rejected before any state is touched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.gns import GnsAuthError, GnsRecord, IOMode, RecordStore
+
+MACHINES = ("m1", "m2")
+PATHS = ("/a", "/b", "/c")
+
+
+def _rec(machine, path, tag):
+    return GnsRecord(machine=machine, path=path, mode=IOMode.LOCAL, local_path=f"/real/{tag}")
+
+
+def _key(record):
+    return (record.machine, record.path)
+
+
+# One mutation: add some record, or remove one (machine, path) pair.
+_op = st.one_of(
+    st.tuples(
+        st.just("add"), st.sampled_from(MACHINES), st.sampled_from(PATHS), st.integers(0, 99)
+    ),
+    st.tuples(st.just("remove"), st.sampled_from(MACHINES), st.sampled_from(PATHS)),
+)
+# One step: a txn of 1-3 mutations, or a compaction.
+_step = st.one_of(
+    st.lists(_op, min_size=1, max_size=3),
+    st.just("compact"),
+)
+
+
+def _to_store_ops(ops):
+    out = []
+    for op in ops:
+        if op[0] == "add":
+            out.append(("add", _rec(op[1], op[2], op[3])))
+        else:
+            out.append(("remove", op[1], op[2]))
+    return out
+
+
+def _apply_model(state, ops):
+    """Reference semantics: ordered list, remove filters, add appends."""
+    for op in ops:
+        if op[0] == "add":
+            state = state + [_rec(op[1], op[2], op[3])]
+        else:
+            state = [r for r in state if _key(r) != (op[1], op[2])]
+    return state
+
+
+def _replay(base, events, reset):
+    """What a watcher does with one ``changes_since`` batch."""
+    state = [] if reset else list(base)
+    for event in events:
+        if event["action"] == "add":
+            state.append(GnsRecord.from_dict(event["record"]))
+        else:
+            state = [r for r in state if _key(r) != (event["machine"], event["path"])]
+    return state
+
+
+class TestConvergence:
+    @given(steps=st.lists(_step, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_watchers_from_any_revision_converge(self, steps):
+        store = RecordStore()
+        try:
+            # states[r] = model record list at revision r.
+            states = {0: []}
+            for step in steps:
+                if step == "compact":
+                    store.compact()
+                else:
+                    before = store.revision()
+                    store.txn(_to_store_ops(step))
+                    model = _apply_model(states[before], step)
+                    # txn bumps the revision once per mutation; fill in
+                    # the intermediate states (one op at a time).
+                    for i in range(1, len(step) + 1):
+                        states[before + i] = _apply_model(states[before], step[:i])
+            final = store.records()
+            final_rev = store.revision()
+            # Model and store agree on the end state.
+            assert [(_key(r), r.local_path) for r in final] == [
+                (_key(r), r.local_path) for r in states[final_rev]
+            ]
+            # A watcher starting at ANY historical revision converges.
+            for start in range(0, final_rev + 1):
+                events, revision, reset = store.changes_since("default", start)
+                assert revision == final_rev
+                replayed = _replay(states[start], events, reset)
+                assert [(_key(r), r.local_path) for r in replayed] == [
+                    (_key(r), r.local_path) for r in final
+                ], f"watcher from revision {start} diverged"
+                # Replay is complete: watching again from the returned
+                # revision yields nothing.
+                events2, _, reset2 = store.changes_since("default", revision)
+                assert events2 == [] and not reset2
+        finally:
+            store.close()
+
+    @given(steps=st.lists(_step, min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_revision_never_goes_backwards(self, steps):
+        store = RecordStore()
+        try:
+            last = 0
+            for step in steps:
+                if step == "compact":
+                    store.compact()
+                else:
+                    store.txn(_to_store_ops(step))
+                now = store.revision()
+                assert now >= last
+                assert store.compacted() <= now
+                last = now
+        finally:
+            store.close()
+
+
+_ns_step = st.tuples(st.sampled_from(("ns-a", "ns-b", "ns-c")), st.lists(_op, min_size=1, max_size=2))
+
+
+class TestIsolation:
+    @given(steps=st.lists(_ns_step, min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_namespaces_are_airtight(self, steps):
+        store = RecordStore()
+        try:
+            store.set_token("ns-a", "tok-a")
+            store.set_token("ns-b", "tok-b")  # ns-c stays open
+            tokens = {"ns-a": "tok-a", "ns-b": "tok-b", "ns-c": None}
+            models = {ns: [] for ns in tokens}
+            for ns, ops in steps:
+                # The server gates every mutation on the bearer token
+                # before touching state; model that same sequence here.
+                store.check_token(ns, tokens[ns])
+                store.txn(_to_store_ops(ops), ns=ns)
+                models[ns] = _apply_model(models[ns], ops)
+            for ns in tokens:
+                # Records and revisions are per-namespace.
+                assert [(_key(r), r.local_path) for r in store.records(ns)] == [
+                    (_key(r), r.local_path) for r in models[ns]
+                ]
+                # The change feed for ns replays ONLY ns's mutations.
+                events, revision, reset = store.changes_since(ns, 0)
+                assert revision == store.revision(ns)
+                replayed = _replay([], events, reset)
+                assert [(_key(r), r.local_path) for r in replayed] == [
+                    (_key(r), r.local_path) for r in models[ns]
+                ]
+                own_mutations = sum(len(ops) for n, ops in steps if n == ns)
+                assert revision == own_mutations
+        finally:
+            store.close()
+
+    def test_wrong_token_rejected_before_state_changes(self):
+        store = RecordStore()
+        try:
+            store.set_token("tenant", "s3cret")
+            with pytest.raises(GnsAuthError):
+                store.check_token("tenant", "wrong")
+            with pytest.raises(GnsAuthError):
+                store.check_token("tenant", None)
+            store.check_token("tenant", "s3cret")
+            store.check_token("open-ns", None)  # no token configured: open
+        finally:
+            store.close()
